@@ -1,0 +1,67 @@
+"""§IV-A feedback-loop experiment — "PUs are finally protected, N stable".
+
+The paper folds multi-SU aggregation into the fixed margin Δ_redn and
+asserts a feedback loop keeps PUs protected.  This bench quantifies the
+claim: admit a 40-SU population under increasing margins, report worst
+PU SINR and admission count per round, and assert the loop converges to
+full protection with a non-empty admitted set.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.watch.entities import SUTransmitter
+from repro.watch.feedback import FeedbackController
+from repro.watch.params import WatchParameters
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+_REPORT = {}
+
+
+@pytest.fixture(scope="module")
+def dense_scenario():
+    return build_scenario(ScenarioConfig(
+        seed=5, grid_rows=8, grid_cols=8, num_channels=6,
+        num_towers=3, num_pus=6, num_sus=0,
+    ))
+
+
+def test_feedback_convergence(benchmark, dense_scenario):
+    rng = np.random.default_rng(1)
+    sus = [
+        SUTransmitter(f"su-{i}", block_index=int(rng.integers(0, 64)),
+                      tx_power_dbm=float(rng.uniform(0.0, 18.0)))
+        for i in range(40)
+    ]
+    controller = FeedbackController(
+        dense_scenario.environment.grid,
+        dense_scenario.towers,
+        dense_scenario.pus,
+        WatchParameters(num_channels=6, redn_db=1.0),
+    )
+    _REPORT["result"] = benchmark.pedantic(
+        lambda: controller.converge(sus), rounds=1, iterations=1
+    )
+
+
+def test_zzz_render(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = _REPORT["result"]
+    rows = [
+        (f"round {i + 1}: Δ_redn = {redn:.0f} dB",
+         f"admitted {admitted:2d}/40, worst PU SINR {sinr:5.1f} dB")
+        for i, (redn, admitted, sinr) in enumerate(report.trajectory)
+    ]
+    rows.append(("converged", f"protected={report.protected}, "
+                 f"{report.num_admitted} SUs, Δ_redn={report.final_redn_db:.0f} dB"))
+    emit(format_table("Feedback loop: Δ_redn vs aggregate PU protection", rows))
+
+    # The paper's claims, asserted:
+    assert report.protected                       # PUs finally protected
+    assert report.num_admitted > 0                # without shutting SUs out
+    sinrs = [step[2] for step in report.trajectory]
+    assert sinrs[-1] > sinrs[0]                   # protection improves
+    admitted = [step[1] for step in report.trajectory]
+    assert admitted[-1] < admitted[0]             # at an admission cost

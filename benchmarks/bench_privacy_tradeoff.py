@@ -1,0 +1,103 @@
+"""§VI-A "SU's location privacy vs time trade-off".
+
+The paper's claim: request preparation/processing time is
+*asymptotically linear* in the number of blocks the SU keeps plausible —
+disclosing "somewhere in the north" (half the map) halves both costs,
+and full location privacy is the maximum.
+
+This bench sweeps the disclosed fraction over {¼, ½, ¾, 1} of the grid,
+runs the real protocol at each point, and asserts linearity (R² of the
+least-squares fit and endpoint ratios).
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import SYSTEM_KEY_BITS, emit
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import linear_fit
+from repro.crypto.rand import DeterministicRandomSource
+from repro.geo.region import PrivacyRegion
+from repro.pisa.protocol import PisaCoordinator
+from repro.watch.entities import SUTransmitter
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+_POINTS: list[tuple[int, float, float, int]] = []  # blocks, prep_s, proc_s, bytes
+
+
+@pytest.fixture(scope="module")
+def deployment(system_scenario):
+    coord = PisaCoordinator(
+        system_scenario.environment,
+        key_bits=SYSTEM_KEY_BITS,
+        rng=DeterministicRandomSource("tradeoff"),
+    )
+    for pu in system_scenario.pus:
+        coord.enroll_pu(pu)
+    return coord
+
+
+def _region_for(grid, fraction, su_block):
+    """A row-slice region of roughly the requested fraction containing
+    the SU's block (the paper's 'north part of the map' shape)."""
+    rows = max(1, round(grid.rows * fraction))
+    su_row = su_block // grid.cols
+    first = min(max(0, su_row - rows // 2), grid.rows - rows)
+    return PrivacyRegion.rows_slice(grid, first, first + rows - 1)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_sweep_point(benchmark, deployment, system_scenario, fraction):
+    grid = system_scenario.environment.grid
+    su_template = system_scenario.sus[0]
+    su = SUTransmitter(
+        su_id=f"su-frac-{fraction}",
+        block_index=su_template.block_index,
+        tx_power_dbm=su_template.tx_power_dbm,
+    )
+    region = _region_for(grid, fraction, su.block_index)
+    client = deployment.enroll_su(su, region=region)
+
+    start = time.perf_counter()
+    request = client.prepare_request()
+    prep_s = time.perf_counter() - start
+
+    def process():
+        extraction = deployment.sdc.start_request(request)
+        conversion = deployment.stp.handle_sign_extraction(extraction)
+        return deployment.sdc.finish_request(conversion)
+
+    benchmark.pedantic(process, rounds=2, iterations=1, warmup_rounds=1)
+    _POINTS.append(
+        (region.num_blocks, prep_s, benchmark.stats["mean"], request.wire_size())
+    )
+
+
+def test_zzz_linearity(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_POINTS) == len(FRACTIONS)
+    points = sorted(_POINTS)
+    blocks = np.array([p[0] for p in points], dtype=float)
+    prep = np.array([p[1] for p in points])
+    proc = np.array([p[2] for p in points])
+    sizes = np.array([p[3] for p in points], dtype=float)
+
+    emit(format_table(
+        "Privacy vs time trade-off (linear in disclosed blocks)",
+        [
+            (f"{int(b)} blocks", f"prep {p:.3f} s | proc {q:.3f} s | {s / 1e3:.0f} kB")
+            for b, p, q, s in zip(blocks, prep, proc, sizes)
+        ],
+    ))
+
+    # Paper: "the relation ... is asymptotically linear".
+    assert linear_fit(blocks, prep).r_squared > 0.95
+    assert linear_fit(blocks, proc).r_squared > 0.95
+    # Request bytes are exactly linear in blocks (C ciphertexts per block).
+    assert linear_fit(blocks, sizes).r_squared > 0.999
+    # Full privacy costs ≈4x the quarter disclosure.
+    assert 2.0 < prep[-1] / prep[0] < 8.0
+    assert 2.0 < proc[-1] / proc[0] < 8.0

@@ -1,0 +1,89 @@
+"""Protocol complexity curve — round cost is Θ(C·B), measured.
+
+§VI-A argues every phase is linear in the matrix size (and the privacy
+trade-off bench shows it for a fixed C).  This bench sweeps the *total*
+cell count over nearly an order of magnitude, varying both channels and
+blocks, and fits the full-round wall time and request bytes against the
+cell count: the fit must be linear with high R² and a near-zero
+intercept share, which is what licenses the paper-scale extrapolations
+used by Figure 6's projection.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import linear_fit
+from repro.crypto.rand import DeterministicRandomSource
+from repro.geo.grid import BlockGrid
+from repro.pisa.protocol import PisaCoordinator
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.environment import SpectrumEnvironment
+from repro.watch.params import WatchParameters
+
+KEY_BITS = 256
+#: (channels, rows, cols) sweep points — cells from 48 to 384.
+POINTS = ((4, 3, 4), (4, 4, 6), (8, 4, 6), (8, 6, 8))
+
+_RESULTS = []
+
+
+def _run_point(channels: int, rows: int, cols: int) -> tuple[int, float, int]:
+    grid = BlockGrid(rows=rows, cols=cols)
+    env = SpectrumEnvironment(grid, WatchParameters(num_channels=channels))
+    coordinator = PisaCoordinator(
+        env, key_bits=KEY_BITS,
+        rng=DeterministicRandomSource(f"curve-{channels}-{rows}-{cols}"),
+    )
+    coordinator.enroll_pu(PUReceiver(
+        "pu", block_index=0, channel_slot=0, signal_strength_mw=1e-5
+    ))
+    su = SUTransmitter("su", block_index=grid.num_blocks - 1, tx_power_dbm=10.0)
+    coordinator.enroll_su(su)
+    start = time.perf_counter()
+    report = coordinator.run_request_round(su.su_id)
+    elapsed = time.perf_counter() - start
+    return channels * grid.num_blocks, elapsed, report.request_bytes
+
+
+@pytest.mark.parametrize("channels,rows,cols", POINTS)
+def test_curve_point(benchmark, channels, rows, cols):
+    cells, elapsed, req_bytes = benchmark.pedantic(
+        lambda: _run_point(channels, rows, cols), rounds=1, iterations=1
+    )
+    _RESULTS.append((cells, elapsed, req_bytes))
+
+
+def test_zzz_fit(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    points = sorted(_RESULTS)
+    cells = [p[0] for p in points]
+    times = [p[1] for p in points]
+    sizes = [p[2] for p in points]
+    time_fit = linear_fit(cells, times)
+    size_fit = linear_fit(cells, sizes)
+    emit(format_table(
+        f"Round cost vs C·B (n = {KEY_BITS})",
+        [
+            (f"{c} cells", f"{t:.2f} s | {s / 1e3:.1f} kB")
+            for c, t, s in points
+        ] + [
+            ("time fit", f"{time_fit.slope * 1e3:.2f} ms/cell, "
+             f"R² = {time_fit.r_squared:.3f}"),
+            ("size fit", f"{size_fit.slope:.0f} B/cell, "
+             f"R² = {size_fit.r_squared:.4f}"),
+        ],
+    ))
+    # Linearity licenses the Figure 6 extrapolation.
+    assert time_fit.r_squared > 0.97
+    assert size_fit.r_squared > 0.999
+    # The fixed overhead (keygen already excluded) is a small share of
+    # the largest point's cost.
+    assert abs(time_fit.intercept) < 0.5 * max(times)
+    # Bytes per cell ≈ one ciphertext (64 B body + 4 B prefix at 256 bits)
+    # times ~3 matrices (request + extraction + conversion are counted
+    # in the request here: just the request → ≈68 B/cell).
+    assert 50 < size_fit.slope < 90

@@ -1,0 +1,66 @@
+"""Figures 8-11 — the §VI-B four-scenario testbed experiment.
+
+The paper's real-world validation: two SUs and one PU on WiFi channel 6;
+the PU claims the channel, both SUs request via PISA, and only the
+non-interfering SU is granted (it then sends ≈11 packets in 20 ms).
+This bench drives the simulated USRP testbed through the real protocol
+stack and asserts each figure's qualitative content.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.sdr.testbed import SdrTestbed
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return SdrTestbed(seed=1)
+
+
+def test_full_experiment(benchmark, testbed):
+    """One complete §VI-B run, Figure 8 through Figure 9."""
+    results = benchmark.pedantic(testbed.run_all, rounds=1, iterations=1)
+    _RESULTS["run"] = results
+
+
+def test_zzz_figures(benchmark, testbed):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _RESULTS["run"]
+    s1, s2, s3, s4 = results
+
+    # Figure 8: the PU's monitor shows two packets of unequal amplitude.
+    trace = s1.traces["pu"]
+    peak_su1 = float(np.max(np.abs(trace[100:1100])))
+    peak_su2 = float(np.max(np.abs(trace[3300:4300])))
+    assert peak_su1 > 0 and peak_su2 > 0
+    assert abs(peak_su1 - peak_su2) / max(peak_su1, peak_su2) > 0.2
+
+    # Figure 10: PU's encrypted update reached the SDC.
+    assert any("encrypted channel-reception update" in e for e in s2.events)
+
+    # Figure 11: both SUs submitted encrypted requests.
+    assert len(s3.events) == 2
+
+    # Figure 9: exactly one SU granted; it transmits ≈11 packets / 20 ms.
+    decisions = {k: r.granted for k, r in s4.reports.items()}
+    assert decisions == {"su1": False, "su2": True}
+    assert len(s4.traces["pu"]) == 400_000
+
+    emit(format_table(
+        "Figures 8-11: SDR testbed scenarios (simulated USRPs)",
+        [
+            ("Fig 8: PU trace peaks (su1 | su2)", f"{peak_su1:.4f} | {peak_su2:.4f}"),
+            ("Fig 10: PU update events", str(len(s2.events))),
+            ("Fig 11: SU requests sent", str(len(s3.events))),
+            ("Fig 9: decisions (su1, su2)",
+             f"{'grant' if decisions['su1'] else 'deny'}, "
+             f"{'grant' if decisions['su2'] else 'deny'}"),
+            ("Fig 9: granted-SU packets heard",
+             str([b.source_id for b in testbed.medium.heard['pu']].count('su2'))),
+        ],
+    ))

@@ -1,0 +1,53 @@
+"""Table I — parameter settings.
+
+Renders the paper's simulation settings and verifies the derived
+configuration objects carry them faithfully.  The "benchmark" here is
+the ``E``-matrix precomputation at Table I scale, which is the only
+plaintext precompute the setting implies (§IV-A1).
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.geo.grid import BlockGrid
+from repro.watch.environment import SpectrumEnvironment
+from repro.watch.params import PaperSettings
+
+
+def test_table1_settings_render(benchmark):
+    settings = PaperSettings()
+
+    def build_configuration():
+        params = settings.watch_parameters()
+        grid = BlockGrid(rows=settings.grid_rows, cols=settings.grid_cols)
+        return params, grid
+
+    params, grid = benchmark(build_configuration)
+    assert params.num_channels == 100
+    assert grid.num_blocks == 600
+    emit(format_table("Table I: Parameter Settings", settings.as_table_rows()))
+
+
+def test_e_matrix_precompute_at_paper_scale(benchmark, system_scenario):
+    """§IV-A1's public precompute — plaintext, so full scale is feasible."""
+    settings = PaperSettings()
+    params = settings.watch_parameters()
+    grid = BlockGrid(rows=settings.grid_rows, cols=settings.grid_cols)
+
+    def precompute():
+        env = SpectrumEnvironment(
+            grid, params, transmitters=system_scenario.towers
+        )
+        return env.e_matrix
+
+    e_matrix = benchmark.pedantic(precompute, rounds=1, iterations=1)
+    assert e_matrix.shape == (100, 600)
+    emit(
+        format_table(
+            "E-matrix precompute (plaintext, public data)",
+            [
+                ("Cells", f"{e_matrix.size}"),
+                ("Non-trivial caps", str(sum(1 for v in e_matrix.flat if v > 1))),
+            ],
+        )
+    )

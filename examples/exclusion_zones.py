@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Exclusion zones: TV-white-space vs WATCH, drawn side by side.
+
+The paper's motivation (§I): static TVWS exclusion zones waste huge
+areas protecting TV receivers that are not watching, while WATCH only
+excludes blocks near *active* receivers.  This example computes both
+zones over a generated service area and prints ASCII maps plus the
+spatial-reuse gain, before and after a receiver switches off.
+
+Legend:  '#' SU denied now   '-' capped but usable   '.' free   'P' active PU
+
+Run:  python examples/exclusion_zones.py
+"""
+
+from repro.watch.scenario import ScenarioConfig, build_scenario
+from repro.watch.zones import compute_zones, render_zone_map
+
+PROBE_DBM = 16.0
+
+
+def main() -> None:
+    scenario = build_scenario(ScenarioConfig(
+        seed=5, grid_rows=8, grid_cols=12, num_channels=4,
+        num_towers=2, num_pus=4, num_sus=0,
+    ))
+    env = scenario.environment
+    slot = scenario.pus[0].channel_slot
+    active = [p for p in scenario.pus if p.channel_slot == slot]
+    print(f"channel slot {slot} "
+          f"({env.plan.frequency_for_slot(slot) / 1e6:.0f} MHz), "
+          f"{len(active)} active TV receivers, probe SU at {PROBE_DBM} dBm\n")
+
+    zones = compute_zones(env, active, slot, probe_power_dbm=PROBE_DBM)
+    print("WATCH dynamic exclusion (now):")
+    print(render_zone_map(env, zones, active))
+    print(f"\n  static (TVWS-style) zone: {zones.static_fraction:.0%} of the area")
+    print(f"  dynamic (WATCH) zone:     {zones.dynamic_fraction:.0%} of the area")
+    print(f"  spatial reuse unlocked:   {zones.reuse_gain:+.0%}\n")
+
+    # One viewer turns the TV off — the zone around them evaporates.
+    remaining = active[1:]
+    after = compute_zones(env, remaining, slot, probe_power_dbm=PROBE_DBM)
+    print(f"after receiver {active[0].receiver_id!r} switches off:")
+    print(render_zone_map(env, after, remaining))
+    print(f"\n  dynamic zone shrinks {zones.dynamic_fraction:.0%} → "
+          f"{after.dynamic_fraction:.0%} — exclusion follows the viewers,")
+    print("  not the broadcast towers. That is the WATCH model PISA makes")
+    print("  privacy-preserving.")
+
+
+if __name__ == "__main__":
+    main()

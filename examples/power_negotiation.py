@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Private power negotiation: find your max EIRP without telling anyone.
+
+WATCH answers yes/no for a specific configuration; PISA hides even the
+deny reason.  An SU that wants the *highest* admissible power therefore
+runs a binary search of full protocol rounds — each probe encrypted,
+each verdict known only to the SU.  The SDC observes request count and
+timing, nothing else.
+
+This example negotiates for two SUs — one near an active TV receiver,
+one far — and cross-checks the found thresholds against the plaintext
+oracle (which, in a real deployment, nobody would hold).
+
+Run:  python examples/power_negotiation.py
+"""
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.pisa.negotiation import PowerNegotiator
+from repro.pisa.protocol import PisaCoordinator
+from repro.watch.sdc import PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario(ScenarioConfig(seed=4, num_sus=3))
+    coordinator = PisaCoordinator(
+        scenario.environment, key_bits=256,
+        rng=DeterministicRandomSource("negotiate"),
+    )
+    oracle = PlaintextSDC(scenario.environment)
+    for pu in scenario.pus:
+        coordinator.enroll_pu(pu)
+        oracle.pu_update(pu)
+
+    negotiator = PowerNegotiator(coordinator, resolution_db=1.0)
+    for su in scenario.sus:
+        result = negotiator.negotiate(su, floor_dbm=-20.0, cap_dbm=36.0)
+        print(f"{su.su_id} @ block {su.block_index}:")
+        if result.admitted:
+            print(f"  negotiated max power: {result.best_power_dbm:.1f} dBm "
+                  f"(next denied at {result.lowest_denied_dbm:.1f} dBm)")
+        else:
+            print("  inadmissible even at the floor power")
+        print(f"  {result.rounds_used} encrypted rounds: "
+              + " ".join(
+                  f"{p:+.0f}{'✓' if ok else '✗'}" for p, ok in result.probes
+              ))
+        if result.admitted:
+            ok = oracle.process_request(
+                su.with_power(result.best_power_dbm)
+            ).granted
+            too_much = oracle.process_request(
+                su.with_power(result.lowest_denied_dbm)
+            ).granted
+            print(f"  oracle cross-check: granted@best={ok}, "
+                  f"granted@denied-bound={too_much}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

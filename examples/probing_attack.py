@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Threat-model demo: probing attacks vs database breaches.
+
+The paper's §II cites Bahrak et al.: a malicious SU can locate PUs by
+sending innocuous queries.  This example runs that attack on our
+substrate and separates the two channels an adversary has:
+
+1. **the decision oracle** — probing grant/deny over a (channel, block)
+   sweep recovers every active PU cell, against WATCH *and* against
+   PISA (the SU legitimately learns its own decisions; no cryptography
+   can hide what the allocation itself reveals);
+2. **the database** — a breached plaintext WATCH SDC hands over every
+   PU's channel directly, while a breached PISA SDC holds only
+   ciphertexts and the attacker is reduced to a 1-in-C guess.
+
+PISA's §V guarantee is exactly the second channel; the first needs
+policy (licensing costs, rate limits, Bahrak-style obfuscation).
+
+Run:  python examples/probing_attack.py
+"""
+
+from repro.baselines.probing import ProbingAttack, sdc_breach_view
+from repro.crypto.rand import DeterministicRandomSource
+from repro.pisa.protocol import PisaCoordinator
+from repro.watch.sdc import PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+from repro.watch.zones import render_zone_map
+
+
+def main() -> None:
+    scenario = build_scenario(ScenarioConfig(
+        seed=5, grid_rows=6, grid_cols=6, num_channels=3,
+        num_towers=2, num_pus=3, num_sus=0,
+    ))
+    env = scenario.environment
+    active = [pu for pu in scenario.pus if pu.is_active]
+    print(f"ground truth: {[(p.channel_slot, p.block_index) for p in active]} "
+          "(channel, block) of active PUs\n")
+
+    # --- attack channel 1: the decision oracle -------------------------
+    sdc = PlaintextSDC(env)
+    for pu in scenario.pus:
+        sdc.pu_update(pu)
+
+    def decide(su, channel):
+        return sdc.process_request(su, channels=[channel]).granted
+
+    attack = ProbingAttack(env, decide, probe_power_dbm=10.0)
+    report = attack.sweep(active)
+    print(f"probing sweep: {report.probes_used} probe requests")
+    print(f"  recall {report.recall:.0%} (every active PU found), "
+          f"precision {report.precision:.0%} "
+          "(denial halo around each PU)")
+    print("  -> decisions leak PU presence in ANY allocation system;")
+    print("     mitigations are policy-level (license cost, rate limits).\n")
+
+    # --- attack channel 2: the database breach --------------------------
+    coordinator = PisaCoordinator(
+        env, key_bits=256, rng=DeterministicRandomSource("probing-demo")
+    )
+    for pu in scenario.pus:
+        coordinator.enroll_pu(pu)
+    breach = sdc_breach_view(env, active, coordinator=coordinator)
+    print("database breach (read the SDC's stored state):")
+    print(f"  plaintext WATCH: channel recovered with accuracy "
+          f"{breach['watch']:.0%}")
+    print(f"  PISA:            best attack = blind guess "
+          f"(this run {'hit' if breach['pisa'] else 'missed'}; expected "
+          f"{breach['pisa_baseline']:.0%})")
+    print("  -> THIS is the channel PISA closes (Lemma V.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §VI-B real-world experiment, on simulated USRP radios.
+
+Replays the paper's four scenarios on the simulated testbed (two N210
+SUs, one X310 PU, WiFi channel 6 at 2.437 GHz):
+
+1. PU idle; both SUs transmit — the PU's 20 MHz monitor shows two
+   packets with distance-dependent amplitudes (Figure 8);
+2. PU claims the channel; the SDC halts the SUs (Figure 10);
+3. both SUs submit encrypted PISA requests (Figure 11);
+4. the SDC decides privately; the non-interfering SU is granted and
+   sends ≈11 packets within 20 ms (Figure 9).
+
+Run:  python examples/sdr_testbed.py
+"""
+
+import numpy as np
+
+from repro.sdr.testbed import SdrTestbed
+
+
+def ascii_trace(trace: np.ndarray, width: int = 72, height: int = 8) -> str:
+    """A tiny ASCII oscilloscope for the received-amplitude envelope."""
+    bins = np.array_split(np.abs(trace), width)
+    envelope = np.array([b.max() for b in bins])
+    peak = envelope.max() or 1.0
+    levels = np.round(envelope / peak * (height - 1)).astype(int)
+    rows = []
+    for level in range(height - 1, -1, -1):
+        rows.append("".join("#" if l >= level and l > 0 else " " for l in levels))
+    rows.append("-" * width)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    testbed = SdrTestbed(seed=1)
+    print("devices:")
+    for device in (testbed.pu_device, testbed.su1_device, testbed.su2_device):
+        print(f"  {device.device_id}: USRP {device.profile.model} at "
+              f"({device.x_m:.0f}, {device.y_m:.0f}) m, "
+              f"{device.tx_power_dbm:.0f} dBm")
+
+    results = testbed.run_all()
+
+    for result in results:
+        print(f"\n=== {result.name} ===")
+        for event in result.events:
+            print(f"  {event}")
+        for name, trace in result.traces.items():
+            window_ms = len(trace) / 20e6 * 1e3
+            print(f"  [{name} monitor, {window_ms:.2f} ms @ 20 MHz]")
+            print(ascii_trace(trace))
+
+    decisions = results[3].reports
+    print("\nPISA decisions (each learned only by the SU itself):")
+    for su_id, report in decisions.items():
+        print(f"  {su_id}: {'GRANTED' if report.granted else 'DENIED'} "
+              f"(round {report.timings.total:.2f} s, "
+              f"request {report.request_bytes / 1e3:.0f} kB)")
+    print("\nAs in the paper's run: the SU closer to the PU is denied; the")
+    print("distant one is granted and re-occupies the channel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Communication-overhead summaries (§VI-A's reporting unit)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.transport import InMemoryTransport
+
+__all__ = ["CommunicationSummary", "summarize_transport"]
+
+
+@dataclass(frozen=True)
+class CommunicationSummary:
+    """Bytes on the wire per protocol message type."""
+
+    request_bytes: int
+    pu_update_bytes: int
+    sign_extraction_bytes: int
+    conversion_bytes: int
+    response_bytes: int
+    total_bytes: int
+    message_count: int
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Human-readable rows for the report tables."""
+
+        def fmt(size: int) -> str:
+            if size >= 1_000_000:
+                return f"{size / 1e6:.2f} MB"
+            if size >= 1_000:
+                return f"{size / 1e3:.2f} kB"
+            return f"{size} B"
+
+        return [
+            ("SU request (F̃ matrix)", fmt(self.request_bytes)),
+            ("PU update (W̃ vector)", fmt(self.pu_update_bytes)),
+            ("SDC→STP sign extraction (Ṽ)", fmt(self.sign_extraction_bytes)),
+            ("STP→SDC key conversion (X̃)", fmt(self.conversion_bytes)),
+            ("SDC response (license + G̃)", fmt(self.response_bytes)),
+            ("Total", fmt(self.total_bytes)),
+        ]
+
+
+def summarize_transport(transport: InMemoryTransport) -> CommunicationSummary:
+    """Aggregate an accounted transport into a per-kind summary."""
+    by_kind = transport.by_kind()
+
+    def total(kind: str) -> int:
+        return by_kind.get(kind, (0, 0))[1]
+
+    return CommunicationSummary(
+        request_bytes=total("SURequestMessage"),
+        pu_update_bytes=total("PUUpdateMessage"),
+        sign_extraction_bytes=total("SignExtractionRequest"),
+        conversion_bytes=total("SignExtractionResponse"),
+        response_bytes=total("LicenseResponse"),
+        total_bytes=transport.total_bytes(),
+        message_count=transport.count(),
+    )

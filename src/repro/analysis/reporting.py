@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Benchmarks print tables shaped like the paper's (Table I, Table II,
+Figure 6's phase list) so the output can be read side by side with the
+PDF.  Only fixed-width text — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_comparison_table"]
+
+
+def format_table(
+    title: str, rows: Sequence[tuple[str, str]], min_width: int = 40
+) -> str:
+    """A two-column boxed table.
+
+    >>> print(format_table("Demo", [("a", "1")]))  # doctest: +SKIP
+    """
+    label_width = max([len(label) for label, _ in rows] + [len(title), min_width // 2])
+    value_width = max([len(value) for _, value in rows] + [8])
+    total = label_width + value_width + 7
+    lines = ["+" + "-" * (total - 2) + "+"]
+    lines.append("| " + title.ljust(total - 4) + " |")
+    lines.append("+" + "-" * (total - 2) + "+")
+    for label, value in rows:
+        lines.append(f"| {label.ljust(label_width)} | {value.rjust(value_width)} |")
+    lines.append("+" + "-" * (total - 2) + "+")
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    title: str,
+    rows: Sequence[tuple[str, str, str]],
+    headers: tuple[str, str, str] = ("metric", "paper", "measured"),
+) -> str:
+    """A three-column table: metric, paper-reported value, our value."""
+    widths = [
+        max([len(r[i]) for r in rows] + [len(headers[i])]) for i in range(3)
+    ]
+    total = sum(widths) + 10
+    lines = ["+" + "-" * (total - 2) + "+"]
+    lines.append("| " + title.ljust(total - 4) + " |")
+    lines.append("+" + "-" * (total - 2) + "+")
+    header = (
+        f"| {headers[0].ljust(widths[0])} | {headers[1].rjust(widths[1])} "
+        f"| {headers[2].rjust(widths[2])} |"
+    )
+    lines.append(header)
+    lines.append("+" + "-" * (total - 2) + "+")
+    for metric, paper, measured in rows:
+        lines.append(
+            f"| {metric.ljust(widths[0])} | {paper.rjust(widths[1])} "
+            f"| {measured.rjust(widths[2])} |"
+        )
+    lines.append("+" + "-" * (total - 2) + "+")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Baselines the paper positions PISA against.
+
+* :mod:`repro.baselines.securecmp` — a bit-decomposition secure
+  comparison protocol in the style of [12], [13], [18]: what the SDC/STP
+  would have to run per matrix cell if PISA did not use its
+  multiplicative blinding trick.  Used by the ablation benchmark.
+* :mod:`repro.baselines.fhe_costmodel` — a cost model for solving the
+  same problem with generic fully homomorphic encryption, using the
+  literature constants the paper cites (homomorphic AES ≈5.8 s and
+  ≈21 MB per 128-bit block, [21]).
+"""
+
+from repro.baselines.fhe_costmodel import FheCostEstimate, FheCostModel
+from repro.baselines.probing import ProbeReport, ProbingAttack, sdc_breach_view
+from repro.baselines.securecmp import ComparisonStats, SecureComparisonProtocol
+
+__all__ = [
+    "FheCostEstimate",
+    "FheCostModel",
+    "ProbeReport",
+    "ProbingAttack",
+    "sdc_breach_view",
+    "ComparisonStats",
+    "SecureComparisonProtocol",
+]

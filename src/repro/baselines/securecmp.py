@@ -1,0 +1,170 @@
+"""Bit-decomposition secure comparison — the road PISA did not take.
+
+§IV-B: "Some of the existing methods [13], [12], [18] require the
+involved integers to be encrypted bit by bit.  Consequently, this will
+make the rest computations involving T'(c, b) extremely complex and
+time-consuming.  (Those methods will also need multiple rounds of
+communications…)"
+
+To quantify that claim, this module implements a representative
+two-party comparison protocol between the SDC (holding ``Enc_G(I)`` and
+the mask) and the STP (holding ``sk_G``), in the DGK/Damgård style:
+
+1. **Mask**: SDC samples ``r`` uniform in ``[2^ℓ, 2^{ℓ+κ})``, sends
+   ``Enc(I + r)``; STP decrypts ``z = I + r``.  ``I ≤ 0  ⟺  z ≤ r``.
+2. **Bitwise stage**: STP encrypts each bit of ``z``; the SDC, knowing
+   the bits of ``r``, homomorphically evaluates the DGK cells
+
+   ``e_i = r_i − z_i + 1 + 3·Σ_{j>i} (z_j ⊕ r_j)``
+
+   blinds each with a fresh non-zero scalar, shuffles, and returns them.
+3. **Decide**: STP decrypts; ``r < z`` iff some cell is zero, so
+   ``I ≤ 0 ⟺ no cell is zero``.
+
+Per comparison this costs ``ℓ+κ+1`` encryptions *and* decryptions plus
+three communication legs — versus PISA's single blinded ciphertext per
+cell and one leg.  The ablation benchmark
+(``benchmarks/bench_ablation_comparison.py``) measures exactly this gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.paillier import EncryptedNumber, PaillierKeypair
+from repro.crypto.rand import RandomSource, default_rng
+from repro.crypto.serialization import encoded_int_size
+from repro.errors import BlindingError, ProtocolError
+
+__all__ = ["ComparisonStats", "SecureComparisonProtocol"]
+
+
+@dataclass
+class ComparisonStats:
+    """Cost counters accumulated across comparisons."""
+
+    comparisons: int = 0
+    encryptions: int = 0
+    decryptions: int = 0
+    hom_operations: int = 0
+    communication_legs: int = 0
+    bytes_transferred: int = 0
+
+
+class SecureComparisonProtocol:
+    """Two-party ``I ≤ 0`` test over a Paillier ciphertext.
+
+    The object plays *both* roles (SDC and STP) so tests and benchmarks
+    can run it standalone; the ``stats`` field records what each message
+    leg would have cost on the wire.
+
+    Parameters
+    ----------
+    keypair:
+        The group keypair — the "STP side" uses the private half.
+    value_bits:
+        Bound on ``|I|`` (``ℓ``): the protocol needs ``|I| < 2**value_bits``.
+    kappa:
+        Statistical masking security parameter (``κ``).
+    """
+
+    def __init__(
+        self,
+        keypair: PaillierKeypair,
+        value_bits: int,
+        kappa: int = 40,
+        rng: RandomSource | None = None,
+    ) -> None:
+        total_bits = value_bits + kappa + 2
+        if total_bits + 2 > keypair.public_key.n.bit_length() - 1:
+            raise BlindingError("key too small for the masked comparison range")
+        self.keypair = keypair
+        self.value_bits = value_bits
+        self.kappa = kappa
+        self._rng = default_rng(rng)
+        self.stats = ComparisonStats()
+
+    @property
+    def bit_length(self) -> int:
+        """Bits compared in the DGK stage (mask width + 1)."""
+        return self.value_bits + self.kappa + 1
+
+    # -- the protocol -----------------------------------------------------------
+
+    def is_non_positive(self, encrypted_indicator: EncryptedNumber) -> bool:
+        """Run the full comparison; returns ``I ≤ 0``.
+
+        Raises :class:`ProtocolError` if the ciphertext is under a
+        different key.
+        """
+        pk = self.keypair.public_key
+        sk = self.keypair.private_key
+        if encrypted_indicator.public_key != pk:
+            raise ProtocolError("indicator not under the group key")
+
+        # Leg 1 (SDC → STP): the additively masked indicator.
+        r = self._rng.randrange(1 << self.value_bits, 1 << (self.value_bits + self.kappa))
+        masked = encrypted_indicator.add_plain(r)
+        self.stats.hom_operations += 1
+        self._account_leg([masked])
+
+        z = sk.decrypt(masked)
+        self.stats.decryptions += 1
+        if z < 0:
+            raise ProtocolError("indicator outside the declared value range")
+
+        # Leg 2 (STP → SDC): bitwise encryption of z.
+        z_bits = [(z >> i) & 1 for i in range(self.bit_length)]
+        z_cts = [pk.encrypt(bit, rng=self._rng) for bit in z_bits]
+        self.stats.encryptions += len(z_cts)
+        self._account_leg(z_cts)
+
+        # SDC side: DGK cells for the comparison r < z.
+        r_bits = [(r >> i) & 1 for i in range(self.bit_length)]
+        cells = []
+        xor_suffix = pk.encrypt(0, rng=self._rng)  # Σ_{j>i} (z_j ⊕ r_j), built high→low
+        self.stats.encryptions += 1
+        for i in reversed(range(self.bit_length)):
+            # e_i = r_i − z_i + 1 + 3·Σ_{j>i}(z_j ⊕ r_j), all homomorphic in Enc(z_i).
+            e = xor_suffix.scalar_mul(3)
+            e = e.add_plain(r_bits[i] + 1)
+            e = e.subtract(z_cts[i])
+            self.stats.hom_operations += 3
+            scalar = self._rng.randrange(1, 1 << 32)
+            cells.append(e.scalar_mul(scalar))
+            self.stats.hom_operations += 1
+            # Extend the suffix with this bit's XOR for the next (lower) i:
+            # z ⊕ r = z + r − 2·z·r → linear because r_i is plaintext.
+            if r_bits[i] == 0:
+                xor_i = z_cts[i]
+            else:
+                xor_i = z_cts[i].scalar_mul(-1).add_plain(1)
+                self.stats.hom_operations += 2
+            xor_suffix = xor_suffix.add(xor_i)
+            self.stats.hom_operations += 1
+        self._shuffle(cells)
+
+        # Leg 3 (SDC → STP): blinded, shuffled cells.
+        self._account_leg(cells)
+        r_less_than_z = False
+        for cell in cells:
+            if sk.decrypt(cell) == 0:
+                r_less_than_z = True
+            self.stats.decryptions += 1
+
+        self.stats.comparisons += 1
+        return not r_less_than_z  # I ≤ 0  ⟺  z ≤ r  ⟺  not (r < z)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _account_leg(self, ciphertexts) -> None:
+        self.stats.communication_legs += 1
+        self.stats.bytes_transferred += sum(
+            encoded_int_size(ct.ciphertext) for ct in ciphertexts
+        )
+
+    def _shuffle(self, items: list) -> None:
+        """Fisher–Yates with the protocol's randomness source."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self._rng.randbelow(i + 1)
+            items[i], items[j] = items[j], items[i]

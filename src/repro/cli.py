@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro`` / ``pisa-repro``.
+
+Gives downstream users one entry point into the reproduction:
+
+=============  =================================================
+``demo``       one end-to-end PISA round on a small scenario
+``testbed``    the §VI-B four-scenario SDR experiment
+``zones``      TVWS vs WATCH exclusion-zone maps
+``tradeoff``   the §VI-A location-privacy/latency sweep
+``simulate``   a deployment-capacity simulation (paper-hardware
+               cost model, configurable load and packing)
+``profile``    Table II Paillier micro-benchmarks at any key size
+=============  =================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pisa-repro",
+        description="PISA (ICDCS'17) reproduction — privacy-preserving "
+        "fine-grained spectrum access",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one end-to-end PISA round")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--key-bits", type=int, default=256,
+                      help="Paillier modulus size (2048 = paper setting)")
+    demo.add_argument("--packed", action="store_true",
+                      help="use the packed-request extension")
+    demo.add_argument("--two-server", action="store_true",
+                      help="use the STP-free two-server extension")
+
+    testbed = sub.add_parser("testbed", help="the §VI-B four scenarios")
+    testbed.add_argument("--seed", type=int, default=1)
+
+    zones = sub.add_parser("zones", help="exclusion-zone maps")
+    zones.add_argument("--seed", type=int, default=5)
+    zones.add_argument("--probe-dbm", type=float, default=16.0)
+
+    tradeoff = sub.add_parser("tradeoff", help="privacy vs latency sweep")
+    tradeoff.add_argument("--seed", type=int, default=3)
+
+    simulate = sub.add_parser("simulate", help="deployment capacity simulation")
+    simulate.add_argument("--hours", type=float, default=24.0)
+    simulate.add_argument("--rate", type=float, default=1.0,
+                          help="SU requests per hour")
+    simulate.add_argument("--packing", type=int, default=1,
+                          help="packed-mode slots per ciphertext (1 = baseline)")
+    simulate.add_argument("--seed", type=int, default=42)
+
+    profile = sub.add_parser("profile", help="Table II micro-benchmarks")
+    profile.add_argument("--key-bits", type=int, default=1024)
+    profile.add_argument("--iterations", type=int, default=10)
+
+    negotiate = sub.add_parser(
+        "negotiate", help="privately find an SU's max admissible power"
+    )
+    negotiate.add_argument("--seed", type=int, default=4)
+    negotiate.add_argument("--block", type=int, default=None,
+                           help="SU block index (default: scenario SU 0)")
+    negotiate.add_argument("--resolution-db", type=float, default=1.0)
+
+    capacity = sub.add_parser(
+        "capacity", help="TVWS vs WATCH usable-spectrum accounting"
+    )
+    capacity.add_argument("--seed", type=int, default=5)
+    capacity.add_argument("--probe-dbm", type=float, default=16.0)
+
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    from repro.crypto.rand import DeterministicRandomSource
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(ScenarioConfig(seed=args.seed))
+    rng = DeterministicRandomSource(args.seed)
+    if args.packed and args.two_server:
+        print("choose at most one of --packed / --two-server", file=sys.stderr)
+        return 2
+    if args.packed:
+        from repro.pisa.packed import PackedCoordinator as Coordinator
+
+        key_bits = max(args.key_bits, 512)  # packing needs slot room
+    elif args.two_server:
+        from repro.pisa.two_server import TwoServerCoordinator as Coordinator
+
+        key_bits = args.key_bits
+    else:
+        from repro.pisa.protocol import PisaCoordinator as Coordinator
+
+        key_bits = args.key_bits
+    coordinator = Coordinator(scenario.environment, key_bits=key_bits, rng=rng)
+    for pu in scenario.pus:
+        coordinator.enroll_pu(pu)
+    su = scenario.sus[0]
+    coordinator.enroll_su(su)
+    report = coordinator.run_request_round(su.su_id)
+    variant = "packed" if args.packed else ("two-server" if args.two_server else "stp")
+    print(f"variant={variant} key_bits={key_bits}")
+    print(f"decision for {su.su_id}: {'GRANTED' if report.granted else 'DENIED'}")
+    print(f"request {report.request_bytes} B, response {report.response_bytes} B, "
+          f"round {report.timings.total:.2f} s")
+    return 0
+
+
+def _cmd_testbed(args) -> int:
+    from repro.sdr.testbed import SdrTestbed
+
+    for result in SdrTestbed(seed=args.seed).run_all():
+        print(f"[{result.name}]")
+        for event in result.events:
+            print(f"  {event}")
+    return 0
+
+
+def _cmd_zones(args) -> int:
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+    from repro.watch.zones import compute_zones, render_zone_map
+
+    scenario = build_scenario(ScenarioConfig(
+        seed=args.seed, grid_rows=8, grid_cols=12, num_channels=4,
+        num_towers=2, num_pus=4, num_sus=0,
+    ))
+    slot = scenario.pus[0].channel_slot
+    active = [p for p in scenario.pus if p.channel_slot == slot]
+    zones = compute_zones(
+        scenario.environment, active, slot, probe_power_dbm=args.probe_dbm
+    )
+    print(render_zone_map(scenario.environment, zones, active))
+    print(f"static {zones.static_fraction:.0%} | dynamic "
+          f"{zones.dynamic_fraction:.0%} | reuse gain {zones.reuse_gain:+.0%}")
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    import runpy
+    import pathlib
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "privacy_tradeoff.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("examples/privacy_tradeoff.py not found", file=sys.stderr)
+    return 1
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.analysis.scaling import PaillierCostProfile
+    from repro.sim import DeploymentSimulator, ServiceCostModel, WorkloadConfig
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    paper_hardware = PaillierCostProfile(
+        key_bits=2048, encryption_s=0.030378, decryption_s=0.021170,
+        hom_add_s=4e-6, hom_sub_s=7.3e-5, hom_scale_small_s=1.564e-3,
+        hom_scale_full_s=0.018867, rerandomize_s=0.030,
+    )
+    model = ServiceCostModel(
+        paper_hardware, num_channels=100, num_blocks=600,
+        packing_factor=args.packing,
+    )
+    scenario = build_scenario(ScenarioConfig(seed=4, num_sus=3))
+    simulator = DeploymentSimulator(
+        scenario, model,
+        WorkloadConfig(su_requests_per_hour=args.rate, seed=args.seed),
+    )
+    report = simulator.run(args.hours * 3600)
+    print(format_table(
+        f"{args.hours:.0f} h @ {args.rate:g} req/h, packing k={args.packing}",
+        report.as_table_rows(),
+    ))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.analysis.scaling import measure_cost_profile
+
+    profile = measure_cost_profile(
+        key_bits=args.key_bits, iterations=args.iterations
+    )
+    print(format_table(
+        f"Paillier @ n = {args.key_bits} bits", profile.as_table_rows()
+    ))
+    return 0
+
+
+def _cmd_negotiate(args) -> int:
+    from repro.crypto.rand import DeterministicRandomSource
+    from repro.pisa.negotiation import PowerNegotiator
+    from repro.pisa.protocol import PisaCoordinator
+    from repro.watch.entities import SUTransmitter
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(ScenarioConfig(seed=args.seed))
+    coordinator = PisaCoordinator(
+        scenario.environment, key_bits=256,
+        rng=DeterministicRandomSource(args.seed),
+    )
+    for pu in scenario.pus:
+        coordinator.enroll_pu(pu)
+    block = scenario.sus[0].block_index if args.block is None else args.block
+    su = SUTransmitter("cli-su", block_index=block)
+    result = PowerNegotiator(
+        coordinator, resolution_db=args.resolution_db
+    ).negotiate(su)
+    if result.admitted:
+        print(f"max admissible power at block {block}: "
+              f"{result.best_power_dbm:.1f} dBm "
+              f"({result.rounds_used} encrypted rounds)")
+    else:
+        print(f"block {block} is inadmissible even at the floor power")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.watch.capacity import capacity_report
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(ScenarioConfig(
+        seed=args.seed, grid_rows=6, grid_cols=8, num_channels=4,
+        num_towers=2, num_pus=4, num_sus=0,
+    ))
+    report = capacity_report(
+        scenario.environment, scenario.pus, probe_power_dbm=args.probe_dbm
+    )
+    print(format_table(
+        f"spectrum capacity at {args.probe_dbm:g} dBm", report.as_table_rows()
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "negotiate": _cmd_negotiate,
+    "capacity": _cmd_capacity,
+    "testbed": _cmd_testbed,
+    "zones": _cmd_zones,
+    "tradeoff": _cmd_tradeoff,
+    "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.errors import ReproError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"pisa-repro {args.command}: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

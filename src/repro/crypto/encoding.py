@@ -1,0 +1,123 @@
+"""Plaintext encodings on the Paillier ring ``Z_n``.
+
+The PISA computation mixes non-negative quantities (signal strengths,
+EIRPs) with *signed* intermediate values — the interference indicator
+``I = N − R`` may be negative, and the blinded value ``V = ε(αI − β)``
+certainly can be.  We therefore adopt the usual threshold convention:
+
+* a residue ``x ≤ n/2`` represents the non-negative integer ``x``;
+* a residue ``x > n/2`` represents the negative integer ``x − n``.
+
+Additionally the paper quantises physical quantities (power in mW) into
+60-bit integers (Table I); :class:`SignedEncoder` wraps a key with a
+configured value bit-length and checks every encode against it, while
+:class:`FixedPointEncoder` provides a deterministic dB/mW quantisation
+used by the radio layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingRangeError
+
+__all__ = [
+    "encode_signed",
+    "decode_signed",
+    "SignedEncoder",
+    "FixedPointEncoder",
+    "PAPER_VALUE_BITS",
+]
+
+#: Table I of the paper: 60-bit integer representation, which satisfies
+#: FCC regulation and the SPLAT propagation tool's precision.
+PAPER_VALUE_BITS = 60
+
+
+def encode_signed(value: int, modulus: int) -> int:
+    """Map a signed integer with ``|value| ≤ modulus // 2`` into ``Z_n``."""
+    half = modulus // 2
+    if value > half or value < -half:
+        raise EncodingRangeError(
+            f"value {value} exceeds the signed range ±{half} of the modulus"
+        )
+    return value % modulus
+
+
+def decode_signed(residue: int, modulus: int) -> int:
+    """Inverse of :func:`encode_signed`."""
+    if not 0 <= residue < modulus:
+        raise EncodingRangeError("residue out of range")
+    half = modulus // 2
+    return residue - modulus if residue > half else residue
+
+
+@dataclass(frozen=True)
+class SignedEncoder:
+    """Range-checked signed encoding for a fixed value bit-length.
+
+    Parameters
+    ----------
+    modulus:
+        The Paillier modulus ``n``.
+    value_bits:
+        Maximum bit-length of application values (60 in the paper).  Encode
+        rejects anything outside ``±(2**value_bits − 1)`` even when the
+        modulus could represent it — this keeps headroom for the blinding
+        multiplications of §IV-B.
+    """
+
+    modulus: int
+    value_bits: int = PAPER_VALUE_BITS
+
+    def __post_init__(self) -> None:
+        if self.value_bits < 1:
+            raise EncodingRangeError("value_bits must be positive")
+        if (1 << self.value_bits) > self.modulus // 2:
+            raise EncodingRangeError(
+                f"{self.value_bits}-bit values do not fit the signed range of "
+                f"a {self.modulus.bit_length()}-bit modulus"
+            )
+
+    @property
+    def max_value(self) -> int:
+        """Largest encodable magnitude."""
+        return (1 << self.value_bits) - 1
+
+    def encode(self, value: int) -> int:
+        if abs(value) > self.max_value:
+            raise EncodingRangeError(
+                f"|{value}| exceeds the configured {self.value_bits}-bit range"
+            )
+        return encode_signed(value, self.modulus)
+
+    def decode(self, residue: int) -> int:
+        return decode_signed(residue, self.modulus)
+
+
+@dataclass(frozen=True)
+class FixedPointEncoder:
+    """Deterministic fixed-point quantisation of physical quantities.
+
+    The paper represents power values as integers "e.g. in the unit of
+    mW".  To retain sub-mW precision we scale by ``10**decimals`` before
+    rounding; all parties must of course share the same scale.
+    """
+
+    decimals: int = 6
+
+    @property
+    def scale(self) -> int:
+        return 10**self.decimals
+
+    def encode(self, value: float) -> int:
+        """Quantise a real value to an integer at the configured scale."""
+        scaled = value * self.scale
+        return int(round(scaled))
+
+    def decode(self, quantised: int) -> float:
+        return quantised / self.scale
+
+    def encode_db(self, value_db: float) -> int:
+        """Quantise a dB value (same scale; named for call-site clarity)."""
+        return self.encode(value_db)

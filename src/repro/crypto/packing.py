@@ -1,0 +1,158 @@
+"""Plaintext slot packing ("batching") for Paillier.
+
+A 2048-bit Paillier plaintext is enormously wider than PISA's 60-bit
+values, so most of every ciphertext is wasted.  Packing lays out ``k``
+values side by side in one plaintext:
+
+.. math::
+
+    \\text{pack}(v_0, …, v_{k-1}) = \\sum_i v_i · 2^{i·W}
+
+with slot width ``W`` chosen so every slot survives the protocol's
+linear operations without overflowing into its neighbour:
+
+* homomorphic addition / plaintext addition — slots add independently;
+* scalar multiplication by a shared constant — every slot scales;
+* the α-blinding of eq. (14) grows slots by ``alpha_bits``.
+
+``W`` therefore budgets the full pipeline: value bits + scaling bits +
+carry headroom.  Intermediate per-slot values may go negative (e.g.
+``E − X·F`` before the PU term lands); that is fine as long as the
+*final* per-slot value is non-negative and below ``2**W`` — integer
+arithmetic is exact, so transient borrows cancel.  Callers add a
+per-slot bias (e.g. ``2**(W-1)``) when a final value can be negative.
+
+The payoff is one encryption/decryption per *chunk* instead of per cell
+— a ``k``x saving on exactly the operations that dominate Figure 6.
+The privacy trade-off this creates at the STP is analysed in
+:mod:`repro.pisa.packed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.paillier import PaillierPublicKey
+from repro.errors import ConfigurationError, EncodingRangeError
+
+__all__ = ["SlotLayout"]
+
+
+@dataclass(frozen=True)
+class SlotLayout:
+    """A fixed slot geometry over a Paillier plaintext space.
+
+    Attributes
+    ----------
+    slot_bits:
+        Width ``W`` of each slot; per-slot values must stay in
+        ``[0, 2**W)`` at the end of the homomorphic pipeline.
+    num_slots:
+        Slots per plaintext (``k``).
+    """
+
+    slot_bits: int
+    num_slots: int
+
+    def __post_init__(self) -> None:
+        if self.slot_bits < 2:
+            raise ConfigurationError("slots must be at least 2 bits wide")
+        if self.num_slots < 1:
+            raise ConfigurationError("need at least one slot")
+
+    @classmethod
+    def for_key(
+        cls,
+        public_key: PaillierPublicKey,
+        value_bits: int,
+        scale_bits: int = 0,
+        headroom_bits: int = 4,
+    ) -> "SlotLayout":
+        """The widest layout a key supports for a given value pipeline.
+
+        ``value_bits`` bounds the application values, ``scale_bits`` the
+        total bits of scalar multiplications applied (e.g. α's width),
+        ``headroom_bits`` absorbs additive accumulation.  Raises when
+        even a single slot does not fit.
+        """
+        slot_bits = value_bits + scale_bits + headroom_bits
+        usable = public_key.n.bit_length() - 2  # keep clear of n/2 signedness
+        num_slots = usable // slot_bits
+        if num_slots < 1:
+            raise ConfigurationError(
+                f"a {public_key.n.bit_length()}-bit key cannot fit one "
+                f"{slot_bits}-bit slot"
+            )
+        return cls(slot_bits=slot_bits, num_slots=num_slots)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def slot_modulus(self) -> int:
+        """``2**W`` — the per-slot value bound."""
+        return 1 << self.slot_bits
+
+    @property
+    def half_slot(self) -> int:
+        """The natural per-slot bias for signed final values."""
+        return 1 << (self.slot_bits - 1)
+
+    @property
+    def total_bits(self) -> int:
+        return self.slot_bits * self.num_slots
+
+    def shift(self, slot: int) -> int:
+        """The multiplier ``2**(slot·W)`` placing a value into ``slot``."""
+        if not 0 <= slot < self.num_slots:
+            raise EncodingRangeError(f"slot {slot} outside [0, {self.num_slots})")
+        return 1 << (slot * self.slot_bits)
+
+    # -- packing -------------------------------------------------------------
+
+    def pack(self, values: Sequence[int]) -> int:
+        """Pack up to ``num_slots`` values in ``[0, 2**W)`` into one integer.
+
+        Missing trailing slots are zero.  Values must already carry any
+        bias the caller's pipeline requires.
+        """
+        if len(values) > self.num_slots:
+            raise EncodingRangeError(
+                f"{len(values)} values exceed the {self.num_slots}-slot layout"
+            )
+        packed = 0
+        for slot, value in enumerate(values):
+            if not 0 <= value < self.slot_modulus:
+                raise EncodingRangeError(
+                    f"slot value {value} outside [0, 2^{self.slot_bits})"
+                )
+            packed |= value << (slot * self.slot_bits)
+        return packed
+
+    def unpack(self, packed: int, count: int | None = None) -> list[int]:
+        """Split a packed integer back into its slot values.
+
+        ``packed`` must be non-negative with every slot in range —
+        exactly the guarantee a correctly budgeted pipeline provides.
+        """
+        if packed < 0:
+            raise EncodingRangeError("packed value must be non-negative")
+        count = self.num_slots if count is None else count
+        if count > self.num_slots:
+            raise EncodingRangeError("count exceeds the layout's slots")
+        mask = self.slot_modulus - 1
+        values = [(packed >> (slot * self.slot_bits)) & mask for slot in range(count)]
+        if packed >> (self.num_slots * self.slot_bits):
+            raise EncodingRangeError("packed value overflows the layout")
+        return values
+
+    def chunk_count(self, total_values: int) -> int:
+        """Chunks needed to carry ``total_values`` values."""
+        return (total_values + self.num_slots - 1) // self.num_slots
+
+    def chunks(self, values: Sequence[int]) -> list[list[int]]:
+        """Split a flat value list into slot-sized chunks (last one short)."""
+        return [
+            list(values[start : start + self.num_slots])
+            for start in range(0, len(values), self.num_slots)
+        ]

@@ -1,0 +1,419 @@
+"""The Paillier cryptosystem (Paillier, EUROCRYPT'99).
+
+This module implements exactly the primitive PISA builds on (Figure 2 of
+the paper): key generation, probabilistic encryption, decryption, and the
+three homomorphic operations
+
+* addition        ``D(E(a) ⊕ E(b)) = a + b  (mod n)``
+* subtraction     ``D(E(a) ⊖ E(b)) = a − b  (mod n)``
+* scalar multiply ``D(k ⊗ E(a))   = k · a  (mod n)``
+
+plus ciphertext *re-randomisation* (multiplying by a fresh ``r**n``),
+which §VI-A of the paper uses to refresh a pre-computed request cheaply.
+
+Implementation notes
+--------------------
+* The generator defaults to ``g = n + 1``, for which encryption needs a
+  single modular multiplication (``(1 + m·n) · r**n mod n²``) instead of a
+  full exponentiation of ``g``.
+* Decryption uses the standard CRT speed-up: exponentiate separately
+  modulo ``p²`` and ``q²`` and recombine, roughly a 4x saving.
+* Scalar multiplication by a *negative* constant inverts the ciphertext
+  modulo ``n²`` first, so small negative scalars (PISA uses ``ε ∈ {−1,1}``)
+  cost one inverse plus a small exponentiation rather than a 2048-bit one.
+* All values are plain Python integers; there is no GMP dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crypto.numtheory import CrtContext, generate_distinct_primes, lcm, modinv
+from repro.crypto.rand import RandomSource, default_rng
+from repro.errors import ConfigurationError, DecryptionError, KeyMismatchError
+
+__all__ = [
+    "ObfuscatorPool",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "PaillierKeypair",
+    "EncryptedNumber",
+    "generate_keypair",
+    "DEFAULT_KEY_BITS",
+]
+
+#: NIST SP 800-57 recommends 2048-bit moduli for a 112-bit security level;
+#: this matches Table II of the paper.
+DEFAULT_KEY_BITS = 2048
+
+
+class PaillierPublicKey:
+    """Public key ``(n, g)`` with precomputed ``n²``.
+
+    Instances are hashable and compare equal iff their ``(n, g)`` pairs
+    match, which lets ciphertexts detect cross-key operations.
+    """
+
+    __slots__ = ("n", "g", "n_sq", "_half_n")
+
+    def __init__(self, n: int, g: int | None = None) -> None:
+        if n < 15:
+            raise ConfigurationError("Paillier modulus too small")
+        self.n = n
+        self.g = n + 1 if g is None else g
+        self.n_sq = n * n
+        self._half_n = n // 2
+        if not 1 < self.g < self.n_sq:
+            raise ConfigurationError("generator g out of range")
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PaillierPublicKey)
+            and self.n == other.n
+            and self.g == other.g
+        )
+
+    def __hash__(self) -> int:
+        return hash(("paillier-pk", self.n, self.g))
+
+    def __repr__(self) -> str:
+        return f"PaillierPublicKey(bits={self.n.bit_length()})"
+
+    @property
+    def key_bits(self) -> int:
+        """Bit length of the modulus ``n``."""
+        return self.n.bit_length()
+
+    @property
+    def max_signed(self) -> int:
+        """Largest magnitude representable by the signed encoding."""
+        return self._half_n
+
+    # -- encryption -------------------------------------------------------
+
+    def random_r(self, rng: RandomSource | None = None) -> int:
+        """Sample an encryption nonce ``r`` uniform in ``Z_n^*``.
+
+        For ``n = p·q`` with large primes, a uniform element of
+        ``[1, n)`` is invertible except with negligible probability, so we
+        sample and retry on the (astronomically unlikely) gcd failure.
+        """
+        import math
+
+        rng = default_rng(rng)
+        while True:
+            r = rng.randrange(1, self.n)
+            if math.gcd(r, self.n) == 1:
+                return r
+
+    def raw_encrypt(self, plaintext: int, r: int | None = None, rng: RandomSource | None = None) -> int:
+        """Encrypt ``plaintext ∈ Z_n`` and return the raw ciphertext integer."""
+        m = plaintext % self.n
+        if r is None:
+            r = self.random_r(rng)
+        if self.g == self.n + 1:
+            g_m = (1 + m * self.n) % self.n_sq
+        else:
+            g_m = pow(self.g, m, self.n_sq)
+        return (g_m * pow(r, self.n, self.n_sq)) % self.n_sq
+
+    def encrypt(
+        self, value: int, r: int | None = None, rng: RandomSource | None = None
+    ) -> "EncryptedNumber":
+        """Encrypt a *signed* integer ``value`` with ``|value| ≤ n/2``.
+
+        Negative values are mapped into the upper half of ``Z_n``; see
+        :mod:`repro.crypto.encoding` for the encoding convention.
+        """
+        from repro.crypto.encoding import encode_signed
+
+        return EncryptedNumber(self, self.raw_encrypt(encode_signed(value, self.n), r=r, rng=rng))
+
+    def encrypt_zero(self, rng: RandomSource | None = None) -> "EncryptedNumber":
+        """A fresh encryption of zero (useful for re-randomisation)."""
+        return self.encrypt(0, rng=rng)
+
+
+class PaillierPrivateKey:
+    """Private key holding ``(λ, μ)`` plus CRT acceleration state."""
+
+    __slots__ = ("public_key", "p", "q", "lam", "mu", "_crt", "_hp", "_hq", "_p_sq", "_q_sq")
+
+    def __init__(self, public_key: PaillierPublicKey, p: int, q: int) -> None:
+        if p * q != public_key.n:
+            raise ConfigurationError("p*q does not match the public modulus")
+        if p == q:
+            raise ConfigurationError("p and q must be distinct")
+        self.public_key = public_key
+        self.p = p
+        self.q = q
+        self.lam = lcm(p - 1, q - 1)
+        self._crt = CrtContext.create(p, q)
+        self._p_sq = p * p
+        self._q_sq = q * q
+        # Standard CRT decryption constants:  h_p = L_p(g^{p-1} mod p²)^{-1}.
+        self._hp = modinv(self._l_function(pow(public_key.g, p - 1, self._p_sq), p), p)
+        self._hq = modinv(self._l_function(pow(public_key.g, q - 1, self._q_sq), q), q)
+        # The textbook μ = L(g^λ mod n²)^{-1} mod n, kept for completeness
+        # and for the non-CRT decryption path used in tests.
+        n = public_key.n
+        self.mu = modinv(self._l_function(pow(public_key.g, self.lam, public_key.n_sq), n), n)
+
+    @staticmethod
+    def _l_function(x: int, n: int) -> int:
+        """Paillier's ``L(x) = (x − 1) / n`` on the subgroup where it is exact."""
+        return (x - 1) // n
+
+    def raw_decrypt(self, ciphertext: int) -> int:
+        """Decrypt a raw ciphertext integer to its plaintext in ``Z_n``."""
+        if not 0 < ciphertext < self.public_key.n_sq:
+            raise DecryptionError("ciphertext out of range")
+        mp = (
+            self._l_function(pow(ciphertext, self.p - 1, self._p_sq), self.p) * self._hp
+        ) % self.p
+        mq = (
+            self._l_function(pow(ciphertext, self.q - 1, self._q_sq), self.q) * self._hq
+        ) % self.q
+        return self._crt.combine(mp, mq)
+
+    def raw_decrypt_textbook(self, ciphertext: int) -> int:
+        """Decrypt using the textbook ``(λ, μ)`` formula (no CRT).
+
+        Slower than :meth:`raw_decrypt`; kept as an oracle for tests.
+        """
+        if not 0 < ciphertext < self.public_key.n_sq:
+            raise DecryptionError("ciphertext out of range")
+        n = self.public_key.n
+        x = pow(ciphertext, self.lam, self.public_key.n_sq)
+        return (self._l_function(x, n) * self.mu) % n
+
+    def decrypt(self, encrypted: "EncryptedNumber") -> int:
+        """Decrypt to a *signed* integer (see the encoding convention)."""
+        from repro.crypto.encoding import decode_signed
+
+        if encrypted.public_key != self.public_key:
+            raise KeyMismatchError("ciphertext was produced under a different key")
+        return decode_signed(self.raw_decrypt(encrypted.ciphertext), self.public_key.n)
+
+    def __repr__(self) -> str:
+        return f"PaillierPrivateKey(bits={self.public_key.key_bits})"
+
+
+@dataclass(frozen=True)
+class PaillierKeypair:
+    """A matched public/private Paillier key pair."""
+
+    public_key: PaillierPublicKey
+    private_key: PaillierPrivateKey
+
+    @property
+    def key_bits(self) -> int:
+        return self.public_key.key_bits
+
+
+def generate_keypair(
+    key_bits: int = DEFAULT_KEY_BITS, rng: RandomSource | None = None
+) -> PaillierKeypair:
+    """Generate a Paillier keypair with an ``key_bits``-bit modulus.
+
+    The two primes are ``key_bits // 2`` bits each, so ``n`` has either
+    ``key_bits`` or ``key_bits − 1`` bits; generation retries until the
+    modulus has the requested length, matching common library behaviour.
+    """
+    if key_bits < 16:
+        raise ConfigurationError("key_bits must be at least 16")
+    rng = default_rng(rng)
+    half = key_bits // 2
+    while True:
+        p, q = generate_distinct_primes(half, count=2, rng=rng)
+        n = p * q
+        if n.bit_length() == key_bits:
+            public = PaillierPublicKey(n)
+            return PaillierKeypair(public, PaillierPrivateKey(public, p, q))
+
+
+class EncryptedNumber:
+    """A Paillier ciphertext bound to its public key.
+
+    Supports the operator sugar::
+
+        c1 + c2        homomorphic addition (⊕)
+        c1 - c2        homomorphic subtraction (⊖)
+        k * c1         scalar multiplication (⊗), k a signed int
+        -c1            negation, i.e. (−1) ⊗ c1
+        c1 + k         plaintext addition (encrypt-free)
+
+    All operations validate that both operands share the same public key.
+    """
+
+    __slots__ = ("public_key", "ciphertext")
+
+    def __init__(self, public_key: PaillierPublicKey, ciphertext: int) -> None:
+        self.public_key = public_key
+        self.ciphertext = ciphertext % public_key.n_sq
+
+    # -- helpers ----------------------------------------------------------
+
+    def _check_same_key(self, other: "EncryptedNumber") -> None:
+        if self.public_key != other.public_key:
+            raise KeyMismatchError("cannot combine ciphertexts under different keys")
+
+    # -- homomorphic operations (Figure 2 of the paper) -------------------
+
+    def add(self, other: "EncryptedNumber") -> "EncryptedNumber":
+        """Homomorphic addition ⊕: multiply ciphertexts mod n²."""
+        self._check_same_key(other)
+        return EncryptedNumber(
+            self.public_key,
+            (self.ciphertext * other.ciphertext) % self.public_key.n_sq,
+        )
+
+    def subtract(self, other: "EncryptedNumber") -> "EncryptedNumber":
+        """Homomorphic subtraction ⊖: multiply by the inverse ciphertext."""
+        self._check_same_key(other)
+        inv = modinv(other.ciphertext, self.public_key.n_sq)
+        return EncryptedNumber(
+            self.public_key, (self.ciphertext * inv) % self.public_key.n_sq
+        )
+
+    def scalar_mul(self, scalar: int) -> "EncryptedNumber":
+        """Homomorphic scalar multiplication ⊗ by a signed integer."""
+        n_sq = self.public_key.n_sq
+        if scalar >= 0:
+            return EncryptedNumber(self.public_key, pow(self.ciphertext, scalar, n_sq))
+        inv = modinv(self.ciphertext, n_sq)
+        return EncryptedNumber(self.public_key, pow(inv, -scalar, n_sq))
+
+    def add_plain(self, value: int) -> "EncryptedNumber":
+        """Add a public plaintext constant without a fresh encryption.
+
+        Uses ``E(a) · g^b = E(a + b)`` and the fast ``g = n + 1`` path.
+        """
+        pk = self.public_key
+        m = value % pk.n
+        if pk.g == pk.n + 1:
+            g_m = (1 + m * pk.n) % pk.n_sq
+        else:
+            g_m = pow(pk.g, m, pk.n_sq)
+        return EncryptedNumber(pk, (self.ciphertext * g_m) % pk.n_sq)
+
+    def rerandomize(self, rng: RandomSource | None = None) -> "EncryptedNumber":
+        """Refresh the randomness: multiply by a fresh ``r**n``.
+
+        This computes the obfuscator ``r**n`` inline, which costs a full
+        exponentiation.  §VI-A's fast refresh path precomputes obfuscators
+        offline and applies them with :meth:`rerandomize_with`, which is a
+        single modular multiplication ("the same amount of time as
+        homomorphic addition", as the paper puts it).
+        """
+        pk = self.public_key
+        r = pk.random_r(rng)
+        return EncryptedNumber(pk, (self.ciphertext * pow(r, pk.n, pk.n_sq)) % pk.n_sq)
+
+    def rerandomize_with(self, obfuscator: int) -> "EncryptedNumber":
+        """Refresh using a precomputed obfuscator ``r**n mod n²``.
+
+        One modular multiplication — the online cost of the §VI-A
+        "multiply the pre-stored ciphertexts by r^n" optimisation.  Draw
+        obfuscators from an :class:`ObfuscatorPool` filled offline.
+        """
+        pk = self.public_key
+        return EncryptedNumber(pk, (self.ciphertext * obfuscator) % pk.n_sq)
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: "EncryptedNumber | int") -> "EncryptedNumber":
+        if isinstance(other, EncryptedNumber):
+            return self.add(other)
+        if isinstance(other, int):
+            return self.add_plain(other)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "EncryptedNumber | int") -> "EncryptedNumber":
+        if isinstance(other, EncryptedNumber):
+            return self.subtract(other)
+        if isinstance(other, int):
+            return self.add_plain(-other)
+        return NotImplemented
+
+    def __mul__(self, scalar: int) -> "EncryptedNumber":
+        if isinstance(scalar, int):
+            return self.scalar_mul(scalar)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "EncryptedNumber":
+        return self.scalar_mul(-1)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EncryptedNumber)
+            and self.public_key == other.public_key
+            and self.ciphertext == other.ciphertext
+        )
+
+    def __hash__(self) -> int:
+        return hash(("paillier-ct", self.public_key.n, self.ciphertext))
+
+    def __repr__(self) -> str:
+        return f"EncryptedNumber(bits={self.public_key.key_bits})"
+
+
+class ObfuscatorPool:
+    """A stock of precomputed re-randomisation factors ``r**n mod n²``.
+
+    §VI-A: an SU that resubmits a cached encrypted request only needs
+    one multiplication per ciphertext *if* the ``r**n`` values are
+    already on hand.  The pool is that offline stock: :meth:`refill`
+    does the expensive exponentiations (idle-time work), :meth:`take`
+    pops one factor for a cheap online refresh.
+    """
+
+    def __init__(self, public_key: PaillierPublicKey, rng: RandomSource | None = None) -> None:
+        self.public_key = public_key
+        self._rng = default_rng(rng)
+        self._stock: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._stock)
+
+    def refill(self, count: int) -> None:
+        """Precompute ``count`` obfuscators (the offline phase)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        pk = self.public_key
+        for _ in range(count):
+            r = pk.random_r(self._rng)
+            self._stock.append(pow(r, pk.n, pk.n_sq))
+
+    def ensure(self, count: int) -> None:
+        """Refill up to a target stock level."""
+        if len(self._stock) < count:
+            self.refill(count - len(self._stock))
+
+    def take(self) -> int:
+        """Pop one precomputed obfuscator; refills one inline if empty."""
+        if not self._stock:
+            self.refill(1)
+        return self._stock.pop()
+
+
+def hom_sum(terms: Iterable[EncryptedNumber]) -> EncryptedNumber:
+    """Homomorphic sum ``⊕_i c_i`` of a non-empty iterable of ciphertexts."""
+    iterator = iter(terms)
+    try:
+        total = next(iterator)
+    except StopIteration:
+        raise ValueError("hom_sum needs at least one ciphertext") from None
+    for term in iterator:
+        total = total.add(term)
+    return total
+
+
+__all__.append("hom_sum")

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the PISA reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+package layout: crypto, protocol, radio, and configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid or unsafe."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyMismatchError(CryptoError):
+    """An operation combined values bound to different keys."""
+
+
+class EncodingRangeError(CryptoError):
+    """A plaintext value does not fit the encodable range of the key."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext could not be decrypted (wrong key or corrupt data)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify or could not be produced."""
+
+
+class SerializationError(ReproError):
+    """A value could not be encoded to or decoded from its wire form."""
+
+
+class ProtocolError(ReproError):
+    """A PISA protocol step received an out-of-order or malformed message."""
+
+
+class BlindingError(ProtocolError):
+    """Blinding factors cannot be generated safely for the configuration."""
+
+
+class RadioError(ReproError):
+    """Base class for radio/propagation-model failures."""
+
+
+class GridError(ReproError):
+    """A block-grid coordinate or region is out of range."""

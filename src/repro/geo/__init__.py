@@ -1,0 +1,26 @@
+"""Geography of the SDC service area.
+
+§III-D: "we quantize the service area of the SDC server into B small
+blocks" (normally 10 m × 10 m per [36]).  :class:`~repro.geo.grid.BlockGrid`
+provides block indexing, centres, and pairwise distances;
+:class:`~repro.geo.region.PrivacyRegion` models the SU location-privacy
+trade-off of §VI-A, where an SU may reveal a coarse region to shrink the
+encrypted request matrix.
+"""
+
+from repro.geo.grid import Block, BlockGrid
+from repro.geo.region import PrivacyRegion
+from repro.geo.region_safety import (
+    UndertestReport,
+    region_undertest_report,
+    undertested_cells,
+)
+
+__all__ = [
+    "Block",
+    "BlockGrid",
+    "PrivacyRegion",
+    "UndertestReport",
+    "region_undertest_report",
+    "undertested_cells",
+]

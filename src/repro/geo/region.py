@@ -1,0 +1,114 @@
+"""SU location-privacy regions.
+
+§VI-A ("SU's location privacy vs time trade-off"): an SU may allow the
+SDC to know a coarse region containing it — e.g. "the north half of the
+map" — and then only submit encrypted entries for blocks inside that
+region.  Request preparation and processing cost scale linearly with the
+number of disclosed blocks, reaching the maximum at full privacy (the
+whole service area).
+
+:class:`PrivacyRegion` is an immutable set of block indices with named
+constructors for the disclosure policies used in the paper and benches.
+
+.. warning::
+   A partial region also shrinks what the SDC can *test*: F entries for
+   blocks outside the region are never submitted, so a PU just beyond a
+   tight region is silently under-protected — a consequence §VI-A does
+   not spell out.  Quantify the gap with
+   :mod:`repro.geo.region_safety` before deploying small regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GridError
+from repro.geo.grid import BlockGrid
+
+__all__ = ["PrivacyRegion"]
+
+
+@dataclass(frozen=True)
+class PrivacyRegion:
+    """A disclosed region: the set of blocks the SDC may associate with an SU.
+
+    ``block_indices`` must contain the SU's true block; at "full privacy"
+    it is every block of the grid.
+    """
+
+    grid: BlockGrid
+    block_indices: frozenset[int]
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.block_indices:
+            raise GridError("a privacy region cannot be empty")
+        for index in self.block_indices:
+            if not 0 <= index < self.grid.num_blocks:
+                raise GridError(f"block {index} outside the grid")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def full(cls, grid: BlockGrid) -> "PrivacyRegion":
+        """Complete location privacy: every block is plausible."""
+        return cls(grid, frozenset(range(grid.num_blocks)), label="full")
+
+    @classmethod
+    def rows_slice(cls, grid: BlockGrid, first_row: int, last_row: int) -> "PrivacyRegion":
+        """Blocks in grid rows ``[first_row, last_row]`` inclusive.
+
+        The paper's example — "the SDC is allowed to know that this SU is
+        located somewhere in the north" (a 100×300 sub-matrix of the
+        100×600 request) — is ``rows_slice`` over half the rows.
+        """
+        if not (0 <= first_row <= last_row < grid.rows):
+            raise GridError("row slice outside the grid")
+        indices = frozenset(
+            row * grid.cols + col
+            for row in range(first_row, last_row + 1)
+            for col in range(grid.cols)
+        )
+        return cls(grid, indices, label=f"rows[{first_row}:{last_row}]")
+
+    @classmethod
+    def fraction(cls, grid: BlockGrid, fraction: float) -> "PrivacyRegion":
+        """The first ``fraction`` of blocks (row-major).  ``fraction ∈ (0, 1]``."""
+        if not 0.0 < fraction <= 1.0:
+            raise GridError("fraction must be in (0, 1]")
+        count = max(1, round(grid.num_blocks * fraction))
+        return cls(grid, frozenset(range(count)), label=f"fraction={fraction:g}")
+
+    @classmethod
+    def around(cls, grid: BlockGrid, center_index: int, radius_m: float) -> "PrivacyRegion":
+        """All blocks within ``radius_m`` of a centre block."""
+        return cls(
+            grid,
+            frozenset(grid.blocks_within(center_index, radius_m)),
+            label=f"around({center_index}, {radius_m:g}m)",
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of disclosed blocks — the request matrix's B dimension."""
+        return len(self.block_indices)
+
+    @property
+    def privacy_level(self) -> float:
+        """Fraction of the full grid that remains plausible (1.0 = full)."""
+        return self.num_blocks / self.grid.num_blocks
+
+    def contains(self, block_index: int) -> bool:
+        return block_index in self.block_indices
+
+    def sorted_indices(self) -> list[int]:
+        """Deterministic (ascending) block ordering for matrix layout."""
+        return sorted(self.block_indices)
+
+    def __contains__(self, block_index: int) -> bool:
+        return self.contains(block_index)
+
+    def __len__(self) -> int:
+        return self.num_blocks

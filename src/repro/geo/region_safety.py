@@ -1,0 +1,137 @@
+"""Safety analysis of partial privacy regions.
+
+§VI-A's trade-off lets an SU submit a smaller matrix covering only a
+disclosed region.  The paper presents this purely as a cost win, but it
+has a *protection* consequence the text does not spell out: the SU's
+interference footprint extends up to ``d^c`` beyond its own block, and
+``F`` entries for blocks outside the disclosed region are simply never
+submitted — the SDC cannot test budgets it never sees.  A PU sitting
+just outside a tight region is silently under-protected.
+
+This module quantifies that gap so deployments can size regions
+responsibly:
+
+* :func:`undertested_cells` — the (channel, block) cells with non-zero
+  interference that a given region drops;
+* :func:`region_undertest_report` — aggregate severity: how much of the
+  SU's total interference mass the SDC never examined, and the worst
+  single omitted cell relative to the budget there.
+
+The safe configuration is a region that covers the SU's entire
+footprint (trivially true at full privacy); the report's
+``is_safe`` flag checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.geo.region import PrivacyRegion
+
+if TYPE_CHECKING:  # circular at runtime: watch builds on geo
+    from repro.watch.entities import SUTransmitter
+    from repro.watch.environment import SpectrumEnvironment
+
+__all__ = ["UndertestReport", "undertested_cells", "region_undertest_report"]
+
+
+@dataclass(frozen=True)
+class UndertestReport:
+    """How much interference a partial region hides from the SDC."""
+
+    su_id: str
+    region_blocks: int
+    total_blocks: int
+    #: Cells with non-zero F that the region drops.
+    omitted_cells: tuple[tuple[int, int], ...]
+    #: Σ of omitted F values over Σ of all F values (0.0 = fully tested).
+    omitted_interference_fraction: float
+    #: max over omitted cells of R(c,b) / N(c,b) — ≥ 1.0 means a real
+    #: budget violation went untested.
+    worst_omitted_budget_ratio: float
+
+    @property
+    def is_safe(self) -> bool:
+        """True when the region hides no interference at all."""
+        return not self.omitted_cells
+
+    @property
+    def hides_violation(self) -> bool:
+        """True when an untested cell would actually have been denied."""
+        return self.worst_omitted_budget_ratio >= 1.0
+
+
+def _footprint(environment: "SpectrumEnvironment", su: "SUTransmitter"):
+    """The SU's full (unregioned) interference matrix F."""
+    from repro.watch.matrices import su_request_matrix
+
+    env = environment
+    return su_request_matrix(
+        su,
+        env.grid,
+        env.params,
+        pathloss_for_channel=lambda c: env.su_pathloss_for(su, c),
+        exclusion_distance_for_channel=env.exclusion_distance,
+        region=None,
+    )
+
+
+def undertested_cells(
+    environment: "SpectrumEnvironment",
+    su: "SUTransmitter",
+    region: PrivacyRegion,
+) -> list[tuple[int, int]]:
+    """(channel, block) cells with non-zero F outside the region."""
+    f_matrix = _footprint(environment, su)
+    return [
+        (c, b)
+        for c in range(environment.num_channels)
+        for b in range(environment.num_blocks)
+        if b not in region and f_matrix[c, b] != 0
+    ]
+
+
+def region_undertest_report(
+    environment: "SpectrumEnvironment",
+    su: "SUTransmitter",
+    region: PrivacyRegion,
+    budget=None,
+) -> UndertestReport:
+    """Quantify the protection gap of ``region`` for ``su``.
+
+    ``budget`` is the current N matrix (e.g. ``PlaintextSDC.budget``);
+    when omitted, the public ``E`` matrix is used — a lower bound on the
+    true severity, since PU cells carry smaller budgets than E.
+    """
+    env = environment
+    f_matrix = _footprint(env, su)
+    n_matrix = env.e_matrix if budget is None else budget
+    x_int = env.params.sinr_plus_redn_int
+    omitted = []
+    omitted_mass = 0
+    total_mass = 0
+    worst_ratio = 0.0
+    for c in range(env.num_channels):
+        for b in range(env.num_blocks):
+            value = int(f_matrix[c, b])
+            if value == 0:
+                continue
+            total_mass += value
+            if b not in region:
+                omitted.append((c, b))
+                omitted_mass += value
+                budget_here = int(n_matrix[c, b])
+                if budget_here > 0:
+                    worst_ratio = max(worst_ratio, (value * x_int) / budget_here)
+    return UndertestReport(
+        su_id=su.su_id,
+        region_blocks=region.num_blocks,
+        total_blocks=env.num_blocks,
+        omitted_cells=tuple(omitted),
+        omitted_interference_fraction=(
+            omitted_mass / total_mass if total_mass else 0.0
+        ),
+        worst_omitted_budget_ratio=worst_ratio,
+    )

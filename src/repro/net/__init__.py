@@ -1,0 +1,19 @@
+"""In-memory networking with byte accounting.
+
+The paper's §VI-A evaluation reports *communication overhead* (request
+≈29 MB, PU update ≈0.05 MB, response ≈4.1 kb).  This subpackage provides
+an in-memory transport that records every message's exact serialised
+size and an optional latency model, so benchmarks can report both bytes
+on the wire and modelled transfer delays without real sockets.
+"""
+
+from repro.net.latency import ConstantLatency, DistanceLatency, LatencyModel
+from repro.net.transport import InMemoryTransport, MessageRecord
+
+__all__ = [
+    "ConstantLatency",
+    "DistanceLatency",
+    "LatencyModel",
+    "InMemoryTransport",
+    "MessageRecord",
+]

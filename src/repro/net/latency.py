@@ -1,0 +1,65 @@
+"""Latency models for the simulated transport.
+
+The protocol's round-trip structure (SU → SDC → STP → SDC → SU) makes
+communication rounds a first-class cost — the paper's future work
+explicitly targets "a protocol that requires less communication rounds
+and latency".  These models let benchmarks attach a transfer-time
+estimate to the byte counts the transport records.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel", "ConstantLatency", "DistanceLatency"]
+
+
+class LatencyModel(ABC):
+    """Maps a message (size, endpoints) to a one-way delay in seconds."""
+
+    @abstractmethod
+    def delay_seconds(self, size_bytes: int, sender: str, receiver: str) -> float:
+        """One-way delay for ``size_bytes`` from ``sender`` to ``receiver``."""
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Fixed propagation delay plus bandwidth-limited serialisation.
+
+    ``delay = rtt/2 + size / bandwidth`` — the classic first-order model.
+    Defaults approximate a broadband WAN hop: 20 ms RTT, 100 Mbit/s.
+    """
+
+    rtt_seconds: float = 0.020
+    bandwidth_bytes_per_s: float = 100e6 / 8
+
+    def delay_seconds(self, size_bytes: int, sender: str, receiver: str) -> float:
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        return self.rtt_seconds / 2.0 + size_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class DistanceLatency(LatencyModel):
+    """Propagation at a fraction of c over great-circle-ish distances.
+
+    ``positions`` maps endpoint names to metric (x, y) coordinates;
+    unknown endpoints fall back to ``default_distance_m``.
+    """
+
+    positions: dict[str, tuple[float, float]]
+    bandwidth_bytes_per_s: float = 100e6 / 8
+    propagation_fraction_of_c: float = 0.66
+    default_distance_m: float = 50_000.0
+
+    def delay_seconds(self, size_bytes: int, sender: str, receiver: str) -> float:
+        if sender in self.positions and receiver in self.positions:
+            sx, sy = self.positions[sender]
+            rx, ry = self.positions[receiver]
+            distance = math.hypot(sx - rx, sy - ry)
+        else:
+            distance = self.default_distance_m
+        propagation = distance / (299_792_458.0 * self.propagation_fraction_of_c)
+        return propagation + size_bytes / self.bandwidth_bytes_per_s

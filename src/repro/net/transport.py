@@ -1,0 +1,92 @@
+"""In-memory message transport with exact byte accounting.
+
+Every protocol message passed through :class:`InMemoryTransport` is
+recorded with its serialised size (via the message's ``wire_size()``)
+and, when a latency model is attached, its modelled one-way delay.  The
+evaluation harness sums these records to reproduce the §VI-A
+communication-overhead numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.net.latency import LatencyModel
+
+__all__ = ["MessageRecord", "InMemoryTransport"]
+
+
+class _SizedMessage(Protocol):
+    def wire_size(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One message's accounting entry."""
+
+    sender: str
+    receiver: str
+    kind: str
+    size_bytes: int
+    delay_seconds: float
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / 1e6
+
+
+class InMemoryTransport:
+    """Synchronous delivery with accounting.
+
+    ``send`` returns the message unchanged (delivery is the caller
+    invoking the receiver), so protocol code stays a plain call graph
+    while the transport observes sizes and delays on the side.
+    """
+
+    def __init__(self, latency: LatencyModel | None = None) -> None:
+        self.latency = latency
+        self.records: list[MessageRecord] = []
+
+    def send(self, message: _SizedMessage, sender: str, receiver: str):
+        """Account for one message and hand it back for delivery."""
+        size = message.wire_size()
+        delay = (
+            self.latency.delay_seconds(size, sender, receiver)
+            if self.latency is not None
+            else 0.0
+        )
+        self.records.append(
+            MessageRecord(
+                sender=sender,
+                receiver=receiver,
+                kind=type(message).__name__,
+                size_bytes=size,
+                delay_seconds=delay,
+            )
+        )
+        return message
+
+    # -- accounting queries ------------------------------------------------------
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        """Total bytes sent, optionally filtered by message class name."""
+        return sum(r.size_bytes for r in self.records if kind is None or r.kind == kind)
+
+    def total_delay_seconds(self) -> float:
+        """Sum of modelled one-way delays (serial round-trip view)."""
+        return sum(r.delay_seconds for r in self.records)
+
+    def count(self, kind: str | None = None) -> int:
+        return sum(1 for r in self.records if kind is None or r.kind == kind)
+
+    def by_kind(self) -> dict[str, tuple[int, int]]:
+        """``{kind: (message_count, total_bytes)}`` summary."""
+        summary: dict[str, tuple[int, int]] = {}
+        for record in self.records:
+            count, size = summary.get(record.kind, (0, 0))
+            summary[record.kind] = (count + 1, size + record.size_bytes)
+        return summary
+
+    def clear(self) -> None:
+        self.records.clear()

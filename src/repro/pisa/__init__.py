@@ -1,0 +1,50 @@
+"""PISA — the paper's privacy-preserving spectrum-access protocol (§IV).
+
+Four parties (Figure 3):
+
+* :class:`~repro.pisa.pu_client.PUClient` — encrypts channel-reception
+  updates under the group key (Figure 4);
+* :class:`~repro.pisa.su_client.SUClient` — prepares encrypted
+  transmission requests and decrypts license responses (Figure 5);
+* :class:`~repro.pisa.sdc_server.SdcServer` — performs the spectrum
+  computation homomorphically, eqs. (9)-(12), (14), (16), (17);
+* :class:`~repro.pisa.stp_server.StpServer` — the semi-trusted third
+  party holding the group secret key: sign extraction (eq. (15)) and key
+  conversion to each SU's personal key.
+
+:class:`~repro.pisa.protocol.PisaCoordinator` wires them together over an
+accounted transport and runs complete protocol rounds.
+"""
+
+from repro.pisa.blinding import BlindingFactory, BlindingParameters
+from repro.pisa.keys import KeyDirectory
+from repro.pisa.license import TransmissionLicense
+from repro.pisa.negotiation import NegotiationResult, PowerNegotiator
+from repro.pisa.packed import PackedCoordinator
+from repro.pisa.protocol import PisaCoordinator, RoundReport, small_demo
+from repro.pisa.pu_client import PUClient
+from repro.pisa.sdc_server import SdcServer
+from repro.pisa.session import SessionState, SuSession
+from repro.pisa.stp_server import StpServer
+from repro.pisa.su_client import SUClient
+from repro.pisa.two_server import TwoServerCoordinator
+
+__all__ = [
+    "BlindingFactory",
+    "BlindingParameters",
+    "KeyDirectory",
+    "TransmissionLicense",
+    "NegotiationResult",
+    "PowerNegotiator",
+    "PackedCoordinator",
+    "PisaCoordinator",
+    "RoundReport",
+    "small_demo",
+    "PUClient",
+    "SdcServer",
+    "SessionState",
+    "SuSession",
+    "StpServer",
+    "SUClient",
+    "TwoServerCoordinator",
+]

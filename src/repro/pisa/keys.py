@@ -1,0 +1,65 @@
+"""Key management (§III-C).
+
+The STP "creates a global Paillier public/private key pair (pk_G, sk_G)"
+and keeps ``sk_G`` to itself; each SU generates its own pair and uploads
+its public key; "anyone can retrieve pk_G and SU Paillier public keys
+from the STP".  :class:`KeyDirectory` is that public bulletin board — it
+never contains a secret key.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import PaillierPublicKey
+from repro.crypto.signatures import RsaPublicKey
+from repro.errors import ProtocolError
+
+__all__ = ["KeyDirectory"]
+
+
+class KeyDirectory:
+    """Public key bulletin board operated by the STP.
+
+    Holds the group public key, each SU's personal Paillier public key,
+    and the SDC's license-signing (RSA) public key.  Secret keys never
+    enter this object.
+    """
+
+    def __init__(self, group_public_key: PaillierPublicKey) -> None:
+        self._group_public_key = group_public_key
+        self._su_keys: dict[str, PaillierPublicKey] = {}
+        self._signing_keys: dict[str, RsaPublicKey] = {}
+
+    @property
+    def group_public_key(self) -> PaillierPublicKey:
+        """``pk_G`` — everyone encrypts protocol inputs under this key."""
+        return self._group_public_key
+
+    # -- SU Paillier keys ---------------------------------------------------
+
+    def register_su_key(self, su_id: str, public_key: PaillierPublicKey) -> None:
+        """SU *i* uploads ``pk_i`` (§III-C)."""
+        if su_id in self._su_keys and self._su_keys[su_id] != public_key:
+            raise ProtocolError(f"SU {su_id!r} already registered a different key")
+        self._su_keys[su_id] = public_key
+
+    def su_key(self, su_id: str) -> PaillierPublicKey:
+        """Retrieve ``pk_i`` for SU ``su_id``."""
+        try:
+            return self._su_keys[su_id]
+        except KeyError:
+            raise ProtocolError(f"no key registered for SU {su_id!r}") from None
+
+    def has_su_key(self, su_id: str) -> bool:
+        return su_id in self._su_keys
+
+    # -- license signing keys --------------------------------------------------
+
+    def register_signing_key(self, issuer_id: str, public_key: RsaPublicKey) -> None:
+        """The SDC publishes its license-verification key."""
+        self._signing_keys[issuer_id] = public_key
+
+    def signing_key(self, issuer_id: str) -> RsaPublicKey:
+        try:
+            return self._signing_keys[issuer_id]
+        except KeyError:
+            raise ProtocolError(f"no signing key for issuer {issuer_id!r}") from None

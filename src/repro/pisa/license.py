@@ -1,0 +1,109 @@
+"""Transmission permission licenses (§IV-B, step (2)).
+
+"The license includes the identity of SU j, the identity of the license
+issuer (e.g., the SDC server), and S̃_j, the ciphertext of SU j's
+operation parameters that are submitted in its transmission request."
+
+We commit to the encrypted operation parameters by their SHA-256 digest
+(the full multi-megabyte ciphertext matrix need not be embedded — the
+digest binds the license to the exact submitted request).  The license
+is signed with RSA-FDH; the *signature* travels encrypted under the SU's
+personal Paillier key, perturbed by the homomorphic grant/deny gadget of
+eq. (17), so the SDC itself never learns whether a valid license was
+delivered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.serialization import decode_bytes, decode_int, encode_bytes, encode_int
+from repro.crypto.signatures import RsaFdhSigner, RsaFdhVerifier
+from repro.errors import SerializationError
+
+__all__ = ["TransmissionLicense"]
+
+
+@dataclass(frozen=True)
+class TransmissionLicense:
+    """An SU's transmission permission license (unsigned body).
+
+    Attributes
+    ----------
+    su_id / issuer_id:
+        Identities of the licensee and the issuing SDC.
+    request_digest:
+        SHA-256 over the SU's encrypted request matrix — the "ciphertext
+        of SU j's operation parameters" commitment.
+    channels:
+        The channel slots the license covers.
+    issued_at / valid_seconds:
+        Validity window (issue timestamp and lifetime).
+    """
+
+    su_id: str
+    issuer_id: str
+    request_digest: bytes
+    channels: tuple[int, ...]
+    issued_at: int
+    valid_seconds: int = 3600
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding — the exact message that gets signed."""
+        parts = [
+            b"PISA-LICENSE-v1",
+            encode_bytes(self.su_id.encode("utf-8")),
+            encode_bytes(self.issuer_id.encode("utf-8")),
+            encode_bytes(self.request_digest),
+            encode_int(len(self.channels)),
+        ]
+        parts.extend(encode_int(c) for c in self.channels)
+        parts.append(encode_int(self.issued_at))
+        parts.append(encode_int(self.valid_seconds))
+        return b"".join(parts)
+
+    def sign(self, signer: RsaFdhSigner, max_value: int | None = None) -> int:
+        """Produce the license signature ``SG_j`` as an integer."""
+        return signer.sign(self.to_bytes(), max_value=max_value)
+
+    def verify(self, verifier: RsaFdhVerifier, signature: int) -> bool:
+        """Check a candidate signature against this license body."""
+        return verifier.verify(self.to_bytes(), signature)
+
+    @classmethod
+    def from_bytes(cls, buffer: bytes) -> "TransmissionLicense":
+        """Parse a canonical license body (inverse of :meth:`to_bytes`)."""
+        magic = b"PISA-LICENSE-v1"
+        if not buffer.startswith(magic):
+            raise SerializationError("not a v1 PISA license")
+        offset = len(magic)
+        su_raw, offset = decode_bytes(buffer, offset)
+        issuer_raw, offset = decode_bytes(buffer, offset)
+        digest, offset = decode_bytes(buffer, offset)
+        count, offset = decode_int(buffer, offset)
+        channels = []
+        for _ in range(count):
+            channel, offset = decode_int(buffer, offset)
+            channels.append(channel)
+        issued_at, offset = decode_int(buffer, offset)
+        valid_seconds, offset = decode_int(buffer, offset)
+        if offset != len(buffer):
+            raise SerializationError("trailing bytes in license body")
+        return cls(
+            su_id=su_raw.decode("utf-8"),
+            issuer_id=issuer_raw.decode("utf-8"),
+            request_digest=digest,
+            channels=tuple(channels),
+            issued_at=issued_at,
+            valid_seconds=valid_seconds,
+        )
+
+    def is_valid_at(self, timestamp: int) -> bool:
+        """True while ``timestamp`` falls inside the validity window."""
+        return self.issued_at <= timestamp < self.issued_at + self.valid_seconds
+
+    @staticmethod
+    def digest_of(request_bytes: bytes) -> bytes:
+        """The request-commitment digest used in license bodies."""
+        return hashlib.sha256(request_bytes).digest()

@@ -1,0 +1,135 @@
+"""Private power negotiation — finding the highest admissible EIRP.
+
+WATCH grants or denies a *specific* configuration; it never tells an SU
+what power *would* be admissible (and PISA hides even the deny reason).
+A denied SU's natural move is to retry lower.  This module implements
+the client-side search: a binary search over transmit power, each probe
+being a full privacy-preserving protocol round, converging to the
+highest power the budget admits within a chosen resolution.
+
+Privacy properties of the search itself:
+
+* each probe is an independent encrypted request — the SDC sees only
+  that the SU re-requested (request *count* and timing are metadata the
+  base protocol already exposes, §V);
+* the SDC never learns which probes were granted, so it cannot infer
+  the bracketing sequence or the final operating point;
+* admission is monotone in power (tested in the WATCH suite), which is
+  what makes binary search sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.watch.entities import SUTransmitter
+
+__all__ = ["NegotiationResult", "PowerNegotiator"]
+
+
+@dataclass(frozen=True)
+class NegotiationResult:
+    """Outcome of one max-power search."""
+
+    su_id: str
+    #: Highest power (dBm) that was granted; None if even the floor failed.
+    best_power_dbm: float | None
+    #: Lowest power (dBm) that was denied; None if even the cap passed.
+    lowest_denied_dbm: float | None
+    rounds_used: int
+    #: (power_dbm, granted) per probe, in probe order.
+    probes: tuple[tuple[float, bool], ...]
+
+    @property
+    def admitted(self) -> bool:
+        return self.best_power_dbm is not None
+
+
+class PowerNegotiator:
+    """Binary-search driver over any coordinator with PISA's round API.
+
+    Works with :class:`~repro.pisa.protocol.PisaCoordinator`,
+    :class:`~repro.pisa.two_server.TwoServerCoordinator`, and
+    :class:`~repro.pisa.packed.PackedCoordinator` — anything exposing
+    ``enroll_su`` and ``run_request_round``.
+    """
+
+    def __init__(self, coordinator, resolution_db: float = 1.0) -> None:
+        if resolution_db <= 0:
+            raise ConfigurationError("resolution must be positive")
+        import itertools
+
+        self.coordinator = coordinator
+        self.resolution_db = resolution_db
+        self._probe_ids = itertools.count()
+        #: One personal keypair shared by every probe identity: probes
+        #: are throwaway aliases of the same SU, and regenerating a full
+        #: Paillier keypair per probe would dominate negotiation time at
+        #: production key sizes.
+        self._probe_keypair = None
+
+    def _probe(self, su: SUTransmitter, power_dbm: float, region) -> bool:
+        from repro.crypto.paillier import generate_keypair
+
+        if self._probe_keypair is None:
+            self._probe_keypair = generate_keypair(
+                self.coordinator.key_bits, rng=self.coordinator._rng
+            )
+        probe_su = SUTransmitter(
+            su_id=f"{su.su_id}::probe-{next(self._probe_ids)}",
+            block_index=su.block_index,
+            tx_power_dbm=power_dbm,
+            antenna=su.antenna,
+        )
+        self.coordinator.enroll_su(
+            probe_su, region=region, keypair=self._probe_keypair
+        )
+        return self.coordinator.run_request_round(probe_su.su_id).granted
+
+    def negotiate(
+        self,
+        su: SUTransmitter,
+        floor_dbm: float = -20.0,
+        cap_dbm: float = 36.0,
+        region=None,
+    ) -> NegotiationResult:
+        """Find the highest admissible power in ``[floor, cap]``.
+
+        At most ``2 + log2((cap − floor)/resolution)`` protocol rounds.
+        """
+        if cap_dbm <= floor_dbm:
+            raise ConfigurationError("cap must exceed floor")
+        probes: list[tuple[float, bool]] = []
+        attempt = 0
+
+        def run(power: float) -> bool:
+            nonlocal attempt
+            granted = self._probe(su, power, region)
+            probes.append((power, granted))
+            attempt += 1
+            return granted
+
+        # Bracket: if the cap passes we are done; if the floor fails,
+        # nothing is admissible.
+        if run(cap_dbm):
+            return NegotiationResult(
+                su_id=su.su_id, best_power_dbm=cap_dbm, lowest_denied_dbm=None,
+                rounds_used=attempt, probes=tuple(probes),
+            )
+        if not run(floor_dbm):
+            return NegotiationResult(
+                su_id=su.su_id, best_power_dbm=None, lowest_denied_dbm=floor_dbm,
+                rounds_used=attempt, probes=tuple(probes),
+            )
+        low, high = floor_dbm, cap_dbm  # low granted, high denied
+        while high - low > self.resolution_db:
+            mid = (low + high) / 2.0
+            if run(mid):
+                low = mid
+            else:
+                high = mid
+        return NegotiationResult(
+            su_id=su.su_id, best_power_dbm=low, lowest_denied_dbm=high,
+            rounds_used=attempt, probes=tuple(probes),
+        )

@@ -1,0 +1,249 @@
+"""End-to-end PISA protocol orchestration.
+
+:class:`PisaCoordinator` wires the four parties (PU clients, SU clients,
+the SDC, and the STP) over an accounted transport and runs complete
+rounds of Figures 4 and 5.  It is a *test harness and evaluation
+driver* — in a deployment the parties are separate processes; here the
+message objects flow through :class:`~repro.net.transport.InMemoryTransport`
+so every byte is accounted exactly as it would appear on the wire.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto.paillier import PaillierKeypair, generate_keypair
+from repro.crypto.rand import DeterministicRandomSource, RandomSource, default_rng
+from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
+from repro.errors import ProtocolError
+from repro.geo.region import PrivacyRegion
+from repro.net.transport import InMemoryTransport
+from repro.pisa.pu_client import PUClient
+from repro.pisa.sdc_server import SdcServer
+from repro.pisa.stp_server import StpServer
+from repro.pisa.su_client import RequestOutcome, SUClient
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.environment import SpectrumEnvironment
+
+__all__ = ["PisaCoordinator", "RoundReport", "RoundTimings", "small_demo"]
+
+
+@dataclass(frozen=True)
+class RoundTimings:
+    """Wall-clock phase timings (seconds) of one request round."""
+
+    request_preparation: float
+    sdc_phase1: float
+    stp_conversion: float
+    sdc_phase2: float
+    su_decryption: float
+
+    @property
+    def sdc_processing(self) -> float:
+        """SDC-side total — the paper's "processing this request" time."""
+        return self.sdc_phase1 + self.sdc_phase2
+
+    @property
+    def total(self) -> float:
+        return (
+            self.request_preparation
+            + self.sdc_phase1
+            + self.stp_conversion
+            + self.sdc_phase2
+            + self.su_decryption
+        )
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """Outcome and cost accounting of one complete request round."""
+
+    su_id: str
+    granted: bool
+    outcome: RequestOutcome
+    timings: RoundTimings
+    request_bytes: int
+    sign_extraction_bytes: int
+    conversion_bytes: int
+    response_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.request_bytes
+            + self.sign_extraction_bytes
+            + self.conversion_bytes
+            + self.response_bytes
+        )
+
+
+class PisaCoordinator:
+    """Builds and drives a complete PISA deployment.
+
+    Parameters
+    ----------
+    environment:
+        The shared public substrate.
+    key_bits:
+        Paillier modulus size for the group key and every SU key.  The
+        paper uses 2048; tests use small keys for speed.
+    signature_bits:
+        RSA modulus size for license signing; must stay below
+        ``key_bits`` so signatures fit SU plaintext spaces.
+    rng:
+        Randomness source (pass a DRBG for reproducible runs).
+    """
+
+    def __init__(
+        self,
+        environment: SpectrumEnvironment,
+        key_bits: int = 2048,
+        signature_bits: int | None = None,
+        rng: RandomSource | None = None,
+        transport: InMemoryTransport | None = None,
+        fresh_beta_encryption: bool = True,
+    ) -> None:
+        if signature_bits is None:
+            signature_bits = max(32, key_bits // 2)
+        if signature_bits >= key_bits:
+            raise ProtocolError(
+                "signature modulus must be smaller than the Paillier modulus"
+            )
+        self.environment = environment
+        self.key_bits = key_bits
+        self._rng = default_rng(rng)
+        self.transport = transport if transport is not None else InMemoryTransport()
+
+        self.stp = StpServer(key_bits=key_bits, rng=self._rng)
+        _, signing_private = generate_rsa_keypair(signature_bits, rng=self._rng)
+        self.sdc = SdcServer(
+            environment,
+            directory=self.stp.directory,
+            signer=RsaFdhSigner(signing_private),
+            rng=self._rng,
+            fresh_beta_encryption=fresh_beta_encryption,
+        )
+        self._pu_clients: dict[str, PUClient] = {}
+        self._su_clients: dict[str, SUClient] = {}
+
+    # -- enrolment -----------------------------------------------------------------
+
+    def enroll_pu(self, pu: PUReceiver) -> PUClient:
+        """Create a PU client and send its initial encrypted update."""
+        client = PUClient(
+            pu, self.environment, self.stp.group_public_key, rng=self._rng
+        )
+        self._pu_clients[pu.receiver_id] = client
+        update = client.build_update()
+        self.transport.send(update, sender=pu.receiver_id, receiver="sdc")
+        self.sdc.handle_pu_update(update)
+        return client
+
+    def enroll_su(
+        self,
+        su: SUTransmitter,
+        region: PrivacyRegion | None = None,
+        keypair: PaillierKeypair | None = None,
+    ) -> SUClient:
+        """Create an SU client, generate/register its personal key pair."""
+        keypair = keypair or generate_keypair(self.key_bits, rng=self._rng)
+        client = SUClient(
+            su,
+            self.environment,
+            self.stp.group_public_key,
+            keypair,
+            region=region,
+            rng=self._rng,
+        )
+        self.stp.register_su(su.su_id, client.public_key)
+        self._su_clients[su.su_id] = client
+        return client
+
+    def pu_client(self, pu_id: str) -> PUClient:
+        return self._pu_clients[pu_id]
+
+    def su_client(self, su_id: str) -> SUClient:
+        return self._su_clients[su_id]
+
+    # -- protocol rounds ------------------------------------------------------------
+
+    def pu_switch_channel(
+        self, pu_id: str, channel_slot: int | None, signal_strength_mw: float = 0.0
+    ) -> bool:
+        """Run Figure 4 for a channel switch; returns True if an update flowed."""
+        client = self._pu_clients[pu_id]
+        update = client.switch_channel(channel_slot, signal_strength_mw)
+        if update is None:
+            return False
+        self.transport.send(update, sender=pu_id, receiver="sdc")
+        self.sdc.handle_pu_update(update)
+        return True
+
+    def run_request_round(
+        self, su_id: str, reuse_cached_request: bool = False
+    ) -> RoundReport:
+        """Run Figure 5 end to end for one SU and report outcome + costs.
+
+        ``reuse_cached_request=True`` exercises the §VI-A fast path: the
+        cached encrypted request is re-randomised instead of rebuilt.
+        """
+        client = self._su_clients[su_id]
+
+        t0 = time.perf_counter()
+        if reuse_cached_request:
+            request = client.refresh_request()
+        else:
+            request = client.prepare_request()
+        t1 = time.perf_counter()
+        self.transport.send(request, sender=su_id, receiver="sdc")
+
+        sign_request = self.sdc.start_request(request)
+        t2 = time.perf_counter()
+        self.transport.send(sign_request, sender="sdc", receiver="stp")
+
+        sign_response = self.stp.handle_sign_extraction(sign_request)
+        t3 = time.perf_counter()
+        self.transport.send(sign_response, sender="stp", receiver="sdc")
+
+        response = self.sdc.finish_request(sign_response)
+        t4 = time.perf_counter()
+        self.transport.send(response, sender="sdc", receiver=su_id)
+
+        outcome = client.process_response(response, self.stp.directory)
+        t5 = time.perf_counter()
+
+        return RoundReport(
+            su_id=su_id,
+            granted=outcome.granted,
+            outcome=outcome,
+            timings=RoundTimings(
+                request_preparation=t1 - t0,
+                sdc_phase1=t2 - t1,
+                stp_conversion=t3 - t2,
+                sdc_phase2=t4 - t3,
+                su_decryption=t5 - t4,
+            ),
+            request_bytes=request.wire_size(),
+            sign_extraction_bytes=sign_request.wire_size(),
+            conversion_bytes=sign_response.wire_size(),
+            response_bytes=response.wire_size(),
+        )
+
+
+def small_demo(seed: int = 0) -> RoundReport:
+    """A complete tiny PISA round — the library's quickstart entry point.
+
+    Builds a 4x6-block scenario, enrols its PUs and one SU with small
+    (insecure, fast) keys, and runs one request round.
+    """
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(ScenarioConfig(seed=seed))
+    rng = DeterministicRandomSource(seed)
+    coordinator = PisaCoordinator(scenario.environment, key_bits=256, rng=rng)
+    for pu in scenario.pus:
+        coordinator.enroll_pu(pu)
+    su = scenario.sus[0]
+    coordinator.enroll_su(su)
+    return coordinator.run_request_round(su.su_id)

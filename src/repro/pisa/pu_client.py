@@ -1,0 +1,100 @@
+"""PU-side client (Figure 4).
+
+When the TV receiver switches physical channel (or turns off), the
+client builds the §IV-B update vector
+
+``W_i(c, i) = T_i(c, i) − E_S(c, i)`` at its received channel, 0 on all
+other channels — then encrypts each of the ``C`` entries under ``pk_G``
+and sends them to the SDC.  Submitting ``W`` rather than ``T`` is what
+lets the SDC assemble the budget matrix N with plain homomorphic
+additions (eqs. (9)/(10)) instead of a secure equality test.
+
+The client also implements the §VI-A *virtual channel* optimisation: a
+switch between virtual channels on the same physical channel requires no
+update at all.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import PaillierPublicKey
+from repro.crypto.rand import RandomSource, default_rng
+from repro.errors import ProtocolError
+from repro.pisa.messages import PUUpdateMessage
+from repro.watch.entities import PUReceiver
+from repro.watch.environment import SpectrumEnvironment
+from repro.watch.matrices import pu_update_matrix
+
+__all__ = ["PUClient"]
+
+
+class PUClient:
+    """The primary user's protocol agent.
+
+    Parameters
+    ----------
+    pu:
+        The receiver's current state (block, channel, signal strength).
+    environment:
+        Shared public substrate (provides ``E`` and the channel plan).
+    group_public_key:
+        ``pk_G`` retrieved from the STP's key directory.
+    """
+
+    def __init__(
+        self,
+        pu: PUReceiver,
+        environment: SpectrumEnvironment,
+        group_public_key: PaillierPublicKey,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self.pu = pu
+        self.environment = environment
+        self.group_public_key = group_public_key
+        self._rng = default_rng(rng)
+        self._updates_sent = 0
+
+    # -- update construction -------------------------------------------------
+
+    def build_update(self) -> PUUpdateMessage:
+        """Encrypt the ``C`` entries ``W̃(1, i) … W̃(C, i)`` (Figure 4)."""
+        env = self.environment
+        w_matrix = pu_update_matrix(self.pu, env.e_matrix, env.params)
+        block = self.pu.block_index
+        ciphertexts = tuple(
+            self.group_public_key.encrypt(int(w_matrix[c, block]), rng=self._rng)
+            for c in range(env.num_channels)
+        )
+        self._updates_sent += 1
+        return PUUpdateMessage(
+            pu_id=self.pu.receiver_id, block_index=block, ciphertexts=ciphertexts
+        )
+
+    # -- channel switching ------------------------------------------------------
+
+    def switch_channel(
+        self, channel_slot: int | None, signal_strength_mw: float = 0.0
+    ) -> PUUpdateMessage | None:
+        """Retune the receiver; return an update message only when needed.
+
+        §VI-A: "when a PU is switching between virtual channels but
+        staying in the same physical channel, it does not need to notify
+        the SDC."  Returns ``None`` in that case.
+        """
+        if channel_slot is not None and not (
+            0 <= channel_slot < self.environment.num_channels
+        ):
+            raise ProtocolError("channel slot outside the plan")
+        plan = self.environment.plan
+        old_slot = self.pu.channel_slot
+        needs_update = True
+        if channel_slot is not None and old_slot is not None:
+            needs_update = not plan.same_physical(old_slot, channel_slot)
+        if channel_slot is None and old_slot is None:
+            needs_update = False
+        self.pu = self.pu.switched_to(channel_slot, signal_strength_mw)
+        return self.build_update() if needs_update else None
+
+    @property
+    def updates_sent(self) -> int:
+        """Number of encrypted updates this client has produced."""
+        return self._updates_sent

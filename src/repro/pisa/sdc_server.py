@@ -1,0 +1,276 @@
+"""The Spectrum Database Controller, privacy-preserving edition (§IV-B).
+
+The SDC performs WATCH's entire spectrum computation over ciphertexts:
+
+* **PU updates** (Figure 4, step 4): maintain the encrypted aggregate
+  ``W̃' = ⊕_i W̃_i`` (eq. (9)) incrementally — a re-submitting PU's old
+  contribution is homomorphically subtracted and the new one added.  The
+  budget ``Ñ = W̃' ⊕ Ẽ`` (eq. (10)) is realised with *plaintext*
+  additions of the public ``E`` entries (``E`` is public data, so adding
+  it via ``g^E`` costs one multiplication and no fresh encryption).
+* **SU requests, phase 1** (Figure 5, steps 3-5): scale the request into
+  interference (eq. (11)), subtract from the budget (eq. (12)), blind
+  every cell with one-time ``(α, β, ε)`` (eq. (14)) and forward to the
+  STP for sign extraction.
+* **SU requests, phase 2** (steps 9-11): unblind the converted signs
+  into the 0/−2 gadget values ``Q̃`` (eq. (16)), sign the transmission
+  license, and perturb the encrypted signature with ``η ⊗ ΣQ̃``
+  (eq. (17)) so it decrypts to a valid signature iff every cell's
+  interference budget holds.
+
+The SDC never decrypts anything and never learns the decision.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey, hom_sum
+from repro.crypto.rand import RandomSource, default_rng
+from repro.crypto.signatures import RsaFdhSigner
+from repro.errors import ProtocolError
+from repro.pisa.blinding import BlindingFactory, BlindingParameters, CellBlinding
+from repro.pisa.keys import KeyDirectory
+from repro.pisa.license import TransmissionLicense
+from repro.pisa.messages import (
+    LicenseResponse,
+    PUUpdateMessage,
+    SignExtractionRequest,
+    SignExtractionResponse,
+    SURequestMessage,
+)
+from repro.watch.environment import SpectrumEnvironment
+
+__all__ = ["SdcServer", "SdcStats", "PendingRound"]
+
+
+@dataclass
+class SdcStats:
+    """Operation counters for the evaluation harness."""
+
+    pu_updates: int = 0
+    requests_started: int = 0
+    requests_completed: int = 0
+    hom_operations: int = 0
+
+
+@dataclass
+class PendingRound:
+    """Per-request state the SDC holds between the two STP phases."""
+
+    round_id: str
+    su_id: str
+    region_blocks: tuple[int, ...]
+    blindings: tuple[tuple[CellBlinding, ...], ...]
+    request_digest: bytes
+    channels: tuple[int, ...]
+
+
+class SdcServer:
+    """The honest-but-curious spectrum controller."""
+
+    def __init__(
+        self,
+        environment: SpectrumEnvironment,
+        directory: KeyDirectory,
+        signer: RsaFdhSigner,
+        issuer_id: str = "sdc",
+        rng: RandomSource | None = None,
+        fresh_beta_encryption: bool = True,
+        clock=time.time,
+    ) -> None:
+        self.environment = environment
+        self.directory = directory
+        self.signer = signer
+        self.issuer_id = issuer_id
+        self._rng = default_rng(rng)
+        self._fresh_beta = fresh_beta_encryption
+        self._clock = clock
+        self.stats = SdcStats()
+        #: Latest encrypted update per PU: pu_id → (block, per-channel cts).
+        self._pu_updates: dict[str, tuple[int, tuple[EncryptedNumber, ...]]] = {}
+        #: Incrementally maintained W̃'(c, b) for cells with contributions.
+        self._w_sum: dict[tuple[int, int], EncryptedNumber] = {}
+        self._pending: dict[str, PendingRound] = {}
+        self._round_counter = itertools.count()
+        directory.register_signing_key(issuer_id, signer.public_key)
+
+    @property
+    def group_public_key(self) -> PaillierPublicKey:
+        return self.directory.group_public_key
+
+    # -- blinding configuration ---------------------------------------------------
+
+    def blinding_parameters(self) -> BlindingParameters:
+        """Safe α/β widths for this deployment's value range.
+
+        The indicator magnitude is bounded by
+        ``max(N, R) ≤ 2**value_bits · (X + 1)`` with ``X`` the integer
+        SINR factor of eq. (11).
+        """
+        params = self.environment.params
+        bound = (1 << params.value_bits) * (params.sinr_plus_redn_int + 1)
+        return BlindingParameters.for_key(self.group_public_key, bound)
+
+    # -- Figure 4 step 4: PU update ---------------------------------------------------
+
+    def handle_pu_update(self, message: PUUpdateMessage) -> None:
+        """Fold a PU's encrypted ``W̃_i`` into the running aggregate (eq. (9)).
+
+        A PU that re-submits (it switched channels) has its previous
+        vector homomorphically subtracted first, so the aggregate always
+        equals ``⊕_{i∈PUs} W̃_i`` over each PU's *latest* state.
+        """
+        env = self.environment
+        if len(message.ciphertexts) != env.num_channels:
+            raise ProtocolError("PU update must carry one ciphertext per channel")
+        for ct in message.ciphertexts:
+            if ct.public_key != self.group_public_key:
+                raise ProtocolError("PU update not under the group key")
+        previous = self._pu_updates.get(message.pu_id)
+        if previous is not None:
+            old_block, old_cts = previous
+            for c, old_ct in enumerate(old_cts):
+                cell = (c, old_block)
+                self._w_sum[cell] = self._w_sum[cell].subtract(old_ct)
+                self.stats.hom_operations += 1
+        for c, ct in enumerate(message.ciphertexts):
+            cell = (c, message.block_index)
+            if cell in self._w_sum:
+                self._w_sum[cell] = self._w_sum[cell].add(ct)
+            else:
+                self._w_sum[cell] = ct
+            self.stats.hom_operations += 1
+        self._pu_updates[message.pu_id] = (message.block_index, message.ciphertexts)
+        self.stats.pu_updates += 1
+
+    # -- Figure 5 steps 3-5: request phase 1 ---------------------------------------------
+
+    def _indicator_cell(
+        self, f_ct: EncryptedNumber, channel: int, block: int
+    ) -> EncryptedNumber:
+        """``Ĩ(c, i) = Ñ(c, i) ⊖ R̃(c, i)`` for one cell (eqs. (10)-(12)).
+
+        ``Ñ = W̃' ⊕ Ẽ`` with the public ``E`` added as a plaintext
+        constant; cells without PU contributions reduce to
+        ``E − R`` directly.
+        """
+        params = self.environment.params
+        r_ct = f_ct.scalar_mul(params.sinr_plus_redn_int)  # eq. (11)
+        self.stats.hom_operations += 1
+        e_value = int(self.environment.e_matrix[channel, block])
+        indicator = r_ct.scalar_mul(-1).add_plain(e_value)  # E − R
+        self.stats.hom_operations += 2
+        w_ct = self._w_sum.get((channel, block))
+        if w_ct is not None:
+            indicator = indicator.add(w_ct)  # + (T − E) where a PU sits
+            self.stats.hom_operations += 1
+        return indicator
+
+    def start_request(self, request: SURequestMessage) -> SignExtractionRequest:
+        """Process an SU request up to the blinded-indicator hand-off."""
+        env = self.environment
+        if len(request.matrix) != env.num_channels:
+            raise ProtocolError("request must carry one row per channel")
+        if not self.directory.has_su_key(request.su_id):
+            raise ProtocolError(f"SU {request.su_id!r} has no registered key")
+        for block in request.region_blocks:
+            if not 0 <= block < env.num_blocks:
+                raise ProtocolError(f"disclosed block {block} outside the area")
+        factory = BlindingFactory(self.blinding_parameters(), rng=self._rng)
+        blinded_rows: list[tuple[EncryptedNumber, ...]] = []
+        blinding_rows: list[tuple[CellBlinding, ...]] = []
+        for c, row in enumerate(request.matrix):
+            blinded_row = []
+            blinding_row = []
+            for k, f_ct in enumerate(row):
+                if f_ct.public_key != self.group_public_key:
+                    raise ProtocolError("request entry not under the group key")
+                block = request.region_blocks[k]
+                indicator = self._indicator_cell(f_ct, c, block)
+                cell = factory.draw()
+                blinded = indicator.scalar_mul(cell.alpha)  # α ⊗ Ĩ
+                if self._fresh_beta:
+                    blinded = blinded.subtract(
+                        self.group_public_key.encrypt(cell.beta, rng=self._rng)
+                    )
+                else:
+                    blinded = blinded.add_plain(-cell.beta)
+                blinded = blinded.scalar_mul(cell.epsilon)  # ε ⊗ (…)
+                self.stats.hom_operations += 3
+                blinded_row.append(blinded)
+                blinding_row.append(cell)
+            blinded_rows.append(tuple(blinded_row))
+            blinding_rows.append(tuple(blinding_row))
+        round_id = f"round-{next(self._round_counter)}"
+        self._pending[round_id] = PendingRound(
+            round_id=round_id,
+            su_id=request.su_id,
+            region_blocks=request.region_blocks,
+            blindings=tuple(blinding_rows),
+            request_digest=TransmissionLicense.digest_of(request.digest_bytes()),
+            channels=tuple(range(env.num_channels)),
+        )
+        self.stats.requests_started += 1
+        return SignExtractionRequest(
+            round_id=round_id, su_id=request.su_id, matrix=tuple(blinded_rows)
+        )
+
+    # -- Figure 5 steps 9-11: request phase 2 ----------------------------------------------
+
+    def finish_request(self, response: SignExtractionResponse) -> LicenseResponse:
+        """Unblind the STP's signs and issue the perturbed encrypted license."""
+        # Validate the response in full BEFORE consuming the round state:
+        # a malformed/spliced response must not destroy a pending round.
+        pending = self._pending.get(response.round_id)
+        if pending is None:
+            raise ProtocolError(f"unknown round {response.round_id!r}")
+        if response.su_id != pending.su_id:
+            raise ProtocolError("sign-extraction response for the wrong SU")
+        su_key = self.directory.su_key(pending.su_id)
+        if len(response.matrix) != len(pending.blindings):
+            raise ProtocolError("sign matrix shape mismatch")
+        for x_row, blinding_row in zip(response.matrix, pending.blindings):
+            if len(x_row) != len(blinding_row):
+                raise ProtocolError("sign matrix shape mismatch")
+            for x_ct in x_row:
+                if x_ct.public_key != su_key:
+                    raise ProtocolError("converted sign not under the SU's key")
+        del self._pending[response.round_id]
+        q_cells: list[EncryptedNumber] = []
+        for x_row, blinding_row in zip(response.matrix, pending.blindings):
+            for x_ct, cell in zip(x_row, blinding_row):
+                # eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃.
+                q_cells.append(x_ct.scalar_mul(cell.epsilon).add_plain(-1))
+                self.stats.hom_operations += 2
+        license_body = TransmissionLicense(
+            su_id=pending.su_id,
+            issuer_id=self.issuer_id,
+            request_digest=pending.request_digest,
+            channels=pending.channels,
+            issued_at=int(self._clock()),
+        )
+        signature = license_body.sign(self.signer, max_value=su_key.n)
+        encrypted_signature = EncryptedNumber(
+            su_key, su_key.raw_encrypt(signature, rng=self._rng)
+        )
+        # eq. (17): G̃ = SG̃ ⊕ (η ⊗ ΣQ̃).
+        eta = BlindingFactory(self.blinding_parameters(), rng=self._rng).draw_eta()
+        q_sum = hom_sum(q_cells)
+        self.stats.hom_operations += len(q_cells) - 1
+        g_ct = encrypted_signature.add(q_sum.scalar_mul(eta))
+        self.stats.hom_operations += 2
+        self.stats.requests_completed += 1
+        return LicenseResponse(license=license_body, encrypted_signature=g_ct)
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def num_tracked_pus(self) -> int:
+        return len(self._pu_updates)
+
+    @property
+    def pending_rounds(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,122 @@
+"""Durable state for the PISA servers.
+
+An SDC restart must not lose the encrypted PU state: the budget matrix
+is derived from every PU's *latest* update, and PUs only re-send when
+they switch channels — after a crash the SDC would otherwise grant
+against a budget missing every active receiver (an unsafe failure).
+
+What needs persisting is deliberately small:
+
+* **SDC**: the latest :class:`~repro.pisa.messages.PUUpdateMessage` per
+  PU (ciphertexts — the SDC stores nothing it can read).  Pending
+  request rounds are *not* persisted: they hold one-time blinding
+  factors, and replaying half-finished rounds after a crash is exactly
+  the replay surface we refuse; SUs simply re-request.
+* **Key directory**: SU public keys and issuer verification keys.
+
+Snapshots are canonical bytes (versioned, self-describing), restored by
+replaying updates through the normal ``handle_pu_update`` path so the
+incremental aggregate is rebuilt by the same audited code that built it.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import PaillierPublicKey
+from repro.crypto.serialization import (
+    decode_bytes,
+    decode_int,
+    decode_public_key,
+    encode_bytes,
+    encode_int,
+    encode_public_key,
+)
+from repro.crypto.signatures import RsaPublicKey
+from repro.errors import SerializationError
+from repro.pisa.keys import KeyDirectory
+from repro.pisa.messages import PUUpdateMessage
+
+__all__ = [
+    "serialize_sdc_state",
+    "restore_sdc_state",
+    "serialize_directory",
+    "restore_directory",
+]
+
+_SDC_MAGIC = b"PISA-SDC-STATE-v1"
+_DIR_MAGIC = b"PISA-DIRECTORY-v1"
+
+
+def serialize_sdc_state(sdc) -> bytes:
+    """Snapshot an SDC's durable state (latest update per PU)."""
+    parts = [_SDC_MAGIC, encode_int(len(sdc._pu_updates))]
+    for pu_id, (block_index, ciphertexts) in sorted(sdc._pu_updates.items()):
+        message = PUUpdateMessage(
+            pu_id=pu_id, block_index=block_index, ciphertexts=ciphertexts
+        )
+        parts.append(encode_bytes(message.to_bytes()))
+    return b"".join(parts)
+
+
+def restore_sdc_state(sdc, blob: bytes) -> int:
+    """Replay a snapshot into a freshly constructed SDC.
+
+    The SDC must be empty (no PU updates yet) and share the original's
+    environment and group key.  Returns the number of PUs restored.
+    """
+    if sdc._pu_updates:
+        raise SerializationError("restore target already holds PU state")
+    if not blob.startswith(_SDC_MAGIC):
+        raise SerializationError("not a v1 SDC snapshot")
+    count, offset = decode_int(blob, len(_SDC_MAGIC))
+    group_key = sdc.group_public_key
+    for _ in range(count):
+        raw, offset = decode_bytes(blob, offset)
+        sdc.handle_pu_update(PUUpdateMessage.from_bytes(raw, group_key))
+    if offset != len(blob):
+        raise SerializationError("trailing bytes in SDC snapshot")
+    return count
+
+
+def serialize_directory(directory: KeyDirectory) -> bytes:
+    """Snapshot the public key directory (group, SU, and issuer keys)."""
+    parts = [
+        _DIR_MAGIC,
+        encode_bytes(encode_public_key(directory.group_public_key)),
+        encode_int(len(directory._su_keys)),
+    ]
+    for su_id, public_key in sorted(directory._su_keys.items()):
+        parts.append(encode_bytes(su_id.encode("utf-8")))
+        parts.append(encode_bytes(encode_public_key(public_key)))
+    parts.append(encode_int(len(directory._signing_keys)))
+    for issuer_id, key in sorted(directory._signing_keys.items()):
+        parts.append(encode_bytes(issuer_id.encode("utf-8")))
+        parts.append(encode_int(key.n))
+        parts.append(encode_int(key.e))
+    return b"".join(parts)
+
+
+def restore_directory(blob: bytes) -> KeyDirectory:
+    """Rebuild a key directory from a snapshot."""
+    if not blob.startswith(_DIR_MAGIC):
+        raise SerializationError("not a v1 directory snapshot")
+    offset = len(_DIR_MAGIC)
+    group_raw, offset = decode_bytes(blob, offset)
+    directory = KeyDirectory(decode_public_key(group_raw))
+    su_count, offset = decode_int(blob, offset)
+    for _ in range(su_count):
+        su_raw, offset = decode_bytes(blob, offset)
+        key_raw, offset = decode_bytes(blob, offset)
+        directory.register_su_key(
+            su_raw.decode("utf-8"), decode_public_key(key_raw)
+        )
+    issuer_count, offset = decode_int(blob, offset)
+    for _ in range(issuer_count):
+        issuer_raw, offset = decode_bytes(blob, offset)
+        n, offset = decode_int(blob, offset)
+        e, offset = decode_int(blob, offset)
+        directory.register_signing_key(
+            issuer_raw.decode("utf-8"), RsaPublicKey(n=n, e=e)
+        )
+    if offset != len(blob):
+        raise SerializationError("trailing bytes in directory snapshot")
+    return directory

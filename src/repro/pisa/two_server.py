@@ -1,0 +1,300 @@
+"""PISA without an STP — the paper's §VII future-work variant.
+
+The original design trusts the STP with the *entire* group secret key:
+an STP compromise silently decrypts every PU update and SU request.
+This variant removes that single point of failure by splitting the
+decryption exponent between two non-colluding servers
+(:class:`FrontServer`, the SDC proper, and :class:`BackendServer`, a
+lightweight co-server) using
+:mod:`repro.crypto.threshold`:
+
+* **setup** — a dealer generates the shared key; the front server gets
+  share ``d₁``, the backend ``d₂``.  Neither can decrypt anything alone.
+* **PU updates / SU requests** — byte-identical to baseline PISA (same
+  clients, same messages, same ``pk_G`` encryption).
+* **sign extraction** — the front server blinds the indicators exactly
+  as eq. (14), *additionally* attaches its partial decryptions
+  ``Ṽ^{d₁}``, and sends both to the backend.  The backend computes its
+  own partials, combines, sees only the blinded values ``V`` (protected
+  by α/β/ε exactly as the STP was), extracts signs (eq. (15)), and
+  returns them encrypted under the SU's key.  The front unblinds and
+  issues the license as before (eqs. (16)/(17)).
+
+Compared to the STP design: the same two communication legs and the
+same per-cell work at the conversion server (one exponentiation + one
+encryption), plus one partial-decryption exponentiation per cell at the
+front — the price of eliminating the key-escrow party.  The ablation
+benchmark ``bench_two_server.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
+from repro.crypto.rand import RandomSource, default_rng
+from repro.crypto.serialization import encode_ciphertext_matrix, encode_int
+from repro.crypto.threshold import (
+    DecryptionShare,
+    PartialDecryption,
+    ThresholdKeypair,
+    combine_partials,
+    generate_threshold_keypair,
+)
+from repro.errors import ProtocolError, SerializationError
+from repro.pisa.keys import KeyDirectory
+from repro.pisa.messages import SignExtractionResponse
+from repro.pisa.sdc_server import SdcServer
+
+__all__ = [
+    "PartialSignExtractionRequest",
+    "FrontServer",
+    "BackendServer",
+    "deal_two_server_keys",
+]
+
+
+@dataclass(frozen=True)
+class PartialSignExtractionRequest:
+    """Front → backend: blinded indicators plus the front's partials.
+
+    ``partials[c][k]`` is ``matrix[c][k].ciphertext ** d₁ mod n²``.
+    """
+
+    round_id: str
+    su_id: str
+    matrix: tuple[tuple[EncryptedNumber, ...], ...]
+    partials: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.partials) != len(self.matrix) or any(
+            len(p_row) != len(m_row)
+            for p_row, m_row in zip(self.partials, self.matrix)
+        ):
+            raise SerializationError("partials shape must match the matrix")
+
+    def to_bytes(self) -> bytes:
+        from repro.crypto.serialization import encode_bytes
+
+        parts = [
+            encode_bytes(self.round_id.encode("utf-8")),
+            encode_bytes(self.su_id.encode("utf-8")),
+            encode_ciphertext_matrix(self.matrix),
+        ]
+        for row in self.partials:
+            parts.extend(encode_int(value) for value in row)
+        return b"".join(parts)
+
+    def wire_size(self) -> int:
+        return len(self.to_bytes())
+
+
+def deal_two_server_keys(
+    key_bits: int = 2048, rng: RandomSource | None = None
+) -> tuple[ThresholdKeypair, KeyDirectory]:
+    """Dealer setup: shared group key + a public key directory."""
+    keypair = generate_threshold_keypair(key_bits, num_shares=2, rng=rng)
+    return keypair, KeyDirectory(keypair.public_key)
+
+
+class FrontServer(SdcServer):
+    """The SDC of the two-server variant: all of baseline PISA's logic
+    plus share ``d₁`` partial decryptions on the outgoing Ṽ matrix."""
+
+    def __init__(self, share: DecryptionShare, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if share.public_key != self.group_public_key:
+            raise ProtocolError("share does not match the directory's group key")
+        self._share = share
+
+    def start_request_with_partials(self, request) -> PartialSignExtractionRequest:
+        """Eq. (14) blinding + the front's threshold partials."""
+        extraction = self.start_request(request)
+        partials = tuple(
+            tuple(self._share.partial_decrypt(ct).value for ct in row)
+            for row in extraction.matrix
+        )
+        self.stats.hom_operations += sum(len(row) for row in extraction.matrix)
+        return PartialSignExtractionRequest(
+            round_id=extraction.round_id,
+            su_id=extraction.su_id,
+            matrix=extraction.matrix,
+            partials=partials,
+        )
+
+
+class BackendServer:
+    """The lightweight co-server replacing the STP.
+
+    Holds share ``d₂`` and the public directory.  Unlike the STP it
+    *cannot* decrypt protocol traffic on its own — it only completes
+    decryptions the front server has already half-opened, which by
+    protocol are always the blinded ``Ṽ`` values.
+    """
+
+    def __init__(
+        self,
+        share: DecryptionShare,
+        directory: KeyDirectory,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if share.public_key != directory.group_public_key:
+            raise ProtocolError("share does not match the directory's group key")
+        self._share = share
+        self.directory = directory
+        self._rng = default_rng(rng)
+        self.cells_combined = 0
+
+    def handle_partial_extraction(
+        self, request: PartialSignExtractionRequest
+    ) -> SignExtractionResponse:
+        """Combine partials, extract signs (eq. (15)), convert to pk_j."""
+        if not self.directory.has_su_key(request.su_id):
+            raise ProtocolError(f"SU {request.su_id!r} has no registered key")
+        su_key = self.directory.su_key(request.su_id)
+        pk = self.directory.group_public_key
+        converted = []
+        for ct_row, partial_row in zip(request.matrix, request.partials):
+            out_row = []
+            for ct, front_partial in zip(ct_row, partial_row):
+                if ct.public_key != pk:
+                    raise ProtocolError("Ṽ entry not under the group key")
+                own = self._share.partial_decrypt(ct)
+                value = combine_partials(
+                    pk,
+                    [PartialDecryption(index=1 - self._share.index, value=front_partial), own],
+                )
+                self.cells_combined += 1
+                sign = 1 if value > 0 else -1
+                out_row.append(su_key.encrypt(sign, rng=self._rng))
+            converted.append(tuple(out_row))
+        return SignExtractionResponse(
+            round_id=request.round_id, su_id=request.su_id, matrix=tuple(converted)
+        )
+
+
+class TwoServerCoordinator:
+    """Deploys and drives the STP-free variant end to end.
+
+    Mirrors :class:`repro.pisa.protocol.PisaCoordinator`: same clients,
+    same message flow, but sign extraction runs through the
+    front/backend threshold pair instead of an STP.
+    """
+
+    def __init__(
+        self,
+        environment,
+        key_bits: int = 2048,
+        signature_bits: int | None = None,
+        rng: RandomSource | None = None,
+        transport=None,
+    ) -> None:
+        from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
+        from repro.net.transport import InMemoryTransport
+
+        if signature_bits is None:
+            signature_bits = max(32, key_bits // 2)
+        if signature_bits >= key_bits:
+            raise ProtocolError(
+                "signature modulus must be smaller than the Paillier modulus"
+            )
+        self.environment = environment
+        self.key_bits = key_bits
+        self._rng = default_rng(rng)
+        self.transport = transport if transport is not None else InMemoryTransport()
+
+        keypair, directory = deal_two_server_keys(key_bits, rng=self._rng)
+        self.directory = directory
+        _, signing_private = generate_rsa_keypair(signature_bits, rng=self._rng)
+        self.front = FrontServer(
+            keypair.shares[0],
+            environment,
+            directory=directory,
+            signer=RsaFdhSigner(signing_private),
+            rng=self._rng,
+        )
+        self.backend = BackendServer(keypair.shares[1], directory, rng=self._rng)
+        self._pu_clients = {}
+        self._su_clients = {}
+
+    @property
+    def group_public_key(self) -> PaillierPublicKey:
+        return self.directory.group_public_key
+
+    def enroll_pu(self, pu):
+        from repro.pisa.pu_client import PUClient
+
+        client = PUClient(
+            pu, self.environment, self.group_public_key, rng=self._rng
+        )
+        self._pu_clients[pu.receiver_id] = client
+        update = client.build_update()
+        self.transport.send(update, sender=pu.receiver_id, receiver="sdc-front")
+        self.front.handle_pu_update(update)
+        return client
+
+    def enroll_su(self, su, region=None, keypair=None):
+        from repro.crypto.paillier import generate_keypair
+        from repro.pisa.su_client import SUClient
+
+        keypair = keypair or generate_keypair(self.key_bits, rng=self._rng)
+        client = SUClient(
+            su, self.environment, self.group_public_key, keypair,
+            region=region, rng=self._rng,
+        )
+        self.directory.register_su_key(su.su_id, client.public_key)
+        self._su_clients[su.su_id] = client
+        return client
+
+    def su_client(self, su_id: str):
+        return self._su_clients[su_id]
+
+    def run_request_round(self, su_id: str, reuse_cached_request: bool = False):
+        """One Figure 5 round through the front/backend pair."""
+        from time import perf_counter as now
+
+        from repro.pisa.protocol import RoundReport, RoundTimings
+
+        client = self._su_clients[su_id]
+
+        t0 = now()
+        request = (
+            client.refresh_request() if reuse_cached_request
+            else client.prepare_request()
+        )
+        t1 = now()
+        self.transport.send(request, sender=su_id, receiver="sdc-front")
+
+        extraction = self.front.start_request_with_partials(request)
+        t2 = now()
+        self.transport.send(extraction, sender="sdc-front", receiver="sdc-back")
+
+        conversion = self.backend.handle_partial_extraction(extraction)
+        t3 = now()
+        self.transport.send(conversion, sender="sdc-back", receiver="sdc-front")
+
+        response = self.front.finish_request(conversion)
+        t4 = now()
+        self.transport.send(response, sender="sdc-front", receiver=su_id)
+
+        outcome = client.process_response(response, self.directory)
+        t5 = now()
+        return RoundReport(
+            su_id=su_id,
+            granted=outcome.granted,
+            outcome=outcome,
+            timings=RoundTimings(
+                request_preparation=t1 - t0,
+                sdc_phase1=t2 - t1,
+                stp_conversion=t3 - t2,
+                sdc_phase2=t4 - t3,
+                su_decryption=t5 - t4,
+            ),
+            request_bytes=request.wire_size(),
+            sign_extraction_bytes=extraction.wire_size(),
+            conversion_bytes=conversion.wire_size(),
+            response_bytes=response.wire_size(),
+        )
+
+
+__all__.append("TwoServerCoordinator")

@@ -1,0 +1,58 @@
+"""Antennas and EIRP arithmetic.
+
+§III-D: "For SU, we quantize its transmitter power PT, antenna gain GA
+and line-loss LS, and compute EIRP = PT + GA − LS" (all in dB terms).
+This module provides that arithmetic plus a small antenna abstraction
+with height and gain used by the SDR testbed and the WATCH entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RadioError
+from repro.radio.units import dbm_to_mw
+
+__all__ = ["Antenna", "eirp_dbm", "eirp_mw"]
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """An antenna with gain, height, and feed-line loss.
+
+    Attributes
+    ----------
+    gain_dbi:
+        Antenna gain relative to isotropic, in dBi (``GA``).
+    height_m:
+        Height above ground, in metres — one of the SU parameters the
+        paper calls out as privacy-sensitive (§I).
+    line_loss_db:
+        Cable/connector loss between transmitter and antenna (``LS``).
+    """
+
+    gain_dbi: float = 0.0
+    height_m: float = 1.5
+    line_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.height_m <= 0:
+            raise RadioError("antenna height must be positive")
+        if self.line_loss_db < 0:
+            raise RadioError("line loss cannot be negative")
+
+    def eirp_dbm(self, tx_power_dbm: float) -> float:
+        """EIRP in dBm for a given transmitter output power."""
+        return eirp_dbm(tx_power_dbm, self.gain_dbi, self.line_loss_db)
+
+
+def eirp_dbm(tx_power_dbm: float, antenna_gain_dbi: float, line_loss_db: float = 0.0) -> float:
+    """``EIRP = PT + GA − LS`` (paper §III-D), all in dB units."""
+    if line_loss_db < 0:
+        raise RadioError("line loss cannot be negative")
+    return tx_power_dbm + antenna_gain_dbi - line_loss_db
+
+
+def eirp_mw(tx_power_dbm: float, antenna_gain_dbi: float, line_loss_db: float = 0.0) -> float:
+    """EIRP converted to linear milliwatts (the paper's integer unit)."""
+    return dbm_to_mw(eirp_dbm(tx_power_dbm, antenna_gain_dbi, line_loss_db))

@@ -1,0 +1,144 @@
+"""Synthetic terrain.
+
+The paper treats terrain as *public* data pulled from government
+databases (USGS/SRTM3, §III-D).  Those are unavailable offline, so we
+substitute a deterministic fractal terrain generated with the
+diamond–square algorithm.  The terrain feeds only the public path-loss
+precomputation (the ``E`` matrix and mean TV signal strengths), so any
+plausible elevation field preserves the protocol behaviour.
+
+The API mimics a tile of a terrain database: elevations on a regular
+grid, bilinear sampling at arbitrary coordinates, and elevation profiles
+between two points (used by the simplified ITM in :mod:`repro.radio.itm`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RadioError
+
+__all__ = ["SyntheticTerrain"]
+
+
+class SyntheticTerrain:
+    """A deterministic square elevation tile.
+
+    Parameters
+    ----------
+    size_m:
+        Side length of the tile in metres.
+    resolution:
+        Number of grid points per side (diamond–square needs ``2**k + 1``;
+        the constructor rounds up to the next such value).
+    roughness:
+        Amplitude decay factor per subdivision, in (0, 1).  Higher is
+        rougher terrain.
+    base_elevation_m / relief_m:
+        Mean elevation and peak-to-valley scale.
+    seed:
+        Seed for the internal :class:`numpy.random.Generator`.
+    """
+
+    def __init__(
+        self,
+        size_m: float = 10_000.0,
+        resolution: int = 129,
+        roughness: float = 0.55,
+        base_elevation_m: float = 120.0,
+        relief_m: float = 80.0,
+        seed: int = 0,
+    ) -> None:
+        if size_m <= 0:
+            raise RadioError("terrain size must be positive")
+        if not 0.0 < roughness < 1.0:
+            raise RadioError("roughness must be in (0, 1)")
+        k = 1
+        while (1 << k) + 1 < resolution:
+            k += 1
+        self.grid_points = (1 << k) + 1
+        self.size_m = float(size_m)
+        self.roughness = roughness
+        self.base_elevation_m = base_elevation_m
+        self.relief_m = relief_m
+        self.seed = seed
+        self.elevations = self._generate(np.random.default_rng(seed), k)
+
+    def _generate(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Diamond–square fractal heightmap, normalised to the relief scale."""
+        n = self.grid_points
+        grid = np.zeros((n, n), dtype=float)
+        corners = rng.uniform(-1.0, 1.0, size=4)
+        grid[0, 0], grid[0, -1], grid[-1, 0], grid[-1, -1] = corners
+        step = n - 1
+        amplitude = 1.0
+        while step > 1:
+            half = step // 2
+            # Diamond step: centres of squares.
+            for y in range(half, n, step):
+                for x in range(half, n, step):
+                    avg = (
+                        grid[y - half, x - half]
+                        + grid[y - half, x + half]
+                        + grid[y + half, x - half]
+                        + grid[y + half, x + half]
+                    ) / 4.0
+                    grid[y, x] = avg + rng.uniform(-amplitude, amplitude)
+            # Square step: edge midpoints.
+            for y in range(0, n, half):
+                x_start = half if (y // half) % 2 == 0 else 0
+                for x in range(x_start, n, step):
+                    total = 0.0
+                    count = 0
+                    for dy, dx in ((-half, 0), (half, 0), (0, -half), (0, half)):
+                        yy, xx = y + dy, x + dx
+                        if 0 <= yy < n and 0 <= xx < n:
+                            total += grid[yy, xx]
+                            count += 1
+                    grid[y, x] = total / count + rng.uniform(-amplitude, amplitude)
+            step = half
+            amplitude *= self.roughness
+        # Normalise to [-1, 1] then scale to the requested relief.
+        peak = np.max(np.abs(grid))
+        if peak > 0:
+            grid /= peak
+        return self.base_elevation_m + grid * (self.relief_m / 2.0)
+
+    # -- sampling ----------------------------------------------------------
+
+    def elevation_at(self, x_m: float, y_m: float) -> float:
+        """Bilinear elevation sample at metric coordinates inside the tile."""
+        if not (0.0 <= x_m <= self.size_m and 0.0 <= y_m <= self.size_m):
+            raise RadioError("coordinates outside the terrain tile")
+        scale = (self.grid_points - 1) / self.size_m
+        fx, fy = x_m * scale, y_m * scale
+        x0, y0 = int(fx), int(fy)
+        x1 = min(x0 + 1, self.grid_points - 1)
+        y1 = min(y0 + 1, self.grid_points - 1)
+        tx, ty = fx - x0, fy - y0
+        e = self.elevations
+        return float(
+            e[y0, x0] * (1 - tx) * (1 - ty)
+            + e[y0, x1] * tx * (1 - ty)
+            + e[y1, x0] * (1 - tx) * ty
+            + e[y1, x1] * tx * ty
+        )
+
+    def profile(
+        self, start: tuple[float, float], end: tuple[float, float], samples: int = 64
+    ) -> np.ndarray:
+        """Elevation profile along the segment ``start → end``."""
+        if samples < 2:
+            raise RadioError("a profile needs at least 2 samples")
+        xs = np.linspace(start[0], end[0], samples)
+        ys = np.linspace(start[1], end[1], samples)
+        return np.array([self.elevation_at(x, y) for x, y in zip(xs, ys)])
+
+    def mean_elevation(self) -> float:
+        """Tile-wide mean elevation in metres."""
+        return float(np.mean(self.elevations))
+
+    def terrain_irregularity(self) -> float:
+        """Δh irregularity parameter: interdecile elevation range (m)."""
+        lo, hi = np.percentile(self.elevations, [10.0, 90.0])
+        return float(hi - lo)

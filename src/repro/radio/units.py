@@ -1,0 +1,69 @@
+"""Power and ratio unit conversions.
+
+The WATCH equations mix linear power (mW) with logarithmic quantities
+(dB, dBm).  Getting the conversions wrong flips interference decisions,
+so they live in one audited module:
+
+* dBm ↔ mW:      ``P_dBm = 10·log10(P_mW)``
+* dB  ↔ linear:  ``X_dB  = 10·log10(x)``
+* watts helpers for transmitter-level quantities.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "NOISE_FLOOR_DBM_PER_HZ",
+    "thermal_noise_dbm",
+]
+
+#: Thermal noise density at 290 K: −174 dBm/Hz.
+NOISE_FLOOR_DBM_PER_HZ = -174.0
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert a power in milliwatts to dBm; requires ``power_mw > 0``."""
+    if power_mw <= 0:
+        raise ValueError("power must be positive to express in dBm")
+    return 10.0 * math.log10(power_mw)
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a ratio in dB to its linear value."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a positive linear ratio to dB."""
+    if value <= 0:
+        raise ValueError("ratio must be positive to express in dB")
+    return 10.0 * math.log10(value)
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert dBm to watts."""
+    return dbm_to_mw(power_dbm) / 1000.0
+
+
+def watts_to_dbm(power_w: float) -> float:
+    """Convert watts to dBm."""
+    return mw_to_dbm(power_w * 1000.0)
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power over ``bandwidth_hz`` with a receiver noise figure."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return NOISE_FLOOR_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db

@@ -1,0 +1,29 @@
+"""Simulated software-defined-radio testbed (§VI-B substitution).
+
+The paper's real-world experiment uses two Ettus USRP N210 devices as
+SUs, a USRP X310 as the PU, and a laptop SDC, all on WiFi channel 6
+(2.437 GHz, 22 MHz), monitored with GNU Radio.  No such hardware exists
+offline, so this subpackage simulates the same testbed:
+
+* :mod:`repro.sdr.waveform` — sampled packet bursts whose received
+  amplitude scales with distance (Figure 8's two-amplitude trace);
+* :mod:`repro.sdr.devices` — USRP-profile radio devices that transmit
+  and observe packets over a shared medium;
+* :mod:`repro.sdr.testbed` — the four §VI-B scenarios driven end-to-end
+  through the *actual PISA protocol stack*, reproducing Figures 8-11
+  qualitatively.
+"""
+
+from repro.sdr.devices import RadioMedium, SimulatedUSRP, UsrpProfile
+from repro.sdr.testbed import ScenarioResult, SdrTestbed
+from repro.sdr.waveform import PacketBurst, packet_waveform
+
+__all__ = [
+    "RadioMedium",
+    "SimulatedUSRP",
+    "UsrpProfile",
+    "ScenarioResult",
+    "SdrTestbed",
+    "PacketBurst",
+    "packet_waveform",
+]

@@ -1,0 +1,33 @@
+"""Discrete-event simulation of a PISA deployment at service scale.
+
+The protocol benchmarks measure one request in isolation; a real SDC
+serves a *population* — SUs arriving stochastically, PUs switching
+channels (§VI-A cites 2.3-2.7 virtual switches/hour per viewer), and a
+single crypto-bound server queueing it all.  This subpackage couples
+
+* the measured per-phase costs (:mod:`repro.analysis.scaling`),
+* the wire sizes and latency models (:mod:`repro.net`), and
+* the actual WATCH decision logic (grant/deny comes from the real
+  plaintext oracle on the scenario's geometry)
+
+into an event-driven simulator answering capacity questions: request
+latency distribution, server utilisation, and the arrival rate at which
+the SDC saturates.
+"""
+
+from repro.sim.costmodel import PhaseCosts, ServiceCostModel
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.simulator import DeploymentSimulator, SimulationReport
+from repro.sim.workload import PoissonArrivals, PuSwitchProcess, WorkloadConfig
+
+__all__ = [
+    "PhaseCosts",
+    "ServiceCostModel",
+    "EventQueue",
+    "ScheduledEvent",
+    "DeploymentSimulator",
+    "SimulationReport",
+    "PoissonArrivals",
+    "PuSwitchProcess",
+    "WorkloadConfig",
+]

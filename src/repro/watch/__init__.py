@@ -1,0 +1,45 @@
+"""The WATCH dynamic spectrum-sharing system (plaintext baseline).
+
+Implements Zhang & Knightly's WATCH as described in §III-A and §IV-A of
+the PISA paper: the SDC precomputes per-block maximum SU EIRP, PUs update
+their channel reception, and SUs request transmission permission, decided
+by the interference-budget comparison of eqs. (1)-(7).
+
+This plaintext implementation serves two roles:
+
+1. the *baseline* the paper compares against (no privacy, raw data at
+   the SDC);
+2. the *correctness oracle* for PISA — the encrypted protocol must reach
+   exactly the same grant/deny decisions.
+"""
+
+from repro.watch.entities import PUReceiver, SUTransmitter, TVTransmitter
+from repro.watch.environment import SpectrumEnvironment
+from repro.watch.exclusion import exclusion_distance_m
+from repro.watch.feedback import AdmissionSimulator, FeedbackController
+from repro.watch.params import PaperSettings, WatchParameters
+from repro.watch.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.watch.sdc import Decision, PlaintextSDC
+from repro.watch.system import WatchSystem
+from repro.watch.zones import ChannelZones, compute_zones, render_zone_map
+
+__all__ = [
+    "PUReceiver",
+    "SUTransmitter",
+    "TVTransmitter",
+    "SpectrumEnvironment",
+    "exclusion_distance_m",
+    "AdmissionSimulator",
+    "FeedbackController",
+    "PaperSettings",
+    "WatchParameters",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "Decision",
+    "PlaintextSDC",
+    "WatchSystem",
+    "ChannelZones",
+    "compute_zones",
+    "render_zone_map",
+]

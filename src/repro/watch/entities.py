@@ -1,0 +1,122 @@
+"""WATCH entities: TV transmitters, PU receivers, SU transmitters.
+
+§III-A/§III-D define three physical roles besides the SDC:
+
+* **TV transmitter** — public knowledge (power, location, channel);
+* **PU receiver** — an *active TV receiver*; its location is fixed and
+  registered (public), but the channel it currently receives is private;
+* **SU transmitter** — a secondary WiFi device; its EIRP parameters
+  (PT, GA, LS) and location are private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.radio.antenna import Antenna, eirp_mw
+
+__all__ = ["TVTransmitter", "PUReceiver", "SUTransmitter"]
+
+
+@dataclass(frozen=True)
+class TVTransmitter:
+    """A primary TV broadcast tower (public data).
+
+    Attributes
+    ----------
+    transmitter_id:
+        Stable identifier.
+    x_m, y_m:
+        Metric location (may lie outside the SDC service area).
+    channel_slot:
+        The channel slot the tower broadcasts on.
+    eirp_dbm:
+        Tower EIRP; US full-power UHF stations reach ~1 MW ERP (90 dBm),
+        the default models a moderate 100 kW station.
+    antenna_height_m:
+        Radiation-centre height above ground.
+    """
+
+    transmitter_id: str
+    x_m: float
+    y_m: float
+    channel_slot: int
+    eirp_dbm: float = 80.0
+    antenna_height_m: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.channel_slot < 0:
+            raise ConfigurationError("channel_slot must be non-negative")
+        if self.antenna_height_m <= 0:
+            raise ConfigurationError("antenna height must be positive")
+
+
+@dataclass(frozen=True)
+class PUReceiver:
+    """An active TV receiver (primary user).
+
+    The *location* (block index) is public and registered (§III-D); the
+    *channel being received* and the mean received signal strength are
+    private inputs to the protocol.  ``channel_slot is None`` models a
+    receiver that is switched off.
+    """
+
+    receiver_id: str
+    block_index: int
+    channel_slot: int | None
+    #: Mean TV signal strength S^PU_{c,i} at this receiver in mW.  In
+    #: deployments this is computed with the L-R irregular terrain model
+    #: (§III-A); tests may set it directly.
+    signal_strength_mw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block_index < 0:
+            raise ConfigurationError("block_index must be non-negative")
+        if self.channel_slot is not None and self.channel_slot < 0:
+            raise ConfigurationError("channel_slot must be non-negative")
+        if self.is_active and self.signal_strength_mw <= 0:
+            raise ConfigurationError("an active PU needs a positive signal strength")
+
+    @property
+    def is_active(self) -> bool:
+        """True when the receiver is on and tuned to a channel."""
+        return self.channel_slot is not None
+
+    def switched_to(self, channel_slot: int | None, signal_strength_mw: float = 0.0) -> "PUReceiver":
+        """A copy of this receiver tuned to another channel (or off)."""
+        return replace(
+            self, channel_slot=channel_slot, signal_strength_mw=signal_strength_mw
+        )
+
+
+@dataclass(frozen=True)
+class SUTransmitter:
+    """A secondary WiFi transmitter (private operation data).
+
+    EIRP follows §III-D: ``EIRP = PT + GA − LS`` with transmitter power
+    ``PT`` (dBm), antenna gain ``GA`` (dBi), and line loss ``LS`` (dB).
+    """
+
+    su_id: str
+    block_index: int
+    tx_power_dbm: float = 20.0
+    antenna: Antenna = field(default_factory=Antenna)
+
+    def __post_init__(self) -> None:
+        if self.block_index < 0:
+            raise ConfigurationError("block_index must be non-negative")
+
+    @property
+    def eirp_dbm(self) -> float:
+        """EIRP in dBm."""
+        return self.antenna.eirp_dbm(self.tx_power_dbm)
+
+    @property
+    def eirp_mw(self) -> float:
+        """EIRP in linear milliwatts (the protocol's integer unit)."""
+        return eirp_mw(self.tx_power_dbm, self.antenna.gain_dbi, self.antenna.line_loss_db)
+
+    def with_power(self, tx_power_dbm: float) -> "SUTransmitter":
+        """A copy transmitting at a different power."""
+        return replace(self, tx_power_dbm=tx_power_dbm)

@@ -1,0 +1,52 @@
+"""Exclusion-distance computation (eq. (1)).
+
+Whenever a TV receiver becomes active on channel ``c``, WATCH computes
+the distance ``d^c`` within which SU EIRPs must be re-examined:
+
+.. math::
+
+    Δ_{TV\\_SINR} + Δ_{redn} = \\frac{S^{PU}_{sv\\_min}}{S^{SU}_{max} · h_{max}(d^c)}
+
+i.e. the distance at which even a maximum-power SU, under the most
+favourable propagation ``h_max`` (free space), can no longer push the
+worst-case victim below its protection threshold.  Solving for the path
+gain,
+
+.. math::
+
+    h_{max}(d^c) = \\frac{S^{PU}_{sv\\_min}}{S^{SU}_{max} · (Δ_{TV\\_SINR} + Δ_{redn})}
+
+and ``d^c`` is the inverse of ``h_max`` at that gain, found by bisection
+(all our models are monotone in distance).
+"""
+
+from __future__ import annotations
+
+from repro.radio.pathloss import FreeSpaceModel, PathLossModel
+from repro.radio.units import dbm_to_mw
+from repro.watch.params import WatchParameters
+
+__all__ = ["exclusion_distance_m", "required_gain"]
+
+
+def required_gain(params: WatchParameters) -> float:
+    """The path gain ``h_max(d^c)`` that eq. (1) pins down."""
+    s_min_mw = dbm_to_mw(params.min_tv_signal_dbm)
+    s_max_su_mw = dbm_to_mw(params.max_su_eirp_dbm)
+    return s_min_mw / (s_max_su_mw * params.sinr_plus_redn_linear)
+
+
+def exclusion_distance_m(
+    params: WatchParameters,
+    channel_frequency_hz: float,
+    hmax_model: PathLossModel | None = None,
+) -> float:
+    """Solve eq. (1) for ``d^c`` on the channel at ``channel_frequency_hz``.
+
+    ``hmax_model`` defaults to free space at the channel frequency — the
+    maximum path gain over a distance, as the paper's ``h_max`` denotes.
+    ``d^c`` depends only on the channel (frequency), not on any private
+    data, so the SDC computes it publicly.
+    """
+    model = hmax_model if hmax_model is not None else FreeSpaceModel(channel_frequency_hz)
+    return model.solve_distance_for_gain(required_gain(params))

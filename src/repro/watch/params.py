@@ -1,0 +1,132 @@
+"""WATCH/PISA system parameters.
+
+Collects every tunable the equations of §III-A and §IV-A use, with
+defaults drawn from the paper (Table I, ATSC DTV standard values) and
+documented provenance.  :class:`PaperSettings` reproduces Table I
+verbatim for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.encoding import PAPER_VALUE_BITS, FixedPointEncoder
+from repro.errors import ConfigurationError
+from repro.radio.units import db_to_linear
+
+__all__ = ["WatchParameters", "PaperSettings"]
+
+
+@dataclass(frozen=True)
+class WatchParameters:
+    """Physical-layer parameters of the WATCH computation.
+
+    Attributes
+    ----------
+    num_channels:
+        Number of channel slots ``C`` the SDC allocates.
+    tv_sinr_db:
+        ``Δ_TV_SINR`` — required TV signal-to-interference ratio.  The
+        ATSC DTV standard's threshold is ≈ 15 dB (§III-A cites [2]).
+    redn_db:
+        ``Δ_redn`` — additional margin representing aggregate interference
+        from multiple SUs (eq. (1)).
+    min_tv_signal_dbm:
+        ``S^PU_sv_min`` — minimum required TV signal strength at a
+        receiver inside the service contour (ATSC planning: −84 dBm).
+    max_su_eirp_dbm:
+        ``S^SU_max`` — regulatory cap on secondary EIRP (FCC TVWS: 4 W
+        EIRP ≈ 36 dBm for fixed devices).
+    power_decimals:
+        Fixed-point scale for quantising mW power values into integers.
+        12 decimals keeps received TV signal strengths (≈ 1e-6 mW) well
+        above the quantisation floor while 60-bit values still cover
+        multi-watt EIRPs.
+    value_bits:
+        Integer representation width (Table I: 60).
+    """
+
+    num_channels: int = 100
+    tv_sinr_db: float = 15.0
+    redn_db: float = 1.0
+    min_tv_signal_dbm: float = -84.0
+    max_su_eirp_dbm: float = 36.0
+    power_decimals: int = 12
+    value_bits: int = PAPER_VALUE_BITS
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ConfigurationError("need at least one channel")
+        if self.power_decimals < 0:
+            raise ConfigurationError("power_decimals must be non-negative")
+        if self.value_bits < 8:
+            raise ConfigurationError("value_bits too small")
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def sinr_plus_redn_linear(self) -> float:
+        """``Δ_TV_SINR + Δ_redn`` as a linear ratio (the ``X`` of eq. (11))."""
+        return db_to_linear(self.tv_sinr_db) + db_to_linear(self.redn_db)
+
+    @property
+    def sinr_plus_redn_int(self) -> int:
+        """Integer form of ``X`` used for homomorphic scalar multiplication.
+
+        Scalar multiplication needs an integer constant; the ratio is
+        rounded up so the protected margin never shrinks by quantisation.
+        """
+        import math
+
+        return math.ceil(self.sinr_plus_redn_linear)
+
+    @property
+    def encoder(self) -> FixedPointEncoder:
+        """Shared fixed-point quantiser for mW power values."""
+        return FixedPointEncoder(decimals=self.power_decimals)
+
+    @property
+    def max_quantised_value(self) -> int:
+        """Largest integer the configured ``value_bits`` can hold."""
+        return (1 << self.value_bits) - 1
+
+
+@dataclass(frozen=True)
+class PaperSettings:
+    """Table I of the paper, verbatim.
+
+    ========================================  =====
+    Number of PUs                               100
+    Number of blocks                            600
+    Number of channels                          100
+    Bit length of integer representation         60
+    ========================================  =====
+
+    plus the §VI-A crypto setting: 2048-bit Paillier modulus (112-bit
+    security per NIST SP 800-57).
+    """
+
+    num_pus: int = 100
+    num_blocks: int = 600
+    num_channels: int = 100
+    value_bits: int = 60
+    paillier_bits: int = 2048
+
+    #: Grid factorisation used for the 600 blocks (20 rows x 30 cols of
+    #: 10 m blocks; the paper does not specify the aspect ratio).
+    grid_rows: int = 20
+    grid_cols: int = 30
+
+    def as_table_rows(self) -> list[tuple[str, str]]:
+        """Rows for rendering Table I in benchmark output."""
+        return [
+            ("Number of PUs", str(self.num_pus)),
+            ("Number of blocks", str(self.num_blocks)),
+            ("Number of channels", str(self.num_channels)),
+            ("Bit length of integer representation", str(self.value_bits)),
+            ("Paillier modulus bits", str(self.paillier_bits)),
+        ]
+
+    def watch_parameters(self) -> WatchParameters:
+        """The :class:`WatchParameters` matching this scale."""
+        return WatchParameters(num_channels=self.num_channels, value_bits=self.value_bits)

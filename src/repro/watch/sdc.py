@@ -1,0 +1,150 @@
+"""The plaintext WATCH Spectrum Database Controller.
+
+This is the system the paper starts from (§III-A, Figure 1a): PUs and
+SUs send *raw* operation data to the SDC, which decides transmission
+requests by the interference-budget test of eqs. (3)-(7).  It doubles as
+the correctness oracle for PISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.geo.region import PrivacyRegion
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.environment import SpectrumEnvironment
+from repro.watch.matrices import (
+    aggregate,
+    budget_matrix,
+    indicator_matrix,
+    pu_update_matrix,
+    scaled_interference_matrix,
+    su_request_matrix,
+    zeros_matrix,
+)
+
+__all__ = ["Decision", "PlaintextSDC"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a transmission request.
+
+    ``violations`` lists the (channel, block) cells whose interference
+    budget would be exceeded — available only in the plaintext system;
+    PISA by design reveals nothing beyond the single grant bit, and that
+    only to the SU.
+    """
+
+    su_id: str
+    granted: bool
+    violations: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def num_violations(self) -> int:
+        return len(self.violations)
+
+
+class PlaintextSDC:
+    """WATCH's central controller operating on raw (plaintext) data.
+
+    State machine:
+
+    1. construction precomputes ``E`` via the environment (§IV-A1);
+    2. :meth:`pu_update` records a PU's ``W_i`` and rebuilds the budget
+       matrix ``N`` (eqs. (3)/(4) via the (9)/(10) formulation);
+    3. :meth:`process_request` evaluates eqs. (5)-(7) for an SU and
+       returns a :class:`Decision`.
+    """
+
+    def __init__(self, environment: SpectrumEnvironment) -> None:
+        self.environment = environment
+        self._pu_updates: dict[str, np.ndarray] = {}
+        self._n_matrix: np.ndarray | None = None
+
+    # -- PU update (Figure 4, plaintext domain) ---------------------------------
+
+    def pu_update(self, pu: PUReceiver) -> None:
+        """Record PU ``pu``'s current channel reception and rebuild ``N``.
+
+        Called "every time a PU receiver is turned off or switched to
+        another channel" (§IV-A2).  Re-submitting for the same receiver
+        replaces its previous contribution.
+        """
+        env = self.environment
+        self._pu_updates[pu.receiver_id] = pu_update_matrix(
+            pu, env.e_matrix, env.params
+        )
+        self._rebuild_budget()
+
+    def _rebuild_budget(self) -> None:
+        env = self.environment
+        if self._pu_updates:
+            w_sum = aggregate(self._pu_updates.values())
+        else:
+            w_sum = zeros_matrix(env.num_channels, env.num_blocks)
+        self._n_matrix = budget_matrix(w_sum, env.e_matrix)
+
+    @property
+    def budget(self) -> np.ndarray:
+        """The current interference-budget matrix ``N``."""
+        if self._n_matrix is None:
+            self._rebuild_budget()
+        return self._n_matrix
+
+    @property
+    def num_active_pus(self) -> int:
+        """PUs whose last update carried a non-zero matrix."""
+        return sum(
+            1
+            for matrix in self._pu_updates.values()
+            if any(value != 0 for value in matrix.flat)
+        )
+
+    # -- SU request (Figure 5, plaintext domain) -----------------------------------
+
+    def build_request(
+        self,
+        su: SUTransmitter,
+        region: PrivacyRegion | None = None,
+        channels: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Client-side eq. (5): the ``F_j`` matrix an SU would submit."""
+        env = self.environment
+        return su_request_matrix(
+            su,
+            env.grid,
+            env.params,
+            pathloss_for_channel=lambda c: env.su_pathloss_for(su, c),
+            exclusion_distance_for_channel=env.exclusion_distance,
+            region=region,
+            channels=channels,
+        )
+
+    def decide(self, su_id: str, f_matrix: np.ndarray) -> Decision:
+        """Server-side eqs. (6)-(7): decide a prepared request matrix."""
+        env = self.environment
+        if f_matrix.shape != (env.num_channels, env.num_blocks):
+            raise ProtocolError("request matrix shape does not match the area")
+        r_matrix = scaled_interference_matrix(f_matrix, env.params)
+        i_matrix = indicator_matrix(self.budget, r_matrix)
+        violations = tuple(
+            (c, b)
+            for c in range(env.num_channels)
+            for b in range(env.num_blocks)
+            if i_matrix[c, b] <= 0
+        )
+        return Decision(su_id=su_id, granted=not violations, violations=violations)
+
+    def process_request(
+        self,
+        su: SUTransmitter,
+        region: PrivacyRegion | None = None,
+        channels: Sequence[int] | None = None,
+    ) -> Decision:
+        """End-to-end plaintext request: build eq. (5) then decide."""
+        return self.decide(su.su_id, self.build_request(su, region=region, channels=channels))

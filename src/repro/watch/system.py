@@ -1,0 +1,140 @@
+"""WATCH system facade.
+
+:class:`WatchSystem` ties the public substrate
+(:class:`~repro.watch.environment.SpectrumEnvironment`), the plaintext
+SDC, and the PU/SU population together — the "Figure 1a" system.  It also
+computes physically derived quantities such as the mean TV signal
+strength a PU would report (§III-A computes it with the L-R irregular
+terrain model; we use the environment's tower-coverage model).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError, RadioError
+from repro.geo.region import PrivacyRegion
+from repro.radio.units import dbm_to_mw
+from repro.watch.entities import PUReceiver, SUTransmitter, TVTransmitter
+from repro.watch.environment import SpectrumEnvironment
+from repro.watch.sdc import Decision, PlaintextSDC
+
+__all__ = ["WatchSystem", "received_tv_signal_mw"]
+
+
+def received_tv_signal_mw(
+    environment: SpectrumEnvironment, block_index: int, channel_slot: int
+) -> float:
+    """Mean TV signal strength (mW) at a block on a channel slot.
+
+    The strongest tower broadcasting the slot's physical channel,
+    attenuated by the environment's tower-coverage path-loss model.
+    Returns 0.0 when no tower serves the physical channel.
+    """
+    env = environment
+    block = env.grid.block(block_index)
+    physical = env.plan.physical_for_slot(channel_slot).number
+    model = env.tv_pathloss(channel_slot)
+    strongest = 0.0
+    for tower in env.transmitters:
+        if env.plan.physical_for_slot(tower.channel_slot).number != physical:
+            continue
+        distance = math.hypot(tower.x_m - block.center_x_m, tower.y_m - block.center_y_m)
+        received = dbm_to_mw(tower.eirp_dbm) * model.gain_linear(distance)
+        strongest = max(strongest, received)
+    return strongest
+
+
+class WatchSystem:
+    """The full plaintext WATCH deployment.
+
+    Typical use::
+
+        system = WatchSystem(environment)
+        system.tune_pu("pu-0", block_index=12, channel_slot=3)
+        decision = system.request("su-0", block_index=40, tx_power_dbm=20.0)
+    """
+
+    def __init__(self, environment: SpectrumEnvironment) -> None:
+        self.environment = environment
+        self.sdc = PlaintextSDC(environment)
+        self._pus: dict[str, PUReceiver] = {}
+        self._sus: dict[str, SUTransmitter] = {}
+
+    # -- PU management ----------------------------------------------------------
+
+    def tune_pu(
+        self,
+        receiver_id: str,
+        block_index: int,
+        channel_slot: int | None,
+        signal_strength_mw: float | None = None,
+    ) -> PUReceiver:
+        """Tune (or switch off, with ``channel_slot=None``) a TV receiver.
+
+        The mean signal strength defaults to the physical model's
+        prediction from the public tower registry; it may be overridden,
+        e.g. when replaying measured data.
+        """
+        if channel_slot is not None and signal_strength_mw is None:
+            signal_strength_mw = received_tv_signal_mw(
+                self.environment, block_index, channel_slot
+            )
+            if signal_strength_mw <= 0:
+                raise RadioError(
+                    f"no tower covers slot {channel_slot}; pass an explicit "
+                    "signal strength to model this receiver"
+                )
+        pu = PUReceiver(
+            receiver_id=receiver_id,
+            block_index=block_index,
+            channel_slot=channel_slot,
+            signal_strength_mw=signal_strength_mw or 0.0,
+        )
+        self._pus[receiver_id] = pu
+        self.sdc.pu_update(pu)
+        return pu
+
+    def switch_off_pu(self, receiver_id: str) -> PUReceiver:
+        """Turn a receiver off (§III-A "Switching")."""
+        if receiver_id not in self._pus:
+            raise ConfigurationError(f"unknown PU {receiver_id!r}")
+        return self.tune_pu(receiver_id, self._pus[receiver_id].block_index, None)
+
+    @property
+    def pus(self) -> dict[str, PUReceiver]:
+        return dict(self._pus)
+
+    # -- SU management ------------------------------------------------------------
+
+    def register_su(self, su: SUTransmitter) -> None:
+        self._sus[su.su_id] = su
+
+    def request(
+        self,
+        su_id: str,
+        block_index: int | None = None,
+        tx_power_dbm: float | None = None,
+        region: PrivacyRegion | None = None,
+        channels: Sequence[int] | None = None,
+    ) -> Decision:
+        """Process a transmission request for a registered or inline SU."""
+        if su_id in self._sus:
+            su = self._sus[su_id]
+            if block_index is not None or tx_power_dbm is not None:
+                raise ConfigurationError("registered SUs carry their own parameters")
+        else:
+            if block_index is None:
+                raise ConfigurationError("unregistered SU needs a block_index")
+            su = SUTransmitter(
+                su_id=su_id,
+                block_index=block_index,
+                tx_power_dbm=20.0 if tx_power_dbm is None else tx_power_dbm,
+            )
+            self._sus[su_id] = su
+        return self.sdc.process_request(su, region=region, channels=channels)
+
+    @property
+    def sus(self) -> dict[str, SUTransmitter]:
+        return dict(self._sus)

@@ -1,0 +1,35 @@
+"""Unit tests for table rendering."""
+
+from repro.analysis.reporting import format_comparison_table, format_table
+
+
+class TestFormatTable:
+    def test_contains_all_rows(self):
+        text = format_table("Demo", [("alpha", "1"), ("beta", "22")])
+        assert "Demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "22" in text
+
+    def test_box_drawing(self):
+        text = format_table("T", [("a", "1")])
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_long_values_widen(self):
+        text = format_table("T", [("a", "x" * 60)])
+        assert "x" * 60 in text
+
+
+class TestComparisonTable:
+    def test_three_columns(self):
+        text = format_comparison_table(
+            "Cmp", [("enc", "30 ms", "95 ms")], headers=("op", "paper", "ours")
+        )
+        assert "paper" in text and "ours" in text
+        assert "30 ms" in text and "95 ms" in text
+
+    def test_alignment_consistent(self):
+        text = format_comparison_table("C", [("a", "1", "2"), ("bbbb", "33", "44")])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)

@@ -1,0 +1,89 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    linear_fit,
+    proportion_within,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(5) == pytest.approx(10.0)
+
+    def test_noisy_line_high_r2(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50, dtype=float)
+        y = 3 * x + 1 + rng.normal(0, 0.5, size=50)
+        fit = linear_fit(x, y)
+        assert fit.r_squared > 0.99
+        assert fit.slope == pytest.approx(3.0, abs=0.05)
+
+    def test_pure_noise_low_r2(self):
+        rng = np.random.default_rng(1)
+        fit = linear_fit(np.arange(100.0), rng.normal(size=100))
+        assert fit.r_squared < 0.3
+
+    def test_constant_y_perfect(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1], [2])
+        with pytest.raises(ConfigurationError):
+            linear_fit([1, 2], [1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            linear_fit([4, 4, 4], [1, 2, 3])
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(10.0, 2.0, size=200)
+        low, high = bootstrap_mean_ci(samples, seed=3)
+        assert low < 10.0 < high
+        assert high - low < 1.5
+
+    def test_narrows_with_more_data(self):
+        rng = np.random.default_rng(4)
+        small = rng.normal(0, 1, size=20)
+        large = rng.normal(0, 1, size=2000)
+        w_small = np.diff(bootstrap_mean_ci(small, seed=5))[0]
+        w_large = np.diff(bootstrap_mean_ci(large, seed=5))[0]
+        assert w_large < w_small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestProportionCheck:
+    def test_fair_coin_accepted(self):
+        assert proportion_within(498, 1000, 0.5)
+
+    def test_biased_coin_rejected(self):
+        assert not proportion_within(700, 1000, 0.5)
+
+    def test_small_sample_tolerant(self):
+        assert proportion_within(7, 10, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            proportion_within(1, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            proportion_within(1, 10, 1.5)

@@ -1,0 +1,73 @@
+"""Unit and property tests for the bitwise secure-comparison baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.securecmp import SecureComparisonProtocol
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import BlindingError, ProtocolError
+
+VALUE_BITS = 20
+
+_KEYPAIR = generate_keypair(256, rng=DeterministicRandomSource("securecmp"))
+
+
+@pytest.fixture()
+def protocol(fresh_rng):
+    return SecureComparisonProtocol(
+        _KEYPAIR, value_bits=VALUE_BITS, kappa=20, rng=fresh_rng
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "value", [-(2**VALUE_BITS) + 1, -1000, -1, 0, 1, 999, 2**VALUE_BITS - 1]
+    )
+    def test_boundary_values(self, protocol, fresh_rng, value):
+        ct = _KEYPAIR.public_key.encrypt(value, rng=fresh_rng)
+        assert protocol.is_non_positive(ct) == (value <= 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(value=st.integers(min_value=-(2**VALUE_BITS) + 1, max_value=2**VALUE_BITS - 1))
+    def test_random_values(self, value):
+        rng = DeterministicRandomSource(value & 0xFFFFFF)
+        protocol = SecureComparisonProtocol(
+            _KEYPAIR, value_bits=VALUE_BITS, kappa=20, rng=rng
+        )
+        ct = _KEYPAIR.public_key.encrypt(value, rng=rng)
+        assert protocol.is_non_positive(ct) == (value <= 0)
+
+
+class TestValidation:
+    def test_key_too_small_rejected(self, fresh_rng):
+        small = generate_keypair(64, rng=fresh_rng)
+        with pytest.raises(BlindingError):
+            SecureComparisonProtocol(small, value_bits=40, kappa=40)
+
+    def test_foreign_ciphertext_rejected(self, protocol, fresh_rng):
+        other = generate_keypair(256, rng=fresh_rng)
+        ct = other.public_key.encrypt(1, rng=fresh_rng)
+        with pytest.raises(ProtocolError):
+            protocol.is_non_positive(ct)
+
+
+class TestCostAccounting:
+    def test_bitwise_costs_dominate(self, protocol, fresh_rng):
+        """The ablation's point: Θ(ℓ) encryptions/decryptions per compare."""
+        ct = _KEYPAIR.public_key.encrypt(5, rng=fresh_rng)
+        protocol.is_non_positive(ct)
+        stats = protocol.stats
+        assert stats.comparisons == 1
+        # ℓ = value_bits + κ + 1 = 41 bits → ≥ 41 encryptions and 42 decryptions.
+        assert stats.encryptions >= protocol.bit_length
+        assert stats.decryptions >= protocol.bit_length + 1
+        assert stats.communication_legs == 3  # vs PISA's single leg
+        assert stats.bytes_transferred > 0
+
+    def test_costs_accumulate(self, protocol, fresh_rng):
+        for value in (1, -1, 5):
+            protocol.is_non_positive(_KEYPAIR.public_key.encrypt(value, rng=fresh_rng))
+        assert protocol.stats.comparisons == 3
+        assert protocol.stats.communication_legs == 9

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Key material is expensive to generate, so keypairs are session-scoped
+and deterministic (seeded DRBG).  Key sizes are far below production —
+fine for correctness tests; the benchmark suite measures real sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.paillier import PaillierKeypair, generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.signatures import generate_rsa_keypair
+from repro.watch.scenario import Scenario, ScenarioConfig, build_scenario
+
+#: Small-but-safe test key size: large enough for 60-bit values plus
+#: 100-bit blinding headroom, small enough to keep the suite fast.
+TEST_KEY_BITS = 256
+
+
+@pytest.fixture(scope="session")
+def drng() -> DeterministicRandomSource:
+    """A deterministic randomness source shared across the session."""
+    return DeterministicRandomSource("pisa-tests")
+
+
+@pytest.fixture(scope="session")
+def keypair(drng) -> PaillierKeypair:
+    """A session-wide 256-bit Paillier keypair."""
+    return generate_keypair(TEST_KEY_BITS, rng=drng.fork("keypair"))
+
+
+@pytest.fixture(scope="session")
+def second_keypair(drng) -> PaillierKeypair:
+    """A distinct keypair for cross-key error tests."""
+    return generate_keypair(TEST_KEY_BITS, rng=drng.fork("keypair-2"))
+
+
+@pytest.fixture(scope="session")
+def rsa_keys(drng):
+    """A session-wide small RSA signing keypair (public, private)."""
+    return generate_rsa_keypair(128, rng=drng.fork("rsa"))
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """The default small WATCH scenario (4x6 grid, 5 channels)."""
+    return build_scenario(ScenarioConfig(seed=0))
+
+
+@pytest.fixture()
+def fresh_rng() -> DeterministicRandomSource:
+    """A per-test deterministic source (isolated stream)."""
+    return DeterministicRandomSource("per-test")

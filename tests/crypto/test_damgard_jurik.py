@@ -1,0 +1,137 @@
+"""Unit and property tests for the Damgård–Jurik generalisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.damgard_jurik import (
+    DjPrivateKey,
+    DjPublicKey,
+    generate_dj_keypair,
+)
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import (
+    ConfigurationError,
+    DecryptionError,
+    EncodingRangeError,
+    KeyMismatchError,
+)
+
+_RNG = DeterministicRandomSource("dj-tests")
+_KP1 = generate_dj_keypair(192, s=1, rng=_RNG)
+_KP2 = generate_dj_keypair(192, s=2, rng=_RNG)
+_KP3 = generate_dj_keypair(128, s=3, rng=_RNG)
+
+
+class TestKeyGeneration:
+    def test_spaces_scale_with_s(self):
+        assert _KP2.public_key.plaintext_bits > 2 * _KP1.public_key.plaintext_bits - 4
+        assert _KP1.public_key.expansion_ratio == 2.0
+        assert _KP2.public_key.expansion_ratio == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DjPublicKey(4, s=1)
+        with pytest.raises(ConfigurationError):
+            DjPublicKey(10**10, s=0)
+        with pytest.raises(ConfigurationError):
+            generate_dj_keypair(8, rng=_RNG)
+
+    def test_private_key_factor_check(self):
+        with pytest.raises(ConfigurationError):
+            DjPrivateKey(_KP2.public_key, 3, 5)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("keypair", [_KP1, _KP2, _KP3])
+    def test_basic_values(self, keypair, fresh_rng):
+        pk, sk = keypair.public_key, keypair.private_key
+        for value in (0, 1, -1, 424242, -(10**9)):
+            assert sk.decrypt(pk.encrypt(value, rng=fresh_rng)) == value
+
+    def test_s2_holds_values_beyond_n(self, fresh_rng):
+        """The point of DJ: plaintexts larger than n itself."""
+        pk, sk = _KP2.public_key, _KP2.private_key
+        big = (1 << 300) + 12345  # > n (192 bits), < n² / 2
+        assert sk.decrypt(pk.encrypt(big, rng=fresh_rng)) == big
+
+    def test_s3_holds_values_beyond_n_squared(self, fresh_rng):
+        pk, sk = _KP3.public_key, _KP3.private_key
+        big = 1 << 300  # > n² (256 bits), < n³ / 2
+        assert sk.decrypt(pk.encrypt(big, rng=fresh_rng)) == big
+
+    def test_range_enforced(self, fresh_rng):
+        pk = _KP1.public_key
+        with pytest.raises(EncodingRangeError):
+            pk.encrypt(pk.n_s // 2 + 1, rng=fresh_rng)
+
+    def test_cross_key_rejected(self, fresh_rng):
+        ct = _KP1.public_key.encrypt(1, rng=fresh_rng)
+        with pytest.raises(KeyMismatchError):
+            _KP2.private_key.decrypt(ct)
+
+    def test_ciphertext_range_check(self):
+        with pytest.raises(DecryptionError):
+            _KP1.private_key.raw_decrypt(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(min_value=-(2**150), max_value=2**150))
+    def test_roundtrip_property_s2(self, value):
+        rng = DeterministicRandomSource(value & 0xFFFF)
+        ct = _KP2.public_key.encrypt(value, rng=rng)
+        assert _KP2.private_key.decrypt(ct) == value
+
+
+class TestHomomorphism:
+    @pytest.mark.parametrize("keypair", [_KP1, _KP2])
+    def test_addition_subtraction(self, keypair, fresh_rng):
+        pk, sk = keypair.public_key, keypair.private_key
+        a = pk.encrypt(1000, rng=fresh_rng)
+        b = pk.encrypt(-58, rng=fresh_rng)
+        assert sk.decrypt(a + b) == 942
+        assert sk.decrypt(a - b) == 1058
+        assert sk.decrypt(-a) == -1000
+
+    @pytest.mark.parametrize("scalar", [0, 1, -1, 33, -7])
+    def test_scalar(self, fresh_rng, scalar):
+        pk, sk = _KP2.public_key, _KP2.private_key
+        assert sk.decrypt(scalar * pk.encrypt(11, rng=fresh_rng)) == 11 * scalar
+
+    def test_plain_addition(self, fresh_rng):
+        pk, sk = _KP2.public_key, _KP2.private_key
+        assert sk.decrypt(pk.encrypt(40, rng=fresh_rng) + 2) == 42
+
+    def test_rerandomize(self, fresh_rng):
+        pk, sk = _KP2.public_key, _KP2.private_key
+        ct = pk.encrypt(5, rng=fresh_rng)
+        refreshed = ct.rerandomize(fresh_rng)
+        assert refreshed.ciphertext != ct.ciphertext
+        assert sk.decrypt(refreshed) == 5
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=st.integers(min_value=-(2**120), max_value=2**120),
+        b=st.integers(min_value=-(2**120), max_value=2**120),
+        k=st.integers(min_value=-(2**20), max_value=2**20),
+    )
+    def test_affine_property_s2(self, a, b, k):
+        rng = DeterministicRandomSource((a ^ b ^ k) & 0xFFFF)
+        pk, sk = _KP2.public_key, _KP2.private_key
+        ct = k * pk.encrypt(a, rng=rng) + pk.encrypt(b, rng=rng)
+        assert sk.decrypt(ct) == k * a + b
+
+
+class TestPaillierConsistency:
+    def test_s1_matches_paillier(self, fresh_rng):
+        """s = 1 must agree with the standalone Paillier implementation."""
+        from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey
+
+        dj_pk, dj_sk = _KP1.public_key, _KP1.private_key
+        p_pk = PaillierPublicKey(dj_pk.n)
+        p_sk = PaillierPrivateKey(p_pk, dj_sk.p, dj_sk.q)
+        for value in (0, 7, -1234, 2**60):
+            dj_ct = dj_pk.encrypt(value, rng=fresh_rng)
+            # Same ciphertext space: Paillier can decrypt DJ s=1 output.
+            from repro.crypto.paillier import EncryptedNumber
+
+            assert p_sk.decrypt(EncryptedNumber(p_pk, dj_ct.ciphertext)) == value

@@ -1,0 +1,87 @@
+"""Unit and property tests for plaintext encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import (
+    FixedPointEncoder,
+    SignedEncoder,
+    decode_signed,
+    encode_signed,
+)
+from repro.errors import EncodingRangeError
+
+MODULUS = 2**89 - 1  # an arbitrary odd modulus
+
+
+class TestSignedEncoding:
+    @pytest.mark.parametrize("value", [0, 1, -1, 1000, -1000, MODULUS // 2, -(MODULUS // 2)])
+    def test_roundtrip(self, value):
+        assert decode_signed(encode_signed(value, MODULUS), MODULUS) == value
+
+    def test_negative_maps_to_upper_half(self):
+        assert encode_signed(-1, MODULUS) == MODULUS - 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(EncodingRangeError):
+            encode_signed(MODULUS // 2 + 1, MODULUS)
+        with pytest.raises(EncodingRangeError):
+            encode_signed(-(MODULUS // 2) - 1, MODULUS)
+
+    def test_decode_rejects_bad_residue(self):
+        with pytest.raises(EncodingRangeError):
+            decode_signed(-1, MODULUS)
+        with pytest.raises(EncodingRangeError):
+            decode_signed(MODULUS, MODULUS)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=-(MODULUS // 2), max_value=MODULUS // 2))
+    def test_roundtrip_property(self, value):
+        assert decode_signed(encode_signed(value, MODULUS), MODULUS) == value
+
+
+class TestSignedEncoder:
+    def test_range_enforcement(self):
+        encoder = SignedEncoder(MODULUS, value_bits=16)
+        assert encoder.max_value == 2**16 - 1
+        assert encoder.decode(encoder.encode(-30000)) == -30000
+        with pytest.raises(EncodingRangeError):
+            encoder.encode(2**16)
+
+    def test_value_bits_must_fit_modulus(self):
+        with pytest.raises(EncodingRangeError):
+            SignedEncoder(257, value_bits=60)
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(EncodingRangeError):
+            SignedEncoder(MODULUS, value_bits=0)
+
+
+class TestFixedPointEncoder:
+    def test_roundtrip_at_scale(self):
+        encoder = FixedPointEncoder(decimals=6)
+        assert encoder.decode(encoder.encode(1.5)) == pytest.approx(1.5)
+        assert encoder.encode(1.5) == 1_500_000
+
+    def test_quantisation_floor(self):
+        encoder = FixedPointEncoder(decimals=3)
+        assert encoder.encode(0.00001) == 0
+
+    def test_negative_values(self):
+        encoder = FixedPointEncoder(decimals=2)
+        assert encoder.encode(-1.25) == -125
+
+    def test_rounding_not_truncation(self):
+        encoder = FixedPointEncoder(decimals=0)
+        assert encoder.encode(2.6) == 3
+
+    def test_db_alias(self):
+        encoder = FixedPointEncoder(decimals=1)
+        assert encoder.encode_db(-84.0) == -840
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_decode_within_half_ulp(self, value):
+        encoder = FixedPointEncoder(decimals=6)
+        assert abs(encoder.decode(encoder.encode(value)) - value) <= 0.5 / encoder.scale

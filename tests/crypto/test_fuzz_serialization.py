@@ -1,0 +1,119 @@
+"""Fuzz tests: malformed wire input must raise, never crash or hang.
+
+A deployed SDC parses attacker-supplied bytes; every decoder must fail
+closed with :class:`~repro.errors.SerializationError` (or a controlled
+protocol error) on arbitrary garbage, truncations, and bit flips.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.serialization import (
+    decode_bytes,
+    decode_ciphertext,
+    decode_ciphertext_matrix,
+    decode_int,
+    decode_private_key,
+    decode_public_key,
+    encode_ciphertext_matrix,
+)
+from repro.errors import ReproError, SerializationError
+from repro.pisa.license import TransmissionLicense
+from repro.pisa.messages import (
+    PUUpdateMessage,
+    SignExtractionRequest,
+    SURequestMessage,
+)
+
+fuzz = settings(max_examples=120, deadline=None)
+garbage = st.binary(min_size=0, max_size=200)
+
+
+class TestPrimitiveDecoders:
+    @fuzz
+    @given(buffer=garbage)
+    def test_decode_int_never_crashes(self, buffer):
+        try:
+            value, offset = decode_int(buffer)
+            assert 0 <= offset <= len(buffer)
+            assert value >= 0
+        except SerializationError:
+            pass
+
+    @fuzz
+    @given(buffer=garbage)
+    def test_decode_bytes_never_crashes(self, buffer):
+        try:
+            decode_bytes(buffer)
+        except SerializationError:
+            pass
+
+    @fuzz
+    @given(buffer=garbage)
+    def test_decode_keys_never_crash(self, buffer):
+        for decoder in (decode_public_key, decode_private_key):
+            try:
+                decoder(buffer)
+            except ReproError:
+                pass
+
+
+class TestMessageDecoders:
+    @fuzz
+    @given(buffer=garbage)
+    def test_message_parsers_fail_closed(self, buffer, keypair):
+        pk = keypair.public_key
+        for parser in (
+            lambda b: PUUpdateMessage.from_bytes(b, pk),
+            lambda b: SURequestMessage.from_bytes(b, pk),
+            lambda b: SignExtractionRequest.from_bytes(b, pk),
+            lambda b: decode_ciphertext(b, pk),
+            lambda b: decode_ciphertext_matrix(b, pk),
+            TransmissionLicense.from_bytes,
+        ):
+            try:
+                parser(buffer)
+            except ReproError:
+                pass
+            except (UnicodeDecodeError, OverflowError, MemoryError):
+                pytest.fail("decoder leaked a non-library exception")
+
+    def test_bitflipped_update_parses_or_raises(self, keypair, fresh_rng):
+        """A single flipped bit either still parses (into a different —
+        possibly undecryptable — ciphertext) or raises cleanly."""
+        pk = keypair.public_key
+        msg = PUUpdateMessage(
+            "pu-1", 3, tuple(pk.encrypt(v, rng=fresh_rng) for v in (1, 2, 3))
+        )
+        clean = msg.to_bytes()
+        for flip_at in range(0, len(clean), 7):
+            for flip_bit in (0, 5):
+                blob = bytearray(clean)
+                blob[flip_at] ^= 1 << flip_bit
+                try:
+                    PUUpdateMessage.from_bytes(bytes(blob), pk)
+                except ReproError:
+                    pass
+                except UnicodeDecodeError:
+                    pass  # pu_id flipped into invalid UTF-8: a parse error
+
+
+class TestTruncations:
+    def test_every_truncation_of_a_valid_matrix_raises(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        matrix = [[pk.encrypt(i, rng=fresh_rng) for i in range(2)] for _ in range(2)]
+        blob = encode_ciphertext_matrix(matrix)
+        for cut in range(len(blob) - 1, max(len(blob) - 40, 0), -1):
+            with pytest.raises(SerializationError):
+                decode_ciphertext_matrix(blob[:cut], pk)
+
+    def test_every_truncation_of_a_license_raises(self):
+        lic = TransmissionLicense(
+            su_id="su", issuer_id="sdc", request_digest=b"\x01" * 32,
+            channels=(0, 1), issued_at=99,
+        )
+        blob = lic.to_bytes()
+        for cut in range(len(blob) - 1, len(blob) - 30, -1):
+            with pytest.raises(SerializationError):
+                TransmissionLicense.from_bytes(blob[:cut])

@@ -1,0 +1,102 @@
+"""Unit tests for repro.crypto.numtheory."""
+
+import pytest
+
+from repro.crypto.numtheory import (
+    CrtContext,
+    crt_pair,
+    generate_distinct_primes,
+    generate_prime,
+    is_probable_prime,
+    lcm,
+    modinv,
+)
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import CryptoError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 65537, 2**127 - 1, 2**521 - 1]
+KNOWN_COMPOSITES = [1, 4, 91, 561, 1105, 41041, 2**128 - 1]  # incl. Carmichael
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_accepts_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites_and_carmichael(self, n):
+        assert not is_probable_prime(n)
+
+    def test_rejects_negatives_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_small_even_numbers(self):
+        assert not is_probable_prime(100)
+        assert is_probable_prime(2)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self, fresh_rng):
+        for bits in (16, 32, 64, 128):
+            p = generate_prime(bits, rng=fresh_rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_too_small_raises(self, fresh_rng):
+        with pytest.raises(CryptoError):
+            generate_prime(4, rng=fresh_rng)
+
+    def test_distinct_primes(self, fresh_rng):
+        p, q = generate_distinct_primes(32, count=2, rng=fresh_rng)
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = generate_prime(64, rng=DeterministicRandomSource(7))
+        b = generate_prime(64, rng=DeterministicRandomSource(7))
+        assert a == b
+
+
+class TestModinv:
+    def test_inverse_property(self):
+        assert (modinv(3, 11) * 3) % 11 == 1
+        assert (modinv(17, 3120) * 17) % 3120 == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(CryptoError):
+            modinv(6, 9)
+
+
+class TestLcm:
+    def test_values(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91
+        assert lcm(10, 10) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(CryptoError):
+            lcm(0, 5)
+        with pytest.raises(CryptoError):
+            lcm(5, -1)
+
+
+class TestCrt:
+    def test_crt_pair_recovers_value(self):
+        p, q = 101, 103
+        for value in (0, 1, 55, 101 * 103 - 1, 5000):
+            v = value % (p * q)
+            assert crt_pair(v % p, v % q, p, q) == v
+
+    def test_context_combine(self):
+        ctx = CrtContext.create(101, 103)
+        for value in (7, 9999, 101 * 103 - 1):
+            assert ctx.combine(value % 101, value % 103) == value
+
+    def test_context_rejects_equal_moduli(self):
+        with pytest.raises(CryptoError):
+            CrtContext.create(101, 101)
+
+    def test_context_rejects_non_coprime(self):
+        with pytest.raises(CryptoError):
+            CrtContext.create(12, 18)

@@ -1,0 +1,130 @@
+"""Unit and property tests for slot packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.packing import SlotLayout
+from repro.crypto.paillier import PaillierPublicKey
+from repro.errors import ConfigurationError, EncodingRangeError
+
+
+def fake_key(bits: int) -> PaillierPublicKey:
+    return PaillierPublicKey((1 << (bits - 1)) + 15)
+
+
+@pytest.fixture()
+def layout():
+    return SlotLayout(slot_bits=16, num_slots=4)
+
+
+class TestGeometry:
+    def test_for_key_budgets_pipeline(self):
+        layout = SlotLayout.for_key(fake_key(2048), value_bits=67, scale_bits=64,
+                                    headroom_bits=4)
+        assert layout.slot_bits == 135
+        assert layout.num_slots == (2048 - 2) // 135  # 15 slots
+
+    def test_for_key_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            SlotLayout.for_key(fake_key(64), value_bits=67, scale_bits=64)
+
+    def test_shift(self, layout):
+        assert layout.shift(0) == 1
+        assert layout.shift(2) == 1 << 32
+        with pytest.raises(EncodingRangeError):
+            layout.shift(4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlotLayout(slot_bits=1, num_slots=2)
+        with pytest.raises(ConfigurationError):
+            SlotLayout(slot_bits=8, num_slots=0)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, layout):
+        values = [1, 65535, 0, 42]
+        assert layout.unpack(layout.pack(values)) == values
+
+    def test_short_list_pads_zero(self, layout):
+        assert layout.unpack(layout.pack([7])) == [7, 0, 0, 0]
+
+    def test_count_limit(self, layout):
+        assert layout.unpack(layout.pack([1, 2, 3]), count=2) == [1, 2]
+        with pytest.raises(EncodingRangeError):
+            layout.unpack(0, count=5)
+
+    def test_value_range_enforced(self, layout):
+        with pytest.raises(EncodingRangeError):
+            layout.pack([1 << 16])
+        with pytest.raises(EncodingRangeError):
+            layout.pack([-1])
+
+    def test_too_many_values(self, layout):
+        with pytest.raises(EncodingRangeError):
+            layout.pack([0] * 5)
+
+    def test_overflow_detected_on_unpack(self, layout):
+        with pytest.raises(EncodingRangeError):
+            layout.unpack(1 << 64)
+        with pytest.raises(EncodingRangeError):
+            layout.unpack(-1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**16 - 1),
+                    min_size=0, max_size=4))
+    def test_roundtrip_property(self, values):
+        layout = SlotLayout(slot_bits=16, num_slots=4)
+        assert layout.unpack(layout.pack(values))[: len(values)] == values
+
+
+class TestChunking:
+    def test_chunk_count(self, layout):
+        assert layout.chunk_count(0) == 0
+        assert layout.chunk_count(1) == 1
+        assert layout.chunk_count(4) == 1
+        assert layout.chunk_count(5) == 2
+
+    def test_chunks_preserve_order(self, layout):
+        chunks = layout.chunks(list(range(10)))
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+
+class TestHomomorphicSlotAlgebra:
+    """Packed plaintexts must behave slot-wise under Paillier ops."""
+
+    def test_slotwise_addition(self, keypair, fresh_rng):
+        layout = SlotLayout(slot_bits=20, num_slots=5)
+        pk, sk = keypair.public_key, keypair.private_key
+        a = [10, 20, 30, 40, 50]
+        b = [1, 2, 3, 4, 5]
+        ct = pk.encrypt(layout.pack(a), rng=fresh_rng) + pk.encrypt(
+            layout.pack(b), rng=fresh_rng
+        )
+        assert layout.unpack(sk.decrypt(ct)) == [11, 22, 33, 44, 55]
+
+    def test_slotwise_scalar(self, keypair, fresh_rng):
+        layout = SlotLayout(slot_bits=20, num_slots=5)
+        pk, sk = keypair.public_key, keypair.private_key
+        ct = 7 * pk.encrypt(layout.pack([1, 2, 3]), rng=fresh_rng)
+        assert layout.unpack(sk.decrypt(ct))[:3] == [7, 14, 21]
+
+    def test_shift_places_single_value(self, keypair, fresh_rng):
+        """The SDC's W̃ folding: shift an unpacked value into a slot."""
+        layout = SlotLayout(slot_bits=20, num_slots=5)
+        pk, sk = keypair.public_key, keypair.private_key
+        w = pk.encrypt(99, rng=fresh_rng)
+        base = pk.encrypt(layout.pack([5, 5, 5, 5, 5]), rng=fresh_rng)
+        ct = base + w.scalar_mul(layout.shift(3))
+        assert layout.unpack(sk.decrypt(ct)) == [5, 5, 5, 104, 5]
+
+    def test_transient_negative_slots_cancel(self, keypair, fresh_rng):
+        """Intermediate per-slot negativity is exact integer arithmetic."""
+        layout = SlotLayout(slot_bits=20, num_slots=3)
+        pk, sk = keypair.public_key, keypair.private_key
+        a = pk.encrypt(layout.pack([5, 0, 9]), rng=fresh_rng)
+        b = pk.encrypt(layout.pack([9, 0, 5]), rng=fresh_rng)
+        # a − b has slot 0 at −4 (transient); adding 10 per slot fixes it.
+        ct = (a - b).add_plain(layout.pack([10, 10, 10]))
+        assert layout.unpack(sk.decrypt(ct)) == [6, 10, 14]

@@ -1,0 +1,73 @@
+"""Property-based tests for the Paillier invariants (DESIGN.md §6.1)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+
+# One module-level keypair: hypothesis calls the test many times and key
+# generation must not dominate.
+_RNG = DeterministicRandomSource("paillier-props")
+_KEYPAIR = generate_keypair(256, rng=_RNG)
+_PK = _KEYPAIR.public_key
+_SK = _KEYPAIR.private_key
+
+# Stay inside the 60-bit paper range so sums/products cannot overflow the
+# 256-bit test modulus' signed half-range.
+values = st.integers(min_value=-(2**60), max_value=2**60)
+small_scalars = st.integers(min_value=-(2**20), max_value=2**20)
+
+relaxed = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@relaxed
+@given(value=values)
+def test_roundtrip(value):
+    assert _SK.decrypt(_PK.encrypt(value, rng=_RNG)) == value
+
+
+@relaxed
+@given(a=values, b=values)
+def test_homomorphic_addition(a, b):
+    ct = _PK.encrypt(a, rng=_RNG) + _PK.encrypt(b, rng=_RNG)
+    assert _SK.decrypt(ct) == a + b
+
+
+@relaxed
+@given(a=values, b=values)
+def test_homomorphic_subtraction(a, b):
+    ct = _PK.encrypt(a, rng=_RNG) - _PK.encrypt(b, rng=_RNG)
+    assert _SK.decrypt(ct) == a - b
+
+
+@relaxed
+@given(a=values, k=small_scalars)
+def test_scalar_multiplication(a, k):
+    assert _SK.decrypt(k * _PK.encrypt(a, rng=_RNG)) == k * a
+
+
+@relaxed
+@given(a=values, b=values)
+def test_plaintext_addition_matches_encrypted(a, b):
+    via_plain = _PK.encrypt(a, rng=_RNG) + b
+    assert _SK.decrypt(via_plain) == a + b
+
+
+@relaxed
+@given(a=values)
+def test_rerandomization_invariant(a):
+    ct = _PK.encrypt(a, rng=_RNG)
+    refreshed = ct.rerandomize(_RNG)
+    assert refreshed.ciphertext != ct.ciphertext
+    assert _SK.decrypt(refreshed) == a
+
+
+@relaxed
+@given(a=values, b=values, k=small_scalars)
+def test_affine_combination(a, b, k):
+    """D(k⊗E(a) ⊕ E(b)) == k·a + b — the shape of every PISA step."""
+    ct = _PK.encrypt(a, rng=_RNG) * k + _PK.encrypt(b, rng=_RNG)
+    assert _SK.decrypt(ct) == k * a + b

@@ -1,0 +1,89 @@
+"""Unit tests for RSA-FDH license signatures."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.signatures import (
+    RsaFdhSigner,
+    RsaFdhVerifier,
+    full_domain_hash,
+    generate_rsa_keypair,
+)
+from repro.errors import ConfigurationError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_rsa_keypair(128, rng=DeterministicRandomSource("rsa-tests"))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keys):
+        public, private = keys
+        assert public.key_bits == 128
+        assert private.public_key is public
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_rsa_keypair(16)
+
+
+class TestFullDomainHash:
+    def test_deterministic(self, keys):
+        public, _ = keys
+        assert full_domain_hash(b"m", public.n) == full_domain_hash(b"m", public.n)
+
+    def test_message_sensitivity(self, keys):
+        public, _ = keys
+        assert full_domain_hash(b"m1", public.n) != full_domain_hash(b"m2", public.n)
+
+    def test_output_in_range(self, keys):
+        public, _ = keys
+        for msg in (b"", b"a", b"x" * 1000):
+            assert 0 <= full_domain_hash(msg, public.n) < public.n
+
+
+class TestSignVerify:
+    def test_valid_signature(self, keys):
+        public, private = keys
+        sig = RsaFdhSigner(private).sign(b"license")
+        assert RsaFdhVerifier(public).verify(b"license", sig)
+
+    def test_tampered_message_fails(self, keys):
+        public, private = keys
+        sig = RsaFdhSigner(private).sign(b"license")
+        assert not RsaFdhVerifier(public).verify(b"license2", sig)
+
+    def test_tampered_signature_fails(self, keys):
+        public, private = keys
+        sig = RsaFdhSigner(private).sign(b"license")
+        assert not RsaFdhVerifier(public).verify(b"license", sig + 1)
+
+    def test_out_of_range_signature_fails(self, keys):
+        public, _ = keys
+        assert not RsaFdhVerifier(public).verify(b"license", -1)
+        assert not RsaFdhVerifier(public).verify(b"license", public.n)
+
+    def test_cross_key_fails(self, keys):
+        public, private = keys
+        other_public, _ = generate_rsa_keypair(
+            128, rng=DeterministicRandomSource("rsa-other")
+        )
+        sig = RsaFdhSigner(private).sign(b"license")
+        assert not RsaFdhVerifier(other_public).verify(b"license", sig)
+
+    def test_max_value_bound(self, keys):
+        _, private = keys
+        signer = RsaFdhSigner(private)
+        # A bound far below the modulus will (with overwhelming
+        # probability over messages) reject some signature.
+        with pytest.raises(SignatureError):
+            for i in range(50):
+                signer.sign(f"msg-{i}".encode(), max_value=2)
+
+    def test_signature_fits_larger_plaintext_space(self, keys):
+        _, private = keys
+        signer = RsaFdhSigner(private)
+        bound = private.public_key.n  # Paillier modulus would be larger
+        sig = signer.sign(b"license", max_value=bound)
+        assert sig < bound

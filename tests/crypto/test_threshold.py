@@ -1,0 +1,117 @@
+"""Unit and property tests for threshold Paillier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.threshold import (
+    PartialDecryption,
+    combine_partials,
+    generate_threshold_keypair,
+)
+from repro.errors import ConfigurationError, CryptoError, DecryptionError
+
+_KEYPAIR = generate_threshold_keypair(
+    256, num_shares=2, rng=DeterministicRandomSource("threshold-tests")
+)
+_PK = _KEYPAIR.public_key
+
+
+class TestGeneration:
+    def test_share_count(self):
+        assert _KEYPAIR.num_shares == 2
+        assert [s.index for s in _KEYPAIR.shares] == [0, 1]
+
+    def test_three_shares(self, fresh_rng):
+        keypair = generate_threshold_keypair(128, num_shares=3, rng=fresh_rng)
+        assert keypair.num_shares == 3
+
+    def test_validation(self, fresh_rng):
+        with pytest.raises(ConfigurationError):
+            generate_threshold_keypair(128, num_shares=1, rng=fresh_rng)
+        with pytest.raises(ConfigurationError):
+            generate_threshold_keypair(8, rng=fresh_rng)
+
+    def test_shares_differ(self):
+        assert _KEYPAIR.shares[0].exponent != _KEYPAIR.shares[1].exponent
+
+
+class TestDecryption:
+    @pytest.mark.parametrize("value", [0, 1, -1, 12345, -(2**59), 2**59])
+    def test_roundtrip(self, fresh_rng, value):
+        ct = _PK.encrypt(value, rng=fresh_rng)
+        partials = [share.partial_decrypt(ct) for share in _KEYPAIR.shares]
+        assert combine_partials(_PK, partials) == value
+
+    def test_order_independent(self, fresh_rng):
+        ct = _PK.encrypt(42, rng=fresh_rng)
+        partials = [share.partial_decrypt(ct) for share in _KEYPAIR.shares]
+        assert combine_partials(_PK, list(reversed(partials))) == 42
+
+    def test_works_after_homomorphic_ops(self, fresh_rng):
+        """Threshold decryption must commute with the protocol algebra."""
+        a = _PK.encrypt(100, rng=fresh_rng)
+        b = _PK.encrypt(-58, rng=fresh_rng)
+        ct = (a + b) * 3
+        partials = [share.partial_decrypt(ct) for share in _KEYPAIR.shares]
+        assert combine_partials(_PK, partials) == 126
+
+    def test_three_share_roundtrip(self, fresh_rng):
+        keypair = generate_threshold_keypair(128, num_shares=3, rng=fresh_rng)
+        ct = keypair.public_key.encrypt(-7, rng=fresh_rng)
+        partials = [share.partial_decrypt(ct) for share in keypair.shares]
+        assert combine_partials(keypair.public_key, partials) == -7
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=st.integers(min_value=-(2**60), max_value=2**60))
+    def test_roundtrip_property(self, value):
+        rng = DeterministicRandomSource(value & 0xFFFF)
+        ct = _PK.encrypt(value, rng=rng)
+        partials = [share.partial_decrypt(ct) for share in _KEYPAIR.shares]
+        assert combine_partials(_PK, partials) == value
+
+
+class TestShareIsolation:
+    """The STP-free design's point: one share decrypts nothing."""
+
+    def test_single_partial_rejected(self, fresh_rng):
+        ct = _PK.encrypt(5, rng=fresh_rng)
+        partial = _KEYPAIR.shares[0].partial_decrypt(ct)
+        with pytest.raises(DecryptionError):
+            combine_partials(_PK, [partial])
+
+    def test_duplicate_partials_rejected(self, fresh_rng):
+        ct = _PK.encrypt(5, rng=fresh_rng)
+        partial = _KEYPAIR.shares[0].partial_decrypt(ct)
+        with pytest.raises(DecryptionError):
+            combine_partials(_PK, [partial, partial])
+
+    def test_empty_combine_rejected(self):
+        with pytest.raises(DecryptionError):
+            combine_partials(_PK, [])
+
+    def test_partial_value_is_not_plaintext_related(self, fresh_rng):
+        """A lone partial is a full-size group element, not 1 + m·n."""
+        ct = _PK.encrypt(5, rng=fresh_rng)
+        partial = _KEYPAIR.shares[0].partial_decrypt(ct)
+        assert partial.value % _PK.n != 1
+
+    def test_foreign_ciphertext_rejected(self, fresh_rng):
+        from repro.crypto.paillier import generate_keypair
+
+        other = generate_keypair(256, rng=fresh_rng)
+        ct = other.public_key.encrypt(5, rng=fresh_rng)
+        with pytest.raises(CryptoError):
+            _KEYPAIR.shares[0].partial_decrypt(ct)
+
+    def test_mismatched_partials_detected(self, fresh_rng):
+        """Partials of two DIFFERENT ciphertexts do not silently combine."""
+        ct_a = _PK.encrypt(5, rng=fresh_rng)
+        ct_b = _PK.encrypt(9, rng=fresh_rng)
+        partials = [
+            _KEYPAIR.shares[0].partial_decrypt(ct_a),
+            _KEYPAIR.shares[1].partial_decrypt(ct_b),
+        ]
+        with pytest.raises(DecryptionError):
+            combine_partials(_PK, partials)

@@ -1,0 +1,70 @@
+"""Unit tests for SU privacy regions."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.geo.grid import BlockGrid
+from repro.geo.region import PrivacyRegion
+
+
+@pytest.fixture()
+def grid():
+    return BlockGrid(rows=4, cols=6, block_size_m=10.0)
+
+
+class TestConstructors:
+    def test_full_region(self, grid):
+        region = PrivacyRegion.full(grid)
+        assert region.num_blocks == 24
+        assert region.privacy_level == 1.0
+        assert all(region.contains(i) for i in range(24))
+
+    def test_rows_slice(self, grid):
+        """The paper's 'somewhere in the north' example shape."""
+        region = PrivacyRegion.rows_slice(grid, 0, 1)
+        assert region.num_blocks == 12
+        assert region.privacy_level == pytest.approx(0.5)
+        assert region.contains(0) and region.contains(11)
+        assert not region.contains(12)
+
+    def test_rows_slice_validation(self, grid):
+        with pytest.raises(GridError):
+            PrivacyRegion.rows_slice(grid, 2, 1)
+        with pytest.raises(GridError):
+            PrivacyRegion.rows_slice(grid, 0, 4)
+
+    def test_fraction(self, grid):
+        region = PrivacyRegion.fraction(grid, 0.25)
+        assert region.num_blocks == 6
+        assert region.sorted_indices() == list(range(6))
+
+    def test_fraction_validation(self, grid):
+        with pytest.raises(GridError):
+            PrivacyRegion.fraction(grid, 0.0)
+        with pytest.raises(GridError):
+            PrivacyRegion.fraction(grid, 1.5)
+
+    def test_fraction_at_least_one_block(self, grid):
+        assert PrivacyRegion.fraction(grid, 1e-9).num_blocks == 1
+
+    def test_around(self, grid):
+        region = PrivacyRegion.around(grid, 9, 10.0)
+        assert set(region.block_indices) == {3, 8, 9, 10, 15}
+
+    def test_custom_validation(self, grid):
+        with pytest.raises(GridError):
+            PrivacyRegion(grid, frozenset())
+        with pytest.raises(GridError):
+            PrivacyRegion(grid, frozenset({99}))
+
+
+class TestQueries:
+    def test_dunder_protocols(self, grid):
+        region = PrivacyRegion.fraction(grid, 0.5)
+        assert len(region) == 12
+        assert 0 in region
+        assert 23 not in region
+
+    def test_sorted_indices_deterministic(self, grid):
+        region = PrivacyRegion(grid, frozenset({5, 1, 9}))
+        assert region.sorted_indices() == [1, 5, 9]

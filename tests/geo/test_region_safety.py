@@ -1,0 +1,84 @@
+"""Tests for the partial-region protection-gap analysis."""
+
+import pytest
+
+from repro.geo.region import PrivacyRegion
+from repro.geo.region_safety import region_undertest_report, undertested_cells
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.sdc import PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def safety_scenario():
+    return build_scenario(ScenarioConfig(seed=4, num_sus=1))
+
+
+@pytest.fixture(scope="module")
+def su(safety_scenario):
+    return safety_scenario.sus[0]
+
+
+class TestFullPrivacyIsSafe:
+    def test_full_region_hides_nothing(self, safety_scenario, su):
+        region = PrivacyRegion.full(safety_scenario.environment.grid)
+        report = region_undertest_report(safety_scenario.environment, su, region)
+        assert report.is_safe
+        assert report.omitted_interference_fraction == 0.0
+        assert not report.hides_violation
+
+
+class TestPartialRegions:
+    def test_tight_region_drops_interference(self, safety_scenario, su):
+        grid = safety_scenario.environment.grid
+        region = PrivacyRegion(grid, frozenset({su.block_index}),
+                               label="just-me")
+        report = region_undertest_report(safety_scenario.environment, su, region)
+        assert not report.is_safe
+        # The own block dominates the mass (h(d) is steep), but many
+        # cells go untested.
+        assert report.omitted_interference_fraction > 0.0
+        assert len(report.omitted_cells) > safety_scenario.environment.num_blocks
+        cells = undertested_cells(safety_scenario.environment, su, region)
+        assert set(cells) == set(report.omitted_cells)
+        assert all(b != su.block_index for _, b in cells)
+
+    def test_severity_shrinks_with_region(self, safety_scenario, su):
+        env = safety_scenario.environment
+        fractions = []
+        for radius in (0.0, 20.0, 1000.0):
+            region = PrivacyRegion.around(env.grid, su.block_index, radius)
+            report = region_undertest_report(env, su, region)
+            fractions.append(report.omitted_interference_fraction)
+        assert fractions[0] > fractions[1] > fractions[2] == 0.0
+
+    def test_hidden_violation_detected(self, safety_scenario, su):
+        """A loud SU with a PU just outside its tiny region: the report
+        must flag that an actual denial went untested."""
+        env = safety_scenario.environment
+        grid = env.grid
+        loud = SUTransmitter("loud", block_index=su.block_index,
+                             tx_power_dbm=14.0)
+        neighbour = (su.block_index + 1) % grid.num_blocks
+        sdc = PlaintextSDC(env)
+        sdc.pu_update(PUReceiver(
+            "near-pu", block_index=neighbour, channel_slot=0,
+            signal_strength_mw=1e-9,
+        ))
+        region = PrivacyRegion(grid, frozenset({su.block_index}))
+        report = region_undertest_report(env, loud, region, budget=sdc.budget)
+        assert report.hides_violation
+        # Cross-check: full-region decision denies, regioned grants.
+        assert not sdc.process_request(loud).granted
+        assert sdc.process_request(loud, region=region).granted
+
+    def test_e_only_budget_is_lower_bound(self, safety_scenario, su):
+        """Without the PU budget, severity can only be under-stated."""
+        env = safety_scenario.environment
+        region = PrivacyRegion(env.grid, frozenset({su.block_index}))
+        sdc = PlaintextSDC(env)
+        for pu in safety_scenario.pus:
+            sdc.pu_update(pu)
+        with_e = region_undertest_report(env, su, region)
+        with_n = region_undertest_report(env, su, region, budget=sdc.budget)
+        assert with_n.worst_omitted_budget_ratio >= with_e.worst_omitted_budget_ratio

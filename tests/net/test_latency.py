@@ -1,0 +1,44 @@
+"""Unit tests for latency models."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, DistanceLatency
+
+
+class TestConstantLatency:
+    def test_components(self):
+        model = ConstantLatency(rtt_seconds=0.02, bandwidth_bytes_per_s=1e6)
+        assert model.delay_seconds(1_000_000, "a", "b") == pytest.approx(0.01 + 1.0)
+
+    def test_zero_size(self):
+        model = ConstantLatency(rtt_seconds=0.02)
+        assert model.delay_seconds(0, "a", "b") == pytest.approx(0.01)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency().delay_seconds(-1, "a", "b")
+
+    def test_monotone_in_size(self):
+        model = ConstantLatency()
+        assert model.delay_seconds(10_000, "a", "b") > model.delay_seconds(10, "a", "b")
+
+
+class TestDistanceLatency:
+    def test_known_positions(self):
+        model = DistanceLatency(
+            positions={"a": (0.0, 0.0), "b": (3_000.0, 4_000.0)},
+            bandwidth_bytes_per_s=1e9,
+        )
+        # 5 km at 0.66c ≈ 25.3 µs propagation.
+        delay = model.delay_seconds(0, "a", "b")
+        assert delay == pytest.approx(5_000 / (299_792_458.0 * 0.66), rel=1e-6)
+
+    def test_unknown_endpoint_uses_default(self):
+        model = DistanceLatency(positions={}, default_distance_m=10_000.0)
+        assert model.delay_seconds(0, "x", "y") > 0
+
+    def test_farther_is_slower(self):
+        model = DistanceLatency(
+            positions={"a": (0, 0), "near": (100, 0), "far": (100_000, 0)}
+        )
+        assert model.delay_seconds(0, "a", "far") > model.delay_seconds(0, "a", "near")

@@ -1,0 +1,78 @@
+"""Unit tests for the accounted in-memory transport."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.transport import InMemoryTransport
+
+
+@dataclass
+class FakeMessage:
+    size: int
+
+    def wire_size(self) -> int:
+        return self.size
+
+
+class TestAccounting:
+    def test_send_returns_message(self):
+        transport = InMemoryTransport()
+        msg = FakeMessage(10)
+        assert transport.send(msg, "a", "b") is msg
+
+    def test_total_bytes(self):
+        transport = InMemoryTransport()
+        transport.send(FakeMessage(100), "a", "b")
+        transport.send(FakeMessage(50), "b", "a")
+        assert transport.total_bytes() == 150
+        assert transport.count() == 2
+
+    def test_filter_by_kind(self):
+        transport = InMemoryTransport()
+
+        @dataclass
+        class OtherMessage:
+            def wire_size(self) -> int:
+                return 7
+
+        transport.send(FakeMessage(100), "a", "b")
+        transport.send(OtherMessage(), "a", "b")
+        assert transport.total_bytes("FakeMessage") == 100
+        assert transport.total_bytes("OtherMessage") == 7
+        assert transport.count("FakeMessage") == 1
+
+    def test_by_kind_summary(self):
+        transport = InMemoryTransport()
+        transport.send(FakeMessage(10), "a", "b")
+        transport.send(FakeMessage(20), "a", "b")
+        assert transport.by_kind() == {"FakeMessage": (2, 30)}
+
+    def test_records_have_metadata(self):
+        transport = InMemoryTransport()
+        transport.send(FakeMessage(1_000_000), "su-1", "sdc")
+        record = transport.records[0]
+        assert record.sender == "su-1"
+        assert record.receiver == "sdc"
+        assert record.size_mb == pytest.approx(1.0)
+
+    def test_clear(self):
+        transport = InMemoryTransport()
+        transport.send(FakeMessage(10), "a", "b")
+        transport.clear()
+        assert transport.count() == 0
+
+
+class TestLatencyIntegration:
+    def test_no_model_zero_delay(self):
+        transport = InMemoryTransport()
+        transport.send(FakeMessage(10), "a", "b")
+        assert transport.total_delay_seconds() == 0.0
+
+    def test_constant_model_applied(self):
+        transport = InMemoryTransport(latency=ConstantLatency(
+            rtt_seconds=0.1, bandwidth_bytes_per_s=1000.0
+        ))
+        transport.send(FakeMessage(500), "a", "b")
+        assert transport.total_delay_seconds() == pytest.approx(0.05 + 0.5)

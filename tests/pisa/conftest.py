@@ -1,0 +1,41 @@
+"""PISA test fixtures: a fully enrolled deployment on the small scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.pisa.protocol import PisaCoordinator
+from repro.watch.sdc import PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def pisa_scenario():
+    # Seed 4 yields a mix of grant and deny decisions among the SUs,
+    # which the equivalence tests require.
+    return build_scenario(ScenarioConfig(seed=4, num_sus=3))
+
+
+@pytest.fixture(scope="module")
+def coordinator(pisa_scenario):
+    """A deployed PISA system with all PUs and SUs enrolled."""
+    coord = PisaCoordinator(
+        pisa_scenario.environment,
+        key_bits=256,
+        rng=DeterministicRandomSource("pisa-fixture"),
+    )
+    for pu in pisa_scenario.pus:
+        coord.enroll_pu(pu)
+    for su in pisa_scenario.sus:
+        coord.enroll_su(su)
+    return coord
+
+
+@pytest.fixture(scope="module")
+def oracle(pisa_scenario):
+    """The plaintext WATCH SDC with the same PU state — the truth."""
+    sdc = PlaintextSDC(pisa_scenario.environment)
+    for pu in pisa_scenario.pus:
+        sdc.pu_update(pu)
+    return sdc

@@ -1,0 +1,185 @@
+"""End-to-end protocol tests — the paper's central claims.
+
+C1 (DESIGN.md): PISA's grant/deny decision must equal the plaintext
+WATCH decision on the same instance; the SU alone learns the outcome; a
+denied response never carries a valid license signature.
+"""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.geo.region import PrivacyRegion
+from repro.pisa.protocol import PisaCoordinator, small_demo
+from repro.watch.entities import SUTransmitter
+from repro.watch.sdc import PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+
+class TestDecisionEquivalence:
+    def test_matches_plaintext_oracle(self, coordinator, oracle, pisa_scenario):
+        """The headline theorem: encrypted and plaintext decisions agree."""
+        for su in pisa_scenario.sus:
+            plain = oracle.process_request(su)
+            report = coordinator.run_request_round(su.su_id)
+            assert report.granted == plain.granted, su.su_id
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_random_instances(self, seed):
+        scenario = build_scenario(ScenarioConfig(seed=seed, num_sus=2))
+        oracle = PlaintextSDC(scenario.environment)
+        coord = PisaCoordinator(
+            scenario.environment, key_bits=256,
+            rng=DeterministicRandomSource(f"e2e-{seed}"),
+        )
+        for pu in scenario.pus:
+            oracle.pu_update(pu)
+            coord.enroll_pu(pu)
+        for su in scenario.sus:
+            coord.enroll_su(su)
+            assert (
+                coord.run_request_round(su.su_id).granted
+                == oracle.process_request(su).granted
+            )
+
+    def test_both_outcomes_exercised(self, coordinator, oracle, pisa_scenario):
+        """The fixture scenario must produce at least one grant AND one
+        deny, or the equivalence test proves nothing."""
+        outcomes = {
+            oracle.process_request(su).granted for su in pisa_scenario.sus
+        }
+        assert outcomes == {True, False}
+
+
+class TestLicenseSemantics:
+    def test_denied_response_has_invalid_signature(
+        self, coordinator, oracle, pisa_scenario
+    ):
+        denied = next(
+            su for su in pisa_scenario.sus if not oracle.process_request(su).granted
+        )
+        report = coordinator.run_request_round(denied.su_id)
+        assert not report.granted
+        # The decrypted value is SG + η·ΣQ ≠ SG: not a valid signature.
+        from repro.crypto.signatures import RsaFdhVerifier
+
+        verifier = RsaFdhVerifier(
+            coordinator.stp.directory.signing_key(report.outcome.license.issuer_id)
+        )
+        assert not report.outcome.license.verify(
+            verifier, report.outcome.decrypted_value
+        )
+
+    def test_granted_response_verifies(self, coordinator, oracle, pisa_scenario):
+        granted = next(
+            su for su in pisa_scenario.sus if oracle.process_request(su).granted
+        )
+        report = coordinator.run_request_round(granted.su_id)
+        assert report.granted
+        from repro.crypto.signatures import RsaFdhVerifier
+
+        verifier = RsaFdhVerifier(
+            coordinator.stp.directory.signing_key(report.outcome.license.issuer_id)
+        )
+        assert report.outcome.license.verify(
+            verifier, report.outcome.decrypted_value
+        )
+
+    def test_license_names_su_and_request(self, coordinator, pisa_scenario):
+        su = pisa_scenario.sus[0]
+        report = coordinator.run_request_round(su.su_id)
+        assert report.outcome.license.su_id == su.su_id
+        assert report.outcome.license.issuer_id == "sdc"
+
+
+class TestRepeatedRounds:
+    def test_cached_refresh_same_decision(self, coordinator, pisa_scenario):
+        """§VI-A fast path: re-randomised requests decide identically."""
+        su = pisa_scenario.sus[0]
+        fresh = coordinator.run_request_round(su.su_id)
+        cached = coordinator.run_request_round(su.su_id, reuse_cached_request=True)
+        assert cached.granted == fresh.granted
+
+    def test_pu_switch_changes_decisions_consistently(self):
+        scenario = build_scenario(ScenarioConfig(seed=8, num_sus=1))
+        oracle = PlaintextSDC(scenario.environment)
+        coord = PisaCoordinator(
+            scenario.environment, key_bits=256,
+            rng=DeterministicRandomSource("switch-test"),
+        )
+        for pu in scenario.pus:
+            oracle.pu_update(pu)
+            coord.enroll_pu(pu)
+        su = scenario.sus[0]
+        coord.enroll_su(su)
+        before = coord.run_request_round(su.su_id)
+        assert before.granted == oracle.process_request(su).granted
+        # Switch every PU off: the SU should now (at least) not lose
+        # permission, and PISA must still match the oracle.
+        for pu in scenario.pus:
+            coord.pu_switch_channel(pu.receiver_id, None)
+            oracle.pu_update(pu.switched_to(None))
+        after = coord.run_request_round(su.su_id, reuse_cached_request=True)
+        assert after.granted == oracle.process_request(su).granted
+        if before.granted:
+            assert after.granted
+
+
+class TestPrivacyRegions:
+    def test_partial_region_matches_restricted_oracle(self):
+        scenario = build_scenario(ScenarioConfig(seed=9, num_sus=1))
+        grid = scenario.environment.grid
+        su = scenario.sus[0]
+        region = PrivacyRegion.around(grid, su.block_index, 25.0)
+        oracle = PlaintextSDC(scenario.environment)
+        coord = PisaCoordinator(
+            scenario.environment, key_bits=256,
+            rng=DeterministicRandomSource("region-test"),
+        )
+        for pu in scenario.pus:
+            oracle.pu_update(pu)
+            coord.enroll_pu(pu)
+        coord.enroll_su(su, region=region)
+        report = coord.run_request_round(su.su_id)
+        plain = oracle.process_request(su, region=region)
+        assert report.granted == plain.granted
+
+    def test_smaller_region_smaller_request(self):
+        scenario = build_scenario(ScenarioConfig(seed=9, num_sus=1))
+        grid = scenario.environment.grid
+        su = scenario.sus[0]
+        rng = DeterministicRandomSource("region-size")
+        coord = PisaCoordinator(scenario.environment, key_bits=256, rng=rng)
+        for pu in scenario.pus:
+            coord.enroll_pu(pu)
+        full_client = coord.enroll_su(su)
+        full_size = full_client.prepare_request().wire_size()
+        half = PrivacyRegion.fraction(grid, 0.5)
+        if su.block_index not in half:
+            half = PrivacyRegion.rows_slice(grid, grid.rows // 2, grid.rows - 1)
+        su2 = SUTransmitter("su-half", block_index=su.block_index,
+                            tx_power_dbm=su.tx_power_dbm)
+        half_client = coord.enroll_su(su2, region=half)
+        half_size = half_client.prepare_request().wire_size()
+        assert half_size < 0.6 * full_size
+
+
+class TestTransportAccounting:
+    def test_messages_recorded(self, coordinator, pisa_scenario):
+        before = coordinator.transport.count()
+        coordinator.run_request_round(pisa_scenario.sus[0].su_id)
+        after = coordinator.transport.count()
+        # One round = request + extraction + conversion + response.
+        assert after - before == 4
+
+    def test_response_is_smallest_message(self, coordinator, pisa_scenario):
+        report = coordinator.run_request_round(pisa_scenario.sus[0].su_id)
+        assert report.response_bytes < report.request_bytes
+        assert report.response_bytes < report.sign_extraction_bytes
+
+
+class TestQuickstart:
+    def test_small_demo_runs(self):
+        report = small_demo(seed=3)
+        assert report.granted in (True, False)
+        assert report.total_bytes > 0
+        assert report.timings.total > 0

@@ -1,0 +1,51 @@
+"""Unit tests for the STP's key directory."""
+
+import pytest
+
+from repro.crypto.signatures import generate_rsa_keypair
+from repro.errors import ProtocolError
+from repro.pisa.keys import KeyDirectory
+
+
+@pytest.fixture()
+def directory(keypair):
+    return KeyDirectory(keypair.public_key)
+
+
+class TestGroupKey:
+    def test_exposed(self, directory, keypair):
+        assert directory.group_public_key == keypair.public_key
+
+
+class TestSuKeys:
+    def test_register_and_retrieve(self, directory, second_keypair):
+        directory.register_su_key("su-1", second_keypair.public_key)
+        assert directory.su_key("su-1") == second_keypair.public_key
+        assert directory.has_su_key("su-1")
+
+    def test_idempotent_reregistration(self, directory, second_keypair):
+        directory.register_su_key("su-1", second_keypair.public_key)
+        directory.register_su_key("su-1", second_keypair.public_key)  # no error
+
+    def test_conflicting_reregistration_rejected(
+        self, directory, keypair, second_keypair
+    ):
+        directory.register_su_key("su-1", second_keypair.public_key)
+        with pytest.raises(ProtocolError):
+            directory.register_su_key("su-1", keypair.public_key)
+
+    def test_unknown_su_raises(self, directory):
+        assert not directory.has_su_key("ghost")
+        with pytest.raises(ProtocolError):
+            directory.su_key("ghost")
+
+
+class TestSigningKeys:
+    def test_register_and_retrieve(self, directory, fresh_rng):
+        public, _ = generate_rsa_keypair(128, rng=fresh_rng)
+        directory.register_signing_key("sdc", public)
+        assert directory.signing_key("sdc") == public
+
+    def test_unknown_issuer_raises(self, directory):
+        with pytest.raises(ProtocolError):
+            directory.signing_key("nobody")

@@ -1,0 +1,92 @@
+"""Unit tests for transmission licenses."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.signatures import RsaFdhSigner, RsaFdhVerifier, generate_rsa_keypair
+from repro.pisa.license import TransmissionLicense
+
+
+@pytest.fixture(scope="module")
+def signer_verifier():
+    public, private = generate_rsa_keypair(
+        128, rng=DeterministicRandomSource("license-tests")
+    )
+    return RsaFdhSigner(private), RsaFdhVerifier(public)
+
+
+def make_license(**overrides):
+    defaults = dict(
+        su_id="su-7",
+        issuer_id="sdc",
+        request_digest=b"\x01" * 32,
+        channels=(0, 1, 2),
+        issued_at=1_700_000_000,
+    )
+    defaults.update(overrides)
+    return TransmissionLicense(**defaults)
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        assert make_license().to_bytes() == make_license().to_bytes()
+
+    def test_field_sensitivity(self):
+        base = make_license().to_bytes()
+        assert make_license(su_id="other").to_bytes() != base
+        assert make_license(issuer_id="other").to_bytes() != base
+        assert make_license(request_digest=b"\x02" * 32).to_bytes() != base
+        assert make_license(channels=(0,)).to_bytes() != base
+        assert make_license(issued_at=1).to_bytes() != base
+        assert make_license(valid_seconds=60).to_bytes() != base
+
+    def test_versioned_prefix(self):
+        assert make_license().to_bytes().startswith(b"PISA-LICENSE-v1")
+
+
+class TestSignVerify:
+    def test_roundtrip(self, signer_verifier):
+        signer, verifier = signer_verifier
+        lic = make_license()
+        sig = lic.sign(signer)
+        assert lic.verify(verifier, sig)
+
+    def test_tampered_license_fails(self, signer_verifier):
+        signer, verifier = signer_verifier
+        sig = make_license().sign(signer)
+        assert not make_license(su_id="mallory").verify(verifier, sig)
+
+    def test_digest_helper(self):
+        assert TransmissionLicense.digest_of(b"request") == __import__(
+            "hashlib"
+        ).sha256(b"request").digest()
+
+
+class TestLicenseSerialization:
+    def test_roundtrip(self):
+        lic = make_license()
+        assert TransmissionLicense.from_bytes(lic.to_bytes()) == lic
+
+    def test_bad_magic_rejected(self):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError):
+            TransmissionLicense.from_bytes(b"NOT-A-LICENSE")
+
+    def test_trailing_bytes_rejected(self):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError):
+            TransmissionLicense.from_bytes(make_license().to_bytes() + b"\x00")
+
+
+class TestValidityWindow:
+    def test_inside_window(self):
+        lic = make_license(issued_at=1000, valid_seconds=60)
+        assert lic.is_valid_at(1000)
+        assert lic.is_valid_at(1059)
+
+    def test_outside_window(self):
+        lic = make_license(issued_at=1000, valid_seconds=60)
+        assert not lic.is_valid_at(999)
+        assert not lic.is_valid_at(1060)

@@ -1,0 +1,142 @@
+"""Serialisation round-trips for the protocol messages."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.pisa.license import TransmissionLicense
+from repro.pisa.messages import (
+    LicenseResponse,
+    PUUpdateMessage,
+    SignExtractionRequest,
+    SignExtractionResponse,
+    SURequestMessage,
+)
+
+
+def ct_matrix(pk, rng, rows, cols, base=0):
+    return tuple(
+        tuple(pk.encrypt(base + r * cols + c, rng=rng) for c in range(cols))
+        for r in range(rows)
+    )
+
+
+class TestPUUpdateMessage:
+    def test_roundtrip(self, keypair, fresh_rng):
+        pk, sk = keypair.public_key, keypair.private_key
+        cts = tuple(pk.encrypt(v, rng=fresh_rng) for v in (-5, 0, 7))
+        msg = PUUpdateMessage(pu_id="pu-3", block_index=12, ciphertexts=cts)
+        decoded = PUUpdateMessage.from_bytes(msg.to_bytes(), pk)
+        assert decoded.pu_id == "pu-3"
+        assert decoded.block_index == 12
+        assert [sk.decrypt(ct) for ct in decoded.ciphertexts] == [-5, 0, 7]
+
+    def test_wire_size_matches_bytes(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        msg = PUUpdateMessage(
+            "pu", 0, tuple(pk.encrypt(i, rng=fresh_rng) for i in range(4))
+        )
+        assert msg.wire_size() == len(msg.to_bytes())
+
+    def test_size_linear_in_channels(self, keypair, fresh_rng):
+        """§VI-A: PU update size grows with C, independent of B."""
+        pk = keypair.public_key
+
+        def size(c):
+            return PUUpdateMessage(
+                "pu", 0, tuple(pk.encrypt(0, rng=fresh_rng) for _ in range(c))
+            ).wire_size()
+
+        s2, s4, s8 = size(2), size(4), size(8)
+        assert abs((s8 - s4) - 2 * (s4 - s2)) <= 16  # linear growth
+
+    def test_trailing_bytes_rejected(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        msg = PUUpdateMessage("pu", 0, (pk.encrypt(1, rng=fresh_rng),))
+        with pytest.raises(SerializationError):
+            PUUpdateMessage.from_bytes(msg.to_bytes() + b"\x00", pk)
+
+
+class TestSURequestMessage:
+    def test_roundtrip(self, keypair, fresh_rng):
+        pk, sk = keypair.public_key, keypair.private_key
+        msg = SURequestMessage(
+            su_id="su-1",
+            region_blocks=(0, 3, 5),
+            matrix=ct_matrix(pk, fresh_rng, 2, 3),
+        )
+        decoded = SURequestMessage.from_bytes(msg.to_bytes(), pk)
+        assert decoded.su_id == "su-1"
+        assert decoded.region_blocks == (0, 3, 5)
+        assert decoded.num_channels == 2
+        assert sk.decrypt(decoded.matrix[1][2]) == 5
+
+    def test_row_width_validated(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        with pytest.raises(SerializationError):
+            SURequestMessage(
+                su_id="su",
+                region_blocks=(0, 1),
+                matrix=ct_matrix(pk, fresh_rng, 1, 3),
+            )
+
+    def test_digest_bytes_stable(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        msg = SURequestMessage("su", (0,), ct_matrix(pk, fresh_rng, 1, 1))
+        assert msg.digest_bytes() == msg.to_bytes()
+
+
+class TestSignExtractionMessages:
+    def test_request_roundtrip(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        msg = SignExtractionRequest(
+            round_id="round-9", su_id="su-2", matrix=ct_matrix(pk, fresh_rng, 2, 2)
+        )
+        decoded = SignExtractionRequest.from_bytes(msg.to_bytes(), pk)
+        assert decoded.round_id == "round-9"
+        assert decoded.su_id == "su-2"
+        assert len(decoded.matrix) == 2
+
+    def test_response_roundtrip(self, second_keypair, fresh_rng):
+        pk = second_keypair.public_key  # the SU's personal key
+        msg = SignExtractionResponse(
+            round_id="round-9", su_id="su-2", matrix=ct_matrix(pk, fresh_rng, 2, 2)
+        )
+        decoded = SignExtractionResponse.from_bytes(msg.to_bytes(), pk)
+        assert decoded.round_id == "round-9"
+
+
+class TestLicenseResponse:
+    def test_wire_size_is_small(self, second_keypair, fresh_rng):
+        """§VI-A: the response is a license plus ONE ciphertext (~kb)."""
+        pk = second_keypair.public_key
+        lic = TransmissionLicense(
+            su_id="su",
+            issuer_id="sdc",
+            request_digest=b"\x00" * 32,
+            channels=tuple(range(5)),
+            issued_at=0,
+        )
+        response = LicenseResponse(
+            license=lic, encrypted_signature=pk.encrypt(1, rng=fresh_rng)
+        )
+        # One 256-bit-key ciphertext is 64 bytes; license body is small.
+        assert response.wire_size() < 400
+        assert response.wire_size() == len(response.to_bytes())
+
+
+class TestLicenseResponseRoundtrip:
+    def test_from_bytes(self, second_keypair, fresh_rng):
+        pk, sk = second_keypair.public_key, second_keypair.private_key
+        lic = TransmissionLicense(
+            su_id="su-9",
+            issuer_id="sdc",
+            request_digest=b"\x07" * 32,
+            channels=(0, 2),
+            issued_at=123,
+        )
+        response = LicenseResponse(
+            license=lic, encrypted_signature=pk.encrypt(777, rng=fresh_rng)
+        )
+        decoded = LicenseResponse.from_bytes(response.to_bytes(), pk)
+        assert decoded.license == lic
+        assert sk.decrypt(decoded.encrypted_signature) == 777

@@ -1,0 +1,90 @@
+"""Tests for private power negotiation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pisa.negotiation import PowerNegotiator
+from repro.watch.entities import SUTransmitter
+
+
+@pytest.fixture(scope="module")
+def negotiator(coordinator):
+    return PowerNegotiator(coordinator, resolution_db=2.0)
+
+
+@pytest.fixture(scope="module")
+def boundary_su(pisa_scenario, oracle):
+    """An SU whose admissibility flips inside the search bracket."""
+    for su in pisa_scenario.sus:
+        low = oracle.process_request(su.with_power(-20.0)).granted
+        high = oracle.process_request(su.with_power(36.0)).granted
+        if low and not high:
+            return su
+    pytest.skip("no boundary SU in this scenario")
+
+
+class TestBracketing:
+    def test_cap_granted_short_circuits(self, negotiator, pisa_scenario, oracle):
+        granted_sus = [
+            su for su in pisa_scenario.sus
+            if oracle.process_request(su.with_power(36.0)).granted
+        ]
+        if not granted_sus:
+            pytest.skip("no fully admissible SU")
+        result = negotiator.negotiate(granted_sus[0])
+        assert result.best_power_dbm == 36.0
+        assert result.rounds_used == 1
+
+    def test_floor_denied_reports_inadmissible(
+        self, negotiator, pisa_scenario, oracle
+    ):
+        blocked = [
+            su for su in pisa_scenario.sus
+            if not oracle.process_request(su.with_power(-20.0)).granted
+        ]
+        if not blocked:
+            pytest.skip("no fully blocked SU")
+        result = negotiator.negotiate(blocked[0])
+        assert not result.admitted
+        assert result.rounds_used == 2
+
+
+class TestSearch:
+    def test_converges_to_oracle_threshold(self, negotiator, boundary_su, oracle):
+        result = negotiator.negotiate(boundary_su)
+        assert result.admitted
+        assert result.lowest_denied_dbm is not None
+        gap = result.lowest_denied_dbm - result.best_power_dbm
+        assert 0 < gap <= negotiator.resolution_db + 1e-9
+        # The found point really is granted and the bound really denied,
+        # per the plaintext oracle.
+        assert oracle.process_request(
+            boundary_su.with_power(result.best_power_dbm)
+        ).granted
+        assert not oracle.process_request(
+            boundary_su.with_power(result.lowest_denied_dbm)
+        ).granted
+
+    def test_round_budget_logarithmic(self, negotiator, boundary_su):
+        result = negotiator.negotiate(boundary_su)
+        # 2 bracket probes + ceil(log2(56 / 2)) ≤ 8.
+        assert result.rounds_used <= 8
+
+    def test_probe_trace_is_monotone_consistent(self, negotiator, boundary_su):
+        """Every granted probe power < every denied probe power would be
+        too strong (resolution), but grants must never exceed the final
+        denied bound."""
+        result = negotiator.negotiate(boundary_su)
+        granted = [p for p, ok in result.probes if ok]
+        denied = [p for p, ok in result.probes if not ok]
+        assert max(granted) <= min(denied)
+
+
+class TestValidation:
+    def test_bad_resolution(self, coordinator):
+        with pytest.raises(ConfigurationError):
+            PowerNegotiator(coordinator, resolution_db=0.0)
+
+    def test_bad_bracket(self, negotiator, pisa_scenario):
+        with pytest.raises(ConfigurationError):
+            negotiator.negotiate(pisa_scenario.sus[0], floor_dbm=10.0, cap_dbm=5.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the PU-side client (Figure 4)."""
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ProtocolError
+from repro.pisa.pu_client import PUClient
+from repro.watch.entities import PUReceiver
+from repro.watch.matrices import pu_update_matrix
+
+
+@pytest.fixture()
+def group_keys(fresh_rng):
+    return generate_keypair(256, rng=fresh_rng)
+
+
+@pytest.fixture()
+def client(scenario, group_keys, fresh_rng):
+    return PUClient(
+        scenario.pus[0], scenario.environment, group_keys.public_key, rng=fresh_rng
+    )
+
+
+class TestBuildUpdate:
+    def test_one_ciphertext_per_channel(self, client, scenario):
+        update = client.build_update()
+        assert len(update.ciphertexts) == scenario.params.num_channels
+        assert update.block_index == client.pu.block_index
+        assert update.pu_id == client.pu.receiver_id
+
+    def test_ciphertexts_encrypt_w_entries(self, client, scenario, group_keys):
+        """The encrypted vector must decrypt to W = T − E at the PU's cell."""
+        update = client.build_update()
+        env = scenario.environment
+        w = pu_update_matrix(client.pu, env.e_matrix, env.params)
+        block = client.pu.block_index
+        decrypted = [group_keys.private_key.decrypt(ct) for ct in update.ciphertexts]
+        assert decrypted == [int(w[c, block]) for c in range(env.num_channels)]
+
+    def test_counter(self, client):
+        assert client.updates_sent == 0
+        client.build_update()
+        client.build_update()
+        assert client.updates_sent == 2
+
+
+class TestSwitchChannel:
+    def test_physical_switch_produces_update(self, client, scenario):
+        plan = scenario.environment.plan
+        old = client.pu.channel_slot
+        new = next(
+            s for s in range(scenario.params.num_channels)
+            if not plan.same_physical(old, s)
+        )
+        update = client.switch_channel(new, signal_strength_mw=1e-4)
+        assert update is not None
+        assert client.pu.channel_slot == new
+
+    def test_virtual_switch_skips_update(self, group_keys, fresh_rng):
+        """§VI-A: same physical channel → no SDC notification needed.
+
+        With 39 slots over 38 physical channels, slots 0 and 38 are
+        virtual twins on physical channel 14.
+        """
+        from repro.geo.grid import BlockGrid
+        from repro.watch.environment import SpectrumEnvironment
+        from repro.watch.params import WatchParameters
+
+        env = SpectrumEnvironment(
+            BlockGrid(rows=1, cols=2), WatchParameters(num_channels=39)
+        )
+        pu = PUReceiver("pu", block_index=0, channel_slot=0, signal_strength_mw=1e-4)
+        client = PUClient(pu, env, group_keys.public_key, rng=fresh_rng)
+        assert env.plan.same_physical(0, 38)
+        update = client.switch_channel(38, signal_strength_mw=1e-4)
+        assert update is None
+        assert client.pu.channel_slot == 38
+        # A genuine physical switch still updates.
+        assert client.switch_channel(1, signal_strength_mw=1e-4) is not None
+
+    def test_switch_off_produces_update(self, client):
+        update = client.switch_channel(None)
+        assert update is not None
+        assert not client.pu.is_active
+
+    def test_off_to_off_is_silent(self, client):
+        client.switch_channel(None)
+        assert client.switch_channel(None) is None
+
+    def test_out_of_plan_slot_rejected(self, client, scenario):
+        with pytest.raises(ProtocolError):
+            client.switch_channel(scenario.params.num_channels, signal_strength_mw=1e-4)

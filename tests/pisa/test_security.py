@@ -1,0 +1,156 @@
+"""Security-property tests (§V, Lemma V.1).
+
+Lemma V.1's guarantee rests on three mechanics this module exercises:
+
+1. everything the SDC holds or forwards is a ciphertext under a key it
+   does not possess;
+2. the blinded values the STP decrypts are statistically uninformative —
+   the sign it sees is an unbiased coin regardless of the indicator,
+   and the magnitude is dominated by the blinding factors;
+3. a malicious SU cannot forge a license or replay protocol state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.signatures import RsaFdhVerifier
+from repro.errors import ProtocolError
+from repro.pisa.blinding import BlindingFactory, BlindingParameters
+from repro.pisa.messages import SignExtractionResponse
+
+
+class TestSdcSeesOnlyCiphertexts:
+    def test_forwarded_v_matrix_is_under_group_key(
+        self, coordinator, pisa_scenario
+    ):
+        """What the SDC sends to the STP is encrypted under pk_G — the
+        SDC cannot read its own intermediate state."""
+        su = pisa_scenario.sus[0]
+        client = coordinator.su_client(su.su_id)
+        request = client.prepare_request()
+        extraction = coordinator.sdc.start_request(request)
+        for row in extraction.matrix:
+            for ct in row:
+                assert ct.public_key == coordinator.stp.group_public_key
+
+    def test_response_is_under_su_key(self, coordinator, pisa_scenario):
+        su = pisa_scenario.sus[0]
+        client = coordinator.su_client(su.su_id)
+        request = client.prepare_request()
+        extraction = coordinator.sdc.start_request(request)
+        conversion = coordinator.stp.handle_sign_extraction(extraction)
+        response = coordinator.sdc.finish_request(conversion)
+        assert response.encrypted_signature.public_key == client.public_key
+
+
+class TestStpBlindness:
+    """What the STP decrypts must not reveal the interference state."""
+
+    def test_sign_seen_by_stp_is_unbiased(self):
+        """For a FIXED indicator, the sign of V is a fair coin over the
+        SDC's choice of ε — the STP's observation carries no signal."""
+        from repro.crypto.paillier import PaillierPublicKey
+
+        key = PaillierPublicKey((1 << 511) + 15)
+        params = BlindingParameters.for_key(key, indicator_bound=1 << 66)
+        for indicator in (-(10**15), -1, 1, 10**15):
+            factory = BlindingFactory(
+                params, rng=DeterministicRandomSource(f"bias-{indicator}")
+            )
+            signs = [
+                1 if factory.draw().blind_value(indicator) > 0 else -1
+                for _ in range(600)
+            ]
+            positives = signs.count(1)
+            assert 220 < positives < 380, indicator  # ~fair coin
+
+    def test_magnitude_dominated_by_blinding(self):
+        """|V| must not let the STP read off |I|: for the same |I| the
+        observed magnitudes span the full α range (orders of magnitude)."""
+        from repro.crypto.paillier import PaillierPublicKey
+
+        key = PaillierPublicKey((1 << 511) + 15)
+        params = BlindingParameters.for_key(key, indicator_bound=1 << 66)
+        factory = BlindingFactory(params, rng=DeterministicRandomSource("mag"))
+        indicator = 12345
+        magnitudes = np.array([
+            abs(factory.draw().blind_value(indicator)) for _ in range(200)
+        ], dtype=float)
+        # Every observation is ≫ the indicator itself (α has ~100 bits)…
+        assert magnitudes.min() > 1e12 * abs(indicator)
+        # …and the spread across draws is substantial, so a single
+        # observation does not pin down |I|.
+        assert magnitudes.max() / magnitudes.min() > 2.0
+
+    def test_distinct_indicators_indistinguishable_in_sign(self):
+        """The STP's whole view per cell is sign(V); its distribution is
+        the same for I=5 and I=−5 up to the ε coin (both ~Bernoulli(½))."""
+        from repro.crypto.paillier import PaillierPublicKey
+
+        key = PaillierPublicKey((1 << 511) + 15)
+        params = BlindingParameters.for_key(key, indicator_bound=1 << 66)
+        counts = {}
+        for indicator in (5, -5):
+            factory = BlindingFactory(
+                params, rng=DeterministicRandomSource("dist")
+            )
+            signs = [
+                1 if factory.draw().blind_value(indicator) > 0 else -1
+                for _ in range(500)
+            ]
+            counts[indicator] = signs.count(1) / 500
+        assert abs(counts[5] - (1 - counts[-5])) < 1e-9  # exact mirror of ε
+
+
+class TestMaliciousSu:
+    def test_cannot_forge_license(self, coordinator, pisa_scenario):
+        """An SU cannot mint a valid signature for a different license."""
+        su = pisa_scenario.sus[0]
+        report = coordinator.run_request_round(su.su_id)
+        verifier = RsaFdhVerifier(coordinator.stp.directory.signing_key("sdc"))
+        forged = report.outcome.license
+        # Tamper with the channels claim and reuse the decrypted value.
+        from dataclasses import replace
+
+        tampered = replace(forged, channels=(999,))
+        assert not tampered.verify(verifier, report.outcome.decrypted_value)
+
+    def test_replay_of_conversion_rejected(self, coordinator, pisa_scenario):
+        su = pisa_scenario.sus[0]
+        client = coordinator.su_client(su.su_id)
+        request = client.prepare_request()
+        extraction = coordinator.sdc.start_request(request)
+        conversion = coordinator.stp.handle_sign_extraction(extraction)
+        coordinator.sdc.finish_request(conversion)
+        with pytest.raises(ProtocolError):
+            coordinator.sdc.finish_request(conversion)  # replay
+
+    def test_cross_round_conversion_rejected(self, coordinator, pisa_scenario):
+        """A conversion matrix from round A cannot finish round B."""
+        su_a, su_b = pisa_scenario.sus[0], pisa_scenario.sus[1]
+        req_a = coordinator.su_client(su_a.su_id).prepare_request()
+        req_b = coordinator.su_client(su_b.su_id).prepare_request()
+        ext_a = coordinator.sdc.start_request(req_a)
+        ext_b = coordinator.sdc.start_request(req_b)
+        conv_a = coordinator.stp.handle_sign_extraction(ext_a)
+        # Graft A's converted matrix onto B's round id.
+        spliced = SignExtractionResponse(
+            round_id=ext_b.round_id, su_id=su_a.su_id, matrix=conv_a.matrix
+        )
+        with pytest.raises(ProtocolError):
+            coordinator.sdc.finish_request(spliced)
+        # Clean up B's pending round for other tests.
+        conv_b = coordinator.stp.handle_sign_extraction(ext_b)
+        coordinator.sdc.finish_request(conv_b)
+
+    def test_denied_value_is_unpredictable(self, coordinator, oracle, pisa_scenario):
+        """On deny, the decrypted value is SG + η·ΣQ with one-time η —
+        two denials of the same request decrypt to different garbage."""
+        denied = next(
+            su for su in pisa_scenario.sus if not oracle.process_request(su).granted
+        )
+        first = coordinator.run_request_round(denied.su_id)
+        second = coordinator.run_request_round(denied.su_id, reuse_cached_request=True)
+        assert not first.granted and not second.granted
+        assert first.outcome.decrypted_value != second.outcome.decrypted_value

@@ -1,0 +1,132 @@
+"""Tests for the SU license-lifecycle session."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ProtocolError
+from repro.pisa.protocol import PisaCoordinator
+from repro.pisa.session import SessionState, SuSession
+from repro.watch.sdc import PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def deployment():
+    scenario = build_scenario(ScenarioConfig(seed=4, num_sus=3))
+    clock = FakeClock()
+    coord = PisaCoordinator(
+        scenario.environment, key_bits=256,
+        rng=DeterministicRandomSource("session-tests"),
+    )
+    coord.sdc._clock = clock  # licenses stamped with the fake time
+    oracle = PlaintextSDC(scenario.environment)
+    for pu in scenario.pus:
+        coord.enroll_pu(pu)
+        oracle.pu_update(pu)
+    grantable = [su for su in scenario.sus if oracle.process_request(su).granted]
+    denied = [su for su in scenario.sus if not oracle.process_request(su).granted]
+    for su in scenario.sus:
+        coord.enroll_su(su)
+    return coord, clock, grantable, denied, scenario
+
+
+class TestLicensedFlow:
+    def test_initial_grant(self, deployment):
+        coord, clock, grantable, _, _ = deployment
+        session = SuSession(coord, grantable[0].su_id, clock=clock)
+        assert session.state is SessionState.IDLE
+        status = session.ensure_license()
+        assert status.state is SessionState.LICENSED
+        assert status.may_transmit
+        assert status.license is not None
+        assert status.license.is_valid_at(int(clock.now))
+
+    def test_no_redundant_renewal(self, deployment):
+        coord, clock, grantable, _, _ = deployment
+        session = SuSession(coord, grantable[0].su_id, clock=clock)
+        session.ensure_license()
+        before = coord.transport.count()
+        session.ensure_license()  # still fresh: no protocol traffic
+        assert coord.transport.count() == before
+        assert session.renewals == 1
+
+    def test_expiry_drops_rights(self, deployment):
+        coord, clock, grantable, _, _ = deployment
+        session = SuSession(coord, grantable[0].su_id, clock=clock)
+        status = session.ensure_license()
+        clock.advance(status.license.valid_seconds + 1)
+        assert not session.may_transmit
+        assert session.state is SessionState.EXPIRED
+
+    def test_renewal_after_expiry(self, deployment):
+        coord, clock, grantable, _, _ = deployment
+        session = SuSession(coord, grantable[0].su_id, clock=clock)
+        first = session.ensure_license()
+        clock.advance(first.license.valid_seconds + 1)
+        renewed = session.ensure_license()
+        assert renewed.may_transmit
+        assert renewed.renewals == 2
+        assert renewed.license.issued_at > first.license.issued_at
+
+    def test_margin_triggers_early_renewal(self, deployment):
+        coord, clock, grantable, _, _ = deployment
+        session = SuSession(
+            coord, grantable[0].su_id, renew_margin_s=600, clock=clock
+        )
+        first = session.ensure_license()
+        clock.advance(first.license.valid_seconds - 300)  # inside margin
+        assert session.may_transmit  # not yet expired...
+        renewed = session.ensure_license()  # ...but renewed proactively
+        assert renewed.renewals == 2
+
+
+class TestDeniedFlow:
+    def test_denied_su_never_transmits(self, deployment):
+        coord, clock, _, denied, _ = deployment
+        if not denied:
+            pytest.skip("scenario grants everyone")
+        session = SuSession(coord, denied[0].su_id, clock=clock)
+        status = session.ensure_license()
+        assert status.state is SessionState.DENIED
+        assert not status.may_transmit
+        assert status.denials == 1
+
+    def test_revocation_via_pu_arrival(self, deployment):
+        """A license expires; meanwhile a PU tuned in — renewal denied,
+        rights dropped: the dynamic-protection loop end to end."""
+        coord, clock, grantable, _, scenario = deployment
+        su = grantable[0]
+        session = SuSession(coord, su.su_id, clock=clock)
+        first = session.ensure_license()
+        assert first.may_transmit
+        # A new receiver appears right next to the SU on every channel's
+        # worth of signal — make its cell budget tiny.
+        from repro.watch.entities import PUReceiver
+
+        intruder = PUReceiver(
+            "intruder", block_index=su.block_index,
+            channel_slot=0, signal_strength_mw=1e-9,
+        )
+        coord.enroll_pu(intruder)
+        clock.advance(first.license.valid_seconds + 1)
+        status = session.ensure_license()
+        assert not status.may_transmit
+        assert status.state is SessionState.DENIED
+
+
+class TestValidation:
+    def test_negative_margin_rejected(self, deployment):
+        coord, clock, grantable, _, _ = deployment
+        with pytest.raises(ProtocolError):
+            SuSession(coord, grantable[0].su_id, renew_margin_s=-1, clock=clock)

@@ -1,0 +1,90 @@
+"""Unit tests for the STP (sign extraction + key conversion)."""
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ProtocolError
+from repro.pisa.messages import SignExtractionRequest
+from repro.pisa.stp_server import StpServer
+
+
+@pytest.fixture()
+def stp(fresh_rng):
+    return StpServer(key_bits=256, rng=fresh_rng)
+
+
+@pytest.fixture()
+def su_keys(fresh_rng):
+    return generate_keypair(256, rng=fresh_rng)
+
+
+def extraction_request(stp, values, rng):
+    pk = stp.group_public_key
+    matrix = tuple(
+        tuple(pk.encrypt(v, rng=rng) for v in row) for row in values
+    )
+    return SignExtractionRequest(round_id="r0", su_id="su-1", matrix=matrix)
+
+
+class TestKeyAuthority:
+    def test_directory_holds_group_key(self, stp):
+        assert stp.directory.group_public_key == stp.group_public_key
+
+    def test_accepts_external_keypair(self, fresh_rng):
+        kp = generate_keypair(256, rng=fresh_rng)
+        stp = StpServer(group_keypair=kp)
+        assert stp.group_public_key == kp.public_key
+
+
+class TestSignExtraction:
+    def test_signs_follow_eq_15(self, stp, su_keys, fresh_rng):
+        stp.register_su("su-1", su_keys.public_key)
+        values = [[-100, -1, 1], [50, 7, -3]]
+        response = stp.handle_sign_extraction(
+            extraction_request(stp, values, fresh_rng)
+        )
+        sk = su_keys.private_key
+        signs = [[sk.decrypt(ct) for ct in row] for row in response.matrix]
+        assert signs == [[-1, -1, 1], [1, 1, -1]]
+
+    def test_zero_maps_to_minus_one(self, stp, su_keys, fresh_rng):
+        """eq. (15): V ≤ 0 → X = −1 (boundary included)."""
+        stp.register_su("su-1", su_keys.public_key)
+        response = stp.handle_sign_extraction(
+            extraction_request(stp, [[0]], fresh_rng)
+        )
+        assert su_keys.private_key.decrypt(response.matrix[0][0]) == -1
+
+    def test_output_under_su_key(self, stp, su_keys, fresh_rng):
+        stp.register_su("su-1", su_keys.public_key)
+        response = stp.handle_sign_extraction(
+            extraction_request(stp, [[5]], fresh_rng)
+        )
+        assert response.matrix[0][0].public_key == su_keys.public_key
+
+    def test_round_id_echoed(self, stp, su_keys, fresh_rng):
+        stp.register_su("su-1", su_keys.public_key)
+        response = stp.handle_sign_extraction(
+            extraction_request(stp, [[1]], fresh_rng)
+        )
+        assert response.round_id == "r0"
+        assert response.su_id == "su-1"
+
+    def test_unregistered_su_rejected(self, stp, fresh_rng):
+        with pytest.raises(ProtocolError):
+            stp.handle_sign_extraction(extraction_request(stp, [[1]], fresh_rng))
+
+    def test_foreign_ciphertext_rejected(self, stp, su_keys, fresh_rng):
+        stp.register_su("su-1", su_keys.public_key)
+        foreign = su_keys.public_key.encrypt(1, rng=fresh_rng)  # not group key
+        request = SignExtractionRequest("r0", "su-1", ((foreign,),))
+        with pytest.raises(ProtocolError):
+            stp.handle_sign_extraction(request)
+
+    def test_stats_counted(self, stp, su_keys, fresh_rng):
+        stp.register_su("su-1", su_keys.public_key)
+        stp.handle_sign_extraction(extraction_request(stp, [[1, 2], [3, 4]], fresh_rng))
+        assert stp.stats.conversions == 1
+        assert stp.stats.cells_decrypted == 4
+        assert stp.stats.cells_encrypted == 4

@@ -1,0 +1,121 @@
+"""Unit tests for the SU-side client (Figure 5)."""
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ProtocolError
+from repro.geo.region import PrivacyRegion
+from repro.pisa.su_client import SUClient
+from repro.watch.matrices import su_request_matrix
+
+
+@pytest.fixture()
+def group_keys(fresh_rng):
+    return generate_keypair(256, rng=fresh_rng)
+
+
+@pytest.fixture()
+def su_keys(fresh_rng):
+    return generate_keypair(256, rng=fresh_rng)
+
+
+@pytest.fixture()
+def client(scenario, group_keys, su_keys, fresh_rng):
+    return SUClient(
+        scenario.sus[0],
+        scenario.environment,
+        group_keys.public_key,
+        su_keys,
+        rng=fresh_rng,
+    )
+
+
+class TestPrepareRequest:
+    def test_full_privacy_covers_every_block(self, client, scenario):
+        request = client.prepare_request()
+        env = scenario.environment
+        assert len(request.region_blocks) == env.num_blocks
+        assert len(request.matrix) == env.num_channels
+
+    def test_entries_decrypt_to_f_matrix(self, client, scenario, group_keys):
+        """The ciphertext matrix must encrypt eq. (5) exactly."""
+        request = client.prepare_request()
+        env = scenario.environment
+        f = su_request_matrix(
+            client.su,
+            env.grid,
+            env.params,
+            pathloss_for_channel=env.su_pathloss,
+            exclusion_distance_for_channel=env.exclusion_distance,
+        )
+        sk = group_keys.private_key
+        for c in range(env.num_channels):
+            for k, b in enumerate(request.region_blocks):
+                assert sk.decrypt(request.matrix[c][k]) == int(f[c, b])
+
+    def test_region_shrinks_matrix(self, scenario, group_keys, su_keys, fresh_rng):
+        """§VI-A privacy/size trade-off: fewer blocks → smaller request."""
+        su = scenario.sus[0]
+        grid = scenario.environment.grid
+        region = PrivacyRegion.around(grid, su.block_index, 15.0)
+        client = SUClient(
+            su, scenario.environment, group_keys.public_key, su_keys,
+            region=region, rng=fresh_rng,
+        )
+        small = client.prepare_request()
+        assert len(small.region_blocks) == region.num_blocks < grid.num_blocks
+
+    def test_region_must_contain_su(self, scenario, group_keys, su_keys, fresh_rng):
+        su = scenario.sus[0]
+        grid = scenario.environment.grid
+        other_block = (su.block_index + 1) % grid.num_blocks
+        region = PrivacyRegion(grid, frozenset({other_block}))
+        with pytest.raises(ProtocolError):
+            SUClient(
+                su, scenario.environment, group_keys.public_key, su_keys,
+                region=region, rng=fresh_rng,
+            )
+
+
+class TestRefreshRequest:
+    def test_requires_prepared_request(self, client):
+        with pytest.raises(ProtocolError):
+            client.refresh_request()
+
+    def test_preserves_plaintexts_changes_ciphertexts(self, client, group_keys):
+        original = client.prepare_request()
+        refreshed = client.refresh_request()
+        sk = group_keys.private_key
+        changed = 0
+        for row_o, row_r in zip(original.matrix, refreshed.matrix):
+            for ct_o, ct_r in zip(row_o, row_r):
+                assert sk.decrypt(ct_o) == sk.decrypt(ct_r)
+                changed += ct_o.ciphertext != ct_r.ciphertext
+        assert changed == sum(len(r) for r in original.matrix)
+
+    def test_unlinkable_across_refreshes(self, client):
+        client.prepare_request()
+        a = client.refresh_request()
+        b = client.refresh_request()
+        assert a.matrix[0][0].ciphertext != b.matrix[0][0].ciphertext
+
+
+class TestRefreshPrecompute:
+    def test_precompute_requires_cached_request(self, client):
+        from repro.errors import ProtocolError
+        import pytest as _pytest
+
+        with _pytest.raises(ProtocolError):
+            client.precompute_refresh_material()
+
+    def test_stocked_refresh_uses_no_exponentiation(self, client, group_keys):
+        """After stocking, a refresh drains the pool one per ciphertext."""
+        request = client.prepare_request()
+        cells = sum(len(row) for row in request.matrix)
+        client.precompute_refresh_material(rounds=2)
+        assert len(client._obfuscators) == 2 * cells
+        client.refresh_request()
+        assert len(client._obfuscators) == cells
+        client.refresh_request()
+        assert len(client._obfuscators) == 0

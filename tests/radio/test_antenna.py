@@ -1,0 +1,44 @@
+"""Unit tests for antenna/EIRP arithmetic."""
+
+import pytest
+
+from repro.errors import RadioError
+from repro.radio.antenna import Antenna, eirp_dbm, eirp_mw
+
+
+class TestEirpFormula:
+    def test_paper_formula(self):
+        """§III-D: EIRP = PT + GA − LS."""
+        assert eirp_dbm(20.0, 6.0, 2.0) == pytest.approx(24.0)
+
+    def test_no_gain_no_loss(self):
+        assert eirp_dbm(17.0, 0.0) == pytest.approx(17.0)
+
+    def test_linear_form(self):
+        assert eirp_mw(30.0, 0.0) == pytest.approx(1000.0)
+        assert eirp_mw(30.0, 3.0) == pytest.approx(1995.26, abs=0.1)
+
+    def test_negative_line_loss_rejected(self):
+        with pytest.raises(RadioError):
+            eirp_dbm(20.0, 0.0, -1.0)
+
+
+class TestAntenna:
+    def test_eirp_method(self):
+        antenna = Antenna(gain_dbi=5.0, height_m=3.0, line_loss_db=1.0)
+        assert antenna.eirp_dbm(20.0) == pytest.approx(24.0)
+
+    def test_defaults(self):
+        antenna = Antenna()
+        assert antenna.eirp_dbm(10.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(RadioError):
+            Antenna(height_m=0.0)
+        with pytest.raises(RadioError):
+            Antenna(line_loss_db=-2.0)
+
+    def test_frozen(self):
+        antenna = Antenna()
+        with pytest.raises(AttributeError):
+            antenna.gain_dbi = 10.0

@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic terrain generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadioError
+from repro.radio.terrain import SyntheticTerrain
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = SyntheticTerrain(seed=3)
+        b = SyntheticTerrain(seed=3)
+        assert np.array_equal(a.elevations, b.elevations)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticTerrain(seed=1)
+        b = SyntheticTerrain(seed=2)
+        assert not np.array_equal(a.elevations, b.elevations)
+
+    def test_resolution_rounds_to_power_of_two_plus_one(self):
+        terrain = SyntheticTerrain(resolution=100)
+        assert terrain.grid_points == 129
+
+    def test_relief_respected(self):
+        terrain = SyntheticTerrain(base_elevation_m=100.0, relief_m=50.0, seed=0)
+        assert np.max(terrain.elevations) <= 125.0 + 1e-9
+        assert np.min(terrain.elevations) >= 75.0 - 1e-9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(RadioError):
+            SyntheticTerrain(size_m=0)
+        with pytest.raises(RadioError):
+            SyntheticTerrain(roughness=1.5)
+
+
+class TestSampling:
+    def test_elevation_matches_grid_nodes(self):
+        terrain = SyntheticTerrain(size_m=1000.0, resolution=33, seed=5)
+        step = 1000.0 / (terrain.grid_points - 1)
+        assert terrain.elevation_at(0.0, 0.0) == pytest.approx(
+            float(terrain.elevations[0, 0])
+        )
+        assert terrain.elevation_at(step * 3, step * 7) == pytest.approx(
+            float(terrain.elevations[7, 3])
+        )
+
+    def test_bilinear_between_nodes(self):
+        terrain = SyntheticTerrain(size_m=100.0, resolution=17, seed=5)
+        mid = terrain.elevation_at(50.0, 50.0)
+        assert np.min(terrain.elevations) <= mid <= np.max(terrain.elevations)
+
+    def test_outside_tile_raises(self):
+        terrain = SyntheticTerrain(size_m=100.0)
+        with pytest.raises(RadioError):
+            terrain.elevation_at(-1.0, 0.0)
+        with pytest.raises(RadioError):
+            terrain.elevation_at(0.0, 101.0)
+
+
+class TestProfiles:
+    def test_profile_endpoints(self):
+        terrain = SyntheticTerrain(size_m=500.0, seed=2)
+        profile = terrain.profile((0.0, 0.0), (400.0, 300.0), samples=32)
+        assert len(profile) == 32
+        assert profile[0] == pytest.approx(terrain.elevation_at(0.0, 0.0))
+        assert profile[-1] == pytest.approx(terrain.elevation_at(400.0, 300.0))
+
+    def test_profile_needs_two_samples(self):
+        terrain = SyntheticTerrain()
+        with pytest.raises(RadioError):
+            terrain.profile((0, 0), (1, 1), samples=1)
+
+    def test_statistics(self):
+        terrain = SyntheticTerrain(base_elevation_m=200.0, relief_m=60.0, seed=1)
+        assert 170.0 < terrain.mean_elevation() < 230.0
+        assert 0.0 < terrain.terrain_irregularity() <= 60.0

@@ -1,0 +1,132 @@
+"""Unit tests for simulated USRP devices and the shared medium."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadioError
+from repro.sdr.devices import USRP_N210, USRP_X310, RadioMedium, SimulatedUSRP
+
+
+@pytest.fixture()
+def medium():
+    medium = RadioMedium()
+    for device in (
+        SimulatedUSRP("pu", USRP_X310, x_m=0.0, y_m=0.0),
+        SimulatedUSRP("su1", USRP_N210, x_m=10.0, y_m=0.0),
+        SimulatedUSRP("su2", USRP_N210, x_m=100.0, y_m=0.0),
+    ):
+        medium.register(device)
+    return medium
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, medium):
+        with pytest.raises(RadioError):
+            medium.register(SimulatedUSRP("pu", USRP_X310, 1.0, 1.0))
+
+    def test_power_cap_enforced(self):
+        with pytest.raises(RadioError):
+            SimulatedUSRP("x", USRP_N210, 0.0, 0.0, tx_power_dbm=30.0)
+
+
+class TestPropagation:
+    def test_closer_is_louder(self, medium):
+        """Figure 8's premise: amplitude depends on distance."""
+        near = medium.amplitude_between("su1", "pu")
+        far = medium.amplitude_between("su2", "pu")
+        assert near > far
+        # Free-space amplitude scales as 1/d → 10x distance ≈ 10x weaker.
+        assert near / far == pytest.approx(10.0, rel=0.05)
+
+    def test_transmit_heard_by_others_not_self(self, medium):
+        medium.transmit("su1", duration_s=60e-6)
+        assert medium.heard["pu"][0].source_id == "su1"
+        assert medium.heard["su2"][0].source_id == "su1"
+        assert medium.heard["su1"] == []
+
+    def test_clock_advances(self, medium):
+        medium.transmit("su1", duration_s=60e-6)
+        assert medium.clock_s == pytest.approx(60e-6)
+        medium.advance(1e-3)
+        assert medium.clock_s == pytest.approx(60e-6 + 1e-3)
+
+    def test_time_cannot_reverse(self, medium):
+        with pytest.raises(RadioError):
+            medium.advance(-1.0)
+
+    def test_permission_gate(self, medium):
+        medium.devices["su1"].transmitting_allowed = False
+        with pytest.raises(RadioError):
+            medium.transmit("su1", duration_s=60e-6)
+
+    def test_unknown_transmitter(self, medium):
+        with pytest.raises(RadioError):
+            medium.transmit("ghost", duration_s=1e-6)
+
+
+class TestObservation:
+    def test_trace_shows_burst(self, medium):
+        medium.transmit("su1", duration_s=60e-6)
+        trace = medium.devices["pu"].observe(medium, window_s=0.2e-3,
+                                             sample_rate_hz=20e6)
+        assert len(trace) == 4000
+        assert np.max(np.abs(trace)) > 1e-3
+
+    def test_since_filter(self, medium):
+        medium.transmit("su1", duration_s=60e-6)
+        cut = medium.clock_s
+        medium.advance(1e-3)
+        trace = medium.devices["pu"].observe(
+            medium, window_s=0.2e-3, sample_rate_hz=20e6, since_s=cut
+        )
+        assert np.max(np.abs(trace)) < 0.01  # earlier burst excluded
+
+    def test_sample_rate_cap(self, medium):
+        with pytest.raises(RadioError):
+            medium.devices["su1"].observe(medium, window_s=1e-3,
+                                          sample_rate_hz=50e6)  # N210 caps at 25M
+
+    def test_heard_sources(self, medium):
+        medium.transmit("su1", duration_s=10e-6)
+        medium.transmit("su2", duration_s=10e-6)
+        assert medium.devices["pu"].heard_sources(medium) == ["su1", "su2"]
+
+
+class TestCarrierSense:
+    def test_idle_channel_not_busy(self, medium):
+        assert not medium.channel_busy("pu")
+
+    def test_busy_during_overlapping_burst(self, medium):
+        # su1 starts a long burst; clock sits inside its airtime after a
+        # second (shorter) event advances less than the burst length.
+        medium.transmit("su1", duration_s=500e-6)
+        medium.clock_s -= 400e-6  # rewind into the burst window
+        assert medium.channel_busy("pu")
+
+    def test_not_busy_after_burst_ends(self, medium):
+        medium.transmit("su1", duration_s=50e-6)
+        medium.advance(1e-3)
+        assert not medium.channel_busy("pu")
+
+    def test_threshold_filters_weak_signals(self, medium):
+        medium.transmit("su2", duration_s=500e-6)  # far transmitter
+        medium.clock_s -= 400e-6
+        near_amplitude = medium.heard["pu"][-1].amplitude
+        assert medium.channel_busy("pu", threshold=near_amplitude / 2)
+        assert not medium.channel_busy("pu", threshold=near_amplitude * 2)
+
+    def test_carrier_sense_defers(self, medium):
+        medium.transmit("su1", duration_s=500e-6)
+        medium.clock_s -= 400e-6  # su2 wakes up mid-burst
+        heard_before = len(medium.heard["pu"])
+        result = medium.transmit("su2", duration_s=50e-6, carrier_sense=True)
+        assert result is None
+        assert len(medium.heard["pu"]) == heard_before  # nothing sent
+
+    def test_carrier_sense_transmits_when_clear(self, medium):
+        result = medium.transmit("su1", duration_s=50e-6, carrier_sense=True)
+        assert result is not None
+
+    def test_unknown_listener(self, medium):
+        with pytest.raises(RadioError):
+            medium.channel_busy("ghost")

@@ -1,0 +1,85 @@
+"""Integration tests for the §VI-B four-scenario testbed."""
+
+import numpy as np
+import pytest
+
+from repro.sdr.testbed import SdrTestbed
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return SdrTestbed(seed=1)
+
+
+@pytest.fixture(scope="module")
+def results(testbed):
+    return testbed.run_all()
+
+
+class TestScenario1:
+    def test_pu_hears_two_amplitudes(self, results):
+        """Figure 8: two packets with different amplitudes at the PU."""
+        trace = results[0].traces["pu"]
+        assert len(trace) == 7000  # 0.35 ms at 20 MHz
+        # Packet windows: su1 at [0, 60µs], su2 at [160µs, 220µs].
+        peak_su1 = np.max(np.abs(trace[100:1100]))
+        peak_su2 = np.max(np.abs(trace[3300:4300]))
+        noise = np.max(np.abs(trace[5500:6900]))
+        assert peak_su1 > 3 * noise
+        assert peak_su2 > 3 * noise
+        assert peak_su1 != pytest.approx(peak_su2, rel=0.2)
+
+    def test_nearer_su_is_louder(self, testbed, results):
+        trace = results[0].traces["pu"]
+        peak_su1 = np.max(np.abs(trace[100:1100]))
+        peak_su2 = np.max(np.abs(trace[3300:4300]))
+        # su1 is closer to the PU than su2 in the default geometry —
+        # but su2 transmits at lower power too; both push the same way.
+        assert peak_su1 > peak_su2
+
+
+class TestScenario2:
+    def test_sus_halted(self, testbed, results):
+        assert not testbed.su1_device.transmitting_allowed or any(
+            "granted" in e for e in results[3].events
+        )
+        assert any("update" in e for e in results[1].events)
+
+    def test_pu_now_active(self, testbed):
+        assert testbed.coordinator.pu_client("pu").pu.is_active
+
+
+class TestScenario3:
+    def test_requests_sent(self, results):
+        assert len(results[2].events) == 2
+        assert all("encrypted request" in e for e in results[2].events)
+
+
+class TestScenario4:
+    def test_paper_outcome(self, results):
+        """The paper's run: the distant/quiet SU2 granted, SU1 denied."""
+        reports = results[3].reports
+        assert not reports["su1"].granted
+        assert reports["su2"].granted
+
+    def test_granted_su_transmits_11_packets(self, testbed, results):
+        assert any("11 packets" in e for e in results[3].events)
+        sources = [b.source_id for b in testbed.medium.heard["pu"]]
+        assert sources.count("su2") >= 11
+
+    def test_trace_covers_20ms(self, results):
+        trace = results[3].traces["pu"]
+        assert len(trace) == 400_000  # 20 ms at 20 MHz
+
+    def test_device_permissions_follow_decisions(self, testbed):
+        assert not testbed.su1_device.transmitting_allowed
+        assert testbed.su2_device.transmitting_allowed
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = SdrTestbed(seed=7).run_all()[3].reports
+        b = SdrTestbed(seed=7).run_all()[3].reports
+        assert {k: v.granted for k, v in a.items()} == {
+            k: v.granted for k, v in b.items()
+        }

@@ -1,0 +1,62 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "late")
+        queue.schedule(1.0, "early")
+        queue.schedule(3.0, "middle")
+        assert [queue.pop().kind for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        queue.schedule(2.5, "x")
+        queue.pop()
+        assert queue.now == 2.5
+
+    def test_fifo_among_simultaneous(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        assert [queue.pop().kind, queue.pop().kind] == ["first", "second"]
+
+    def test_schedule_relative_to_now(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "a")
+        queue.pop()
+        queue.schedule(1.0, "b")
+        assert queue.pop().time == 2.0
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        queue.schedule_at(7.0, "x")
+        assert queue.pop().time == 7.0
+
+    def test_past_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, "x")
+        queue.schedule(5.0, "x")
+        queue.pop()
+        with pytest.raises(ValueError):
+            queue.schedule_at(1.0, "y")
+
+    def test_empty_pop(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.schedule(1.0, "x")
+        assert queue and len(queue) == 1
+
+    def test_payload_carried(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "x", payload={"k": 1})
+        assert queue.pop().payload == {"k": 1}

@@ -1,0 +1,56 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.workload import PoissonArrivals, PuSwitchProcess, WorkloadConfig
+
+
+class TestWorkloadConfig:
+    def test_defaults_follow_paper(self):
+        config = WorkloadConfig()
+        assert 2.3 <= config.pu_virtual_switches_per_hour <= 2.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(su_requests_per_hour=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(physical_switch_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(cached_request_fraction=-0.1)
+
+
+class TestPoissonArrivals:
+    def test_mean_gap(self):
+        rng = np.random.default_rng(0)
+        arrivals = PoissonArrivals(rate_per_hour=60.0, rng=rng)
+        gaps = [arrivals.next_gap_s() for _ in range(3000)]
+        assert np.mean(gaps) == pytest.approx(60.0, rel=0.1)
+
+    def test_gaps_positive(self):
+        rng = np.random.default_rng(1)
+        arrivals = PoissonArrivals(rate_per_hour=10.0, rng=rng)
+        assert all(arrivals.next_gap_s() > 0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0, np.random.default_rng(0))
+
+
+class TestPuSwitchProcess:
+    def test_physical_fraction(self):
+        rng = np.random.default_rng(2)
+        process = PuSwitchProcess(2.5, physical_fraction=0.2, rng=rng)
+        flags = [process.next_switch()[1] for _ in range(4000)]
+        assert np.mean(flags) == pytest.approx(0.2, abs=0.03)
+
+    def test_mean_switch_gap(self):
+        rng = np.random.default_rng(3)
+        process = PuSwitchProcess(2.5, physical_fraction=0.2, rng=rng)
+        gaps = [process.next_switch()[0] for _ in range(3000)]
+        assert np.mean(gaps) == pytest.approx(3600.0 / 2.5, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PuSwitchProcess(0.0, 0.2, np.random.default_rng(0))

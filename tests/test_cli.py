@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["demo"],
+            ["demo", "--packed"],
+            ["demo", "--two-server", "--key-bits", "128"],
+            ["testbed", "--seed", "2"],
+            ["zones", "--probe-dbm", "12"],
+            ["simulate", "--hours", "2", "--rate", "0.5", "--packing", "4"],
+            ["profile", "--key-bits", "128"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestExecution:
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "3", "--key-bits", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "decision for" in out
+        assert "GRANTED" in out or "DENIED" in out
+
+    def test_demo_variant_conflict(self, capsys):
+        assert main(["demo", "--packed", "--two-server"]) == 2
+
+    def test_demo_two_server(self, capsys):
+        assert main(["demo", "--seed", "3", "--key-bits", "128",
+                     "--two-server"]) == 0
+        assert "two-server" in capsys.readouterr().out
+
+    def test_zones(self, capsys):
+        assert main(["zones"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse gain" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--hours", "2", "--rate", "0.5"]) == 0
+        assert "requests served" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--key-bits", "128", "--iterations", "3"]) == 0
+        assert "Encryption" in capsys.readouterr().out
+
+    def test_testbed(self, capsys):
+        assert main(["testbed", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario-4" in out
+
+
+class TestNewerCommands:
+    def test_negotiate(self, capsys):
+        assert main(["negotiate", "--seed", "4", "--resolution-db", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "max admissible power" in out or "inadmissible" in out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        assert "spectrum-reuse multiple" in capsys.readouterr().out
+
+    def test_new_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["negotiate", "--block", "3"]).block == 3
+        assert parser.parse_args(["capacity", "--probe-dbm", "10"]).probe_dbm == 10

@@ -1,0 +1,66 @@
+"""Unit tests for WATCH entities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.antenna import Antenna
+from repro.watch.entities import PUReceiver, SUTransmitter, TVTransmitter
+
+
+class TestTVTransmitter:
+    def test_construction(self):
+        tower = TVTransmitter("t1", x_m=0.0, y_m=0.0, channel_slot=3)
+        assert tower.eirp_dbm == pytest.approx(80.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TVTransmitter("t1", 0.0, 0.0, channel_slot=-1)
+        with pytest.raises(ConfigurationError):
+            TVTransmitter("t1", 0.0, 0.0, channel_slot=0, antenna_height_m=0.0)
+
+
+class TestPUReceiver:
+    def test_active_receiver(self):
+        pu = PUReceiver("pu", block_index=3, channel_slot=2, signal_strength_mw=1e-4)
+        assert pu.is_active
+
+    def test_switched_off_receiver(self):
+        pu = PUReceiver("pu", block_index=3, channel_slot=None)
+        assert not pu.is_active
+
+    def test_active_needs_signal(self):
+        with pytest.raises(ConfigurationError):
+            PUReceiver("pu", block_index=0, channel_slot=1, signal_strength_mw=0.0)
+
+    def test_switched_to(self):
+        pu = PUReceiver("pu", block_index=3, channel_slot=2, signal_strength_mw=1e-4)
+        switched = pu.switched_to(5, signal_strength_mw=2e-4)
+        assert switched.channel_slot == 5
+        assert switched.block_index == 3  # location is fixed/registered
+        off = switched.switched_to(None)
+        assert not off.is_active
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PUReceiver("pu", block_index=-1, channel_slot=None)
+
+
+class TestSUTransmitter:
+    def test_eirp_composition(self):
+        """§III-D: EIRP = PT + GA − LS."""
+        su = SUTransmitter(
+            "su", block_index=0, tx_power_dbm=20.0,
+            antenna=Antenna(gain_dbi=6.0, line_loss_db=2.0),
+        )
+        assert su.eirp_dbm == pytest.approx(24.0)
+        assert su.eirp_mw == pytest.approx(10**2.4)
+
+    def test_with_power(self):
+        su = SUTransmitter("su", block_index=0, tx_power_dbm=10.0)
+        louder = su.with_power(20.0)
+        assert louder.eirp_dbm == pytest.approx(20.0)
+        assert su.eirp_dbm == pytest.approx(10.0)  # original unchanged
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SUTransmitter("su", block_index=-2)

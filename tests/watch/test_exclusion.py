@@ -1,0 +1,63 @@
+"""Unit tests for the exclusion-distance solver (eq. (1))."""
+
+import pytest
+
+from repro.radio.pathloss import FreeSpaceModel
+from repro.watch.exclusion import exclusion_distance_m, required_gain
+from repro.watch.params import WatchParameters
+
+UHF = 600e6
+
+
+class TestRequiredGain:
+    def test_formula(self):
+        """h_max(d^c) = S_min / (S_max · (Δ_SINR + Δ_redn))."""
+        params = WatchParameters()
+        gain = required_gain(params)
+        s_min = 10 ** (params.min_tv_signal_dbm / 10)
+        s_max = 10 ** (params.max_su_eirp_dbm / 10)
+        assert gain == pytest.approx(s_min / (s_max * params.sinr_plus_redn_linear))
+
+    def test_gain_is_tiny(self):
+        assert required_gain(WatchParameters()) < 1e-10
+
+
+class TestExclusionDistance:
+    def test_gain_at_distance_matches(self):
+        params = WatchParameters()
+        d = exclusion_distance_m(params, UHF)
+        model = FreeSpaceModel(UHF)
+        assert model.gain_linear(d) == pytest.approx(required_gain(params), rel=1e-6)
+
+    def test_higher_su_power_larger_zone(self):
+        low = WatchParameters(max_su_eirp_dbm=20.0)
+        high = WatchParameters(max_su_eirp_dbm=36.0)
+        assert exclusion_distance_m(high, UHF) > exclusion_distance_m(low, UHF)
+
+    def test_stricter_sinr_larger_zone(self):
+        lax = WatchParameters(tv_sinr_db=10.0)
+        strict = WatchParameters(tv_sinr_db=23.0)
+        assert exclusion_distance_m(strict, UHF) > exclusion_distance_m(lax, UHF)
+
+    def test_weaker_tv_protection_smaller_zone(self):
+        """A lower minimum TV signal means victims tolerate less
+        interference, so the zone must GROW as S_min decreases."""
+        strong_floor = WatchParameters(min_tv_signal_dbm=-70.0)
+        weak_floor = WatchParameters(min_tv_signal_dbm=-90.0)
+        assert exclusion_distance_m(weak_floor, UHF) > exclusion_distance_m(
+            strong_floor, UHF
+        )
+
+    def test_frequency_dependence(self):
+        """Higher frequency → more free-space loss → smaller d^c."""
+        params = WatchParameters()
+        assert exclusion_distance_m(params, 700e6) < exclusion_distance_m(params, 500e6)
+
+    def test_custom_model_override(self):
+        params = WatchParameters()
+        from repro.radio.pathloss import LogDistanceModel
+
+        harsh = LogDistanceModel(UHF, exponent=4.0)
+        d_harsh = exclusion_distance_m(params, UHF, hmax_model=harsh)
+        d_free = exclusion_distance_m(params, UHF)
+        assert d_harsh < d_free

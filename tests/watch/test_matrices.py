@@ -1,0 +1,184 @@
+"""Unit tests for the plaintext WATCH matrices (eqs. (3)-(7))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GridError
+from repro.geo.grid import BlockGrid
+from repro.geo.region import PrivacyRegion
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.matrices import (
+    aggregate,
+    all_positive,
+    budget_matrix,
+    indicator_matrix,
+    pu_signal_matrix,
+    pu_update_matrix,
+    scaled_interference_matrix,
+    su_request_matrix,
+    zeros_matrix,
+)
+from repro.watch.params import WatchParameters
+
+PARAMS = WatchParameters(num_channels=3)
+GRID = BlockGrid(rows=2, cols=3, block_size_m=10.0)
+NUM_BLOCKS = GRID.num_blocks
+
+
+def small_e_matrix(value: int = 1000) -> np.ndarray:
+    e = zeros_matrix(PARAMS.num_channels, NUM_BLOCKS)
+    e[:] = value
+    return e
+
+
+class TestZeros:
+    def test_shape_and_type(self):
+        m = zeros_matrix(3, 6)
+        assert m.shape == (3, 6)
+        assert all(v == 0 for v in m.flat)
+        assert isinstance(m[0, 0], int)
+
+
+class TestPuMatrices:
+    def test_signal_matrix_single_entry(self):
+        pu = PUReceiver("pu", block_index=4, channel_slot=1, signal_strength_mw=2.5e-4)
+        t = pu_signal_matrix(pu, PARAMS, NUM_BLOCKS)
+        expected = PARAMS.encoder.encode(2.5e-4)
+        assert t[1, 4] == expected
+        assert sum(1 for v in t.flat if v != 0) == 1
+
+    def test_inactive_pu_all_zero(self):
+        pu = PUReceiver("pu", block_index=4, channel_slot=None)
+        t = pu_signal_matrix(pu, PARAMS, NUM_BLOCKS)
+        assert all(v == 0 for v in t.flat)
+
+    def test_block_out_of_range(self):
+        pu = PUReceiver("pu", block_index=99, channel_slot=0, signal_strength_mw=1e-4)
+        with pytest.raises(GridError):
+            pu_signal_matrix(pu, PARAMS, NUM_BLOCKS)
+
+    def test_channel_out_of_range(self):
+        pu = PUReceiver("pu", block_index=0, channel_slot=7, signal_strength_mw=1e-4)
+        with pytest.raises(ConfigurationError):
+            pu_signal_matrix(pu, PARAMS, NUM_BLOCKS)
+
+    def test_update_matrix_is_t_minus_e(self):
+        """§IV-B: W = T − E at the PU's cell, zero elsewhere."""
+        pu = PUReceiver("pu", block_index=2, channel_slot=0, signal_strength_mw=1e-3)
+        e = small_e_matrix(500)
+        w = pu_update_matrix(pu, e, PARAMS)
+        t_value = PARAMS.encoder.encode(1e-3)
+        assert w[0, 2] == t_value - 500
+        assert sum(1 for v in w.flat if v != 0) == 1
+
+    def test_update_matrix_inactive_zero(self):
+        pu = PUReceiver("pu", block_index=2, channel_slot=None)
+        w = pu_update_matrix(pu, small_e_matrix(), PARAMS)
+        assert all(v == 0 for v in w.flat)
+
+
+class TestBudget:
+    def test_equation_4_equivalence(self):
+        """N == T' where a PU is present and == E elsewhere (eq. (4))."""
+        e = small_e_matrix(700)
+        pu_a = PUReceiver("a", block_index=1, channel_slot=0, signal_strength_mw=2e-3)
+        pu_b = PUReceiver("b", block_index=3, channel_slot=2, signal_strength_mw=5e-4)
+        w_sum = aggregate(
+            [pu_update_matrix(pu_a, e, PARAMS), pu_update_matrix(pu_b, e, PARAMS)]
+        )
+        n = budget_matrix(w_sum, e)
+        assert n[0, 1] == PARAMS.encoder.encode(2e-3)
+        assert n[2, 3] == PARAMS.encoder.encode(5e-4)
+        # Every other cell keeps the E value.
+        for c in range(PARAMS.num_channels):
+            for b in range(NUM_BLOCKS):
+                if (c, b) not in ((0, 1), (2, 3)):
+                    assert n[c, b] == 700
+
+    def test_aggregate_needs_input(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            budget_matrix(zeros_matrix(2, 3), zeros_matrix(3, 3))
+
+
+class TestSuMatrices:
+    @staticmethod
+    def _request(su, region=None, channels=None):
+        from repro.radio.pathloss import LogDistanceModel
+
+        model = LogDistanceModel(600e6, exponent=3.0)
+        return su_request_matrix(
+            su,
+            GRID,
+            PARAMS,
+            pathloss_for_channel=lambda c: model,
+            exclusion_distance_for_channel=lambda c: 1e5,
+            region=region,
+            channels=channels,
+        )
+
+    def test_entry_is_eirp_times_gain(self):
+        su = SUTransmitter("su", block_index=0, tx_power_dbm=20.0)
+        f = self._request(su)
+        from repro.radio.pathloss import LogDistanceModel
+
+        model = LogDistanceModel(600e6, exponent=3.0)
+        gain = model.gain_linear(GRID.distance_m(0, 5))
+        assert f[0, 5] == PARAMS.encoder.encode(su.eirp_mw * gain)
+
+    def test_channel_subset(self):
+        su = SUTransmitter("su", block_index=0, tx_power_dbm=20.0)
+        f = self._request(su, channels=[1])
+        assert all(f[0, b] == 0 for b in range(NUM_BLOCKS))
+        assert any(f[1, b] != 0 for b in range(NUM_BLOCKS))
+        assert all(f[2, b] == 0 for b in range(NUM_BLOCKS))
+
+    def test_region_masks_entries(self):
+        su = SUTransmitter("su", block_index=0, tx_power_dbm=20.0)
+        region = PrivacyRegion(GRID, frozenset({0, 1, 2}))
+        f = self._request(su, region=region)
+        for b in range(3, NUM_BLOCKS):
+            assert all(f[c, b] == 0 for c in range(PARAMS.num_channels))
+
+    def test_invalid_channel_rejected(self):
+        su = SUTransmitter("su", block_index=0)
+        with pytest.raises(ConfigurationError):
+            self._request(su, channels=[9])
+
+    def test_su_block_out_of_range(self):
+        su = SUTransmitter("su", block_index=77)
+        with pytest.raises(GridError):
+            self._request(su)
+
+
+class TestDecisionAlgebra:
+    def test_scaled_interference(self):
+        f = zeros_matrix(3, NUM_BLOCKS)
+        f[1, 2] = 10
+        r = scaled_interference_matrix(f, PARAMS)
+        assert r[1, 2] == 10 * PARAMS.sinr_plus_redn_int
+
+    def test_indicator(self):
+        n = small_e_matrix(100)
+        r = zeros_matrix(3, NUM_BLOCKS)
+        r[0, 0] = 100
+        r[0, 1] = 99
+        i = indicator_matrix(n, r)
+        assert i[0, 0] == 0
+        assert i[0, 1] == 1
+        assert i[2, 5] == 100
+
+    def test_indicator_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            indicator_matrix(zeros_matrix(2, 2), zeros_matrix(2, 3))
+
+    def test_all_positive(self):
+        m = small_e_matrix(1)
+        assert all_positive(m)
+        m[1, 1] = 0
+        assert not all_positive(m)
+        m[1, 1] = -5
+        assert not all_positive(m)

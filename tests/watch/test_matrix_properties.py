@@ -1,0 +1,135 @@
+"""Property-based tests for the WATCH matrix algebra (eqs. (3)-(7))."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.watch.entities import PUReceiver
+from repro.watch.matrices import (
+    aggregate,
+    all_positive,
+    budget_matrix,
+    indicator_matrix,
+    pu_signal_matrix,
+    pu_update_matrix,
+    scaled_interference_matrix,
+    zeros_matrix,
+)
+from repro.watch.params import WatchParameters
+
+PARAMS = WatchParameters(num_channels=3)
+NUM_BLOCKS = 6
+
+relaxed = settings(max_examples=50, deadline=None)
+
+pu_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_BLOCKS - 1),
+        st.integers(min_value=0, max_value=PARAMS.num_channels - 1),
+        st.floats(min_value=1e-9, max_value=1e-1),
+    ),
+    min_size=0,
+    max_size=4,
+    unique_by=lambda spec: spec[0],  # one PU per block (paper §IV-A2)
+)
+
+e_values = st.lists(
+    st.integers(min_value=1, max_value=10**12),
+    min_size=PARAMS.num_channels * NUM_BLOCKS,
+    max_size=PARAMS.num_channels * NUM_BLOCKS,
+)
+
+
+def make_pus(specs):
+    return [
+        PUReceiver(f"pu-{i}", block_index=block, channel_slot=slot,
+                   signal_strength_mw=signal)
+        for i, (block, slot, signal) in enumerate(specs)
+    ]
+
+
+def make_e(values):
+    e = zeros_matrix(PARAMS.num_channels, NUM_BLOCKS)
+    for c in range(PARAMS.num_channels):
+        for b in range(NUM_BLOCKS):
+            e[c, b] = values[c * NUM_BLOCKS + b]
+    return e
+
+
+@relaxed
+@given(specs=pu_specs, values=e_values)
+def test_equation_4_identity(specs, values):
+    """N = ΣW + E equals T where a PU sits and E elsewhere — for ANY
+    population and ANY E matrix (the §IV-B trick is an identity)."""
+    pus = make_pus(specs)
+    e = make_e(values)
+    w_sum = (
+        aggregate([pu_update_matrix(pu, e, PARAMS) for pu in pus])
+        if pus
+        else zeros_matrix(PARAMS.num_channels, NUM_BLOCKS)
+    )
+    n = budget_matrix(w_sum, e)
+    occupied = {(pu.channel_slot, pu.block_index): pu for pu in pus}
+    for c in range(PARAMS.num_channels):
+        for b in range(NUM_BLOCKS):
+            if (c, b) in occupied:
+                expected = PARAMS.encoder.encode(
+                    occupied[(c, b)].signal_strength_mw
+                )
+            else:
+                expected = e[c, b]
+            assert n[c, b] == expected
+
+
+@relaxed
+@given(specs=pu_specs, values=e_values)
+def test_aggregation_is_order_invariant(specs, values):
+    pus = make_pus(specs)
+    if len(pus) < 2:
+        return
+    e = make_e(values)
+    matrices = [pu_update_matrix(pu, e, PARAMS) for pu in pus]
+    forward = aggregate(matrices)
+    backward = aggregate(list(reversed(matrices)))
+    assert all(forward[c, b] == backward[c, b]
+               for c in range(PARAMS.num_channels) for b in range(NUM_BLOCKS))
+
+
+@relaxed
+@given(
+    values=e_values,
+    f_entries=st.lists(
+        st.integers(min_value=0, max_value=10**10),
+        min_size=PARAMS.num_channels * NUM_BLOCKS,
+        max_size=PARAMS.num_channels * NUM_BLOCKS,
+    ),
+)
+def test_grant_iff_strict_budget_dominance(values, f_entries):
+    """all_positive(N − X·F) ⟺ every cell has X·F < N."""
+    n = make_e(values)
+    f = zeros_matrix(PARAMS.num_channels, NUM_BLOCKS)
+    for c in range(PARAMS.num_channels):
+        for b in range(NUM_BLOCKS):
+            f[c, b] = f_entries[c * NUM_BLOCKS + b]
+    r = scaled_interference_matrix(f, PARAMS)
+    granted = all_positive(indicator_matrix(n, r))
+    dominated = all(
+        r[c, b] < n[c, b]
+        for c in range(PARAMS.num_channels)
+        for b in range(NUM_BLOCKS)
+    )
+    assert granted == dominated
+
+
+@relaxed
+@given(specs=pu_specs)
+def test_signal_matrix_single_support(specs):
+    """T_i has exactly one non-zero entry per active PU (at its cell)."""
+    for pu in make_pus(specs):
+        t = pu_signal_matrix(pu, PARAMS, NUM_BLOCKS)
+        nonzero = [(c, b) for c in range(PARAMS.num_channels)
+                   for b in range(NUM_BLOCKS) if t[c, b] != 0]
+        expected = PARAMS.encoder.encode(pu.signal_strength_mw)
+        if expected == 0:
+            assert nonzero == []
+        else:
+            assert nonzero == [(pu.channel_slot, pu.block_index)]

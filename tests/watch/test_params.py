@@ -1,0 +1,67 @@
+"""Unit tests for WATCH parameters and Table I settings."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.watch.params import PaperSettings, WatchParameters
+
+
+class TestWatchParameters:
+    def test_defaults_follow_the_paper(self):
+        params = WatchParameters()
+        assert params.num_channels == 100
+        assert params.value_bits == 60
+        assert params.tv_sinr_db == pytest.approx(15.0)
+
+    def test_sinr_linear_conversion(self):
+        params = WatchParameters(tv_sinr_db=15.0, redn_db=1.0)
+        expected = 10**1.5 + 10**0.1
+        assert params.sinr_plus_redn_linear == pytest.approx(expected)
+
+    def test_integer_sinr_rounds_up(self):
+        """Quantisation must never shrink the protection margin."""
+        params = WatchParameters()
+        assert params.sinr_plus_redn_int == math.ceil(params.sinr_plus_redn_linear)
+        assert params.sinr_plus_redn_int >= params.sinr_plus_redn_linear
+
+    def test_max_quantised_value(self):
+        params = WatchParameters(value_bits=60)
+        assert params.max_quantised_value == 2**60 - 1
+
+    def test_encoder_scale(self):
+        params = WatchParameters(power_decimals=12)
+        assert params.encoder.encode(1.0) == 10**12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WatchParameters(num_channels=0)
+        with pytest.raises(ConfigurationError):
+            WatchParameters(power_decimals=-1)
+        with pytest.raises(ConfigurationError):
+            WatchParameters(value_bits=4)
+
+
+class TestPaperSettings:
+    def test_table_1_values(self):
+        settings = PaperSettings()
+        assert settings.num_pus == 100
+        assert settings.num_blocks == 600
+        assert settings.num_channels == 100
+        assert settings.value_bits == 60
+        assert settings.paillier_bits == 2048
+
+    def test_grid_factorisation(self):
+        settings = PaperSettings()
+        assert settings.grid_rows * settings.grid_cols == settings.num_blocks
+
+    def test_table_rows_render(self):
+        rows = PaperSettings().as_table_rows()
+        assert ("Number of PUs", "100") in rows
+        assert ("Number of blocks", "600") in rows
+
+    def test_watch_parameters_conversion(self):
+        params = PaperSettings().watch_parameters()
+        assert params.num_channels == 100
+        assert params.value_bits == 60

@@ -1,0 +1,119 @@
+"""Unit tests for the plaintext WATCH SDC."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.matrices import zeros_matrix
+from repro.watch.sdc import Decision, PlaintextSDC
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture()
+def sdc(scenario):
+    controller = PlaintextSDC(scenario.environment)
+    for pu in scenario.pus:
+        controller.pu_update(pu)
+    return controller
+
+
+class TestBudgetMaintenance:
+    def test_budget_without_pus_equals_e(self, scenario):
+        controller = PlaintextSDC(scenario.environment)
+        env = scenario.environment
+        budget = controller.budget
+        for c in range(env.num_channels):
+            for b in range(env.num_blocks):
+                assert budget[c, b] == env.e_matrix[c, b]
+
+    def test_budget_with_pu_holds_signal(self, scenario):
+        controller = PlaintextSDC(scenario.environment)
+        pu = scenario.pus[0]
+        controller.pu_update(pu)
+        expected = scenario.params.encoder.encode(pu.signal_strength_mw)
+        assert controller.budget[pu.channel_slot, pu.block_index] == expected
+
+    def test_resubmission_replaces(self, scenario):
+        controller = PlaintextSDC(scenario.environment)
+        pu = scenario.pus[0]
+        controller.pu_update(pu)
+        # Switch the same receiver to another channel: the old cell must
+        # fall back to E and the new cell must carry the signal.
+        other_slot = (pu.channel_slot + 1) % scenario.params.num_channels
+        controller.pu_update(pu.switched_to(other_slot, signal_strength_mw=3e-4))
+        env = scenario.environment
+        assert (
+            controller.budget[pu.channel_slot, pu.block_index]
+            == env.e_matrix[pu.channel_slot, pu.block_index]
+        )
+        assert controller.budget[other_slot, pu.block_index] == scenario.params.encoder.encode(
+            3e-4
+        )
+
+    def test_switch_off_restores_e(self, scenario):
+        controller = PlaintextSDC(scenario.environment)
+        pu = scenario.pus[0]
+        controller.pu_update(pu)
+        controller.pu_update(pu.switched_to(None))
+        env = scenario.environment
+        assert (
+            controller.budget[pu.channel_slot, pu.block_index]
+            == env.e_matrix[pu.channel_slot, pu.block_index]
+        )
+        assert controller.num_active_pus == 0
+
+    def test_active_pu_count(self, sdc, scenario):
+        assert sdc.num_active_pus == len(scenario.pus)
+
+
+class TestDecisions:
+    def test_decision_shape_checked(self, sdc):
+        with pytest.raises(ProtocolError):
+            sdc.decide("su", zeros_matrix(1, 1))
+
+    def test_zero_request_always_granted(self, sdc, scenario):
+        env = scenario.environment
+        f = zeros_matrix(env.num_channels, env.num_blocks)
+        decision = sdc.decide("quiet-su", f)
+        assert decision.granted
+        assert decision.num_violations == 0
+
+    def test_violations_identify_cells(self, sdc, scenario):
+        su = SUTransmitter("loud", block_index=scenario.pus[0].block_index,
+                           tx_power_dbm=36.0)
+        decision = sdc.process_request(su)
+        assert not decision.granted
+        assert decision.num_violations > 0
+        # Each reported violation must be a valid (channel, block) cell.
+        env = scenario.environment
+        for c, b in decision.violations:
+            assert 0 <= c < env.num_channels
+            assert 0 <= b < env.num_blocks
+
+    def test_monotone_in_power(self, sdc, scenario):
+        """DESIGN.md invariant 6: more power can only flip grant→deny."""
+        su_quiet = SUTransmitter("m", block_index=8, tx_power_dbm=-20.0)
+        su_loud = su_quiet.with_power(36.0)
+        quiet = sdc.process_request(su_quiet)
+        loud = sdc.process_request(su_loud)
+        if not quiet.granted:
+            assert not loud.granted
+
+    def test_power_sweep_single_threshold(self, sdc):
+        """Grant/deny is a threshold in SU power (no re-grant above)."""
+        decisions = [
+            sdc.process_request(
+                SUTransmitter("s", block_index=10, tx_power_dbm=float(p))
+            ).granted
+            for p in range(-30, 37, 4)
+        ]
+        # Once a denial appears, everything after must be a denial.
+        if False in decisions:
+            first_denial = decisions.index(False)
+            assert all(not d for d in decisions[first_denial:])
+
+
+class TestDecisionDataclass:
+    def test_fields(self):
+        d = Decision(su_id="x", granted=False, violations=((0, 1), (2, 3)))
+        assert d.num_violations == 2

@@ -1,0 +1,127 @@
+"""Unit tests for the WatchSystem facade and signal model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RadioError
+from repro.watch.scenario import ScenarioConfig, build_scenario
+from repro.watch.system import WatchSystem, received_tv_signal_mw
+
+
+@pytest.fixture()
+def system(scenario):
+    return WatchSystem(scenario.environment)
+
+
+class TestReceivedSignal:
+    def test_positive_under_coverage(self, scenario):
+        pu = scenario.pus[0]
+        signal = received_tv_signal_mw(
+            scenario.environment, pu.block_index, pu.channel_slot
+        )
+        assert signal > 0
+
+    def test_zero_without_tower(self, scenario):
+        served = {t.channel_slot for t in scenario.towers}
+        # Find a slot with no tower on its physical channel.
+        plan = scenario.environment.plan
+        served_physical = {plan.physical_for_slot(s).number for s in served}
+        for slot in range(scenario.params.num_channels):
+            if plan.physical_for_slot(slot).number not in served_physical:
+                assert received_tv_signal_mw(scenario.environment, 0, slot) == 0.0
+                break
+        else:
+            pytest.skip("every slot covered in this scenario")
+
+    def test_realistic_range(self, scenario):
+        """Received TV signal should be far below the transmitted power."""
+        pu = scenario.pus[0]
+        signal = received_tv_signal_mw(
+            scenario.environment, pu.block_index, pu.channel_slot
+        )
+        assert 1e-12 < signal < 1.0  # between -120 dBm and 0 dBm
+
+
+class TestPuManagement:
+    def test_tune_uses_model_signal(self, system, scenario):
+        pu_template = scenario.pus[0]
+        pu = system.tune_pu("pu-x", pu_template.block_index, pu_template.channel_slot)
+        assert pu.signal_strength_mw == pytest.approx(
+            received_tv_signal_mw(
+                scenario.environment, pu.block_index, pu.channel_slot
+            )
+        )
+
+    def test_tune_uncovered_slot_raises(self, system, scenario):
+        plan = scenario.environment.plan
+        served_physical = {
+            plan.physical_for_slot(t.channel_slot).number for t in scenario.towers
+        }
+        for slot in range(scenario.params.num_channels):
+            if plan.physical_for_slot(slot).number not in served_physical:
+                with pytest.raises(RadioError):
+                    system.tune_pu("pu-y", 0, slot)
+                return
+        pytest.skip("every slot covered")
+
+    def test_explicit_signal_override(self, system):
+        pu = system.tune_pu("pu-z", 0, 0, signal_strength_mw=5e-4)
+        assert pu.signal_strength_mw == 5e-4
+
+    def test_switch_off(self, system, scenario):
+        pu = scenario.pus[0]
+        system.tune_pu("pu-off", pu.block_index, pu.channel_slot)
+        off = system.switch_off_pu("pu-off")
+        assert not off.is_active
+        assert system.sdc.num_active_pus == 0
+
+    def test_switch_off_unknown_raises(self, system):
+        with pytest.raises(ConfigurationError):
+            system.switch_off_pu("ghost")
+
+
+class TestRequests:
+    def test_inline_su(self, system):
+        decision = system.request("su-inline", block_index=5, tx_power_dbm=-30.0)
+        assert decision.granted  # whisper-quiet SU with no active PUs
+
+    def test_inline_su_requires_block(self, system):
+        with pytest.raises(ConfigurationError):
+            system.request("mystery-su")
+
+    def test_registered_su(self, system, scenario):
+        su = scenario.sus[0]
+        system.register_su(su)
+        decision = system.request(su.su_id)
+        assert decision.su_id == su.su_id
+
+    def test_registered_su_rejects_inline_params(self, system, scenario):
+        su = scenario.sus[0]
+        system.register_su(su)
+        with pytest.raises(ConfigurationError):
+            system.request(su.su_id, block_index=3)
+
+
+class TestScenarioGeneration:
+    def test_deterministic(self):
+        a = build_scenario(ScenarioConfig(seed=11))
+        b = build_scenario(ScenarioConfig(seed=11))
+        assert [p.block_index for p in a.pus] == [p.block_index for p in b.pus]
+        assert [t.eirp_dbm for t in a.towers] == [t.eirp_dbm for t in b.towers]
+
+    def test_pus_have_distinct_blocks(self, scenario):
+        blocks = [p.block_index for p in scenario.pus]
+        assert len(blocks) == len(set(blocks))
+
+    def test_pus_are_receivable(self, scenario):
+        for pu in scenario.pus:
+            assert pu.signal_strength_mw > 0
+
+    def test_paper_scale_config(self):
+        config = ScenarioConfig.paper_scale()
+        assert config.grid_rows * config.grid_cols == 600
+        assert config.num_channels == 100
+        assert config.num_pus == 100
+
+    def test_too_many_pus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(grid_rows=2, grid_cols=2, num_pus=5)

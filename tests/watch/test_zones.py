@@ -1,0 +1,115 @@
+"""Tests for the exclusion-zone analysis (WATCH's headline claim)."""
+
+import pytest
+
+from repro.watch.scenario import ScenarioConfig, build_scenario
+from repro.watch.zones import compute_zones, render_zone_map
+
+PROBE_DBM = 16.0
+
+
+@pytest.fixture(scope="module")
+def zone_scenario():
+    return build_scenario(ScenarioConfig(
+        seed=5, grid_rows=8, grid_cols=12, num_channels=4,
+        num_towers=2, num_pus=4, num_sus=0,
+    ))
+
+
+@pytest.fixture(scope="module")
+def covered_slot(zone_scenario):
+    return zone_scenario.pus[0].channel_slot
+
+
+@pytest.fixture(scope="module")
+def active_pus(zone_scenario, covered_slot):
+    return [p for p in zone_scenario.pus if p.channel_slot == covered_slot]
+
+
+class TestDynamicVsStatic:
+    def test_dynamic_zone_smaller_than_static(
+        self, zone_scenario, active_pus, covered_slot
+    ):
+        """The WATCH claim: active-receiver zones ≪ coverage zones."""
+        zones = compute_zones(
+            zone_scenario.environment, active_pus, covered_slot,
+            probe_power_dbm=PROBE_DBM,
+        )
+        assert zones.static_fraction > 0.5
+        assert zones.dynamic_fraction < zones.static_fraction
+        assert zones.reuse_gain > 0.3
+
+    def test_no_active_pus_no_dynamic_zone(self, zone_scenario, covered_slot):
+        zones = compute_zones(
+            zone_scenario.environment, [], covered_slot, probe_power_dbm=PROBE_DBM
+        )
+        assert zones.dynamic_fraction == 0.0
+
+    def test_dynamic_zone_surrounds_active_pus(
+        self, zone_scenario, active_pus, covered_slot
+    ):
+        zones = compute_zones(
+            zone_scenario.environment, active_pus, covered_slot,
+            probe_power_dbm=PROBE_DBM,
+        )
+        grid = zone_scenario.environment.grid
+        for pu in active_pus:
+            # The PU's own block must be excluded for a probe SU.
+            assert pu.block_index in zones.dynamic_blocks
+            # And the zone is local: some block far away is free.
+            far = max(
+                range(grid.num_blocks),
+                key=lambda b: grid.distance_m(pu.block_index, b),
+            )
+            if all(
+                grid.distance_m(far, other.block_index) > 40.0
+                for other in active_pus
+            ):
+                assert far not in zones.dynamic_blocks
+
+    def test_more_power_larger_zone(self, zone_scenario, active_pus, covered_slot):
+        small = compute_zones(
+            zone_scenario.environment, active_pus, covered_slot,
+            probe_power_dbm=10.0,
+        )
+        large = compute_zones(
+            zone_scenario.environment, active_pus, covered_slot,
+            probe_power_dbm=20.0,
+        )
+        assert small.dynamic_blocks <= large.dynamic_blocks
+
+    def test_uncovered_channel_has_no_static_zone(self, zone_scenario):
+        plan = zone_scenario.environment.plan
+        covered_physical = {
+            plan.physical_for_slot(t.channel_slot).number
+            for t in zone_scenario.towers
+        }
+        for slot in range(zone_scenario.params.num_channels):
+            if plan.physical_for_slot(slot).number not in covered_physical:
+                zones = compute_zones(
+                    zone_scenario.environment, [], slot, probe_power_dbm=PROBE_DBM
+                )
+                assert zones.static_fraction == 0.0
+                return
+        pytest.skip("all slots covered in this scenario")
+
+
+class TestRendering:
+    def test_map_dimensions(self, zone_scenario, active_pus, covered_slot):
+        zones = compute_zones(
+            zone_scenario.environment, active_pus, covered_slot,
+            probe_power_dbm=PROBE_DBM,
+        )
+        text = render_zone_map(zone_scenario.environment, zones, active_pus)
+        lines = text.splitlines()
+        grid = zone_scenario.environment.grid
+        assert len(lines) == grid.rows
+        assert all(len(line.split(" ")) == grid.cols for line in lines)
+
+    def test_pu_marker_present(self, zone_scenario, active_pus, covered_slot):
+        zones = compute_zones(
+            zone_scenario.environment, active_pus, covered_slot,
+            probe_power_dbm=PROBE_DBM,
+        )
+        text = render_zone_map(zone_scenario.environment, zones, active_pus)
+        assert text.count("P") == len(active_pus)
