@@ -1,0 +1,182 @@
+"""Service-runtime throughput — batched packed service vs serial baseline.
+
+The :mod:`repro.service` runtime stacks three optimisations on the
+baseline per-request protocol: slot packing (k cells per ciphertext),
+epoch batching (one conversion leg per epoch), and the worker-pool
+executor for the modular-exponentiation batches.  This bench measures
+both paths on the identical scenario and asserts the headline claims:
+
+* the service path sustains **>= 3x** the serial baseline's requests/sec;
+* allocation results are *equal* — the service grants exactly what the
+  baseline grants;
+* swapping the serial executor for the process pool leaves licenses
+  **byte-identical** (all randomness is drawn in the parent, in protocol
+  order, before jobs dispatch).
+
+Emits ``BENCH_service.json`` at the repo root with throughput, latency
+percentiles, and the batch-size histogram.
+"""
+
+import json
+import pathlib
+
+from conftest import emit
+
+from repro.analysis.reporting import format_comparison_table
+from repro.crypto.rand import DeterministicRandomSource
+from repro.pisa.packed import PackedCoordinator
+from repro.pisa.protocol import PisaCoordinator
+from repro.service import (
+    BatchAllocator,
+    Epoch,
+    LoadtestConfig,
+    ServiceConfig,
+    run_loadtest,
+)
+from repro.service.workers import ProcessWorkerPool, SerialExecutor
+
+KEY_BITS = 512
+JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+_RESULTS = {}
+
+
+def _deploy(cls, scenario, label, **kwargs):
+    coord = cls(
+        scenario.environment, key_bits=KEY_BITS,
+        rng=DeterministicRandomSource(f"service-bench-{label}"), **kwargs,
+    )
+    for pu in scenario.pus:
+        coord.enroll_pu(pu)
+    for su in scenario.sus:
+        coord.enroll_su(su)
+    return coord
+
+
+def test_serial_baseline(benchmark, system_scenario):
+    """One unbatched baseline round per request, serial executor."""
+    coord = _deploy(PisaCoordinator, system_scenario, "base")
+    su_id = system_scenario.sus[0].su_id
+    first = coord.run_request_round(su_id)  # prepares + caches the request
+    report = benchmark.pedantic(
+        lambda: coord.run_request_round(su_id, reuse_cached_request=True),
+        rounds=2, iterations=1,
+    )
+    _RESULTS["base"] = {
+        "seconds_per_request": benchmark.stats["mean"],
+        "throughput_rps": 1.0 / benchmark.stats["mean"],
+        "granted": {su_id: report.granted},
+        "first_granted": first.granted,
+    }
+
+
+def test_batched_service(benchmark, system_scenario):
+    """The service path: packed + epoch batching + worker pool."""
+    config = LoadtestConfig(
+        seed=11,
+        num_requests=6,
+        arrivals_per_second=200.0,
+        num_sus=len(system_scenario.sus),
+        # PU updates shift the allocation state mid-run; keep them out of
+        # the equal-results comparison (the unit tests cover that path).
+        num_pu_switches=0,
+        key_bits=KEY_BITS,
+        service=ServiceConfig(
+            max_pending=32, batch_window_s=0.05,
+            max_batch=len(system_scenario.sus),
+        ),
+    )
+    with ProcessWorkerPool() as pool:
+        pool.warm_up()  # fork workers before the event loop spins up
+        report = benchmark.pedantic(
+            lambda: run_loadtest(config, executor=pool, scenario=system_scenario),
+            rounds=1, iterations=1,
+        )
+    assert report.completed == config.num_requests, "service dropped requests"
+    _RESULTS["service"] = {
+        "report": report,
+        "throughput_rps": report.throughput_rps,
+        "granted": {
+            d.su_id: d.status == "granted" for d in report.decisions
+        },
+    }
+
+
+def test_executor_equivalence(benchmark, system_scenario):
+    """Serial executor and process pool produce byte-identical licenses."""
+
+    def one_epoch(executor):
+        coord = _deploy(
+            PackedCoordinator, system_scenario, "equiv", executor=executor
+        )
+        # Freeze the license-issuance clock: byte-identity compares whole
+        # responses, and issued_at is the one non-RNG input.
+        coord.sdc._clock = lambda: 1_700_000_000.0
+        requests = [
+            (su.su_id, coord.su_client(su.su_id).prepare_request())
+            for su in system_scenario.sus
+        ]
+        epoch = Epoch(epoch_id=0, opened_at=0.0, due_at=0.0, items=requests)
+        return BatchAllocator.for_coordinator(coord).allocate(epoch)
+
+    with ProcessWorkerPool() as pool:
+        pooled = benchmark.pedantic(
+            lambda: one_epoch(pool), rounds=1, iterations=1
+        )
+    serial = one_epoch(SerialExecutor())
+    assert len(serial) == len(pooled) == len(system_scenario.sus)
+    for s_result, p_result in zip(serial, pooled):
+        assert s_result.su_id == p_result.su_id
+        assert s_result.granted == p_result.granted
+        assert s_result.response.to_bytes() == p_result.response.to_bytes()
+    _RESULTS["equivalence"] = {
+        "byte_identical": True,
+        "granted": {r.su_id: r.granted for r in serial},
+    }
+
+
+def test_zzz_render(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = _RESULTS["base"]
+    service = _RESULTS["service"]
+    equivalence = _RESULTS["equivalence"]
+    report = service["report"]
+    speedup = service["throughput_rps"] / base["throughput_rps"]
+    latency = report.latency_stats()
+    batches = report.batch_stats()
+
+    emit(format_comparison_table(
+        f"Service runtime (packed k-slot + epoch batching @ n = {KEY_BITS})",
+        [
+            ("throughput",
+             f"{base['throughput_rps']:.2f} req/s",
+             f"{service['throughput_rps']:.2f} req/s"),
+            ("speedup", "1.0x", f"{speedup:.1f}x"),
+            ("latency p50/p95/p99", "-",
+             f"{latency['p50']:.2f} / {latency['p95']:.2f} / "
+             f"{latency['p99']:.2f} s"),
+            ("mean batch size", "1.00", f"{batches.get('mean', 0):.2f}"),
+            ("licenses across executors", "-", "byte-identical"),
+        ],
+        headers=("metric", "serial baseline", "service (ours)"),
+    ))
+
+    JSON_PATH.write_text(json.dumps({
+        "key_bits": KEY_BITS,
+        "baseline": {
+            "seconds_per_request": base["seconds_per_request"],
+            "throughput_rps": base["throughput_rps"],
+        },
+        "service": report.to_json_dict(),
+        "speedup": speedup,
+        "executor_equivalence": equivalence["byte_identical"],
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    emit(f"wrote {JSON_PATH}")
+
+    # Equal allocation results: every SU the baseline grants/denies, the
+    # batched service grants/denies identically.
+    for su_id, granted in base["granted"].items():
+        assert service["granted"][su_id] == granted
+        assert equivalence["granted"][su_id] == granted
+    # The headline: >= 3x requests/sec over the serial baseline.
+    assert speedup >= 3.0, f"service speedup {speedup:.2f}x below 3x"

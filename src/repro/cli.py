@@ -10,6 +10,8 @@ Gives downstream users one entry point into the reproduction:
 ``simulate``   a deployment-capacity simulation (paper-hardware
                cost model, configurable load and packing)
 ``profile``    Table II Paillier micro-benchmarks at any key size
+``serve-loadtest``  drive the async service broker with synthetic
+               open-loop load and report throughput/latency
 =============  =================================================
 """
 
@@ -73,6 +75,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     capacity.add_argument("--seed", type=int, default=5)
     capacity.add_argument("--probe-dbm", type=float, default=16.0)
+
+    serve = sub.add_parser(
+        "serve-loadtest",
+        help="drive the async service broker with synthetic open-loop load",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--requests", type=int, default=12,
+                       help="SU request arrivals to fire")
+    serve.add_argument("--rate", type=float, default=50.0,
+                       help="mean arrivals per second (open loop)")
+    serve.add_argument("--sus", type=int, default=3,
+                       help="distinct SUs cycling through arrivals")
+    serve.add_argument("--window-ms", type=float, default=50.0,
+                       help="epoch batching window")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="requests per epoch before early dispatch")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for Paillier batches "
+                            "(0 = serial in-process executor)")
+    serve.add_argument("--key-bits", type=int, default=512,
+                       help="Paillier modulus (packed mode needs >= 512)")
+    serve.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="also write the full report as JSON")
 
     return parser
 
@@ -240,8 +265,47 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
+def _cmd_serve_loadtest(args) -> int:
+    import json
+
+    from repro.analysis.reporting import format_table
+    from repro.service import LoadtestConfig, ServiceConfig, run_loadtest
+    from repro.service.workers import ProcessWorkerPool
+
+    config = LoadtestConfig(
+        seed=args.seed,
+        num_requests=args.requests,
+        arrivals_per_second=args.rate,
+        num_sus=args.sus,
+        key_bits=args.key_bits,
+        service=ServiceConfig(
+            batch_window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+        ),
+    )
+    if args.workers > 0:
+        with ProcessWorkerPool(max_workers=args.workers) as pool:
+            pool.warm_up()  # fork workers before the event loop spins up
+            report = run_loadtest(config, executor=pool)
+        executor_name = f"process-pool[{args.workers}]"
+    else:
+        report = run_loadtest(config)
+        executor_name = "serial"
+    print(format_table(
+        f"serve-loadtest: {args.requests} req @ {args.rate:g}/s, "
+        f"window {args.window_ms:g} ms, executor {executor_name}",
+        report.as_table_rows(),
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
+    "serve-loadtest": _cmd_serve_loadtest,
     "negotiate": _cmd_negotiate,
     "capacity": _cmd_capacity,
     "testbed": _cmd_testbed,

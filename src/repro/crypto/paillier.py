@@ -136,6 +136,31 @@ class PaillierPublicKey:
         """A fresh encryption of zero (useful for re-randomisation)."""
         return self.encrypt(0, rng=rng)
 
+    def obfuscator_job(self, r: int) -> tuple[int, int, int]:
+        """The :data:`~repro.crypto.parallel.PowJob` computing ``r**n mod n²``.
+
+        Precomputing obfuscators is the embarrassingly-parallel half of
+        encryption; feed the job to an executor and finish with
+        :meth:`encrypt_with_obfuscator`.
+        """
+        return (r, self.n, self.n_sq)
+
+    def encrypt_with_obfuscator(self, value: int, obfuscator: int) -> "EncryptedNumber":
+        """Encrypt a signed integer using a precomputed ``r**n mod n²``.
+
+        Byte-identical to ``encrypt(value, r=r)`` when ``obfuscator ==
+        pow(r, n, n²)`` — the cheap completion step after the expensive
+        exponentiation ran elsewhere (worker pool, idle-time stock).
+        """
+        from repro.crypto.encoding import encode_signed
+
+        m = encode_signed(value, self.n)
+        if self.g == self.n + 1:
+            g_m = (1 + m * self.n) % self.n_sq
+        else:
+            g_m = pow(self.g, m, self.n_sq)
+        return EncryptedNumber(self, (g_m * obfuscator) % self.n_sq)
+
 
 class PaillierPrivateKey:
     """Private key holding ``(λ, μ)`` plus CRT acceleration state."""
@@ -177,6 +202,26 @@ class PaillierPrivateKey:
         mq = (
             self._l_function(pow(ciphertext, self.q - 1, self._q_sq), self.q) * self._hq
         ) % self.q
+        return self._crt.combine(mp, mq)
+
+    def decrypt_pow_jobs(self, ciphertext: int) -> tuple[tuple[int, int, int], tuple[int, int, int]]:
+        """The two CRT exponentiations of :meth:`raw_decrypt` as pow jobs.
+
+        Lets a batch runtime ship the expensive halves of many
+        decryptions to an executor; finish each with
+        :meth:`raw_decrypt_from_pows`.
+        """
+        if not 0 < ciphertext < self.public_key.n_sq:
+            raise DecryptionError("ciphertext out of range")
+        return (
+            (ciphertext, self.p - 1, self._p_sq),
+            (ciphertext, self.q - 1, self._q_sq),
+        )
+
+    def raw_decrypt_from_pows(self, pow_p: int, pow_q: int) -> int:
+        """Complete a CRT decryption from the :meth:`decrypt_pow_jobs` results."""
+        mp = (self._l_function(pow_p, self.p) * self._hp) % self.p
+        mq = (self._l_function(pow_q, self.q) * self._hq) % self.q
         return self._crt.combine(mp, mq)
 
     def raw_decrypt_textbook(self, ciphertext: int) -> int:
@@ -383,19 +428,27 @@ class ObfuscatorPool:
     def __len__(self) -> int:
         return len(self._stock)
 
-    def refill(self, count: int) -> None:
-        """Precompute ``count`` obfuscators (the offline phase)."""
+    def refill(self, count: int, executor=None) -> None:
+        """Precompute ``count`` obfuscators (the offline phase).
+
+        The nonces are drawn serially (randomness stays in-process) and
+        the ``r**n`` exponentiations run through ``executor`` when one is
+        given — see :mod:`repro.crypto.parallel`.
+        """
+        from repro.crypto.parallel import default_executor
+
         if count < 0:
             raise ValueError("count must be non-negative")
         pk = self.public_key
-        for _ in range(count):
-            r = pk.random_r(self._rng)
-            self._stock.append(pow(r, pk.n, pk.n_sq))
+        nonces = [pk.random_r(self._rng) for _ in range(count)]
+        self._stock.extend(
+            default_executor(executor).pow_many([pk.obfuscator_job(r) for r in nonces])
+        )
 
-    def ensure(self, count: int) -> None:
+    def ensure(self, count: int, executor=None) -> None:
         """Refill up to a target stock level."""
         if len(self._stock) < count:
-            self.refill(count - len(self._stock))
+            self.refill(count - len(self._stock), executor=executor)
 
     def take(self) -> int:
         """Pop one precomputed obfuscator; refills one inline if empty."""

@@ -5,11 +5,18 @@ recorded with its serialised size (via the message's ``wire_size()``)
 and, when a latency model is attached, its modelled one-way delay.  The
 evaluation harness sums these records to reproduce the §VI-A
 communication-overhead numbers.
+
+Aggregate totals (bytes, counts, delays, per-kind and per-link
+breakdowns) are maintained *incrementally* on every send, so they stay
+exact even when the per-message record log is capped with
+``max_records`` — the configuration long-running service loops use to
+keep memory bounded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Protocol
 
 from repro.net.latency import LatencyModel
@@ -42,11 +49,37 @@ class InMemoryTransport:
     ``send`` returns the message unchanged (delivery is the caller
     invoking the receiver), so protocol code stays a plain call graph
     while the transport observes sizes and delays on the side.
+
+    Parameters
+    ----------
+    latency:
+        Optional delay model applied to every message.
+    max_records:
+        When set, ``records`` becomes a ring buffer holding only the
+        most recent ``max_records`` entries.  All aggregate queries
+        (:meth:`total_bytes`, :meth:`count`, :meth:`by_kind`,
+        :meth:`total_delay_seconds`) keep counting *every* message ever
+        sent — eviction only drops the per-message detail.
     """
 
-    def __init__(self, latency: LatencyModel | None = None) -> None:
+    def __init__(
+        self, latency: LatencyModel | None = None, max_records: int | None = None
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be positive when set")
         self.latency = latency
-        self.records: list[MessageRecord] = []
+        self.max_records = max_records
+        self.records: deque[MessageRecord] = deque(maxlen=max_records)
+        self._reset_totals()
+
+    def _reset_totals(self) -> None:
+        self._total_messages = 0
+        self._total_bytes = 0
+        self._total_delay = 0.0
+        #: kind → [count, bytes]
+        self._by_kind: dict[str, list[int]] = {}
+        #: (sender, receiver) → summed delay on that link
+        self._link_delay: dict[tuple[str, str], float] = {}
 
     def send(self, message: _SizedMessage, sender: str, receiver: str):
         """Account for one message and hand it back for delivery."""
@@ -56,37 +89,58 @@ class InMemoryTransport:
             if self.latency is not None
             else 0.0
         )
+        kind = type(message).__name__
         self.records.append(
             MessageRecord(
                 sender=sender,
                 receiver=receiver,
-                kind=type(message).__name__,
+                kind=kind,
                 size_bytes=size,
                 delay_seconds=delay,
             )
         )
+        self._total_messages += 1
+        self._total_bytes += size
+        self._total_delay += delay
+        kind_totals = self._by_kind.setdefault(kind, [0, 0])
+        kind_totals[0] += 1
+        kind_totals[1] += size
+        link = (sender, receiver)
+        self._link_delay[link] = self._link_delay.get(link, 0.0) + delay
         return message
 
     # -- accounting queries ------------------------------------------------------
 
     def total_bytes(self, kind: str | None = None) -> int:
         """Total bytes sent, optionally filtered by message class name."""
-        return sum(r.size_bytes for r in self.records if kind is None or r.kind == kind)
+        if kind is None:
+            return self._total_bytes
+        return self._by_kind.get(kind, (0, 0))[1]
 
-    def total_delay_seconds(self) -> float:
-        """Sum of modelled one-way delays (serial round-trip view)."""
-        return sum(r.delay_seconds for r in self.records)
+    def total_delay_seconds(self, parallel: bool = False) -> float:
+        """Modelled transfer delay of the whole exchange.
+
+        ``parallel=False`` (default) is the serial view — the sum of
+        every one-way delay, as if all messages shared one wire.  A
+        concurrent runtime overlaps independent transfers, so
+        ``parallel=True`` reports the *critical path* instead: transfers
+        on the same directed ``(sender, receiver)`` link serialise,
+        distinct links proceed concurrently, giving
+        ``max over links of (sum of that link's delays)``.
+        """
+        if not parallel:
+            return self._total_delay
+        return max(self._link_delay.values(), default=0.0)
 
     def count(self, kind: str | None = None) -> int:
-        return sum(1 for r in self.records if kind is None or r.kind == kind)
+        if kind is None:
+            return self._total_messages
+        return self._by_kind.get(kind, (0, 0))[0]
 
     def by_kind(self) -> dict[str, tuple[int, int]]:
         """``{kind: (message_count, total_bytes)}`` summary."""
-        summary: dict[str, tuple[int, int]] = {}
-        for record in self.records:
-            count, size = summary.get(record.kind, (0, 0))
-            summary[record.kind] = (count + 1, size + record.size_bytes)
-        return summary
+        return {kind: (count, size) for kind, (count, size) in self._by_kind.items()}
 
     def clear(self) -> None:
         self.records.clear()
+        self._reset_totals()

@@ -51,6 +51,7 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
     hom_sum,
 )
+from repro.crypto.parallel import Executor, default_executor
 from repro.crypto.rand import RandomSource, default_rng
 from repro.crypto.serialization import encode_bytes, encode_ciphertext, encode_int
 from repro.errors import BlindingError, ProtocolError, SerializationError
@@ -242,12 +243,12 @@ class PackedSuClient:
         )
         return self._cached_request
 
-    def precompute_refresh_material(self, rounds: int = 1) -> None:
+    def precompute_refresh_material(self, rounds: int = 1, executor=None) -> None:
         """Stock ``r**n`` factors for cheap packed-request refreshes."""
         if self._cached_request is None:
             raise ProtocolError("no cached request; call prepare_request first")
         chunks = sum(len(row) for row in self._cached_request.rows)
-        self._obfuscators.ensure(rounds * chunks)
+        self._obfuscators.ensure(rounds * chunks, executor=executor)
 
     def refresh_request(self) -> PackedRequestMessage:
         """Re-randomise the cached packed request (one multiply per chunk).
@@ -325,6 +326,7 @@ class PackedSdcServer:
         issuer_id: str = "sdc",
         rng: RandomSource | None = None,
         clock=None,
+        executor: Executor | None = None,
     ) -> None:
         import time
 
@@ -334,6 +336,7 @@ class PackedSdcServer:
         self.config = config or PackedProtocolConfig()
         self.issuer_id = issuer_id
         self._rng = default_rng(rng)
+        self._executor = default_executor(executor)
         self._clock = clock or time.time
         self.layout = self.config.layout(directory.group_public_key, environment)
         self._w_sum: dict[tuple[int, int], EncryptedNumber] = {}
@@ -367,10 +370,10 @@ class PackedSdcServer:
 
     # -- packed request processing -------------------------------------------
 
-    def _blind_chunk(
+    def _indicator_chunk(
         self, f_chunk: EncryptedNumber, channel: int, blocks: list[int]
     ) -> EncryptedNumber:
-        """Slot-parallel eqs. (10)-(12) + (14) for one chunk."""
+        """Slot-parallel eqs. (10)-(12) for one chunk (no randomness)."""
         env = self.environment
         layout = self.layout
         x_int = env.params.sinr_plus_redn_int
@@ -385,24 +388,30 @@ class PackedSdcServer:
             w_ct = self._w_sum.get((channel, block))
             if w_ct is not None:
                 indicator = indicator.add(w_ct.scalar_mul(layout.shift(slot)))
-        # Blinding: shared α per chunk, independent β per slot, and the
-        # half-slot bias making every final slot non-negative.
+        return indicator
+
+    def _draw_chunk_blinding(self, blocks: list[int]) -> tuple[int, int]:
+        """Eq. (14), packed: shared α per chunk plus per-slot bias terms.
+
+        Returns ``(alpha, packed_bias)``; the half-slot bias keeps every
+        final slot non-negative.
+        """
+        layout = self.layout
         alpha = self._rng.randrange(1 << (self.config.alpha_bits - 1),
                                     1 << self.config.alpha_bits)
-        blinded = indicator.scalar_mul(alpha)
         bias_terms = [
             layout.half_slot - self._rng.randrange(1, 1 << (self.config.alpha_bits - 1))
             for _ in blocks
         ]
-        return blinded.add_plain(layout.pack(bias_terms))
+        return alpha, layout.pack(bias_terms)
 
-    def _dummy_chunk(self) -> EncryptedNumber:
-        """A chunk of uniformly random slots — random apparent signs."""
-        slots = [
+    def _draw_dummy_chunk(self) -> tuple[int, int]:
+        """Random slots + encryption nonce for one dummy chunk."""
+        packed = self.layout.pack([
             self._rng.randbelow(self.layout.slot_modulus)
             for _ in range(self.layout.num_slots)
-        ]
-        return self.group_public_key.encrypt(self.layout.pack(slots), rng=self._rng)
+        ])
+        return packed, self.group_public_key.random_r(self._rng)
 
     def start_request(self, request: PackedRequestMessage) -> PackedSignExtractionRequest:
         env = self.environment
@@ -412,20 +421,38 @@ class PackedSdcServer:
             raise ProtocolError(f"SU {request.su_id!r} has no registered key")
         layout = self.layout
         block_chunks = layout.chunks(list(request.region_blocks))
-        real_chunks: list[EncryptedNumber] = []
+        pk = self.group_public_key
+        # Pass 1: indicators + all randomness in chunk order (so results
+        # are byte-identical whichever executor runs pass 2).
+        prepared: list[tuple[EncryptedNumber, int, int]] = []
         used_slots: list[int] = []
         for c, row in enumerate(request.rows):
             if len(row) != len(block_chunks):
                 raise ProtocolError("row chunk count does not match the region")
             for f_chunk, blocks in zip(row, block_chunks):
-                if f_chunk.public_key != self.group_public_key:
+                if f_chunk.public_key != pk:
                     raise ProtocolError("request chunk not under the group key")
-                real_chunks.append(self._blind_chunk(f_chunk, c, blocks))
+                indicator = self._indicator_chunk(f_chunk, c, blocks)
+                alpha, packed_bias = self._draw_chunk_blinding(blocks)
+                prepared.append((indicator, alpha, packed_bias))
                 used_slots.append(len(blocks))
-        self.chunks_processed += len(real_chunks)
+        self.chunks_processed += len(prepared)
+        num_dummies = max(1, int(len(prepared) * self.config.dummy_fraction))
+        dummy_draws = [self._draw_dummy_chunk() for _ in range(num_dummies)]
+        # Pass 2: batch the α exponentiations and dummy obfuscators.
+        jobs = [(indicator.ciphertext, alpha, pk.n_sq)
+                for indicator, alpha, _ in prepared]
+        jobs.extend(pk.obfuscator_job(r) for _, r in dummy_draws)
+        powers = iter(self._executor.pow_many(jobs))
+        real_chunks = [
+            EncryptedNumber(pk, next(powers)).add_plain(packed_bias)
+            for _, _, packed_bias in prepared
+        ]
+        dummies = [
+            pk.encrypt_with_obfuscator(packed, next(powers))
+            for (packed, _) in dummy_draws
+        ]
         # Dummy dilution + secret shuffle.
-        num_dummies = max(1, int(len(real_chunks) * self.config.dummy_fraction))
-        dummies = [self._dummy_chunk() for _ in range(num_dummies)]
         total = len(real_chunks) + num_dummies
         positions = list(range(total))
         self._shuffle(positions)
@@ -500,12 +527,14 @@ class PackedStpServer:
         environment: SpectrumEnvironment,
         config: PackedProtocolConfig | None = None,
         rng: RandomSource | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self._keypair = group_keypair
         self.directory = KeyDirectory(group_keypair.public_key)
         self.config = config or PackedProtocolConfig()
         self.layout = self.config.layout(group_keypair.public_key, environment)
         self._rng = default_rng(rng)
+        self._executor = default_executor(executor)
         self.chunks_converted = 0
 
     @property
@@ -523,18 +552,27 @@ class PackedStpServer:
         su_key = self.directory.su_key(request.su_id)
         layout = self.layout
         sk = self._keypair.private_key
-        converted = []
+        # Batch the chunk decryptions (two CRT halves each) and the
+        # response obfuscators through the executor.
+        jobs = []
         for chunk in request.chunks:
             if chunk.public_key != self.group_public_key:
                 raise ProtocolError("chunk not under the group key")
-            packed = sk.raw_decrypt(chunk.ciphertext)
+            jobs.extend(sk.decrypt_pow_jobs(chunk.ciphertext))
+            jobs.append(su_key.obfuscator_job(su_key.random_r(self._rng)))
+        powers = iter(self._executor.pow_many(jobs))
+        converted = []
+        for chunk in request.chunks:
+            packed = sk.raw_decrypt_from_pows(next(powers), next(powers))
             slots = layout.unpack(packed)
             # eq. (15) per slot, stored as X_i + 1 ∈ {0, 2} to keep the
             # packed plaintext non-negative.
             signs = [
                 2 if slot - layout.half_slot > 0 else 0 for slot in slots
             ]
-            converted.append(su_key.encrypt(layout.pack(signs), rng=self._rng))
+            converted.append(
+                su_key.encrypt_with_obfuscator(layout.pack(signs), next(powers))
+            )
             self.chunks_converted += 1
         return PackedSignExtractionResponse(
             round_id=request.round_id, su_id=request.su_id, chunks=tuple(converted)
@@ -552,6 +590,7 @@ class PackedCoordinator:
         config: PackedProtocolConfig | None = None,
         rng: RandomSource | None = None,
         transport=None,
+        executor: Executor | None = None,
     ) -> None:
         from repro.crypto.paillier import generate_keypair
         from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
@@ -571,7 +610,8 @@ class PackedCoordinator:
 
         group_keypair = generate_keypair(key_bits, rng=self._rng)
         self.stp = PackedStpServer(
-            group_keypair, environment, config=self.config, rng=self._rng
+            group_keypair, environment, config=self.config, rng=self._rng,
+            executor=executor,
         )
         _, signing_private = generate_rsa_keypair(signature_bits, rng=self._rng)
         self.sdc = PackedSdcServer(
@@ -580,6 +620,7 @@ class PackedCoordinator:
             signer=RsaFdhSigner(signing_private),
             config=self.config,
             rng=self._rng,
+            executor=executor,
         )
         self._pu_clients = {}
         self._su_clients: dict[str, PackedSuClient] = {}

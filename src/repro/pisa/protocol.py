@@ -103,6 +103,7 @@ class PisaCoordinator:
         rng: RandomSource | None = None,
         transport: InMemoryTransport | None = None,
         fresh_beta_encryption: bool = True,
+        executor=None,
     ) -> None:
         if signature_bits is None:
             signature_bits = max(32, key_bits // 2)
@@ -115,7 +116,7 @@ class PisaCoordinator:
         self._rng = default_rng(rng)
         self.transport = transport if transport is not None else InMemoryTransport()
 
-        self.stp = StpServer(key_bits=key_bits, rng=self._rng)
+        self.stp = StpServer(key_bits=key_bits, rng=self._rng, executor=executor)
         _, signing_private = generate_rsa_keypair(signature_bits, rng=self._rng)
         self.sdc = SdcServer(
             environment,
@@ -123,6 +124,7 @@ class PisaCoordinator:
             signer=RsaFdhSigner(signing_private),
             rng=self._rng,
             fresh_beta_encryption=fresh_beta_encryption,
+            executor=executor,
         )
         self._pu_clients: dict[str, PUClient] = {}
         self._su_clients: dict[str, SUClient] = {}

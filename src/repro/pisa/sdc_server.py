@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey, hom_sum
+from repro.crypto.parallel import Executor, default_executor
 from repro.crypto.rand import RandomSource, default_rng
 from repro.crypto.signatures import RsaFdhSigner
 from repro.errors import ProtocolError
@@ -80,12 +81,14 @@ class SdcServer:
         rng: RandomSource | None = None,
         fresh_beta_encryption: bool = True,
         clock=time.time,
+        executor: Executor | None = None,
     ) -> None:
         self.environment = environment
         self.directory = directory
         self.signer = signer
         self.issuer_id = issuer_id
         self._rng = default_rng(rng)
+        self._executor = default_executor(executor)
         self._fresh_beta = fresh_beta_encryption
         self._clock = clock
         self.stats = SdcStats()
@@ -180,26 +183,44 @@ class SdcServer:
             if not 0 <= block < env.num_blocks:
                 raise ProtocolError(f"disclosed block {block} outside the area")
         factory = BlindingFactory(self.blinding_parameters(), rng=self._rng)
-        blinded_rows: list[tuple[EncryptedNumber, ...]] = []
-        blinding_rows: list[tuple[CellBlinding, ...]] = []
+        pk = self.group_public_key
+        # Pass 1 — indicators and all randomness, drawn in cell order so
+        # the transcript is byte-identical whichever executor runs pass 2.
+        prepared_rows: list[list[tuple[EncryptedNumber, CellBlinding, int | None]]] = []
         for c, row in enumerate(request.matrix):
-            blinded_row = []
-            blinding_row = []
+            prepared_row = []
             for k, f_ct in enumerate(row):
-                if f_ct.public_key != self.group_public_key:
+                if f_ct.public_key != pk:
                     raise ProtocolError("request entry not under the group key")
                 block = request.region_blocks[k]
                 indicator = self._indicator_cell(f_ct, c, block)
                 cell = factory.draw()
-                blinded = indicator.scalar_mul(cell.alpha)  # α ⊗ Ĩ
-                if self._fresh_beta:
+                r = pk.random_r(self._rng) if self._fresh_beta else None
+                self.stats.hom_operations += 3
+                prepared_row.append((indicator, cell, r))
+            prepared_rows.append(prepared_row)
+        # Pass 2 — the expensive exponentiations of eq. (14), batched.
+        jobs = []
+        for prepared_row in prepared_rows:
+            for indicator, cell, r in prepared_row:
+                jobs.append((indicator.ciphertext, cell.alpha, pk.n_sq))  # α ⊗ Ĩ
+                if r is not None:
+                    jobs.append(pk.obfuscator_job(r))
+        powers = iter(self._executor.pow_many(jobs))
+        blinded_rows: list[tuple[EncryptedNumber, ...]] = []
+        blinding_rows: list[tuple[CellBlinding, ...]] = []
+        for prepared_row in prepared_rows:
+            blinded_row = []
+            blinding_row = []
+            for indicator, cell, r in prepared_row:
+                blinded = EncryptedNumber(pk, next(powers))
+                if r is not None:
                     blinded = blinded.subtract(
-                        self.group_public_key.encrypt(cell.beta, rng=self._rng)
+                        pk.encrypt_with_obfuscator(cell.beta, next(powers))
                     )
                 else:
                     blinded = blinded.add_plain(-cell.beta)
                 blinded = blinded.scalar_mul(cell.epsilon)  # ε ⊗ (…)
-                self.stats.hom_operations += 3
                 blinded_row.append(blinded)
                 blinding_row.append(cell)
             blinded_rows.append(tuple(blinded_row))

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crypto.encoding import decode_signed
 from repro.crypto.paillier import (
     PaillierKeypair,
     PaillierPublicKey,
     generate_keypair,
 )
+from repro.crypto.parallel import Executor, default_executor
 from repro.crypto.rand import RandomSource, default_rng
 from repro.errors import ProtocolError
 from repro.pisa.keys import KeyDirectory
@@ -51,8 +53,10 @@ class StpServer:
         group_keypair: PaillierKeypair | None = None,
         key_bits: int = 2048,
         rng: RandomSource | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self._rng = default_rng(rng)
+        self._executor = default_executor(executor)
         self._keypair = group_keypair or generate_keypair(key_bits, rng=self._rng)
         self.directory = KeyDirectory(self._keypair.public_key)
         self.stats = StpStats()
@@ -76,16 +80,27 @@ class StpServer:
             raise ProtocolError(f"SU {request.su_id!r} has not registered a key")
         su_key = self.directory.su_key(request.su_id)
         sk = self._keypair.private_key
+        # Validate and draw the re-encryption nonces in cell order, then
+        # batch the expensive exponentiations (two CRT halves per
+        # decryption plus one r**n per re-encryption) through the
+        # executor; results are byte-identical to the inline path.
+        jobs = []
+        for row in request.matrix:
+            for ct in row:
+                if ct.public_key != self.group_public_key:
+                    raise ProtocolError("Ṽ entry not under the group key")
+                jobs.extend(sk.decrypt_pow_jobs(ct.ciphertext))
+                jobs.append(su_key.obfuscator_job(su_key.random_r(self._rng)))
+        powers = iter(self._executor.pow_many(jobs))
         converted = []
         for row in request.matrix:
             out_row = []
             for ct in row:
-                if ct.public_key != self.group_public_key:
-                    raise ProtocolError("Ṽ entry not under the group key")
-                value = sk.decrypt(ct)
+                raw = sk.raw_decrypt_from_pows(next(powers), next(powers))
+                value = decode_signed(raw, self.group_public_key.n)
                 self.stats.cells_decrypted += 1
                 sign = 1 if value > 0 else -1
-                out_row.append(su_key.encrypt(sign, rng=self._rng))
+                out_row.append(su_key.encrypt_with_obfuscator(sign, next(powers)))
                 self.stats.cells_encrypted += 1
             converted.append(tuple(out_row))
         self.stats.conversions += 1

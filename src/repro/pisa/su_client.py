@@ -127,17 +127,18 @@ class SUClient:
         )
         return self._cached_request
 
-    def precompute_refresh_material(self, rounds: int = 1) -> None:
+    def precompute_refresh_material(self, rounds: int = 1, executor=None) -> None:
         """Offline phase of the §VI-A refresh: stock up ``r**n`` factors.
 
         Call during idle time; each future :meth:`refresh_request` then
         costs one modular multiplication per ciphertext (the paper's
-        "same amount of time as homomorphic addition").
+        "same amount of time as homomorphic addition").  An executor
+        parallelises the stocking exponentiations.
         """
         if self._cached_request is None:
             raise ProtocolError("no cached request; call prepare_request first")
         cells = sum(len(row) for row in self._cached_request.matrix)
-        self._obfuscators.ensure(rounds * cells)
+        self._obfuscators.ensure(rounds * cells, executor=executor)
 
     def refresh_request(self) -> SURequestMessage:
         """Re-randomise the cached request (§VI-A fast path, ≈20x cheaper).

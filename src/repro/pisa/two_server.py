@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey
+from repro.crypto.parallel import Executor, default_executor
 from repro.crypto.rand import RandomSource, default_rng
 from repro.crypto.serialization import encode_ciphertext_matrix, encode_int
 from repro.crypto.threshold import (
@@ -108,11 +109,20 @@ class FrontServer(SdcServer):
         self._share = share
 
     def start_request_with_partials(self, request) -> PartialSignExtractionRequest:
-        """Eq. (14) blinding + the front's threshold partials."""
+        """Eq. (14) blinding + the front's threshold partials.
+
+        The ``Ṽ^{d₁}`` exponentiations are independent per cell, so they
+        ship to the executor as one batch.
+        """
         extraction = self.start_request(request)
-        partials = tuple(
-            tuple(self._share.partial_decrypt(ct).value for ct in row)
+        jobs = [
+            (ct.ciphertext, self._share.exponent, self.group_public_key.n_sq)
             for row in extraction.matrix
+            for ct in row
+        ]
+        powers = iter(self._executor.pow_many(jobs))
+        partials = tuple(
+            tuple(next(powers) for _ in row) for row in extraction.matrix
         )
         self.stats.hom_operations += sum(len(row) for row in extraction.matrix)
         return PartialSignExtractionRequest(
@@ -137,12 +147,14 @@ class BackendServer:
         share: DecryptionShare,
         directory: KeyDirectory,
         rng: RandomSource | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if share.public_key != directory.group_public_key:
             raise ProtocolError("share does not match the directory's group key")
         self._share = share
         self.directory = directory
         self._rng = default_rng(rng)
+        self._executor = default_executor(executor)
         self.cells_combined = 0
 
     def handle_partial_extraction(
@@ -153,20 +165,29 @@ class BackendServer:
             raise ProtocolError(f"SU {request.su_id!r} has no registered key")
         su_key = self.directory.su_key(request.su_id)
         pk = self.directory.group_public_key
+        # Validate cells and draw re-encryption nonces in order, then
+        # batch the ``Ṽ^{d₂}`` and ``r**n`` exponentiations.
+        jobs = []
+        for ct_row in request.matrix:
+            for ct in ct_row:
+                if ct.public_key != pk:
+                    raise ProtocolError("Ṽ entry not under the group key")
+                jobs.append((ct.ciphertext, self._share.exponent, pk.n_sq))
+                jobs.append(su_key.obfuscator_job(su_key.random_r(self._rng)))
+        powers = iter(self._executor.pow_many(jobs))
         converted = []
         for ct_row, partial_row in zip(request.matrix, request.partials):
             out_row = []
             for ct, front_partial in zip(ct_row, partial_row):
-                if ct.public_key != pk:
-                    raise ProtocolError("Ṽ entry not under the group key")
-                own = self._share.partial_decrypt(ct)
+                own = PartialDecryption(index=self._share.index, value=next(powers))
+                obfuscator = next(powers)
                 value = combine_partials(
                     pk,
                     [PartialDecryption(index=1 - self._share.index, value=front_partial), own],
                 )
                 self.cells_combined += 1
                 sign = 1 if value > 0 else -1
-                out_row.append(su_key.encrypt(sign, rng=self._rng))
+                out_row.append(su_key.encrypt_with_obfuscator(sign, obfuscator))
             converted.append(tuple(out_row))
         return SignExtractionResponse(
             round_id=request.round_id, su_id=request.su_id, matrix=tuple(converted)
@@ -188,6 +209,7 @@ class TwoServerCoordinator:
         signature_bits: int | None = None,
         rng: RandomSource | None = None,
         transport=None,
+        executor: Executor | None = None,
     ) -> None:
         from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
         from repro.net.transport import InMemoryTransport
@@ -212,8 +234,11 @@ class TwoServerCoordinator:
             directory=directory,
             signer=RsaFdhSigner(signing_private),
             rng=self._rng,
+            executor=executor,
         )
-        self.backend = BackendServer(keypair.shares[1], directory, rng=self._rng)
+        self.backend = BackendServer(
+            keypair.shares[1], directory, rng=self._rng, executor=executor
+        )
         self._pu_clients = {}
         self._su_clients = {}
 

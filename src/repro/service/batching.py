@@ -1,0 +1,275 @@
+"""Epoch batching: coalesce concurrent SU requests into one pass.
+
+A fine-grained spectrum service sees bursts of SU requests.  Handling
+each one as its own Figure 5 round pays the full SDC↔STP message
+round-trip and a separate homomorphic dispatch per request.  The epoch
+batcher instead collects requests for a short window (or until a size
+cap) and runs the whole *epoch* as one allocation pass:
+
+1. **phase 1** — the SDC blinds every request's indicator matrix
+   (eq. (14)); each per-request cell batch already ships to the
+   executor as one ``pow_many`` call;
+2. **one conversion leg** — the per-request sign-extraction messages
+   travel to the STP inside a single :class:`BatchSignExtractionRequest`
+   envelope (one message each way per epoch instead of one per request);
+3. **phase 2** — the SDC unblinds, perturbs, signs, and returns each
+   license (eqs. (16)/(17)).
+
+:class:`EpochBatcher` is *pure* window/size bookkeeping — time is a
+parameter, nothing sleeps — so its semantics (empty epochs, max-batch
+overflow, flush) are directly unit-testable.  The asyncio broker owns
+the actual clock and drives it.
+
+The per-request crypto transcript is byte-identical to the unbatched
+protocol: batching changes message framing and scheduling, never
+ciphertexts, so a license issued inside an epoch equals the license the
+same request would get alone (fixed RNG seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.crypto.serialization import encode_bytes
+from repro.errors import ProtocolError
+
+__all__ = [
+    "Epoch",
+    "EpochBatcher",
+    "BatchSignExtractionRequest",
+    "BatchSignExtractionResponse",
+    "BatchAllocator",
+]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Epoch(Generic[T]):
+    """One batching window's worth of admitted items."""
+
+    epoch_id: int
+    opened_at: float
+    due_at: float
+    items: list[T] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class EpochBatcher(Generic[T]):
+    """Pure coalescing logic: windows of at most ``max_batch`` items.
+
+    The first ``add`` after an epoch closes opens the next epoch, due
+    ``window_s`` later.  An epoch closes either when :meth:`pop_ready`
+    observes ``now >= due_at`` or immediately when it fills to
+    ``max_batch`` (``add`` then returns it).  Time never advances
+    implicitly — callers pass ``now`` — so the batcher is deterministic
+    under test clocks.
+    """
+
+    def __init__(self, window_s: float, max_batch: int) -> None:
+        if window_s < 0:
+            raise ProtocolError("window_s must be non-negative")
+        if max_batch < 1:
+            raise ProtocolError("max_batch must be positive")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._open: Epoch[T] | None = None
+        self._next_id = 0
+
+    @property
+    def pending(self) -> int:
+        """Items waiting in the currently open epoch (0 when none open)."""
+        return len(self._open) if self._open is not None else 0
+
+    def next_due_at(self) -> float | None:
+        """Deadline of the open epoch, or ``None`` when idle."""
+        return self._open.due_at if self._open is not None else None
+
+    def add(self, item: T, now: float) -> Epoch[T] | None:
+        """Admit one item; returns the epoch if this filled it to the cap."""
+        if self._open is None:
+            self._open = Epoch(
+                epoch_id=self._next_id, opened_at=now, due_at=now + self.window_s
+            )
+            self._next_id += 1
+        self._open.items.append(item)
+        if len(self._open) >= self.max_batch:
+            return self._close()
+        return None
+
+    def pop_ready(self, now: float) -> Epoch[T] | None:
+        """Close and return the open epoch if its window has elapsed."""
+        if self._open is not None and now >= self._open.due_at:
+            return self._close()
+        return None
+
+    def flush(self) -> Epoch[T] | None:
+        """Close and return the open epoch regardless of its deadline."""
+        return self._close() if self._open is not None else None
+
+    def _close(self) -> Epoch[T]:
+        epoch, self._open = self._open, None
+        assert epoch is not None
+        return epoch
+
+
+# -- epoch wire envelopes -----------------------------------------------------------
+
+
+def _encode_envelope(round_id: str, items: Sequence) -> bytes:
+    parts = [encode_bytes(round_id.encode("utf-8"))]
+    parts.extend(encode_bytes(item.to_bytes()) for item in items)
+    return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class BatchSignExtractionRequest:
+    """SDC → STP: every epoch member's sign-extraction request, framed once.
+
+    Works for both the baseline and packed per-request messages — the
+    envelope only requires ``to_bytes()`` of its members.
+    """
+
+    epoch_id: int
+    requests: tuple
+
+    def to_bytes(self) -> bytes:
+        return _encode_envelope(f"epoch-{self.epoch_id}", self.requests)
+
+    def wire_size(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True)
+class BatchSignExtractionResponse:
+    """STP → SDC: the matching per-request conversions, framed once."""
+
+    epoch_id: int
+    responses: tuple
+
+    def to_bytes(self) -> bytes:
+        return _encode_envelope(f"epoch-{self.epoch_id}", self.responses)
+
+    def wire_size(self) -> int:
+        return len(self.to_bytes())
+
+
+# -- running an epoch through a coordinator -----------------------------------------
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """One request's outcome from a batched allocation pass."""
+
+    su_id: str
+    granted: bool
+    outcome: object
+    #: The license response message (byte-exact; lets callers verify
+    #: transcript equality across executors).
+    response: object
+    request_bytes: int
+    response_bytes: int
+    batch_size: int
+
+
+class BatchAllocator:
+    """Runs a closed epoch through the three protocol phases.
+
+    Variant-agnostic: the three phases are injected as callables, so the
+    same allocator drives baseline PISA, the packed extension, and the
+    two-server split.  Use :meth:`for_coordinator` to wire one from any
+    coordinator (duck-typed on the shared ``sdc``/``stp`` /
+    ``front``/``backend`` layout).
+    """
+
+    def __init__(
+        self,
+        phase1: Callable,
+        convert: Callable,
+        phase2: Callable,
+        process_response: Callable,
+        transport=None,
+        conversion_peer: str = "stp",
+    ) -> None:
+        self._phase1 = phase1
+        self._convert = convert
+        self._phase2 = phase2
+        self._process_response = process_response
+        self._transport = transport
+        self._conversion_peer = conversion_peer
+
+    @classmethod
+    def for_coordinator(cls, coordinator) -> "BatchAllocator":
+        """Build the phase wiring from any of the three coordinators."""
+        if hasattr(coordinator, "front"):  # two-server split
+            return cls(
+                phase1=coordinator.front.start_request_with_partials,
+                convert=coordinator.backend.handle_partial_extraction,
+                phase2=coordinator.front.finish_request,
+                process_response=lambda su_id, response: coordinator.su_client(
+                    su_id
+                ).process_response(response, coordinator.directory),
+                transport=coordinator.transport,
+                conversion_peer="sdc-back",
+            )
+        return cls(
+            phase1=coordinator.sdc.start_request,
+            convert=coordinator.stp.handle_sign_extraction,
+            phase2=coordinator.sdc.finish_request,
+            process_response=lambda su_id, response: coordinator.su_client(
+                su_id
+            ).process_response(response, coordinator.stp.directory),
+            transport=coordinator.transport,
+        )
+
+    def allocate(self, epoch: Epoch) -> list[AllocationResult]:
+        """One allocation pass over ``(su_id, request_message)`` items.
+
+        Phase 1 runs per request (each already a single executor batch),
+        the conversion leg crosses the wire once as a batch envelope, and
+        phase 2 issues every license.  Order of results matches order of
+        admission.
+        """
+        if not epoch.items:
+            return []
+        extractions = []
+        for su_id, request in epoch.items:
+            if self._transport is not None:
+                self._transport.send(request, sender=su_id, receiver="sdc")
+            extractions.append(self._phase1(request))
+        batch_request = BatchSignExtractionRequest(
+            epoch_id=epoch.epoch_id, requests=tuple(extractions)
+        )
+        if self._transport is not None:
+            self._transport.send(
+                batch_request, sender="sdc", receiver=self._conversion_peer
+            )
+        conversions = tuple(self._convert(ext) for ext in extractions)
+        batch_response = BatchSignExtractionResponse(
+            epoch_id=epoch.epoch_id, responses=conversions
+        )
+        if self._transport is not None:
+            self._transport.send(
+                batch_response, sender=self._conversion_peer, receiver="sdc"
+            )
+        results = []
+        for (su_id, request), conversion in zip(epoch.items, conversions):
+            response = self._phase2(conversion)
+            if self._transport is not None:
+                self._transport.send(response, sender="sdc", receiver=su_id)
+            outcome = self._process_response(su_id, response)
+            results.append(
+                AllocationResult(
+                    su_id=su_id,
+                    granted=outcome.granted,
+                    outcome=outcome,
+                    response=response,
+                    request_bytes=request.wire_size(),
+                    response_bytes=response.wire_size(),
+                    batch_size=len(epoch.items),
+                )
+            )
+        return results

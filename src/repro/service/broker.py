@@ -1,0 +1,326 @@
+"""Asyncio request broker for the PISA allocation service.
+
+:class:`SpectrumAccessBroker` turns the synchronous protocol stack into
+a long-running service: PU updates and SU license requests arrive
+concurrently, admission control bounds memory, an
+:class:`~repro.service.batching.EpochBatcher` coalesces concurrent SU
+requests, and each closed epoch runs as one allocation pass on a worker
+thread (``asyncio.to_thread``) so the event loop keeps accepting traffic
+while big-int arithmetic grinds.
+
+Every request resolves to a :class:`ServiceDecision`:
+
+* ``granted`` / ``denied`` — the protocol ran and the license says yes/no;
+* ``rejected`` — the service never ran the protocol, with a reason:
+  ``queue_full`` (admission control), ``deadline_expired`` (the request
+  sat past its per-request deadline before its epoch drained), or
+  ``shutting_down``.
+
+The broker adds scheduling around the protocol, never inside it: the
+crypto transcript of an admitted request is byte-identical to the same
+request run alone through its coordinator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.service.batching import BatchAllocator, Epoch, EpochBatcher
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceDecision",
+    "SpectrumAccessBroker",
+    "REASON_QUEUE_FULL",
+    "REASON_DEADLINE_EXPIRED",
+    "REASON_SHUTTING_DOWN",
+    "REASON_INTERNAL_ERROR",
+]
+
+REASON_QUEUE_FULL = "queue_full"
+REASON_DEADLINE_EXPIRED = "deadline_expired"
+REASON_SHUTTING_DOWN = "shutting_down"
+REASON_INTERNAL_ERROR = "internal_error"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Runtime knobs of the broker."""
+
+    #: Admission-control bound on queued-but-unprocessed SU requests.
+    max_pending: int = 64
+    #: Epoch window: how long the first request of an epoch may wait for
+    #: company before the batch dispatches anyway.
+    batch_window_s: float = 0.05
+    #: Hard cap on requests per epoch; a full epoch dispatches early.
+    max_batch: int = 8
+    #: Deadline applied when a request does not bring its own.
+    default_deadline_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ProtocolError("max_pending must be positive")
+        if self.batch_window_s < 0:
+            raise ProtocolError("batch_window_s must be non-negative")
+        if self.max_batch < 1:
+            raise ProtocolError("max_batch must be positive")
+        if self.default_deadline_s <= 0:
+            raise ProtocolError("default_deadline_s must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceDecision:
+    """What the service tells an SU about one submitted request."""
+
+    su_id: str
+    #: ``granted`` | ``denied`` | ``rejected``
+    status: str
+    #: Set only for ``rejected``.
+    reason: str | None
+    #: Submission-to-decision wall time.
+    latency_s: float
+    #: Size of the epoch this request ran in (0 when rejected).
+    batch_size: int
+    #: The protocol-level outcome (``RequestOutcome``) when it ran.
+    outcome: object | None = None
+
+    @property
+    def ran(self) -> bool:
+        return self.status in ("granted", "denied")
+
+
+@dataclass
+class _Ticket:
+    su_id: str
+    request: object
+    submitted_at: float
+    deadline_at: float
+    future: asyncio.Future
+
+
+class _PuUpdate:
+    __slots__ = ("message",)
+
+    def __init__(self, message) -> None:
+        self.message = message
+
+
+_SHUTDOWN = object()
+
+
+class SpectrumAccessBroker:
+    """The service front door.
+
+    Parameters
+    ----------
+    allocator:
+        A wired :class:`~repro.service.batching.BatchAllocator` (use
+        ``BatchAllocator.for_coordinator``).
+    pu_update_handler:
+        Called with each PU update message (typically
+        ``coordinator.sdc.handle_pu_update``); applied between epochs so
+        updates and allocations never interleave mid-pass.
+    config, metrics:
+        Runtime knobs and the registry service counters land in.
+    clock:
+        Injectable time source for deadlines and latency accounting.
+    """
+
+    def __init__(
+        self,
+        allocator: BatchAllocator,
+        pu_update_handler=None,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._allocator = allocator
+        self._pu_update_handler = pu_update_handler
+        self._clock = clock
+        self._batcher: EpochBatcher[_Ticket] = EpochBatcher(
+            self.config.batch_window_s, self.config.max_batch
+        )
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pending = 0
+        self._running = False
+        self._shutting_down = False
+        self._loop_task: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            raise ProtocolError("broker already started")
+        self._running = True
+        self._shutting_down = False
+        self._loop_task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain the open epoch, reject the rest."""
+        if not self._running:
+            return
+        self._shutting_down = True
+        self._queue.put_nowait(_SHUTDOWN)
+        assert self._loop_task is not None
+        await self._loop_task
+        self._loop_task = None
+        self._running = False
+
+    async def __aenter__(self) -> "SpectrumAccessBroker":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- ingress -----------------------------------------------------------------
+
+    def submit_pu_update(self, message) -> None:
+        """Enqueue a PU channel update (never rejected; tiny and urgent)."""
+        if self._pu_update_handler is None:
+            raise ProtocolError("broker has no PU update handler")
+        self.metrics.counter("pu_updates_submitted").inc()
+        self._queue.put_nowait(_PuUpdate(message))
+
+    async def submit_request(
+        self, su_id: str, request, deadline_s: float | None = None
+    ) -> ServiceDecision:
+        """Submit one SU request and await its decision.
+
+        Applies admission control synchronously: a full queue or a
+        shutting-down broker rejects immediately without queueing.
+        """
+        now = self._clock()
+        self.metrics.counter("requests_submitted").inc()
+        if self._shutting_down or not self._running:
+            return self._reject(su_id, REASON_SHUTTING_DOWN, now)
+        if self._pending >= self.config.max_pending:
+            return self._reject(su_id, REASON_QUEUE_FULL, now)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        ticket = _Ticket(
+            su_id=su_id,
+            request=request,
+            submitted_at=now,
+            deadline_at=now + deadline_s,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._pending += 1
+        self.metrics.gauge("queue_depth").set(self._pending)
+        self._queue.put_nowait(ticket)
+        return await ticket.future
+
+    def _reject(self, su_id: str, reason: str, submitted_at: float) -> ServiceDecision:
+        self.metrics.counter("requests_rejected", reason=reason).inc()
+        return ServiceDecision(
+            su_id=su_id,
+            status="rejected",
+            reason=reason,
+            latency_s=self._clock() - submitted_at,
+            batch_size=0,
+        )
+
+    # -- the service loop --------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            due_at = self._batcher.next_due_at()
+            try:
+                if due_at is None:
+                    item = await self._queue.get()
+                else:
+                    timeout = max(0.0, due_at - self._clock())
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+            except asyncio.TimeoutError:
+                epoch = self._batcher.pop_ready(self._clock())
+                if epoch is not None:
+                    await self._dispatch(epoch)
+                continue
+
+            if item is _SHUTDOWN:
+                epoch = self._batcher.flush()
+                if epoch is not None:
+                    await self._dispatch(epoch)
+                self._drain_rejecting()
+                return
+            if isinstance(item, _PuUpdate):
+                await asyncio.to_thread(self._pu_update_handler, item.message)
+                self.metrics.counter("pu_updates_applied").inc()
+                continue
+            epoch = self._batcher.add(item, self._clock())
+            if epoch is not None:
+                await self._dispatch(epoch)
+
+    def _drain_rejecting(self) -> None:
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if isinstance(item, _Ticket):
+                self._resolve_rejection(item, REASON_SHUTTING_DOWN)
+
+    def _resolve_rejection(self, ticket: _Ticket, reason: str) -> None:
+        self._pending -= 1
+        self.metrics.gauge("queue_depth").set(self._pending)
+        self.metrics.counter("requests_rejected", reason=reason).inc()
+        if not ticket.future.done():
+            ticket.future.set_result(
+                ServiceDecision(
+                    su_id=ticket.su_id,
+                    status="rejected",
+                    reason=reason,
+                    latency_s=self._clock() - ticket.submitted_at,
+                    batch_size=0,
+                )
+            )
+
+    async def _dispatch(self, epoch: Epoch) -> None:
+        """Run one closed epoch: expire stale tickets, allocate the rest."""
+        now = self._clock()
+        live: list[_Ticket] = []
+        for ticket in epoch.items:
+            if now > ticket.deadline_at:
+                self._resolve_rejection(ticket, REASON_DEADLINE_EXPIRED)
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        work = Epoch(
+            epoch_id=epoch.epoch_id,
+            opened_at=epoch.opened_at,
+            due_at=epoch.due_at,
+            items=[(t.su_id, t.request) for t in live],
+        )
+        self.metrics.histogram("batch_size").observe(len(live))
+        try:
+            with self.metrics.timer("epoch_allocation_s"):
+                results = await asyncio.to_thread(self._allocator.allocate, work)
+        except Exception:
+            # A failed pass must not strand its callers or kill the loop.
+            self.metrics.counter("epoch_failures").inc()
+            for ticket in live:
+                self._resolve_rejection(ticket, REASON_INTERNAL_ERROR)
+            return
+        done_at = self._clock()
+        for ticket, result in zip(live, results):
+            self._pending -= 1
+            status = "granted" if result.granted else "denied"
+            self.metrics.counter(f"requests_{status}").inc()
+            latency = done_at - ticket.submitted_at
+            self.metrics.histogram("request_latency_s").observe(latency)
+            if not ticket.future.done():
+                ticket.future.set_result(
+                    ServiceDecision(
+                        su_id=ticket.su_id,
+                        status=status,
+                        reason=None,
+                        latency_s=latency,
+                        batch_size=result.batch_size,
+                        outcome=result.outcome,
+                    )
+                )
+        self.metrics.gauge("queue_depth").set(self._pending)

@@ -1,0 +1,256 @@
+"""Synthetic open-loop load generation against the service broker.
+
+Drives a :class:`~repro.service.broker.SpectrumAccessBroker` with
+Poisson SU request arrivals (via :class:`repro.sim.workload.PoissonArrivals`)
+and interleaved PU channel switches, then reports throughput, latency
+percentiles, and the batch-size distribution.  This is what
+``repro serve-loadtest`` and ``benchmarks/bench_service_throughput.py``
+run.
+
+The workload is *open-loop across SUs* — arrivals fire on the Poisson
+clock whether or not earlier requests finished — but closed-loop per SU:
+a secondary user never has two license requests in flight (its cached
+request would otherwise be refreshed mid-round, breaking the license's
+request-digest commitment, just as it would for a real device).
+
+Requests use the §VI-A fast path: each SU prepares its encrypted matrix
+once at setup and re-randomises it per arrival, so the load test
+stresses the *service* (SDC/STP work, batching, queueing) rather than
+client-side encryption.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.parallel import Executor
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ConfigurationError
+from repro.service.batching import BatchAllocator
+from repro.service.broker import ServiceConfig, ServiceDecision, SpectrumAccessBroker
+from repro.service.metrics import MetricsRegistry
+from repro.sim.workload import PoissonArrivals, PuSwitchProcess
+
+__all__ = [
+    "LoadtestConfig",
+    "LoadtestReport",
+    "ServiceFixture",
+    "build_packed_service",
+    "run_loadtest",
+]
+
+
+@dataclass(frozen=True)
+class LoadtestConfig:
+    """Shape of one synthetic service run."""
+
+    seed: int = 7
+    #: Total SU request arrivals to fire.
+    num_requests: int = 12
+    #: Mean arrival rate, requests per *real* second (open loop).
+    arrivals_per_second: float = 50.0
+    #: Distinct SUs cycling through the arrivals (round robin).
+    num_sus: int = 3
+    #: PU physical channel switches injected across the run.
+    num_pu_switches: int = 2
+    key_bits: int = 512
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ConfigurationError("need at least one request")
+        if self.arrivals_per_second <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.num_sus < 1:
+            raise ConfigurationError("need at least one SU")
+
+
+@dataclass(frozen=True)
+class LoadtestReport:
+    """Aggregate outcome of one load-test run."""
+
+    decisions: tuple[ServiceDecision, ...]
+    wall_seconds: float
+    metrics: dict
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for d in self.decisions if d.ran)
+
+    @property
+    def granted(self) -> int:
+        return sum(1 for d in self.decisions if d.status == "granted")
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for d in self.decisions if d.status == "rejected")
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_stats(self) -> dict[str, float]:
+        return self.metrics["histograms"].get(
+            "request_latency_s",
+            {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+             "p50": 0.0, "p95": 0.0, "p99": 0.0},
+        )
+
+    def batch_stats(self) -> dict[str, float]:
+        return self.metrics["histograms"].get("batch_size", {"count": 0, "mean": 0.0})
+
+    def as_table_rows(self) -> list[tuple[str, str]]:
+        latency = self.latency_stats()
+        batches = self.batch_stats()
+        return [
+            ("requests submitted", str(len(self.decisions))),
+            ("completed (granted/denied)", f"{self.completed} ({self.granted} granted)"),
+            ("rejected", str(self.rejected)),
+            ("wall time", f"{self.wall_seconds:.2f} s"),
+            ("throughput", f"{self.throughput_rps:.2f} req/s"),
+            ("latency p50 / p95 / p99",
+             f"{latency['p50']:.3f} / {latency['p95']:.3f} / {latency['p99']:.3f} s"),
+            ("mean batch size", f"{batches.get('mean', 0.0):.2f}"),
+        ]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "requests": len(self.decisions),
+            "completed": self.completed,
+            "granted": self.granted,
+            "rejected": self.rejected,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_s": self.latency_stats(),
+            "batch_size": self.batch_stats(),
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class ServiceFixture:
+    """A deployment stood up for service traffic (broker not yet started)."""
+
+    broker: SpectrumAccessBroker
+    coordinator: object
+    scenario: object
+    pu_clients: list
+    su_ids: list
+
+
+def build_packed_service(
+    config: LoadtestConfig,
+    executor: Executor | None = None,
+    metrics: MetricsRegistry | None = None,
+    scenario=None,
+) -> ServiceFixture:
+    """Stand up a packed-mode deployment wrapped in a broker.
+
+    Packed mode is the service-grade configuration (slot packing
+    amortises the per-cell Paillier work); the broker itself is
+    variant-agnostic via
+    :meth:`~repro.service.batching.BatchAllocator.for_coordinator`.
+    Pass ``scenario`` to reuse a prebuilt deployment scenario (benches
+    compare against a baseline on the identical scenario).
+    """
+    from repro.pisa.packed import PackedCoordinator
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    if scenario is None:
+        scenario = build_scenario(
+            ScenarioConfig(seed=config.seed, num_sus=max(config.num_sus, 1))
+        )
+    rng = DeterministicRandomSource(config.seed)
+    coordinator = PackedCoordinator(
+        scenario.environment,
+        key_bits=max(config.key_bits, 512),
+        rng=rng,
+        executor=executor,
+    )
+    pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
+    su_ids = []
+    for su in scenario.sus[: config.num_sus]:
+        coordinator.enroll_su(su)
+        su_ids.append(su.su_id)
+    broker = SpectrumAccessBroker(
+        allocator=BatchAllocator.for_coordinator(coordinator),
+        pu_update_handler=coordinator.sdc.handle_pu_update,
+        config=config.service,
+        metrics=metrics,
+    )
+    return ServiceFixture(
+        broker=broker,
+        coordinator=coordinator,
+        scenario=scenario,
+        pu_clients=pu_clients,
+        su_ids=su_ids,
+    )
+
+
+async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
+    broker = fixture.broker
+    clients = {
+        su_id: fixture.coordinator.su_client(su_id) for su_id in fixture.su_ids
+    }
+    for client in clients.values():
+        client.prepare_request()
+    su_locks = {su_id: asyncio.Lock() for su_id in fixture.su_ids}
+    np_rng = np.random.default_rng(config.seed)
+    arrivals = PoissonArrivals(
+        rate_per_hour=config.arrivals_per_second * 3600.0, rng=np_rng
+    )
+    switches = PuSwitchProcess(
+        virtual_rate_per_hour=3600.0, physical_fraction=1.0, rng=np_rng
+    )
+    switch_budget = config.num_pu_switches
+    switch_every = max(1, config.num_requests // (config.num_pu_switches + 1))
+    num_channels = fixture.scenario.environment.num_channels
+
+    async def one_request(su_id: str) -> ServiceDecision:
+        # Closed loop per SU: refresh only once the previous round is done.
+        async with su_locks[su_id]:
+            request = clients[su_id].refresh_request()
+            return await broker.submit_request(su_id, request)
+
+    tasks = []
+    for i in range(config.num_requests):
+        su_id = fixture.su_ids[i % len(fixture.su_ids)]
+        tasks.append(asyncio.ensure_future(one_request(su_id)))
+        if switch_budget > 0 and fixture.pu_clients and (i + 1) % switch_every == 0:
+            switches.next_switch()
+            pu = fixture.pu_clients[switch_budget % len(fixture.pu_clients)]
+            slot = int(np_rng.integers(0, num_channels))
+            update = pu.switch_channel(slot, signal_strength_mw=1.0)
+            if update is not None:
+                broker.submit_pu_update(update)
+                switch_budget -= 1
+        if i + 1 < config.num_requests:
+            await asyncio.sleep(arrivals.next_gap_s())
+    return await asyncio.gather(*tasks)
+
+
+async def _run_async(config: LoadtestConfig, executor, metrics, scenario) -> LoadtestReport:
+    fixture = build_packed_service(config, executor, metrics, scenario=scenario)
+    start = time.perf_counter()
+    async with fixture.broker:
+        decisions = await _drive(fixture, config)
+    wall = time.perf_counter() - start
+    return LoadtestReport(
+        decisions=tuple(decisions),
+        wall_seconds=wall,
+        metrics=fixture.broker.metrics.snapshot(),
+    )
+
+
+def run_loadtest(
+    config: LoadtestConfig,
+    executor: Executor | None = None,
+    metrics: MetricsRegistry | None = None,
+    scenario=None,
+) -> LoadtestReport:
+    """Synchronous entry point: build, drive, tear down, report."""
+    return asyncio.run(_run_async(config, executor, metrics, scenario))

@@ -76,3 +76,77 @@ class TestLatencyIntegration:
         ))
         transport.send(FakeMessage(500), "a", "b")
         assert transport.total_delay_seconds() == pytest.approx(0.05 + 0.5)
+
+
+class TestRecordCap:
+    def test_ring_buffer_keeps_most_recent(self):
+        transport = InMemoryTransport(max_records=2)
+        for size in (10, 20, 30):
+            transport.send(FakeMessage(size), "a", "b")
+        assert [r.size_bytes for r in transport.records] == [20, 30]
+
+    def test_totals_stay_exact_after_eviction(self):
+        transport = InMemoryTransport(max_records=1)
+        for size in (100, 50, 25):
+            transport.send(FakeMessage(size), "a", "b")
+        assert transport.total_bytes() == 175
+        assert transport.count() == 3
+        assert transport.by_kind() == {"FakeMessage": (3, 175)}
+        assert len(transport.records) == 1
+
+    def test_delay_totals_survive_eviction(self):
+        transport = InMemoryTransport(
+            latency=ConstantLatency(rtt_seconds=0.0, bandwidth_bytes_per_s=100.0),
+            max_records=1,
+        )
+        transport.send(FakeMessage(100), "a", "b")  # 1.0 s
+        transport.send(FakeMessage(200), "a", "b")  # 2.0 s
+        assert transport.total_delay_seconds() == pytest.approx(3.0)
+
+    def test_uncapped_by_default(self):
+        transport = InMemoryTransport()
+        for _ in range(10):
+            transport.send(FakeMessage(1), "a", "b")
+        assert len(transport.records) == 10
+        assert transport.max_records is None
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            InMemoryTransport(max_records=0)
+
+    def test_clear_resets_totals(self):
+        transport = InMemoryTransport(max_records=2)
+        transport.send(FakeMessage(10), "a", "b")
+        transport.clear()
+        assert transport.total_bytes() == 0
+        assert transport.count() == 0
+
+
+class TestParallelDelay:
+    LATENCY = ConstantLatency(rtt_seconds=0.0, bandwidth_bytes_per_s=100.0)
+
+    def test_single_link_equals_serial(self):
+        transport = InMemoryTransport(latency=self.LATENCY)
+        transport.send(FakeMessage(100), "a", "b")  # 1.0 s
+        transport.send(FakeMessage(300), "a", "b")  # 3.0 s
+        assert transport.total_delay_seconds(parallel=True) == pytest.approx(4.0)
+        assert transport.total_delay_seconds() == pytest.approx(4.0)
+
+    def test_independent_links_overlap(self):
+        transport = InMemoryTransport(latency=self.LATENCY)
+        transport.send(FakeMessage(100), "su-1", "sdc")  # 1.0 s on link A
+        transport.send(FakeMessage(300), "su-2", "sdc")  # 3.0 s on link B
+        transport.send(FakeMessage(200), "su-2", "sdc")  # 2.0 s on link B
+        # Critical path = busiest link (su-2 -> sdc: 5.0 s), not the 6.0 s sum.
+        assert transport.total_delay_seconds(parallel=True) == pytest.approx(5.0)
+        assert transport.total_delay_seconds() == pytest.approx(6.0)
+
+    def test_direction_matters(self):
+        transport = InMemoryTransport(latency=self.LATENCY)
+        transport.send(FakeMessage(100), "a", "b")
+        transport.send(FakeMessage(100), "b", "a")
+        assert transport.total_delay_seconds(parallel=True) == pytest.approx(1.0)
+
+    def test_empty_transport(self):
+        transport = InMemoryTransport()
+        assert transport.total_delay_seconds(parallel=True) == 0.0

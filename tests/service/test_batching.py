@@ -1,0 +1,122 @@
+"""Epoch-batcher window semantics (pure logic, injected clocks)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.batching import (
+    BatchSignExtractionRequest,
+    BatchSignExtractionResponse,
+    EpochBatcher,
+)
+
+
+class TestEmptyBatcher:
+    def test_pop_ready_with_nothing_open(self):
+        batcher = EpochBatcher(window_s=0.1, max_batch=4)
+        assert batcher.pop_ready(now=100.0) is None
+
+    def test_flush_with_nothing_open(self):
+        batcher = EpochBatcher(window_s=0.1, max_batch=4)
+        assert batcher.flush() is None
+
+    def test_idle_has_no_deadline(self):
+        batcher = EpochBatcher(window_s=0.1, max_batch=4)
+        assert batcher.next_due_at() is None
+        assert batcher.pending == 0
+
+
+class TestWindowSemantics:
+    def test_first_add_opens_epoch_with_deadline(self):
+        batcher = EpochBatcher(window_s=0.5, max_batch=4)
+        assert batcher.add("a", now=10.0) is None
+        assert batcher.next_due_at() == pytest.approx(10.5)
+        assert batcher.pending == 1
+
+    def test_single_request_dispatches_at_window_close(self):
+        batcher = EpochBatcher(window_s=0.5, max_batch=4)
+        batcher.add("a", now=10.0)
+        assert batcher.pop_ready(now=10.4) is None  # window still open
+        epoch = batcher.pop_ready(now=10.5)
+        assert epoch is not None
+        assert epoch.items == ["a"]
+        assert batcher.pending == 0
+
+    def test_window_anchored_to_first_item(self):
+        batcher = EpochBatcher(window_s=1.0, max_batch=10)
+        batcher.add("a", now=5.0)
+        batcher.add("b", now=5.9)  # does not extend the deadline
+        assert batcher.next_due_at() == pytest.approx(6.0)
+        epoch = batcher.pop_ready(now=6.0)
+        assert epoch.items == ["a", "b"]
+
+    def test_zero_window_dispatches_immediately_on_poll(self):
+        batcher = EpochBatcher(window_s=0.0, max_batch=10)
+        batcher.add("a", now=1.0)
+        assert batcher.pop_ready(now=1.0).items == ["a"]
+
+
+class TestOverflow:
+    def test_max_batch_closes_early(self):
+        batcher = EpochBatcher(window_s=100.0, max_batch=2)
+        assert batcher.add("a", now=0.0) is None
+        epoch = batcher.add("b", now=0.1)
+        assert epoch is not None
+        assert epoch.items == ["a", "b"]
+
+    def test_overflow_past_max_batch_opens_next_epoch(self):
+        batcher = EpochBatcher(window_s=100.0, max_batch=2)
+        batcher.add("a", now=0.0)
+        first = batcher.add("b", now=0.1)
+        assert batcher.add("c", now=0.2) is None  # lands in a new epoch
+        assert batcher.pending == 1
+        second = batcher.flush()
+        assert first.epoch_id != second.epoch_id
+        assert second.items == ["c"]
+        assert second.due_at == pytest.approx(100.2)
+
+    def test_epoch_ids_increase(self):
+        batcher = EpochBatcher(window_s=100.0, max_batch=1)
+        ids = [batcher.add(i, now=float(i)).epoch_id for i in range(3)]
+        assert ids == [0, 1, 2]
+
+
+class TestFlush:
+    def test_flush_ignores_deadline(self):
+        batcher = EpochBatcher(window_s=100.0, max_batch=10)
+        batcher.add("a", now=0.0)
+        epoch = batcher.flush()
+        assert epoch.items == ["a"]
+        assert batcher.pending == 0
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ProtocolError):
+            EpochBatcher(window_s=-1.0, max_batch=2)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            EpochBatcher(window_s=0.1, max_batch=0)
+
+
+class _FakeWireMessage:
+    def __init__(self, payload: bytes) -> None:
+        self.payload = payload
+
+    def to_bytes(self) -> bytes:
+        return self.payload
+
+
+class TestEnvelopes:
+    def test_batch_envelope_wire_size_covers_members(self):
+        members = (_FakeWireMessage(b"x" * 10), _FakeWireMessage(b"y" * 20))
+        request = BatchSignExtractionRequest(epoch_id=3, requests=members)
+        assert request.wire_size() > 30  # members + framing
+
+    def test_request_and_response_round_trip_bytes(self):
+        members = (_FakeWireMessage(b"abc"),)
+        request = BatchSignExtractionRequest(epoch_id=1, requests=members)
+        response = BatchSignExtractionResponse(epoch_id=1, responses=members)
+        assert b"abc" in request.to_bytes()
+        assert b"abc" in response.to_bytes()
+        assert b"epoch-1" in request.to_bytes()

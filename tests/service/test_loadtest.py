@@ -1,0 +1,70 @@
+"""Loadtest config validation and report arithmetic (no crypto here —
+the CLI test runs the full pipeline once)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.broker import ServiceDecision
+from repro.service.loadtest import LoadtestConfig, LoadtestReport
+
+
+def _decision(status: str, reason: str | None = None) -> ServiceDecision:
+    return ServiceDecision(
+        su_id="su-1", status=status, reason=reason,
+        latency_s=0.1, batch_size=1,
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = LoadtestConfig()
+        assert config.num_requests >= 1
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadtestConfig(num_requests=0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadtestConfig(arrivals_per_second=0.0)
+
+    def test_zero_sus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadtestConfig(num_sus=0)
+
+
+class TestReport:
+    def _report(self) -> LoadtestReport:
+        decisions = (
+            _decision("granted"),
+            _decision("granted"),
+            _decision("denied"),
+            _decision("rejected", reason="queue_full"),
+        )
+        return LoadtestReport(
+            decisions=decisions,
+            wall_seconds=2.0,
+            metrics={"counters": {}, "gauges": {}, "histograms": {}},
+        )
+
+    def test_counts(self):
+        report = self._report()
+        assert report.completed == 3
+        assert report.granted == 2
+        assert report.rejected == 1
+
+    def test_throughput_counts_only_completed(self):
+        assert self._report().throughput_rps == pytest.approx(1.5)
+
+    def test_missing_histograms_default_to_zero(self):
+        report = self._report()
+        assert report.latency_stats()["count"] == 0
+        assert report.batch_stats()["count"] == 0
+
+    def test_table_and_json_shapes(self):
+        report = self._report()
+        rows = dict(report.as_table_rows())
+        assert rows["requests submitted"] == "4"
+        payload = report.to_json_dict()
+        assert payload["completed"] == 3
+        assert payload["throughput_rps"] == pytest.approx(1.5)

@@ -73,3 +73,38 @@ class TestNewerCommands:
         parser = build_parser()
         assert parser.parse_args(["negotiate", "--block", "3"]).block == 3
         assert parser.parse_args(["capacity", "--probe-dbm", "10"]).probe_dbm == 10
+
+
+class TestServeLoadtest:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve-loadtest"])
+        assert args.command == "serve-loadtest"
+        assert args.workers == 0
+        assert args.max_batch == 8
+        assert args.json is None
+
+    def test_parses_full_flag_set(self):
+        args = build_parser().parse_args([
+            "serve-loadtest", "--seed", "3", "--requests", "4", "--rate", "80",
+            "--sus", "2", "--window-ms", "25", "--max-batch", "2",
+            "--workers", "2", "--key-bits", "512", "--json", "out.json",
+        ])
+        assert args.requests == 4
+        assert args.window_ms == 25.0
+        assert args.json == "out.json"
+
+    def test_runs_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        assert main([
+            "serve-loadtest", "--seed", "3", "--requests", "3", "--rate", "200",
+            "--sus", "2", "--window-ms", "20", "--max-batch", "2",
+            "--json", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "throughput" in printed
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["requests"] == 3
+        assert report["completed"] + report["rejected"] == 3
+        assert "latency_s" in report and "batch_size" in report
