@@ -19,6 +19,7 @@ percentiles, and the batch-size histogram.
 
 import json
 import pathlib
+import time
 
 from conftest import emit
 
@@ -161,7 +162,8 @@ def test_zzz_render(benchmark):
         headers=("metric", "serial baseline", "service (ours)"),
     ))
 
-    JSON_PATH.write_text(json.dumps({
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "key_bits": KEY_BITS,
         "baseline": {
             "seconds_per_request": base["seconds_per_request"],
@@ -170,8 +172,26 @@ def test_zzz_render(benchmark):
         "service": report.to_json_dict(),
         "speedup": speedup,
         "executor_equivalence": equivalence["byte_identical"],
-    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    emit(f"wrote {JSON_PATH}")
+    }
+    # Append to a run history instead of clobbering: regressions are only
+    # visible if past runs survive.  A legacy single-run file (plain dict
+    # without "history") becomes the first history entry.
+    history = []
+    if JSON_PATH.exists():
+        try:
+            previous = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+        except ValueError:
+            previous = None
+        if isinstance(previous, dict) and isinstance(previous.get("history"), list):
+            history = previous["history"]
+        elif isinstance(previous, dict) and previous:
+            history = [previous]
+    history.append(entry)
+    JSON_PATH.write_text(
+        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    emit(f"wrote {JSON_PATH} ({len(history)} run{'s' if len(history) != 1 else ''})")
 
     # Equal allocation results: every SU the baseline grants/denies, the
     # batched service grants/denies identically.

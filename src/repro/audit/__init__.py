@@ -1,0 +1,46 @@
+"""repro.audit — crypto-hygiene static analyzer + runtime protocol sanitizer.
+
+Two halves, one purpose: keep the implementation honest about the
+paper's security claims.
+
+* The **static analyzer** (``repro audit`` on the CLI) parses the source
+  tree and enforces crypto-hygiene rules — randomness funneled through
+  :class:`repro.crypto.rand.RandomSource` (CRY001), no float arithmetic
+  on secret-derived values (CRY002), no logging (SEC001) or branching
+  (SEC002) on secrets, the transcript-order invariant (ORD001), and a
+  shared-state race heuristic for the service layer (SVC001).  Accepted
+  pre-existing findings live in a checked-in baseline
+  (``audit-baseline.json``); only *new* findings fail the run.
+* The **runtime sanitizer** (:class:`repro.audit.runtime.SanitizingTransport`)
+  wraps the message transport during tests and asserts per-message
+  invariants: ciphertext well-formedness, STP envelopes carrying only
+  group-key blinded values, and re-randomization freshness per epoch.
+"""
+
+from __future__ import annotations
+
+from repro.audit.baseline import Baseline, diff_against_baseline
+from repro.audit.cli import DEFAULT_BASELINE, run_audit
+from repro.audit.engine import AuditConfig, AuditEngine, ModuleUnit, module_name_for_path
+from repro.audit.findings import Finding
+from repro.audit.registry import Rule, all_rules, get_rule, register_rule, rule_ids
+from repro.audit.runtime import SanitizingTransport, iter_ciphertexts
+
+__all__ = [
+    "AuditConfig",
+    "AuditEngine",
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleUnit",
+    "Rule",
+    "SanitizingTransport",
+    "all_rules",
+    "diff_against_baseline",
+    "get_rule",
+    "iter_ciphertexts",
+    "module_name_for_path",
+    "register_rule",
+    "rule_ids",
+    "run_audit",
+]

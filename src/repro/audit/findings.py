@@ -1,0 +1,62 @@
+"""Finding objects produced by the static analyzer.
+
+A :class:`Finding` pins a rule violation to a source location and to a
+*fingerprint* — a location-independent identity used by the baseline
+machinery.  Fingerprints deliberately exclude the line number: moving a
+grandfathered violation up or down a file (or editing unrelated code
+above it) must not resurrect it as "new", while editing the violating
+line itself must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: File path as given to the engine (kept relative when the input was).
+    path: str
+    #: 1-indexed source line.
+    line: int
+    #: 0-indexed column.
+    col: int
+    #: Rule identifier, e.g. ``CRY001``.
+    rule: str
+    #: Human-readable description of the violation.
+    message: str
+    #: Dotted module name, e.g. ``repro.pisa.blinding``.
+    module: str = ""
+    #: Qualified name of the enclosing function/class, ``<module>`` at top level.
+    context: str = "<module>"
+    #: The stripped source line the finding points at.
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number independent)."""
+        basis = "|".join((self.rule, self.module, self.context, self.snippet))
+        return sha256(basis.encode("utf-8")).hex()[:16]
+
+    def render(self) -> str:
+        """One-line ``path:line:col RULE message`` presentation."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "module": self.module,
+            "context": self.context,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,70 @@
+"""Pluggable rule registry for the static analyzer.
+
+Rules self-register at import time with the :func:`register_rule`
+decorator.  A rule is a callable ``rule(unit, config) -> Iterable[Finding]``
+where ``unit`` is a parsed :class:`repro.audit.engine.ModuleUnit` and
+``config`` is the active :class:`repro.audit.engine.AuditConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import AuditError
+
+__all__ = ["Rule", "register_rule", "all_rules", "get_rule", "rule_ids"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analyzer rule."""
+
+    rule_id: str
+    summary: str
+    check: Callable
+
+    def __call__(self, unit, config) -> Iterable:
+        return self.check(unit, config)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, summary: str):
+    """Class/function decorator registering an analyzer rule.
+
+    The decorated callable keeps working as-is; registration is a side
+    effect.  Registering the same id twice is an error — it almost always
+    means a copy/paste slip in a new rule module.
+    """
+
+    def decorator(check: Callable) -> Callable:
+        if rule_id in _REGISTRY:
+            raise AuditError(f"duplicate audit rule id: {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id=rule_id, summary=summary, check=check)
+        return check
+
+    return decorator
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id for deterministic output."""
+    import repro.audit.rules  # noqa: F401  — triggers registration
+
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.audit.rules  # noqa: F401
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise AuditError(f"unknown audit rule: {rule_id}") from None
+
+
+def rule_ids() -> tuple[str, ...]:
+    import repro.audit.rules  # noqa: F401
+
+    return tuple(sorted(_REGISTRY))

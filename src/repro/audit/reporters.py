@@ -1,0 +1,65 @@
+"""Text and JSON reporters for analyzer runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.audit.findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[dict],
+    *,
+    verbose: bool = False,
+) -> str:
+    """Human-readable report; new findings first, summary line last."""
+    lines: list[str] = []
+    for finding in new:
+        lines.append(finding.render())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose and grandfathered:
+        lines.append("")
+        lines.append("grandfathered (baseline):")
+        for finding in grandfathered:
+            lines.append(f"  {finding.render()}")
+    if stale:
+        lines.append("")
+        lines.append(
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+            "(violation no longer present; run with --update-baseline to prune):"
+        )
+        for entry in stale:
+            lines.append(
+                f"  {entry.get('rule', '?')} {entry.get('path', '?')} "
+                f"[{entry.get('fingerprint', '?')}]"
+            )
+    lines.append("")
+    lines.append(
+        f"audit: {len(new)} new, {len(grandfathered)} grandfathered, "
+        f"{len(stale)} stale baseline"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[dict],
+) -> str:
+    """Machine-readable report (uploaded as a CI artifact)."""
+    payload = {
+        "summary": {
+            "new": len(new),
+            "grandfathered": len(grandfathered),
+            "stale_baseline": len(stale),
+        },
+        "new": [f.to_json_dict() for f in new],
+        "grandfathered": [f.to_json_dict() for f in grandfathered],
+        "stale_baseline": stale,
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,12 @@
+"""Rule modules — importing this package registers every built-in rule."""
+
+from __future__ import annotations
+
+from repro.audit.rules import (  # noqa: F401
+    ordering,
+    randomness,
+    service,
+    taint_rules,
+)
+
+__all__ = ["ordering", "randomness", "service", "taint_rules"]

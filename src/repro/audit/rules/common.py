@@ -1,0 +1,90 @@
+"""Shared AST helpers used by several rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "build_context_map",
+    "iter_function_defs",
+    "terminal_identifier",
+    "mentions_identifier",
+    "nodes_in_source_order",
+]
+
+
+def build_context_map(tree: ast.Module) -> dict[int, str]:
+    """Map ``id(node)`` → enclosing qualified name for every node.
+
+    Module-level nodes map to ``<module>``; nodes inside ``class C: def
+    f():`` map to ``C.f``.  Def/class nodes map to their own qualname so a
+    finding on a signature line reads naturally.
+    """
+    ctx_map: dict[int, str] = {}
+
+    def visit(node: ast.AST, ctx: str) -> None:
+        child_ctx = ctx
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            child_ctx = node.name if ctx == "<module>" else f"{ctx}.{node.name}"
+            ctx_map[id(node)] = child_ctx
+        else:
+            ctx_map[id(node)] = ctx
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_ctx)
+
+    visit(tree, "<module>")
+    return ctx_map
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, def-node)`` for every function in the module."""
+
+    def walk(node: ast.AST, ctx: str) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = child.name if ctx == "<module>" else f"{ctx}.{child.name}"
+                yield qualname, child
+                yield from walk(child, qualname)
+            elif isinstance(child, ast.ClassDef):
+                qualname = child.name if ctx == "<module>" else f"{ctx}.{child.name}"
+                yield from walk(child, qualname)
+            else:
+                yield from walk(child, ctx)
+
+    yield from walk(tree, "<module>")
+
+
+def terminal_identifier(expr: ast.AST) -> str:
+    """The last dotted component of a name-ish expression ('' otherwise)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Call):
+        return terminal_identifier(expr.func)
+    return ""
+
+
+def mentions_identifier(expr: ast.AST, fragment: str) -> bool:
+    """True when any Name/Attribute in ``expr`` contains ``fragment``."""
+    fragment = fragment.lower()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and fragment in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and fragment in node.attr.lower():
+            return True
+    return False
+
+
+def nodes_in_source_order(root: ast.AST) -> list[ast.AST]:
+    """All located descendants of ``root`` sorted by (line, col)."""
+    located = [
+        node
+        for node in ast.walk(root)
+        if hasattr(node, "lineno") and hasattr(node, "col_offset")
+    ]
+    located.sort(key=lambda n: (n.lineno, n.col_offset))
+    return located

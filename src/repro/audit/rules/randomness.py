@@ -1,0 +1,85 @@
+"""CRY001 — all randomness (and hashing) flows through the crypto façade.
+
+Blinding factors, obfuscators, and keys must come from
+:class:`repro.crypto.rand.RandomSource` so that (a) tests can inject the
+deterministic source, and (b) the transcript-order invariant holds — a
+stray ``random.random()`` or ``os.urandom`` call is invisible to the
+deterministic replay machinery and silently breaks byte-identical
+transcripts.  The same funneling applies to :mod:`hashlib`: the shared
+``repro.crypto.hashing`` helper is the one place allowed to touch it, so
+a future hash-agility change is a one-line edit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.audit.registry import register_rule
+from repro.audit.rules.common import build_context_map
+
+RULE_ID = "CRY001"
+
+_RANDOM_MODULES = {"random", "secrets"}
+
+
+@register_rule(RULE_ID, "randomness must flow through repro.crypto.rand.RandomSource")
+def check_randomness(unit, config) -> Iterator:
+    randomness_ok = unit.module in config.randomness_allowed
+    hashing_ok = unit.module in config.hashing_allowed
+    contexts = build_context_map(unit.tree)
+
+    def ctx(node: ast.AST) -> str:
+        return contexts.get(id(node), "<module>")
+
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _RANDOM_MODULES and not randomness_ok:
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        f"direct import of '{alias.name}' — use "
+                        "repro.crypto.rand.RandomSource instead",
+                        context=ctx(node),
+                    )
+                elif root == "hashlib" and not hashing_ok:
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        "direct import of 'hashlib' — use repro.crypto.hashing",
+                        context=ctx(node),
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in _RANDOM_MODULES and not randomness_ok:
+                yield unit.finding(
+                    node,
+                    RULE_ID,
+                    f"direct import from '{node.module}' — use "
+                    "repro.crypto.rand.RandomSource instead",
+                    context=ctx(node),
+                )
+            elif root == "hashlib" and not hashing_ok:
+                yield unit.finding(
+                    node,
+                    RULE_ID,
+                    "direct import from 'hashlib' — use repro.crypto.hashing",
+                    context=ctx(node),
+                )
+        elif isinstance(node, ast.Call) and not randomness_ok:
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "urandom"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                yield unit.finding(
+                    node,
+                    RULE_ID,
+                    "os.urandom bypasses RandomSource — use "
+                    "repro.crypto.rand.SystemRandomSource",
+                    context=ctx(node),
+                )

@@ -1,0 +1,150 @@
+"""SVC001 — shared-state race heuristic for the service layer.
+
+The broker runs on one asyncio event loop but hands CPU-bound work to
+threads (``asyncio.to_thread``) and worker pools; a read-modify-write on
+shared state (``self.counter += 1``) is only safe when it happens on the
+loop or under a lock.  The heuristic flags:
+
+* augmented assignment to ``self.<attr>`` or a module-level global from
+  an ``async def`` body (grandfathered when provably loop-confined — the
+  baseline records the reasoning);
+* the same from a *sync* method of a class that instantiates an
+  ``Executor``/``Pool``/``Thread`` (those methods run off-loop);
+* mutable literal defaults (list/dict/set) declared at class-body level,
+  which are silently shared across instances.
+
+An augmented assignment inside a ``with`` block whose context expression
+mentions a lock (``with self._stats_lock:``) is considered guarded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.audit.registry import register_rule
+from repro.audit.rules.common import mentions_identifier
+
+RULE_ID = "SVC001"
+
+_POOL_MARKERS = ("Executor", "Pool", "Thread")
+
+
+def _module_globals(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return frozenset(names)
+
+
+def _class_spawns_workers(cls: ast.ClassDef) -> bool:
+    """True when the class body instantiates an Executor/Pool/Thread."""
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = ""
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if any(marker in name for marker in _POOL_MARKERS):
+                return True
+    return False
+
+
+def _is_shared_target(target: ast.AST, module_globals: frozenset[str]) -> bool:
+    if isinstance(target, ast.Attribute):
+        return isinstance(target.value, ast.Name) and target.value.id == "self"
+    if isinstance(target, ast.Name):
+        return target.id in module_globals
+    return False
+
+
+def _scan_function(
+    unit,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    module_globals: frozenset[str],
+    off_loop: bool,
+) -> Iterator:
+    """Yield findings for unguarded shared-state AugAssigns in ``func``.
+
+    ``off_loop`` marks contexts whose statements may run concurrently
+    with the event loop (async bodies race with to_thread work; sync
+    methods of worker-spawning classes race with the loop).
+    """
+    if not off_loop:
+        return
+
+    def walk(node: ast.AST, lock_depth: int) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs analyzed separately
+            child_lock_depth = lock_depth
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                if any(
+                    mentions_identifier(item.context_expr, "lock")
+                    for item in child.items
+                ):
+                    child_lock_depth += 1
+            if isinstance(child, ast.AugAssign):
+                if lock_depth == 0 and _is_shared_target(child.target, module_globals):
+                    yield unit.finding(
+                        child,
+                        RULE_ID,
+                        "read-modify-write on shared state without a lock in a "
+                        "context that can run concurrently with the event loop",
+                        context=qualname,
+                    )
+            yield from walk(child, child_lock_depth)
+
+    yield from walk(func, 0)
+
+
+@register_rule(RULE_ID, "shared service state mutated without lock/queue")
+def check_shared_state(unit, config) -> Iterator:
+    if unit.module not in config.service_modules:
+        return
+    module_globals = _module_globals(unit.tree)
+
+    def scan_body(
+        body: list[ast.stmt], ctx: str, in_worker_class: bool
+    ) -> Iterator:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                qualname = node.name if ctx == "<module>" else f"{ctx}.{node.name}"
+                spawns = _class_spawns_workers(node)
+                # Mutable class-level defaults are shared across instances.
+                for stmt in node.body:
+                    value = None
+                    if isinstance(stmt, ast.Assign):
+                        value = stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        value = stmt.value
+                    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp)):
+                        yield unit.finding(
+                            stmt,
+                            RULE_ID,
+                            "mutable class-level default is shared across "
+                            "instances (and across tasks)",
+                            context=qualname,
+                        )
+                yield from scan_body(node.body, qualname, spawns)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = node.name if ctx == "<module>" else f"{ctx}.{node.name}"
+                off_loop = isinstance(node, ast.AsyncFunctionDef) or in_worker_class
+                yield from _scan_function(
+                    unit, node, qualname, module_globals, off_loop
+                )
+                yield from scan_body(
+                    [n for n in node.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))],
+                    qualname,
+                    in_worker_class,
+                )
+
+    yield from scan_body(unit.tree.body, "<module>", False)

@@ -1,0 +1,164 @@
+"""Taint-driven rules: CRY002 (float math), SEC001 (leaky logging),
+SEC002 (secret-dependent branching).
+
+All three share the intra-function taint walk from
+:mod:`repro.audit.taint`, seeded by the secret-identifier registry.
+
+* **CRY002** — Paillier/Damgård–Jurik arithmetic is exact integer math;
+  a float sneaking into a blinding factor or ciphertext silently
+  truncates and breaks eq. (14)/(17) correctness.  True division ``/``,
+  ``float(...)`` coercion, and mixing float literals into tainted
+  expressions are all flagged; ``//`` floor division is fine.
+* **SEC001** — logging or printing a secret-derived value leaks exactly
+  the material the protocol exists to hide.  Applies in the protocol and
+  service layers, where log lines leave the process.
+* **SEC002** — branching on a secret-derived value creates a timing /
+  control-flow side channel.  The STP sign-extraction modules are the
+  one place the protocol *requires* comparing a decrypted value, so they
+  are exempt by configuration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.audit.registry import register_rule
+from repro.audit.taint import expr_is_tainted, tainted_names
+from repro.audit.rules.common import iter_function_defs
+
+
+def _tainted(expr: ast.AST, tainted: frozenset[str], config) -> bool:
+    return expr_is_tainted(expr, tainted, config.secret_names)
+
+
+def _has_float_constant(expr: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Constant) and isinstance(node.value, float)
+        for node in ast.walk(expr)
+    )
+
+
+@register_rule("CRY002", "no float arithmetic or true division on secret-derived values")
+def check_float_taint(unit, config) -> Iterator:
+    if not config.in_scope(unit.module, config.taint_scope):
+        return
+    for qualname, func in iter_function_defs(unit.tree):
+        tainted = tainted_names(func, config.secret_names)
+        for node in ast.walk(func):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                if _tainted(node.left, tainted, config) or _tainted(
+                    node.right, tainted, config
+                ):
+                    yield unit.finding(
+                        node,
+                        "CRY002",
+                        "true division '/' on a secret-derived value — modular "
+                        "arithmetic needs '//' or modinv",
+                        context=qualname,
+                    )
+            elif isinstance(node, ast.BinOp) and _has_float_constant(node):
+                if _tainted(node, tainted, config):
+                    yield unit.finding(
+                        node,
+                        "CRY002",
+                        "float constant mixed into secret-derived arithmetic",
+                        context=qualname,
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+                and any(_tainted(arg, tainted, config) for arg in node.args)
+            ):
+                yield unit.finding(
+                    node,
+                    "CRY002",
+                    "float() coercion of a secret-derived value",
+                    context=qualname,
+                )
+
+
+def _is_log_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "print"
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        receiver_name = ""
+        if isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        return "log" in receiver_name.lower() and func.attr in {
+            "debug",
+            "info",
+            "warning",
+            "error",
+            "critical",
+            "exception",
+            "log",
+        }
+    return False
+
+
+@register_rule("SEC001", "no logging/printing/interpolation of secret-derived values")
+def check_secret_logging(unit, config) -> Iterator:
+    if not config.in_scope(unit.module, config.logging_scope):
+        return
+    for qualname, func in iter_function_defs(unit.tree):
+        tainted = tainted_names(func, config.secret_names)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and _is_log_call(node):
+                args = list(node.args) + [kw.value for kw in node.keywords]
+                if any(_tainted(arg, tainted, config) for arg in args):
+                    yield unit.finding(
+                        node,
+                        "SEC001",
+                        "secret-derived value reaches a log/print sink",
+                        context=qualname,
+                    )
+            elif isinstance(node, ast.JoinedStr):
+                for part in node.values:
+                    if isinstance(part, ast.FormattedValue) and _tainted(
+                        part.value, tainted, config
+                    ):
+                        yield unit.finding(
+                            node,
+                            "SEC001",
+                            "f-string interpolates a secret-derived value",
+                            context=qualname,
+                        )
+                        break
+
+
+@register_rule("SEC002", "no branching/comparison on secret-derived values")
+def check_secret_branching(unit, config) -> Iterator:
+    if not config.in_scope(unit.module, config.taint_scope):
+        return
+    if unit.module in config.sign_extraction_modules:
+        return  # sign extraction is the protocol's sanctioned secret compare
+    for qualname, func in iter_function_defs(unit.tree):
+        tainted = tainted_names(func, config.secret_names)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                if any(_tainted(op, tainted, config) for op in operands):
+                    yield unit.finding(
+                        node,
+                        "SEC002",
+                        "comparison on a secret-derived value — potential "
+                        "control-flow side channel",
+                        context=qualname,
+                    )
+            elif isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                test = node.test
+                if not isinstance(test, ast.Compare) and _tainted(
+                    test, tainted, config
+                ):
+                    yield unit.finding(
+                        test,
+                        "SEC002",
+                        "branch condition depends on a secret-derived value",
+                        context=qualname,
+                    )

@@ -1,0 +1,158 @@
+"""Lightweight intra-function taint propagation.
+
+The taint walk answers one question for the CRY002/SEC001/SEC002 rules:
+*which local names (may) hold secret-derived values?*  It is deliberately
+small — function-scoped, flow-insensitive, run to a fixpoint — because
+the codebase keeps secret material behind a handful of well-known
+identifiers (``sk``, ``lam``, ``mu``, the blinding factors) and we only
+need to follow straight-line data flow from those seeds.
+
+Seeding: a name is a taint *source* when it exactly matches an entry of
+the secret-identifier registry, either as a bare name (``lam = ...``) or
+as an attribute (``key.lam``, ``self._blinding``).  Matching is exact on
+the identifier (after stripping leading underscores), never substring —
+``alpha_bits`` is a public parameter, ``alpha`` is a blinding secret.
+
+Propagation: assignments, augmented assignments, tuple unpacking, binary
+and unary operations, calls whose arguments or receiver are tainted,
+subscripts, comprehension iteration variables, and walrus targets all
+carry taint from any tainted operand to the bound name(s).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["is_secret_identifier", "tainted_names", "expr_is_tainted"]
+
+
+def _canonical(identifier: str) -> str:
+    return identifier.lstrip("_")
+
+
+def is_secret_identifier(identifier: str, secret_names: frozenset[str]) -> bool:
+    """Exact-match test against the secret registry (underscore-insensitive)."""
+    return _canonical(identifier) in secret_names
+
+
+def _seed_names(expr: ast.AST, secret_names: frozenset[str]) -> bool:
+    """True when ``expr`` *mentions* a secret identifier anywhere inside."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and is_secret_identifier(node.id, secret_names):
+            return True
+        if isinstance(node, ast.Attribute) and is_secret_identifier(node.attr, secret_names):
+            return True
+    return False
+
+
+def expr_is_tainted(
+    expr: ast.AST, tainted: frozenset[str], secret_names: frozenset[str]
+) -> bool:
+    """True when ``expr`` reads a secret identifier or a tainted local."""
+    if _seed_names(expr, secret_names):
+        return True
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+    return False
+
+
+def _target_names(target: ast.AST):
+    """Yield plain names bound by an assignment target (tuples recursed)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def tainted_names(func: ast.AST, secret_names: frozenset[str]) -> frozenset[str]:
+    """Fixpoint set of local names carrying secret-derived values.
+
+    ``func`` is a FunctionDef/AsyncFunctionDef (or any node whose body we
+    should scan; nested function bodies are analyzed by their own pass and
+    skipped here).
+    """
+    # Collect assignment-like statements once; iterate to fixpoint.
+    statements: list[tuple[tuple[str, ...], ast.AST]] = []
+
+    class _Collector(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is not func:
+                return  # nested defs get their own walk
+            self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        def visit_Assign(self, node: ast.Assign) -> None:
+            names = tuple(n for t in node.targets for n in _target_names(t))
+            if names:
+                statements.append((names, node.value))
+            self.generic_visit(node)
+
+        def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+            if node.value is not None:
+                names = tuple(_target_names(node.target))
+                if names:
+                    statements.append((names, node.value))
+            self.generic_visit(node)
+
+        def visit_AugAssign(self, node: ast.AugAssign) -> None:
+            names = tuple(_target_names(node.target))
+            if names:
+                statements.append((names, node.value))
+            self.generic_visit(node)
+
+        def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+            names = tuple(_target_names(node.target))
+            if names:
+                statements.append((names, node.value))
+            self.generic_visit(node)
+
+        def visit_For(self, node: ast.For) -> None:
+            names = tuple(_target_names(node.target))
+            if names:
+                statements.append((names, node.iter))
+            self.generic_visit(node)
+
+        def visit_comprehension(self, node: ast.comprehension) -> None:
+            names = tuple(_target_names(node.target))
+            if names:
+                statements.append((names, node.iter))
+            self.generic_visit(node)
+
+        def visit_withitem(self, node: ast.withitem) -> None:
+            if node.optional_vars is not None:
+                names = tuple(_target_names(node.optional_vars))
+                if names:
+                    statements.append((names, node.context_expr))
+            self.generic_visit(node)
+
+    _Collector().visit(func)
+
+    # Parameters named after secrets seed the set directly.
+    tainted: set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        arg_nodes = list(func.args.posonlyargs) + list(func.args.args)
+        arg_nodes += list(func.args.kwonlyargs)
+        if func.args.vararg:
+            arg_nodes.append(func.args.vararg)
+        if func.args.kwarg:
+            arg_nodes.append(func.args.kwarg)
+        for arg in arg_nodes:
+            if is_secret_identifier(arg.arg, secret_names):
+                tainted.add(arg.arg)
+
+    changed = True
+    while changed:
+        changed = False
+        frozen = frozenset(tainted)
+        for names, value in statements:
+            if expr_is_tainted(value, frozen, secret_names):
+                for name in names:
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return frozenset(tainted)

@@ -12,6 +12,8 @@ Gives downstream users one entry point into the reproduction:
 ``profile``    Table II Paillier micro-benchmarks at any key size
 ``serve-loadtest``  drive the async service broker with synthetic
                open-loop load and report throughput/latency
+``audit``      crypto-hygiene static analyzer (CRY/SEC/ORD/SVC
+               rules) with baseline-gated exit status
 =============  =================================================
 """
 
@@ -98,6 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Paillier modulus (packed mode needs >= 512)")
     serve.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
+
+    audit = sub.add_parser(
+        "audit",
+        help="run the crypto-hygiene static analyzer over the source tree",
+    )
+    audit.add_argument("paths", nargs="*", default=["src/repro"],
+                       help="files/directories to analyze (default: src/repro)")
+    audit.add_argument("--baseline", type=str, default="audit-baseline.json",
+                       metavar="PATH",
+                       help="grandfathered-findings file (default: "
+                            "audit-baseline.json; missing file = empty)")
+    audit.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the baseline to the current finding set")
+    audit.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="also write the full report as JSON")
+    audit.add_argument("--format", choices=("text", "json"), default="text",
+                       help="stdout report format")
+    audit.add_argument("--select", action="append", default=None,
+                       metavar="RULE",
+                       help="run only this rule id (repeatable)")
+    audit.add_argument("--verbose", action="store_true",
+                       help="also list grandfathered findings")
 
     return parser
 
@@ -303,8 +327,23 @@ def _cmd_serve_loadtest(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from repro.audit.cli import run_audit
+
+    return run_audit(
+        list(args.paths),
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        json_path=args.json,
+        output_format=args.format,
+        select=args.select,
+        verbose=args.verbose,
+    )
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
+    "audit": _cmd_audit,
     "serve-loadtest": _cmd_serve_loadtest,
     "negotiate": _cmd_negotiate,
     "capacity": _cmd_capacity,

@@ -133,7 +133,9 @@ class DjPrivateKey:
         self.p = p
         self.q = q
         lam = lcm(p - 1, q - 1)
-        if math.gcd(lam, public_key.n) != 1:
+        # Keygen-time validity check, not a data-dependent branch: it runs
+        # once per key and only rejects degenerate moduli.
+        if math.gcd(lam, public_key.n) != 1:  # audit-ok: SEC002
             raise ConfigurationError("gcd(λ, n) must be 1 (regenerate the key)")
         # d ≡ 1 (mod n^s), d ≡ 0 (mod λ).
         self._d = crt_pair(1 % public_key.n_s, 0, public_key.n_s, lam)

@@ -1,0 +1,30 @@
+"""Shared SHA-256 helpers — the one module allowed to touch :mod:`hashlib`.
+
+Every hash computed by this library (license request commitments, the
+RSA-FDH expansion, the deterministic DRBG blocks) routes through this
+module so the crypto-hygiene analyzer (:mod:`repro.audit`, rule CRY001)
+can enforce a single seam: direct ``hashlib`` imports anywhere else in
+``src/repro`` are findings.  Centralising the calls also keeps the
+algorithm choice (SHA-256 everywhere) in one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["sha256", "SHA256_DIGEST_SIZE"]
+
+#: Digest size in bytes of the library-wide hash.
+SHA256_DIGEST_SIZE = 32
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 digest over the concatenation of ``parts``.
+
+    Accepting parts avoids building intermediate concatenations at call
+    sites (``sha256(seed, counter_bytes)`` instead of ``seed + counter``).
+    """
+    state = hashlib.sha256()
+    for part in parts:
+        state.update(part)
+    return state.digest()

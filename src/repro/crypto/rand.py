@@ -14,9 +14,10 @@ of type :class:`RandomSource` and default to the system source.
 
 from __future__ import annotations
 
-import hashlib
 import secrets
 from abc import ABC, abstractmethod
+
+from repro.crypto.hashing import sha256
 
 __all__ = [
     "RandomSource",
@@ -93,9 +94,7 @@ class DeterministicRandomSource(RandomSource):
         self._buffer_bits = 0
 
     def _refill(self) -> None:
-        block = hashlib.sha256(
-            self._seed + self._counter.to_bytes(8, "big")
-        ).digest()
+        block = sha256(self._seed, self._counter.to_bytes(8, "big"))
         self._counter += 1
         self._buffer = (self._buffer << 256) | int.from_bytes(block, "big")
         self._buffer_bits += 256

@@ -18,9 +18,9 @@ existentially unforgeable scheme in the random-oracle model.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
+from repro.crypto.hashing import sha256
 from repro.crypto.numtheory import generate_distinct_primes, modinv
 from repro.crypto.rand import RandomSource, default_rng
 from repro.errors import ConfigurationError, SignatureError
@@ -49,9 +49,7 @@ def full_domain_hash(message: bytes, modulus: int) -> int:
     counter = 0
     bits = 0
     while bits < target_bits:
-        blocks.append(
-            hashlib.sha256(counter.to_bytes(4, "big") + message).digest()
-        )
+        blocks.append(sha256(counter.to_bytes(4, "big"), message))
         counter += 1
         bits += 256
     return int.from_bytes(b"".join(blocks), "big") % modulus

@@ -112,7 +112,9 @@ def generate_threshold_keypair(
         if n.bit_length() != key_bits:
             continue
         lam = lcm(p - 1, q - 1)
-        if math.gcd(lam, n) != 1:
+        # Keygen-time validity check on a candidate modulus (re-rolled on
+        # failure), not a secret-dependent protocol branch.
+        if math.gcd(lam, n) != 1:  # audit-ok: SEC002
             continue
         public_key = PaillierPublicKey(n)
         # d ≡ 0 (mod λ), d ≡ 1 (mod n); reduce exponents mod n·λ, the

@@ -48,6 +48,14 @@ class BlindingError(ProtocolError):
     """Blinding factors cannot be generated safely for the configuration."""
 
 
+class AuditError(ReproError):
+    """Base class for correctness-tooling (static/runtime audit) failures."""
+
+
+class SanitizerViolation(AuditError):
+    """The runtime protocol sanitizer caught an invalid message in flight."""
+
+
 class RadioError(ReproError):
     """Base class for radio/propagation-model failures."""
 

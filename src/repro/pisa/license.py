@@ -15,9 +15,9 @@ delivered.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
+from repro.crypto.hashing import sha256
 from repro.crypto.serialization import decode_bytes, decode_int, encode_bytes, encode_int
 from repro.crypto.signatures import RsaFdhSigner, RsaFdhVerifier
 from repro.errors import SerializationError
@@ -106,4 +106,4 @@ class TransmissionLicense:
     @staticmethod
     def digest_of(request_bytes: bytes) -> bytes:
         """The request-commitment digest used in license bodies."""
-        return hashlib.sha256(request_bytes).digest()
+        return sha256(request_bytes)

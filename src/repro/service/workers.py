@@ -20,6 +20,7 @@ service deployments.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
@@ -62,6 +63,9 @@ class ProcessWorkerPool:
         self.min_parallel_jobs = min_parallel_jobs
         self.jobs_executed = 0
         self.batches_executed = 0
+        # pow_many runs from asyncio.to_thread contexts; the counters are
+        # read-modify-write shared state and need the lock.
+        self._stats_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -71,8 +75,9 @@ class ProcessWorkerPool:
 
     def pow_many(self, jobs: Sequence[PowJob]) -> list[int]:
         jobs = list(jobs)
-        self.jobs_executed += len(jobs)
-        self.batches_executed += 1
+        with self._stats_lock:
+            self.jobs_executed += len(jobs)
+            self.batches_executed += 1
         if len(jobs) < self.min_parallel_jobs or self.max_workers == 1:
             return _pow_chunk(jobs)
         pool = self._ensure_pool()

@@ -1,0 +1,40 @@
+"""Helpers for exercising analyzer rules on in-memory source fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.audit.engine import AuditConfig, AuditEngine, ModuleUnit
+
+
+def run_rules(
+    source: str,
+    *,
+    module: str,
+    select: set[str] | None = None,
+    config: AuditConfig | None = None,
+):
+    """Analyze ``source`` as if it were the file for dotted ``module``."""
+    if config is None:
+        config = AuditConfig(select=frozenset(select or ()))
+    elif select:
+        config = AuditConfig(
+            secret_names=config.secret_names,
+            randomness_allowed=config.randomness_allowed,
+            hashing_allowed=config.hashing_allowed,
+            taint_scope=config.taint_scope,
+            logging_scope=config.logging_scope,
+            sign_extraction_modules=config.sign_extraction_modules,
+            ordering_scope=config.ordering_scope,
+            service_modules=config.service_modules,
+            select=frozenset(select),
+        )
+    unit = ModuleUnit.from_source(
+        textwrap.dedent(source), path=f"<{module}>", module=module
+    )
+    return AuditEngine(config).run_unit(unit)
+
+
+def rules_hit(source: str, *, module: str, select: set[str] | None = None):
+    """Set of rule ids that fire on ``source``."""
+    return {f.rule for f in run_rules(source, module=module, select=select)}

@@ -53,3 +53,26 @@ def scenario() -> Scenario:
 def fresh_rng() -> DeterministicRandomSource:
     """A per-test deterministic source (isolated stream)."""
     return DeterministicRandomSource("per-test")
+
+
+@pytest.fixture()
+def protocol_transport():
+    """The transport protocol tests should hand to a coordinator.
+
+    By default this is the runtime-sanitized wrapper from
+    :mod:`repro.audit.runtime`, so every protocol round exercised through
+    the fixture also checks ciphertext well-formedness, STP envelope
+    hygiene, and re-randomization freshness in flight.  Set
+    ``PISA_SANITIZE=0`` to fall back to the bare transport (e.g. when
+    bisecting whether the sanitizer itself perturbs a failure).
+    """
+    import os
+
+    from repro.net.transport import InMemoryTransport
+
+    inner = InMemoryTransport()
+    if os.environ.get("PISA_SANITIZE", "1") == "0":
+        return inner
+    from repro.audit.runtime import SanitizingTransport
+
+    return SanitizingTransport(inner)

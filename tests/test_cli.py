@@ -20,9 +20,17 @@ class TestParser:
             ["zones", "--probe-dbm", "12"],
             ["simulate", "--hours", "2", "--rate", "0.5", "--packing", "4"],
             ["profile", "--key-bits", "128"],
+            ["audit"],
+            ["audit", "src/repro", "--select", "CRY001", "--format", "json"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.paths == ["src/repro"]
+        assert args.baseline == "audit-baseline.json"
+        assert not args.update_baseline
 
 
 class TestExecution:
