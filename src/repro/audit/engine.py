@@ -48,9 +48,14 @@ class AuditConfig:
     #: Modules allowed to import :mod:`hashlib` directly.
     hashing_allowed: frozenset[str] = frozenset({"repro.crypto.hashing"})
     #: Package prefixes where the taint rules (CRY002) apply.
-    taint_scope: tuple[str, ...] = ("repro.crypto", "repro.pisa", "repro.service")
+    taint_scope: tuple[str, ...] = (
+        "repro.crypto",
+        "repro.pisa",
+        "repro.service",
+        "repro.cluster",
+    )
     #: Package prefixes where secret-logging (SEC001) applies.
-    logging_scope: tuple[str, ...] = ("repro.pisa", "repro.service")
+    logging_scope: tuple[str, ...] = ("repro.pisa", "repro.service", "repro.cluster")
     #: Modules whose job *is* branching on decrypted signs (SEC002 exempt).
     sign_extraction_modules: frozenset[str] = frozenset(
         {"repro.pisa.stp_server", "repro.pisa.two_server", "repro.pisa.packed"}
@@ -59,7 +64,15 @@ class AuditConfig:
     ordering_scope: tuple[str, ...] = ("repro.pisa",)
     #: Modules subject to the shared-state race heuristic (SVC001).
     service_modules: frozenset[str] = frozenset(
-        {"repro.service.broker", "repro.service.workers"}
+        {
+            "repro.service.broker",
+            "repro.service.workers",
+            "repro.cluster.compute",
+            "repro.cluster.membership",
+            "repro.cluster.replica",
+            "repro.cluster.router",
+            "repro.cluster.shard",
+        }
     )
     #: Restrict the run to these rule ids (empty = all).
     select: frozenset[str] = frozenset()

@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = serial in-process executor)")
     serve.add_argument("--key-bits", type=int, default=512,
                        help="Paillier modulus (packed mode needs >= 512)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="SDC shards behind the cluster facade "
+                            "(0 = single packed SDC)")
+    serve.add_argument("--kill-shard", type=int, default=0, metavar="N",
+                       help="kill a shard primary after N request "
+                            "submissions (failover chaos probe; needs "
+                            "--shards)")
     serve.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
 
@@ -302,6 +309,8 @@ def _cmd_serve_loadtest(args) -> int:
         arrivals_per_second=args.rate,
         num_sus=args.sus,
         key_bits=args.key_bits,
+        shards=args.shards,
+        kill_shard_after=args.kill_shard,
         service=ServiceConfig(
             batch_window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
@@ -315,9 +324,10 @@ def _cmd_serve_loadtest(args) -> int:
     else:
         report = run_loadtest(config)
         executor_name = "serial"
+    plane = f"{args.shards}-shard cluster" if args.shards else "single SDC"
     print(format_table(
         f"serve-loadtest: {args.requests} req @ {args.rate:g}/s, "
-        f"window {args.window_ms:g} ms, executor {executor_name}",
+        f"window {args.window_ms:g} ms, executor {executor_name}, {plane}",
         report.as_table_rows(),
     ))
     if args.json:

@@ -1,0 +1,78 @@
+"""Per-shard dedicated compute processes.
+
+:class:`~repro.service.workers.ProcessWorkerPool` is tuned for one big
+server: it runs small batches inline and shares its workers across every
+caller.  A sharded SDC plane is the opposite shape — each shard is "its
+own machine" with its own CPU, and the scatter-gather router blocks a
+*thread* per shard while the shard's exponentiations grind.  Inline
+execution would serialise all shards on the caller's GIL and erase the
+cluster's parallelism, so :class:`DedicatedProcessExecutor` **always**
+ships the batch to its single worker process, no matter how small.  The
+calling thread releases the GIL while it waits on the future, which is
+what lets N shards genuinely compute at once.
+
+Determinism: jobs are pure ``pow(base, exponent, modulus)`` triples with
+all randomness drawn by the coordinator before dispatch, so results are
+byte-identical to :class:`~repro.crypto.parallel.SerialExecutor` — the
+same executor-seam property the service runtime already asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Sequence
+
+from repro.crypto.parallel import PowJob
+from repro.service.workers import _pow_chunk
+
+__all__ = ["DedicatedProcessExecutor"]
+
+
+class DedicatedProcessExecutor:
+    """One shard's private worker process behind the ``Executor`` seam.
+
+    Use as a context manager or call :meth:`close` to reap the worker.
+    Call :meth:`warm_up` before the router spawns scatter threads —
+    forking from an already-threaded process is unreliable.
+    """
+
+    def __init__(self) -> None:
+        self.jobs_executed = 0
+        self.batches_executed = 0
+        # Submissions come from the router's scatter threads; the
+        # counters and lazy pool start are shared state.
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=1)
+        return self._pool
+
+    def submit_pow_many(self, jobs: Sequence[PowJob]) -> Future:
+        """Ship a batch to the worker; the future resolves to the results."""
+        jobs = list(jobs)
+        with self._lock:
+            self.jobs_executed += len(jobs)
+            self.batches_executed += 1
+            pool = self._ensure_pool()
+        return pool.submit(_pow_chunk, jobs)
+
+    def pow_many(self, jobs: Sequence[PowJob]) -> list[int]:
+        return self.submit_pow_many(jobs).result()
+
+    def warm_up(self) -> None:
+        """Fork the worker now and push one trivial batch through."""
+        self.pow_many([(2, 3, 5)])
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "DedicatedProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,515 @@
+"""The cluster coordinator: a sharded SDC with a single-SDC transcript.
+
+:class:`ClusterSdc` presents exactly the :class:`~repro.pisa.sdc_server.SdcServer`
+surface (``handle_pu_update`` / ``start_request`` / ``finish_request`` /
+``blinding_parameters``), so the STP, the SU clients, the epoch batcher,
+and the broker all drive it unchanged.  Internally every request is
+split by block ownership, scattered to the shards, and the encrypted
+partials merged back — with one invariant the test suite asserts
+byte-for-byte:
+
+**Transcript equivalence.**  Seeded identically, the N-shard cluster
+emits the *same bytes* as one SDC — the same ``Ṽ`` matrix to the STP,
+the same license, the same perturbed signature — because:
+
+* all randomness (per-cell ``(α, β, ε)``, obfuscator nonces, the
+  signature nonce, η) is drawn *centrally*, in the single-SDC cell
+  order, before anything is scattered;
+* shards perform only deterministic homomorphic arithmetic on that
+  handed-down randomness (:mod:`repro.cluster.shard`);
+* the merged ``ΣQ̃`` is a product of partial products mod ``n²``, which
+  is grouping-independent.
+
+So sharding changes *where* the multiplications run and nothing else —
+the same argument (and the same test pattern) that made the executor
+seam safe in the service runtime.
+
+:class:`ClusterCoordinator` mirrors :class:`~repro.pisa.protocol.PisaCoordinator`
+(same construction-time RNG draw order, same enrolment flows) and adds
+the cluster operations: ``kill_shard``, ``join_shard`` / ``leave_shard``
+with block handoff, and epoch commit with per-shard snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.crypto.paillier import (
+    EncryptedNumber,
+    PaillierKeypair,
+    PaillierPublicKey,
+    generate_keypair,
+    hom_sum,
+)
+from repro.crypto.rand import RandomSource, default_rng
+from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
+from repro.errors import ProtocolError
+from repro.geo.region import PrivacyRegion
+from repro.net.transport import InMemoryTransport, MultiplexedTransport
+from repro.pisa.blinding import BlindingFactory, BlindingParameters
+from repro.pisa.license import TransmissionLicense
+from repro.pisa.messages import (
+    LicenseResponse,
+    PUUpdateMessage,
+    SignExtractionRequest,
+    SignExtractionResponse,
+    SURequestMessage,
+)
+from repro.pisa.protocol import RoundReport, RoundTimings
+from repro.pisa.pu_client import PUClient
+from repro.pisa.sdc_server import PendingRound, SdcStats
+from repro.pisa.stp_server import StpServer
+from repro.pisa.su_client import SUClient
+from repro.watch.entities import PUReceiver, SUTransmitter
+from repro.watch.environment import SpectrumEnvironment
+
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.rebalance import HandoffPlan, execute_handoff, plan_handoff
+from repro.cluster.replica import ShardReplicaSet, SnapshotStore
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import (
+    SdcShard,
+    ShardPhase1Request,
+    ShardPhase2Request,
+)
+
+__all__ = ["ClusterSdc", "ClusterCoordinator"]
+
+
+class ClusterSdc:
+    """Drop-in SDC facade over the shard fleet."""
+
+    def __init__(
+        self,
+        environment: SpectrumEnvironment,
+        directory,
+        signer: RsaFdhSigner,
+        router: ShardRouter,
+        issuer_id: str = "sdc",
+        rng: RandomSource | None = None,
+        fresh_beta_encryption: bool = True,
+        clock=time.time,
+    ) -> None:
+        self.environment = environment
+        self.directory = directory
+        self.signer = signer
+        self.router = router
+        self.issuer_id = issuer_id
+        self._rng = default_rng(rng)
+        self._fresh_beta = fresh_beta_encryption
+        self._clock = clock
+        self.stats = SdcStats()
+        self._pending: dict[str, PendingRound] = {}
+        self._round_counter = itertools.count()
+        #: The most recent round's merged ΣQ̃ (equivalence-test probe;
+        #: the single SDC exposes the same attribute).
+        self.last_q_sum: EncryptedNumber | None = None
+        directory.register_signing_key(issuer_id, signer.public_key)
+
+    @property
+    def group_public_key(self) -> PaillierPublicKey:
+        return self.directory.group_public_key
+
+    def blinding_parameters(self) -> BlindingParameters:
+        """Identical derivation to the single SDC — same α/β widths."""
+        params = self.environment.params
+        bound = (1 << params.value_bits) * (params.sinr_plus_redn_int + 1)
+        return BlindingParameters.for_key(self.group_public_key, bound)
+
+    # -- Figure 4 step 4 ---------------------------------------------------------
+
+    def handle_pu_update(self, message: PUUpdateMessage) -> None:
+        """Route the update to the owning shard (validated there)."""
+        self.router.route_pu_update(message)
+        self.stats.pu_updates += 1
+
+    # -- Figure 5 phase 1 --------------------------------------------------------
+
+    def start_request(self, request: SURequestMessage) -> SignExtractionRequest:
+        """Scatter phase 1 and reassemble the exact single-SDC ``Ṽ``."""
+        env = self.environment
+        if len(request.matrix) != env.num_channels:
+            raise ProtocolError("request must carry one row per channel")
+        if not self.directory.has_su_key(request.su_id):
+            raise ProtocolError(f"SU {request.su_id!r} has no registered key")
+        for block in request.region_blocks:
+            if not 0 <= block < env.num_blocks:
+                raise ProtocolError(f"disclosed block {block} outside the area")
+        factory = BlindingFactory(self.blinding_parameters(), rng=self._rng)
+        pk = self.group_public_key
+        # All randomness, drawn centrally in the single-SDC cell order
+        # (row-major: blinding triple, then obfuscator nonce) — the
+        # shards never touch the RNG, so the transcript cannot depend on
+        # how the map is partitioned.
+        blinding_rows = []
+        obfuscator_rows = []
+        for row in request.matrix:
+            blinding_row = []
+            obfuscator_row = []
+            for f_ct in row:
+                if f_ct.public_key != pk:
+                    raise ProtocolError("request entry not under the group key")
+                blinding_row.append(factory.draw())
+                obfuscator_row.append(
+                    pk.random_r(self._rng) if self._fresh_beta else None
+                )
+            blinding_rows.append(tuple(blinding_row))
+            obfuscator_rows.append(tuple(obfuscator_row))
+        round_id = f"round-{next(self._round_counter)}"
+        split = self.router.split_columns(request.region_blocks)
+        subqueries = {}
+        for shard_id, columns in split.items():
+            subqueries[shard_id] = ShardPhase1Request(
+                round_id=round_id,
+                su_id=request.su_id,
+                shard_id=shard_id,
+                columns=columns,
+                blocks=tuple(request.region_blocks[k] for k in columns),
+                matrix=tuple(
+                    tuple(row[k] for k in columns) for row in request.matrix
+                ),
+                blindings=tuple(
+                    tuple(row[k] for k in columns) for row in blinding_rows
+                ),
+                obfuscators=tuple(
+                    tuple(row[k] for k in columns) for row in obfuscator_rows
+                ),
+            )
+        responses = self.router.scatter_phase1(subqueries)
+        # Gather: place each shard's columns back at their request
+        # positions — the reassembled matrix is column-for-column the
+        # matrix one SDC would have produced.
+        width = len(request.region_blocks)
+        grid: list[list[EncryptedNumber | None]] = [
+            [None] * width for _ in range(env.num_channels)
+        ]
+        for response in responses.values():
+            for j, k in enumerate(response.columns):
+                for c in range(env.num_channels):
+                    grid[c][k] = response.matrix[c][j]
+        blinded_rows = tuple(tuple(row) for row in grid)
+        self._pending[round_id] = PendingRound(
+            round_id=round_id,
+            su_id=request.su_id,
+            region_blocks=request.region_blocks,
+            blindings=tuple(blinding_rows),
+            request_digest=TransmissionLicense.digest_of(request.digest_bytes()),
+            channels=tuple(range(env.num_channels)),
+        )
+        self.stats.requests_started += 1
+        return SignExtractionRequest(
+            round_id=round_id, su_id=request.su_id, matrix=blinded_rows
+        )
+
+    # -- Figure 5 phase 2 --------------------------------------------------------
+
+    def finish_request(self, response: SignExtractionResponse) -> LicenseResponse:
+        """Scatter the ``Q̃`` work, merge partial ``ΣQ̃``, issue the license."""
+        pending = self._pending.get(response.round_id)
+        if pending is None:
+            raise ProtocolError(f"unknown round {response.round_id!r}")
+        if response.su_id != pending.su_id:
+            raise ProtocolError("sign-extraction response for the wrong SU")
+        su_key = self.directory.su_key(pending.su_id)
+        if len(response.matrix) != len(pending.blindings):
+            raise ProtocolError("sign matrix shape mismatch")
+        for x_row, blinding_row in zip(response.matrix, pending.blindings):
+            if len(x_row) != len(blinding_row):
+                raise ProtocolError("sign matrix shape mismatch")
+            for x_ct in x_row:
+                if x_ct.public_key != su_key:
+                    raise ProtocolError("converted sign not under the SU's key")
+        del self._pending[response.round_id]
+        # Phase 2 is block-state-free (pure X̃/ε arithmetic), so the
+        # *current* ring decides who computes what — a round that spans
+        # a membership change still completes.
+        split = self.router.split_columns(pending.region_blocks)
+        subqueries = {}
+        for shard_id, columns in split.items():
+            subqueries[shard_id] = ShardPhase2Request(
+                round_id=response.round_id,
+                shard_id=shard_id,
+                columns=columns,
+                matrix=tuple(
+                    tuple(row[k] for k in columns) for row in response.matrix
+                ),
+                epsilons=tuple(
+                    tuple(row[k].epsilon for k in columns)
+                    for row in pending.blindings
+                ),
+            )
+        partials = self.router.scatter_phase2(subqueries)
+        # Merge order is fixed (sorted shard id) for determinism, though
+        # mod-n² multiplication makes any order produce the same integer.
+        q_sum = hom_sum(
+            [partials[shard_id].partial_q for shard_id in sorted(partials)]
+        )
+        license_body = TransmissionLicense(
+            su_id=pending.su_id,
+            issuer_id=self.issuer_id,
+            request_digest=pending.request_digest,
+            channels=pending.channels,
+            issued_at=int(self._clock()),
+        )
+        signature = license_body.sign(self.signer, max_value=su_key.n)
+        encrypted_signature = EncryptedNumber(
+            su_key, su_key.raw_encrypt(signature, rng=self._rng)
+        )
+        # eq. (17): G̃ = SG̃ ⊕ (η ⊗ ΣQ̃) — same RNG order as the single
+        # SDC (signature nonce, then η).
+        eta = BlindingFactory(self.blinding_parameters(), rng=self._rng).draw_eta()
+        self.last_q_sum = q_sum
+        g_ct = encrypted_signature.add(q_sum.scalar_mul(eta))
+        self.stats.requests_completed += 1
+        return LicenseResponse(license=license_body, encrypted_signature=g_ct)
+
+    # -- epoch control -----------------------------------------------------------
+
+    def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
+        """Commit on every shard; snapshot each primary at the new epoch."""
+        self.router.commit_epoch(epoch_id, snapshot=snapshot)
+
+    @property
+    def pending_rounds(self) -> int:
+        return len(self._pending)
+
+
+class ClusterCoordinator:
+    """Builds and drives a complete sharded PISA deployment.
+
+    Construction draws randomness in exactly
+    :class:`~repro.pisa.protocol.PisaCoordinator`'s order (group keypair,
+    then signing keypair; shards draw nothing), so the same seed yields
+    the same keys — the precondition of the transcript-equivalence test.
+    """
+
+    def __init__(
+        self,
+        environment: SpectrumEnvironment,
+        num_shards: int = 2,
+        key_bits: int = 2048,
+        signature_bits: int | None = None,
+        rng: RandomSource | None = None,
+        transport: MultiplexedTransport | None = None,
+        fresh_beta_encryption: bool = True,
+        stp_executor=None,
+        shard_executor_factory=None,
+        heartbeat_timeout_s: float = 1.0,
+        max_attempts: int = 2,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        scatter_threads: int | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ProtocolError("num_shards must be positive")
+        if signature_bits is None:
+            signature_bits = max(32, key_bits // 2)
+        if signature_bits >= key_bits:
+            raise ProtocolError(
+                "signature modulus must be smaller than the Paillier modulus"
+            )
+        self.environment = environment
+        self.key_bits = key_bits
+        self._rng = default_rng(rng)
+        self.transport: InMemoryTransport = (
+            transport if transport is not None else MultiplexedTransport()
+        )
+        self.stp = StpServer(key_bits=key_bits, rng=self._rng, executor=stp_executor)
+        _, signing_private = generate_rsa_keypair(signature_bits, rng=self._rng)
+        # Control plane — deterministic, no RNG draws from here on.
+        self._shard_executor_factory = shard_executor_factory
+        self._shard_executors: list = []
+        self._heartbeat_timeout_s = heartbeat_timeout_s
+        self.snapshots = SnapshotStore()
+        shard_ids = tuple(f"shard-{i}" for i in range(num_shards))
+        self.membership = ClusterMembership(shard_ids, virtual_nodes=virtual_nodes)
+        self.replica_sets: dict[str, ShardReplicaSet] = {
+            shard_id: self._build_replica_set(shard_id) for shard_id in shard_ids
+        }
+        assignment = self.membership.ring.assignment(
+            tuple(range(environment.num_blocks))
+        )
+        for shard_id, blocks in assignment.items():
+            self.replica_sets[shard_id].assign_blocks(blocks)
+        self.router = ShardRouter(
+            self.membership,
+            self.replica_sets,
+            transport=(
+                self.transport
+                if isinstance(self.transport, MultiplexedTransport)
+                else None
+            ),
+            max_attempts=max_attempts,
+            scatter_threads=scatter_threads,
+        )
+        self.sdc = ClusterSdc(
+            environment,
+            directory=self.stp.directory,
+            signer=RsaFdhSigner(signing_private),
+            router=self.router,
+            rng=self._rng,
+            fresh_beta_encryption=fresh_beta_encryption,
+        )
+        self._pu_clients: dict[str, PUClient] = {}
+        self._su_clients: dict[str, SUClient] = {}
+
+    def _build_replica_set(self, shard_id: str) -> ShardReplicaSet:
+        executor = (
+            self._shard_executor_factory(shard_id)
+            if self._shard_executor_factory is not None
+            else None
+        )
+        if executor is not None:
+            self._shard_executors.append(executor)
+
+        def factory(role: str) -> SdcShard:
+            return SdcShard(
+                shard_id,
+                self.environment,
+                self.stp.group_public_key,
+                executor=executor,
+            )
+
+        return ShardReplicaSet(
+            shard_id,
+            shard_factory=factory,
+            snapshots=self.snapshots,
+            heartbeat_timeout_s=self._heartbeat_timeout_s,
+        )
+
+    def close(self) -> None:
+        """Release the scatter threads and any shard worker processes."""
+        self.router.close()
+        for executor in self._shard_executors:
+            closer = getattr(executor, "close", None)
+            if closer is not None:
+                closer()
+
+    # -- enrolment (mirrors PisaCoordinator) ---------------------------------------
+
+    def enroll_pu(self, pu: PUReceiver) -> PUClient:
+        """Create a PU client and route its initial encrypted update."""
+        client = PUClient(
+            pu, self.environment, self.stp.group_public_key, rng=self._rng
+        )
+        self._pu_clients[pu.receiver_id] = client
+        update = client.build_update()
+        self.transport.send(update, sender=pu.receiver_id, receiver="sdc")
+        self.sdc.handle_pu_update(update)
+        return client
+
+    def enroll_su(
+        self,
+        su: SUTransmitter,
+        region: PrivacyRegion | None = None,
+        keypair: PaillierKeypair | None = None,
+    ) -> SUClient:
+        """Create an SU client, generate/register its personal key pair."""
+        keypair = keypair or generate_keypair(self.key_bits, rng=self._rng)
+        client = SUClient(
+            su,
+            self.environment,
+            self.stp.group_public_key,
+            keypair,
+            region=region,
+            rng=self._rng,
+        )
+        self.stp.register_su(su.su_id, client.public_key)
+        self._su_clients[su.su_id] = client
+        return client
+
+    def pu_client(self, pu_id: str) -> PUClient:
+        return self._pu_clients[pu_id]
+
+    def su_client(self, su_id: str) -> SUClient:
+        return self._su_clients[su_id]
+
+    # -- protocol rounds -------------------------------------------------------------
+
+    def pu_switch_channel(
+        self, pu_id: str, channel_slot: int | None, signal_strength_mw: float = 0.0
+    ) -> bool:
+        """Run Figure 4 for a channel switch; returns True if an update flowed."""
+        client = self._pu_clients[pu_id]
+        update = client.switch_channel(channel_slot, signal_strength_mw)
+        if update is None:
+            return False
+        self.transport.send(update, sender=pu_id, receiver="sdc")
+        self.sdc.handle_pu_update(update)
+        return True
+
+    def run_request_round(
+        self, su_id: str, reuse_cached_request: bool = False
+    ) -> RoundReport:
+        """Run Figure 5 end to end through the cluster, with cost accounting."""
+        client = self._su_clients[su_id]
+
+        t0 = time.perf_counter()
+        if reuse_cached_request:
+            request = client.refresh_request()
+        else:
+            request = client.prepare_request()
+        t1 = time.perf_counter()
+        self.transport.send(request, sender=su_id, receiver="sdc")
+
+        sign_request = self.sdc.start_request(request)
+        t2 = time.perf_counter()
+        self.transport.send(sign_request, sender="sdc", receiver="stp")
+
+        sign_response = self.stp.handle_sign_extraction(sign_request)
+        t3 = time.perf_counter()
+        self.transport.send(sign_response, sender="stp", receiver="sdc")
+
+        response = self.sdc.finish_request(sign_response)
+        t4 = time.perf_counter()
+        self.transport.send(response, sender="sdc", receiver=su_id)
+
+        outcome = client.process_response(response, self.stp.directory)
+        t5 = time.perf_counter()
+
+        return RoundReport(
+            su_id=su_id,
+            granted=outcome.granted,
+            outcome=outcome,
+            timings=RoundTimings(
+                request_preparation=t1 - t0,
+                sdc_phase1=t2 - t1,
+                stp_conversion=t3 - t2,
+                sdc_phase2=t4 - t3,
+                su_decryption=t5 - t4,
+            ),
+            request_bytes=request.wire_size(),
+            sign_extraction_bytes=sign_request.wire_size(),
+            conversion_bytes=sign_response.wire_size(),
+            response_bytes=response.wire_size(),
+        )
+
+    # -- cluster operations ------------------------------------------------------------
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Crash a shard's primary and cut its wire (failover drill)."""
+        self.replica_sets[shard_id].kill_primary()
+        if isinstance(self.transport, MultiplexedTransport):
+            self.transport.fail_endpoint(shard_id)
+
+    def join_shard(self, shard_id: str) -> HandoffPlan:
+        """Admit a new shard mid-epoch: ring swap + block handoff."""
+        old_ring = self.membership.ring
+        replica_set = self._build_replica_set(shard_id)
+        self.replica_sets[shard_id] = replica_set
+        self.router.add_replica_set(shard_id, replica_set)
+        new_ring = self.membership.join(shard_id)
+        plan = plan_handoff(old_ring, new_ring, self.environment.num_blocks)
+        execute_handoff(plan, self.replica_sets)
+        return plan
+
+    def leave_shard(self, shard_id: str) -> HandoffPlan:
+        """Retire a shard: ring swap + handoff of its blocks to survivors."""
+        old_ring = self.membership.ring
+        new_ring = self.membership.leave(shard_id)
+        plan = plan_handoff(old_ring, new_ring, self.environment.num_blocks)
+        execute_handoff(plan, self.replica_sets)
+        self.router.remove_replica_set(shard_id)
+        del self.replica_sets[shard_id]
+        return plan

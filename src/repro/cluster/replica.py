@@ -1,0 +1,207 @@
+"""Replica sets: a warm standby, heartbeats, and failover promotion.
+
+Each shard runs as a *replica set*: a primary :class:`SdcShard` serving
+sub-queries and a warm standby mirroring every PU update as it is
+applied.  Losing a shard therefore loses no durable state — the standby
+holds the same encrypted aggregate, and the per-epoch snapshots written
+at commit (:class:`SnapshotStore`) bound how far even a *cold* restore
+can lag: to the last committed epoch, never further.
+
+Failure detection is heartbeat-based and clock-injectable: the router
+records a heartbeat on every successful sub-query, and
+:meth:`ShardReplicaSet.is_alive` treats a primary as dead once its
+heartbeat is older than ``heartbeat_timeout_s`` (or once a sub-query
+raised :class:`~repro.errors.ShardDownError` outright).  Promotion swaps
+the standby in as primary and rebuilds a fresh standby behind it —
+preferring the latest snapshot when one is at least as recent as the
+promoted primary's committed epoch, which exercises the same
+save/restore path a cold operator restart would use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+from repro.pisa.messages import PUUpdateMessage
+from repro.pisa.storage import restore_shard_state, serialize_shard_state
+
+from repro.cluster.shard import SdcShard
+
+__all__ = [
+    "SnapshotStore",
+    "ShardReplicaSet",
+    "FailoverEvent",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
+]
+
+DEFAULT_HEARTBEAT_TIMEOUT_S = 1.0
+
+
+class SnapshotStore:
+    """Latest per-shard epoch snapshot, keyed by shard id.
+
+    In-memory here (the repro has no disk layer), but append-ordered and
+    bytes-only like the durable version would be; the payload *is* the
+    canonical :func:`~repro.pisa.storage.serialize_shard_state` blob.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: shard_id → (epoch, blob)
+        self._latest: dict[str, tuple[int, bytes]] = {}
+        self.snapshots_taken = 0
+
+    def save(self, shard: SdcShard) -> int:
+        """Snapshot ``shard`` at its current committed epoch."""
+        blob = serialize_shard_state(shard)
+        with self._lock:
+            epoch = shard.last_committed_epoch
+            current = self._latest.get(shard.shard_id)
+            if current is None or epoch >= current[0]:
+                self._latest[shard.shard_id] = (epoch, blob)
+            self.snapshots_taken += 1
+        return epoch
+
+    def latest(self, shard_id: str) -> tuple[int, bytes] | None:
+        with self._lock:
+            return self._latest.get(shard_id)
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One promotion, for the evaluation harness and the bench probe."""
+
+    shard_id: str
+    at: float
+    resumed_epoch: int
+    from_snapshot: bool
+
+
+class ShardReplicaSet:
+    """Primary + warm standby for one shard, with promote-on-failure."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        shard_factory,
+        snapshots: SnapshotStore | None = None,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        clock=time.monotonic,
+    ) -> None:
+        if heartbeat_timeout_s <= 0:
+            raise ClusterError("heartbeat_timeout_s must be positive")
+        self.shard_id = shard_id
+        #: ``shard_factory(role: str) -> SdcShard`` — builds an empty
+        #: shard (the replica layer assigns blocks and replays state).
+        self._factory = shard_factory
+        self.snapshots = snapshots if snapshots is not None else SnapshotStore()
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._clock = clock
+        # Promotion and heartbeat bookkeeping race with the router's
+        # scatter threads; all mutations hold the lock.
+        self._lock = threading.Lock()
+        self.primary: SdcShard = self._factory("a")
+        self.standby: SdcShard = self._factory("b")
+        self._last_heartbeat = self._clock()
+        self.failovers: list[FailoverEvent] = []
+
+    # -- state fan-out -------------------------------------------------------------
+
+    def assign_blocks(self, blocks: tuple[int, ...]) -> None:
+        self.primary.assign_blocks(blocks)
+        self.standby.assign_blocks(blocks)
+
+    def release_blocks(self, blocks: tuple[int, ...]) -> None:
+        self.primary.release_blocks(blocks)
+        self.standby.release_blocks(blocks)
+
+    @property
+    def blocks(self) -> tuple[int, ...]:
+        return self.primary.blocks
+
+    def apply_pu_update(self, message: PUUpdateMessage) -> None:
+        """Warm mirroring: every PU update lands on primary *and* standby."""
+        self.primary.handle_pu_update(message)
+        self.standby.handle_pu_update(message)
+
+    def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
+        """Mark the epoch committed on both replicas; snapshot the primary."""
+        self.primary.commit_epoch(epoch_id)
+        self.standby.commit_epoch(epoch_id)
+        if snapshot:
+            self.snapshots.save(self.primary)
+
+    # -- liveness ------------------------------------------------------------------
+
+    def record_heartbeat(self, now: float | None = None) -> None:
+        with self._lock:
+            self._last_heartbeat = self._clock() if now is None else now
+
+    def heartbeat_age(self, now: float | None = None) -> float:
+        with self._lock:
+            reference = self._clock() if now is None else now
+            return reference - self._last_heartbeat
+
+    def is_alive(self, now: float | None = None) -> bool:
+        """Primary liveness: not crashed and heartbeat within timeout."""
+        return (
+            self.primary.alive
+            and self.heartbeat_age(now) <= self.heartbeat_timeout_s
+        )
+
+    def kill_primary(self) -> None:
+        """Inject a primary crash (the loadtest's ``--kill-shard``)."""
+        self.primary.kill()
+
+    # -- failover ------------------------------------------------------------------
+
+    def promote(self) -> FailoverEvent:
+        """Swap the standby in as primary; rebuild a fresh standby.
+
+        The new standby restores from the latest snapshot when one is at
+        least as recent as the promoted primary's committed epoch (cold
+        path), otherwise it re-mirrors the promoted primary's PU state
+        directly (warm path).  Either way both replicas agree before the
+        next sub-query is served.
+        """
+        with self._lock:
+            if not self.standby.alive:
+                raise ClusterError(
+                    f"shard {self.shard_id!r} has no live standby to promote"
+                )
+            promoted = self.standby
+            fresh = self._factory("standby")
+            latest = self.snapshots.latest(self.shard_id)
+            from_snapshot = (
+                latest is not None and latest[0] >= promoted.last_committed_epoch
+            )
+            if from_snapshot:
+                assert latest is not None
+                restore_shard_state(fresh, latest[1])
+            else:
+                fresh.assign_blocks(promoted.blocks)
+                for message in promoted.pu_update_messages():
+                    fresh.handle_pu_update(message)
+                if promoted.last_committed_epoch >= 0:
+                    fresh.commit_epoch(promoted.last_committed_epoch)
+            self.primary = promoted
+            self.standby = fresh
+            self._last_heartbeat = self._clock()
+            event = FailoverEvent(
+                shard_id=self.shard_id,
+                at=self._clock(),
+                resumed_epoch=promoted.last_committed_epoch,
+                from_snapshot=from_snapshot,
+            )
+            self.failovers.append(event)
+            return event
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardReplicaSet({self.shard_id!r}, "
+            f"primary_alive={self.primary.alive}, "
+            f"failovers={len(self.failovers)})"
+        )

@@ -1,0 +1,224 @@
+"""Scatter-gather routing of SDC work across the shard fleet.
+
+The router owns the data path of the cluster: it splits each request's
+columns by ring ownership, fans the per-shard sub-queries out on a
+thread pool (each shard's exponentiations run in that shard's dedicated
+worker process, so the fan-out is genuinely parallel), and gathers the
+results.  It also owns the *failure* path: a sub-query that hits a dead
+primary (:class:`~repro.errors.ShardDownError`) or a cut wire
+(:class:`~repro.errors.LinkDownError`) triggers replica promotion and a
+bounded retry against the new primary — at most ``max_attempts`` tries
+per sub-query, after which the failure propagates to the caller.
+
+Liveness has two layers: every successful sub-query records a heartbeat
+on its replica set, and :meth:`check_liveness` (run by the coordinator
+between epochs) proactively promotes any shard whose primary is dead
+and whose heartbeat has aged past the replica set's timeout — so a
+crashed shard is recovered even when no request happens to land on it.
+
+When a :class:`~repro.net.transport.MultiplexedTransport` is attached,
+every sub-query and response is accounted on its own directed
+router↔shard link, and failure injection at the transport layer
+(``fail_endpoint``) is honoured exactly like a shard crash.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.replica import ShardReplicaSet
+from repro.errors import ClusterError, LinkDownError, ShardDownError
+from repro.net.transport import MultiplexedTransport
+from repro.pisa.messages import PUUpdateMessage
+
+__all__ = ["RouterStats", "ShardRouter"]
+
+
+@dataclass
+class RouterStats:
+    """Data-path counters for the evaluation harness."""
+
+    subqueries: int = 0
+    subquery_failures: int = 0
+    failovers: int = 0
+    pu_updates_routed: int = 0
+
+
+class ShardRouter:
+    """The cluster's scatter-gather and failover engine."""
+
+    def __init__(
+        self,
+        membership: ClusterMembership,
+        replica_sets: dict[str, ShardReplicaSet],
+        transport: MultiplexedTransport | None = None,
+        endpoint: str = "router",
+        max_attempts: int = 2,
+        scatter_threads: int | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ClusterError("max_attempts must be positive")
+        self.membership = membership
+        self.endpoint = endpoint
+        self.max_attempts = max_attempts
+        self.stats = RouterStats()
+        self._replicas = dict(replica_sets)
+        self._transport = transport
+        # Stats and the replica table are touched from scatter threads.
+        self._lock = threading.Lock()
+        workers = (
+            scatter_threads
+            if scatter_threads is not None
+            else max(4, 2 * len(replica_sets))
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-router"
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def replica_set(self, shard_id: str) -> ShardReplicaSet:
+        with self._lock:
+            replica_set = self._replicas.get(shard_id)
+        if replica_set is None:
+            raise ClusterError(f"no replica set for shard {shard_id!r}")
+        return replica_set
+
+    def add_replica_set(self, shard_id: str, replica_set: ShardReplicaSet) -> None:
+        with self._lock:
+            self._replicas[shard_id] = replica_set
+
+    def remove_replica_set(self, shard_id: str) -> ShardReplicaSet:
+        with self._lock:
+            return self._replicas.pop(shard_id)
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._replicas))
+
+    # -- placement ------------------------------------------------------------------
+
+    def split_columns(
+        self, region_blocks: tuple[int, ...]
+    ) -> dict[str, tuple[int, ...]]:
+        """``{shard_id: column indices}`` over the request's disclosed blocks.
+
+        Only shards that own at least one disclosed block appear; the
+        ring is read once so a concurrent membership change cannot split
+        one request across two ring versions.
+        """
+        ring = self.membership.ring
+        split: dict[str, list[int]] = {}
+        for k, block in enumerate(region_blocks):
+            split.setdefault(ring.node_for(block), []).append(k)
+        return {shard_id: tuple(cols) for shard_id, cols in split.items()}
+
+    # -- failure handling -------------------------------------------------------------
+
+    def _recover(self, shard_id: str) -> None:
+        """Promote a shard's standby and restore its transport endpoint."""
+        replica_set = self.replica_set(shard_id)
+        replica_set.promote()
+        if self._transport is not None:
+            self._transport.restore_endpoint(shard_id)
+        with self._lock:
+            self.stats.failovers += 1
+
+    def check_liveness(self, now: float | None = None) -> tuple[str, ...]:
+        """Promote every shard whose primary is dead and heartbeat stale.
+
+        Returns the shard ids promoted.  Run between epochs; this is the
+        detection path for shards that crash while idle.
+        """
+        promoted = []
+        for shard_id in self.shard_ids:
+            replica_set = self.replica_set(shard_id)
+            if not replica_set.primary.alive and not replica_set.is_alive(now):
+                self._recover(shard_id)
+                promoted.append(shard_id)
+        return tuple(promoted)
+
+    def _call_shard(self, shard_id: str, request, invoke):
+        """One sub-query with transport accounting and bounded failover."""
+        attempts = 0
+        while True:
+            replica_set = self.replica_set(shard_id)
+            try:
+                if self._transport is not None:
+                    self._transport.send(request, self.endpoint, shard_id)
+                result = invoke(replica_set.primary, request)
+                replica_set.record_heartbeat()
+                if self._transport is not None:
+                    self._transport.send(result, shard_id, self.endpoint)
+                with self._lock:
+                    self.stats.subqueries += 1
+                return result
+            except (ShardDownError, LinkDownError) as exc:
+                attempts += 1
+                with self._lock:
+                    self.stats.subquery_failures += 1
+                if attempts >= self.max_attempts:
+                    raise ShardDownError(
+                        f"shard {shard_id!r} failed {attempts} attempts"
+                    ) from exc
+                try:
+                    self._recover(shard_id)
+                except ClusterError as promote_exc:
+                    raise ShardDownError(
+                        f"shard {shard_id!r} is down and cannot be recovered"
+                    ) from promote_exc
+
+    # -- the data path ----------------------------------------------------------------
+
+    def route_pu_update(self, message: PUUpdateMessage) -> str:
+        """Deliver one PU update to the owning shard (both replicas)."""
+        shard_id = self.membership.ring.node_for(message.block_index)
+
+        def invoke(_primary, msg):
+            # Mirrored application — the warm standby stays warm.
+            self.replica_set(shard_id).apply_pu_update(msg)
+            return msg
+
+        self._call_shard(shard_id, message, invoke)
+        with self._lock:
+            self.stats.pu_updates_routed += 1
+        return shard_id
+
+    def scatter(self, requests: dict[str, object], invoke) -> dict[str, object]:
+        """Fan ``{shard_id: sub-query}`` out concurrently; gather in order.
+
+        ``invoke(primary_shard, request)`` runs on a scatter thread per
+        shard; each shard's heavy arithmetic sits in its own worker
+        process, so the batch completes in roughly the slowest shard's
+        time rather than the sum.  Any sub-query that exhausts its
+        retries re-raises here.
+        """
+        if not requests:
+            return {}
+        futures = {
+            shard_id: self._pool.submit(self._call_shard, shard_id, request, invoke)
+            for shard_id, request in requests.items()
+        }
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def scatter_phase1(self, requests: dict[str, object]) -> dict[str, object]:
+        return self.scatter(
+            requests, lambda primary, request: primary.process_phase1(request)
+        )
+
+    def scatter_phase2(self, requests: dict[str, object]) -> dict[str, object]:
+        return self.scatter(
+            requests, lambda primary, request: primary.process_phase2(request)
+        )
+
+    # -- epoch control ---------------------------------------------------------------
+
+    def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
+        """Commit the epoch on every shard (and snapshot each primary)."""
+        for shard_id in self.shard_ids:
+            self.replica_set(shard_id).commit_epoch(epoch_id, snapshot=snapshot)

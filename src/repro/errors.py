@@ -48,6 +48,26 @@ class BlindingError(ProtocolError):
     """Blinding factors cannot be generated safely for the configuration."""
 
 
+class TransportError(ReproError):
+    """A modelled network link refused or failed to carry a message."""
+
+
+class LinkDownError(TransportError):
+    """The addressed per-shard channel is failed (injected or modelled)."""
+
+
+class ClusterError(ReproError):
+    """Base class for sharded-SDC-plane (repro.cluster) failures."""
+
+
+class ShardDownError(ClusterError):
+    """A shard (or its replica) is dead and cannot serve the sub-query."""
+
+
+class MembershipError(ClusterError):
+    """A shard join/leave request conflicts with the membership table."""
+
+
 class AuditError(ReproError):
     """Base class for correctness-tooling (static/runtime audit) failures."""
 

@@ -19,9 +19,15 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Protocol
 
+from repro.errors import LinkDownError
 from repro.net.latency import LatencyModel
 
-__all__ = ["MessageRecord", "InMemoryTransport"]
+__all__ = [
+    "MessageRecord",
+    "InMemoryTransport",
+    "MultiplexedTransport",
+    "BoundChannel",
+]
 
 
 class _SizedMessage(Protocol):
@@ -89,6 +95,17 @@ class InMemoryTransport:
             if self.latency is not None
             else 0.0
         )
+        self._record(message, sender, receiver, size, delay)
+        return message
+
+    def _record(
+        self,
+        message: _SizedMessage,
+        sender: str,
+        receiver: str,
+        size: int,
+        delay: float,
+    ) -> None:
         kind = type(message).__name__
         self.records.append(
             MessageRecord(
@@ -107,7 +124,6 @@ class InMemoryTransport:
         kind_totals[1] += size
         link = (sender, receiver)
         self._link_delay[link] = self._link_delay.get(link, 0.0) + delay
-        return message
 
     # -- accounting queries ------------------------------------------------------
 
@@ -144,3 +160,111 @@ class InMemoryTransport:
     def clear(self) -> None:
         self.records.clear()
         self._reset_totals()
+
+
+@dataclass(frozen=True)
+class BoundChannel:
+    """A transport pre-bound to one directed link.
+
+    Protocol drivers that talk to exactly one peer (the cluster router's
+    per-shard channels) take one of these instead of a
+    ``(transport, sender, receiver)`` triple — the link identity travels
+    with the handle, so a caller cannot accidentally account a shard-A
+    message on shard B's wire.
+    """
+
+    transport: "MultiplexedTransport"
+    sender: str
+    receiver: str
+
+    def send(self, message: _SizedMessage):
+        return self.transport.send(message, self.sender, self.receiver)
+
+    @property
+    def link(self) -> tuple[str, str]:
+        return (self.sender, self.receiver)
+
+
+class MultiplexedTransport(InMemoryTransport):
+    """An :class:`InMemoryTransport` with per-link overrides.
+
+    The base transport applies one latency model to every message.  A
+    sharded deployment is not that uniform: the coordinator↔shard links
+    are intra-datacentre while SU↔router links cross a WAN, and failure
+    injection must be able to cut exactly one shard's wire while its
+    siblings keep flowing.  ``configure_link`` attaches a per-directed-link
+    latency model and an up/down flag; unconfigured links fall through to
+    the shared default, so existing single-transport call sites behave
+    identically.
+
+    Sending on a failed link raises :class:`~repro.errors.LinkDownError`
+    *without* recording the message — the bytes never made it onto the
+    wire, so they must not count toward the §VI-A overhead totals.
+    """
+
+    def __init__(
+        self, latency: LatencyModel | None = None, max_records: int | None = None
+    ) -> None:
+        super().__init__(latency=latency, max_records=max_records)
+        self._link_latency: dict[tuple[str, str], LatencyModel | None] = {}
+        self._link_down: set[tuple[str, str]] = set()
+        self._down_endpoints: set[str] = set()
+
+    # -- link administration -----------------------------------------------------
+
+    def configure_link(
+        self,
+        sender: str,
+        receiver: str,
+        latency: LatencyModel | None = None,
+        fail: bool = False,
+    ) -> None:
+        """Override one directed link's latency model and/or fail it."""
+        link = (sender, receiver)
+        self._link_latency[link] = latency
+        if fail:
+            self._link_down.add(link)
+        else:
+            self._link_down.discard(link)
+
+    def fail_link(self, sender: str, receiver: str) -> None:
+        """Cut a directed link; subsequent sends raise ``LinkDownError``."""
+        self._link_down.add((sender, receiver))
+
+    def fail_endpoint(self, endpoint: str) -> None:
+        """Cut every link to *and* from ``endpoint`` (a dead shard)."""
+        self._down_endpoints.add(endpoint)
+
+    def restore_link(self, sender: str, receiver: str) -> None:
+        self._link_down.discard((sender, receiver))
+
+    def restore_endpoint(self, endpoint: str) -> None:
+        self._down_endpoints.discard(endpoint)
+
+    def link_is_up(self, sender: str, receiver: str) -> bool:
+        if (sender, receiver) in self._link_down:
+            return False
+        down = self._down_endpoints
+        return sender not in down and receiver not in down
+
+    def channel(self, sender: str, receiver: str) -> BoundChannel:
+        """A send handle bound to one directed link."""
+        return BoundChannel(transport=self, sender=sender, receiver=receiver)
+
+    # -- sending -------------------------------------------------------------------
+
+    def send(self, message: _SizedMessage, sender: str, receiver: str):
+        if not self.link_is_up(sender, receiver):
+            raise LinkDownError(f"link {sender!r} -> {receiver!r} is down")
+        link = (sender, receiver)
+        if link in self._link_latency:
+            model = self._link_latency[link]
+            size = message.wire_size()
+            delay = (
+                model.delay_seconds(size, sender, receiver)
+                if model is not None
+                else 0.0
+            )
+            self._record(message, sender, receiver, size, delay)
+            return message
+        return super().send(message, sender, receiver)

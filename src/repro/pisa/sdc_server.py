@@ -98,6 +98,9 @@ class SdcServer:
         self._w_sum: dict[tuple[int, int], EncryptedNumber] = {}
         self._pending: dict[str, PendingRound] = {}
         self._round_counter = itertools.count()
+        #: The most recent round's ΣQ̃ — probe point for the cluster
+        #: transcript-equivalence tests (repro.cluster exposes the same).
+        self.last_q_sum: EncryptedNumber | None = None
         directory.register_signing_key(issuer_id, signer.public_key)
 
     @property
@@ -280,6 +283,7 @@ class SdcServer:
         # eq. (17): G̃ = SG̃ ⊕ (η ⊗ ΣQ̃).
         eta = BlindingFactory(self.blinding_parameters(), rng=self._rng).draw_eta()
         q_sum = hom_sum(q_cells)
+        self.last_q_sum = q_sum
         self.stats.hom_operations += len(q_cells) - 1
         g_ct = encrypted_signature.add(q_sum.scalar_mul(eta))
         self.stats.hom_operations += 2

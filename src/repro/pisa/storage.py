@@ -38,11 +38,14 @@ from repro.pisa.messages import PUUpdateMessage
 __all__ = [
     "serialize_sdc_state",
     "restore_sdc_state",
+    "serialize_shard_state",
+    "restore_shard_state",
     "serialize_directory",
     "restore_directory",
 ]
 
 _SDC_MAGIC = b"PISA-SDC-STATE-v1"
+_SHARD_MAGIC = b"PISA-SHARD-STATE-v1"
 _DIR_MAGIC = b"PISA-DIRECTORY-v1"
 
 
@@ -75,6 +78,69 @@ def restore_sdc_state(sdc, blob: bytes) -> int:
     if offset != len(blob):
         raise SerializationError("trailing bytes in SDC snapshot")
     return count
+
+
+def serialize_shard_state(shard) -> bytes:
+    """Snapshot one SDC shard: identity, committed epoch, blocks, PU state.
+
+    Taken at epoch commit, this is everything a promoted replica needs to
+    resume serving the shard's block partition from the last committed
+    epoch: the ownership set (so routing agrees with the ring) and the
+    latest encrypted update per PU (ciphertexts only — a snapshot leaks
+    no more than the shard it describes).
+    """
+    parts = [
+        _SHARD_MAGIC,
+        encode_bytes(shard.shard_id.encode("utf-8")),
+        # Epochs start at −1 (nothing committed); store shifted by one
+        # because the wire integers are non-negative.
+        encode_int(shard.last_committed_epoch + 1),
+    ]
+    blocks = shard.blocks
+    parts.append(encode_int(len(blocks)))
+    parts.extend(encode_int(block) for block in blocks)
+    updates = shard.pu_update_messages()
+    parts.append(encode_int(len(updates)))
+    parts.extend(encode_bytes(message.to_bytes()) for message in updates)
+    return b"".join(parts)
+
+
+def restore_shard_state(shard, blob: bytes) -> int:
+    """Replay a shard snapshot into a freshly constructed, empty shard.
+
+    The target must share the original's environment and group key and
+    hold no PU state yet; block ownership is *replaced* by the
+    snapshot's.  Returns the restored ``last_committed_epoch``.
+    """
+    if shard.num_tracked_pus:
+        raise SerializationError("restore target already holds PU state")
+    if not blob.startswith(_SHARD_MAGIC):
+        raise SerializationError("not a v1 shard snapshot")
+    shard_id_raw, offset = decode_bytes(blob, len(_SHARD_MAGIC))
+    shard_id = shard_id_raw.decode("utf-8")
+    if shard_id != shard.shard_id:
+        raise SerializationError(
+            f"snapshot is for shard {shard_id!r}, not {shard.shard_id!r}"
+        )
+    epoch_plus_one, offset = decode_int(blob, offset)
+    block_count, offset = decode_int(blob, offset)
+    blocks = []
+    for _ in range(block_count):
+        block, offset = decode_int(blob, offset)
+        blocks.append(block)
+    shard.release_blocks(shard.blocks)
+    shard.assign_blocks(tuple(blocks))
+    update_count, offset = decode_int(blob, offset)
+    group_key = shard.group_public_key
+    for _ in range(update_count):
+        raw, offset = decode_bytes(blob, offset)
+        shard.handle_pu_update(PUUpdateMessage.from_bytes(raw, group_key))
+    if offset != len(blob):
+        raise SerializationError("trailing bytes in shard snapshot")
+    epoch = epoch_plus_one - 1
+    if epoch > shard.last_committed_epoch:
+        shard.commit_epoch(epoch)
+    return epoch
 
 
 def serialize_directory(directory: KeyDirectory) -> bytes:

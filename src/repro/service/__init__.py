@@ -29,6 +29,7 @@ from repro.service.broker import (
 from repro.service.loadtest import (
     LoadtestConfig,
     LoadtestReport,
+    build_cluster_service,
     build_packed_service,
     run_loadtest,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "SpectrumAccessBroker",
     "LoadtestConfig",
     "LoadtestReport",
+    "build_cluster_service",
     "build_packed_service",
     "run_loadtest",
     "Counter",

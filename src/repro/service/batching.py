@@ -193,6 +193,7 @@ class BatchAllocator:
         process_response: Callable,
         transport=None,
         conversion_peer: str = "stp",
+        commit_epoch: Callable | None = None,
     ) -> None:
         self._phase1 = phase1
         self._convert = convert
@@ -200,10 +201,20 @@ class BatchAllocator:
         self._process_response = process_response
         self._transport = transport
         self._conversion_peer = conversion_peer
+        self._commit_epoch = commit_epoch
 
     @classmethod
     def for_coordinator(cls, coordinator) -> "BatchAllocator":
-        """Build the phase wiring from any of the three coordinators."""
+        """Build the phase wiring from any of the four coordinators.
+
+        A cluster coordinator's SDC facade exposes ``commit_epoch``; when
+        present it is wired as the end-of-epoch hook, so each completed
+        epoch advances every shard's committed-epoch watermark and writes
+        its per-shard snapshot — the recovery point a promoted replica
+        resumes from.  The cluster facade also splits each request's
+        homomorphic work per shard internally, so one allocation pass is
+        automatically batched shard-by-shard.
+        """
         if hasattr(coordinator, "front"):  # two-server split
             return cls(
                 phase1=coordinator.front.start_request_with_partials,
@@ -223,6 +234,7 @@ class BatchAllocator:
                 su_id
             ).process_response(response, coordinator.stp.directory),
             transport=coordinator.transport,
+            commit_epoch=getattr(coordinator.sdc, "commit_epoch", None),
         )
 
     def allocate(self, epoch: Epoch) -> list[AllocationResult]:
@@ -272,4 +284,6 @@ class BatchAllocator:
                     batch_size=len(epoch.items),
                 )
             )
+        if self._commit_epoch is not None:
+            self._commit_epoch(epoch.epoch_id)
         return results

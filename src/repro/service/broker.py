@@ -27,7 +27,7 @@ import asyncio
 import time
 from dataclasses import dataclass
 
-from repro.errors import ProtocolError
+from repro.errors import ClusterError, ProtocolError
 from repro.service.batching import BatchAllocator, Epoch, EpochBatcher
 from repro.service.metrics import MetricsRegistry
 
@@ -204,6 +204,11 @@ class SpectrumAccessBroker:
             return self._reject(su_id, REASON_QUEUE_FULL, now)
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
+        if deadline_s <= 0:
+            # Admission-control boundary: a budget that is already spent
+            # can never be met, so reject before queueing — the protocol
+            # must not run for it even if the epoch would drain instantly.
+            return self._reject(su_id, REASON_DEADLINE_EXPIRED, now)
         ticket = _Ticket(
             su_id=su_id,
             request=request,
@@ -253,15 +258,27 @@ class SpectrumAccessBroker:
                 await asyncio.to_thread(self._pu_update_handler, item.message)
                 self.metrics.counter("pu_updates_applied").inc()
                 continue
-            epoch = self._batcher.add(item, self._clock())
+            now = self._clock()
+            if now >= item.deadline_at:
+                # The deadline expired while the ticket sat in the queue;
+                # it must not be dispatched into an epoch.
+                self._resolve_rejection(item, REASON_DEADLINE_EXPIRED)
+                continue
+            epoch = self._batcher.add(item, now)
             if epoch is not None:
                 await self._dispatch(epoch)
 
     def _drain_rejecting(self) -> None:
+        now = self._clock()
         while not self._queue.empty():
             item = self._queue.get_nowait()
             if isinstance(item, _Ticket):
-                self._resolve_rejection(item, REASON_SHUTTING_DOWN)
+                # An already-expired ticket reports its own failure mode,
+                # not the shutdown that happened to reveal it.
+                if now >= item.deadline_at:
+                    self._resolve_rejection(item, REASON_DEADLINE_EXPIRED)
+                else:
+                    self._resolve_rejection(item, REASON_SHUTTING_DOWN)
 
     def _resolve_rejection(self, ticket: _Ticket, reason: str) -> None:
         self._pending -= 1
@@ -298,7 +315,15 @@ class SpectrumAccessBroker:
         self.metrics.histogram("batch_size").observe(len(live))
         try:
             with self.metrics.timer("epoch_allocation_s"):
-                results = await asyncio.to_thread(self._allocator.allocate, work)
+                try:
+                    results = await asyncio.to_thread(self._allocator.allocate, work)
+                except ClusterError:
+                    # A shard died mid-pass.  The router has already
+                    # promoted standbys on the failed links; one retry of
+                    # the whole epoch against the recovered plane is
+                    # cheap and usually succeeds.
+                    self.metrics.counter("epoch_cluster_retries").inc()
+                    results = await asyncio.to_thread(self._allocator.allocate, work)
         except Exception:
             # A failed pass must not strand its callers or kill the loop.
             self.metrics.counter("epoch_failures").inc()

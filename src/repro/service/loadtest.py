@@ -39,6 +39,7 @@ __all__ = [
     "LoadtestConfig",
     "LoadtestReport",
     "ServiceFixture",
+    "build_cluster_service",
     "build_packed_service",
     "run_loadtest",
 ]
@@ -59,6 +60,11 @@ class LoadtestConfig:
     num_pu_switches: int = 2
     key_bits: int = 512
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Number of SDC shards; 0 runs the single-SDC packed deployment.
+    shards: int = 0
+    #: When > 0 (and ``shards`` > 0), kill shard-0's primary after this
+    #: many request submissions to exercise failover under load.
+    kill_shard_after: int = 0
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
@@ -67,6 +73,12 @@ class LoadtestConfig:
             raise ConfigurationError("arrival rate must be positive")
         if self.num_sus < 1:
             raise ConfigurationError("need at least one SU")
+        if self.shards < 0:
+            raise ConfigurationError("shards must be non-negative")
+        if self.kill_shard_after < 0:
+            raise ConfigurationError("kill_shard_after must be non-negative")
+        if self.kill_shard_after and not self.shards:
+            raise ConfigurationError("kill_shard_after requires a sharded run")
 
 
 @dataclass(frozen=True)
@@ -141,6 +153,12 @@ class ServiceFixture:
     pu_clients: list
     su_ids: list
 
+    def close(self) -> None:
+        """Tear down deployment-owned resources (scatter threads, workers)."""
+        closer = getattr(self.coordinator, "close", None)
+        if closer is not None:
+            closer()
+
 
 def build_packed_service(
     config: LoadtestConfig,
@@ -191,6 +209,62 @@ def build_packed_service(
     )
 
 
+def build_cluster_service(
+    config: LoadtestConfig,
+    executor: Executor | None = None,
+    metrics: MetricsRegistry | None = None,
+    scenario=None,
+    shard_executor_factory=None,
+) -> ServiceFixture:
+    """Stand up a sharded-SDC deployment wrapped in a broker.
+
+    ``config.shards`` SDC shards sit behind the cluster facade; the
+    broker and driver code are identical to the single-SDC path because
+    :class:`~repro.cluster.ClusterCoordinator` presents the same
+    coordinator surface.  ``executor`` feeds the STP's conversion leg
+    (the serial section of every epoch); ``shard_executor_factory``
+    gives each shard its own compute backend (pass one building
+    :class:`~repro.cluster.DedicatedProcessExecutor` for real
+    multi-process scaling).  Call ``fixture.close()`` after the run.
+    """
+    from repro.cluster import ClusterCoordinator
+    from repro.watch.scenario import ScenarioConfig, build_scenario
+
+    if config.shards < 1:
+        raise ConfigurationError("cluster service needs at least one shard")
+    if scenario is None:
+        scenario = build_scenario(
+            ScenarioConfig(seed=config.seed, num_sus=max(config.num_sus, 1))
+        )
+    rng = DeterministicRandomSource(config.seed)
+    coordinator = ClusterCoordinator(
+        scenario.environment,
+        num_shards=config.shards,
+        key_bits=max(config.key_bits, 512),
+        rng=rng,
+        stp_executor=executor,
+        shard_executor_factory=shard_executor_factory,
+    )
+    pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
+    su_ids = []
+    for su in scenario.sus[: config.num_sus]:
+        coordinator.enroll_su(su)
+        su_ids.append(su.su_id)
+    broker = SpectrumAccessBroker(
+        allocator=BatchAllocator.for_coordinator(coordinator),
+        pu_update_handler=coordinator.sdc.handle_pu_update,
+        config=config.service,
+        metrics=metrics,
+    )
+    return ServiceFixture(
+        broker=broker,
+        coordinator=coordinator,
+        scenario=scenario,
+        pu_clients=pu_clients,
+        su_ids=su_ids,
+    )
+
+
 async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
     broker = fixture.broker
     clients = {
@@ -220,6 +294,11 @@ async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
     for i in range(config.num_requests):
         su_id = fixture.su_ids[i % len(fixture.su_ids)]
         tasks.append(asyncio.ensure_future(one_request(su_id)))
+        if config.kill_shard_after and i + 1 == config.kill_shard_after:
+            # Chaos probe: take down a shard's primary mid-run; the
+            # router must promote its standby and later epochs complete.
+            victim = fixture.coordinator.router.shard_ids[0]
+            fixture.coordinator.kill_shard(victim)
         if switch_budget > 0 and fixture.pu_clients and (i + 1) % switch_every == 0:
             switches.next_switch()
             pu = fixture.pu_clients[switch_budget % len(fixture.pu_clients)]
@@ -234,16 +313,22 @@ async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
 
 
 async def _run_async(config: LoadtestConfig, executor, metrics, scenario) -> LoadtestReport:
-    fixture = build_packed_service(config, executor, metrics, scenario=scenario)
-    start = time.perf_counter()
-    async with fixture.broker:
-        decisions = await _drive(fixture, config)
-    wall = time.perf_counter() - start
-    return LoadtestReport(
-        decisions=tuple(decisions),
-        wall_seconds=wall,
-        metrics=fixture.broker.metrics.snapshot(),
-    )
+    if config.shards:
+        fixture = build_cluster_service(config, executor, metrics, scenario=scenario)
+    else:
+        fixture = build_packed_service(config, executor, metrics, scenario=scenario)
+    try:
+        start = time.perf_counter()
+        async with fixture.broker:
+            decisions = await _drive(fixture, config)
+        wall = time.perf_counter() - start
+        return LoadtestReport(
+            decisions=tuple(decisions),
+            wall_seconds=wall,
+            metrics=fixture.broker.metrics.snapshot(),
+        )
+    finally:
+        fixture.close()
 
 
 def run_loadtest(

@@ -1,0 +1,101 @@
+"""Shared fixtures for the sharded-SDC plane tests.
+
+The protocol-level fixtures build *paired* deployments — one classic
+single-SDC coordinator and one cluster — from the same seed, so tests
+can assert transcript equality byte for byte.  Pairs must consume
+randomness in lockstep; every test that runs protocol rounds therefore
+builds its own pair instead of sharing a session-scoped one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.crypto.rand import DeterministicRandomSource
+from repro.pisa.protocol import PisaCoordinator
+from repro.pisa.pu_client import PUClient
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+from tests.conftest import TEST_KEY_BITS
+
+#: Both members of a pair freeze their license clock to this instant so
+#: ``issued_at`` never depends on wall time.
+FROZEN_CLOCK = 1_700_000_000.0
+
+
+def build_single(seed: int = 42, scenario_seed: int = 5, num_sus: int = 2):
+    """One classic single-SDC deployment on the shared small scenario."""
+    scenario = build_scenario(ScenarioConfig(seed=scenario_seed))
+    coordinator = PisaCoordinator(
+        scenario.environment,
+        key_bits=TEST_KEY_BITS,
+        rng=DeterministicRandomSource(seed),
+    )
+    _enroll(coordinator, scenario, num_sus)
+    return scenario, coordinator
+
+
+def build_cluster(
+    seed: int = 42,
+    scenario_seed: int = 5,
+    num_sus: int = 2,
+    num_shards: int = 4,
+    **kwargs,
+):
+    """A sharded deployment seed-paired with :func:`build_single`."""
+    scenario = build_scenario(ScenarioConfig(seed=scenario_seed))
+    coordinator = ClusterCoordinator(
+        scenario.environment,
+        num_shards=num_shards,
+        key_bits=TEST_KEY_BITS,
+        rng=DeterministicRandomSource(seed),
+        **kwargs,
+    )
+    _enroll(coordinator, scenario, num_sus)
+    return scenario, coordinator
+
+
+def _enroll(coordinator, scenario, num_sus: int) -> None:
+    coordinator.sdc._clock = lambda: FROZEN_CLOCK
+    for pu in scenario.pus:
+        coordinator.enroll_pu(pu)
+    for su in scenario.sus[:num_sus]:
+        coordinator.enroll_su(su)
+
+
+def run_round(coordinator, su_id: str) -> dict:
+    """One Figure 5 round, returning its full serialized transcript."""
+    client = coordinator.su_client(su_id)
+    request = client.prepare_request()
+    sign_request = coordinator.sdc.start_request(request)
+    sign_response = coordinator.stp.handle_sign_extraction(sign_request)
+    response = coordinator.sdc.finish_request(sign_response)
+    outcome = client.process_response(response, coordinator.stp.directory)
+    return {
+        "su_id": su_id,
+        "request": request.to_bytes(),
+        "sign_request": sign_request.to_bytes(),
+        "sign_response": sign_response.to_bytes(),
+        "response": response.to_bytes(),
+        "granted": outcome.granted,
+        "q_sum": coordinator.sdc.last_q_sum,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """The scenario both pair members are built on (read-only)."""
+    return build_scenario(ScenarioConfig(seed=5))
+
+
+@pytest.fixture()
+def pu_updates(small_scenario, keypair, fresh_rng):
+    """Encrypted PU updates under the session test keypair."""
+    updates = []
+    for pu in small_scenario.pus:
+        client = PUClient(
+            pu, small_scenario.environment, keypair.public_key, rng=fresh_rng
+        )
+        updates.append(client.build_update())
+    return updates

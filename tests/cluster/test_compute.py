@@ -1,0 +1,45 @@
+"""Unit tests for the per-shard dedicated worker process."""
+
+import pytest
+
+from repro.cluster.compute import DedicatedProcessExecutor
+from repro.crypto.parallel import SerialExecutor
+
+
+@pytest.fixture(scope="module")
+def executor():
+    with DedicatedProcessExecutor() as exe:
+        exe.warm_up()
+        yield exe
+
+
+class TestDedicatedProcessExecutor:
+    def test_matches_serial_executor(self, executor):
+        jobs = [(3, 5, 1009), (2, 64, 97), (7, 0, 13), (10, 3, 1_000_003)]
+        assert executor.pow_many(jobs) == SerialExecutor().pow_many(jobs)
+
+    def test_small_batches_still_ship_to_the_worker(self, executor):
+        """Unlike ProcessWorkerPool there is no inline shortcut — every
+        batch crosses the process boundary, so N shards compute in
+        parallel instead of serialising on the caller's GIL."""
+        before = executor.batches_executed
+        executor.pow_many([(2, 10, 1_000_003)])
+        assert executor.batches_executed == before + 1
+
+    def test_counters_track_jobs(self, executor):
+        jobs_before = executor.jobs_executed
+        executor.pow_many([(2, 3, 5), (3, 4, 7)])
+        assert executor.jobs_executed == jobs_before + 2
+
+    def test_futures_overlap(self, executor):
+        jobs = [(5, 117, 10_007)] * 8
+        futures = [executor.submit_pow_many(jobs) for _ in range(3)]
+        expected = SerialExecutor().pow_many(jobs)
+        for future in futures:
+            assert future.result() == expected
+
+    def test_close_is_idempotent(self):
+        exe = DedicatedProcessExecutor()
+        exe.pow_many([(2, 3, 5)])
+        exe.close()
+        exe.close()

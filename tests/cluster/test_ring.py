@@ -1,0 +1,99 @@
+"""Unit tests for the consistent-hash block ring."""
+
+import pytest
+
+from repro.cluster.ring import ConsistentHashRing
+from repro.errors import ClusterError
+
+SHARDS = ("shard-0", "shard-1", "shard-2", "shard-3")
+
+
+class TestPlacement:
+    def test_every_block_is_assigned_exactly_once(self):
+        ring = ConsistentHashRing(SHARDS)
+        assignment = ring.assignment(range(600))
+        owned = [b for blocks in assignment.values() for b in blocks]
+        assert sorted(owned) == list(range(600))
+
+    def test_placement_is_deterministic(self):
+        a = ConsistentHashRing(SHARDS)
+        b = ConsistentHashRing(SHARDS)
+        assert a.assignment(range(600)) == b.assignment(range(600))
+
+    def test_insertion_order_does_not_matter(self):
+        a = ConsistentHashRing(SHARDS)
+        b = ConsistentHashRing(reversed(SHARDS))
+        assert a.assignment(range(600)) == b.assignment(range(600))
+
+    def test_reasonably_balanced(self):
+        ring = ConsistentHashRing(SHARDS)
+        sizes = [len(blocks) for blocks in ring.assignment(range(600)).values()]
+        # 64 virtual nodes per shard keeps the spread well inside 2x.
+        assert min(sizes) > 0
+        assert max(sizes) / min(sizes) < 2.0
+
+    def test_node_for_accepts_ints_and_strings(self):
+        ring = ConsistentHashRing(SHARDS)
+        assert ring.node_for(17) == ring.node_for(17)
+        assert ring.node_for("17") in SHARDS
+
+
+class TestStability:
+    def test_join_moves_blocks_only_to_the_new_node(self):
+        old = ConsistentHashRing(SHARDS)
+        new = old.clone()
+        new.add_node("shard-4")
+        for block in range(600):
+            before, after = old.node_for(block), new.node_for(block)
+            if before != after:
+                assert after == "shard-4"
+
+    def test_leave_moves_blocks_only_off_the_removed_node(self):
+        old = ConsistentHashRing(SHARDS)
+        new = old.clone()
+        new.remove_node("shard-3")
+        for block in range(600):
+            before, after = old.node_for(block), new.node_for(block)
+            if before != after:
+                assert before == "shard-3"
+
+    def test_join_moves_roughly_one_new_nodes_share(self):
+        old = ConsistentHashRing(SHARDS)
+        new = old.clone()
+        new.add_node("shard-4")
+        moved = old.moved_keys(new, range(600))
+        # Ideal is 1/5 of 600 = 120; allow generous hash-spread slack.
+        assert 0 < len(moved) < 2 * 600 // 5
+
+    def test_moved_keys_matches_pointwise_diff(self):
+        old = ConsistentHashRing(SHARDS)
+        new = old.clone()
+        new.add_node("shard-4")
+        expected = {
+            b for b in range(600) if old.node_for(b) != new.node_for(b)
+        }
+        assert set(old.moved_keys(new, range(600))) == expected
+
+    def test_clone_is_independent(self):
+        ring = ConsistentHashRing(SHARDS)
+        clone = ring.clone()
+        clone.add_node("shard-extra")
+        assert "shard-extra" not in ring
+        assert "shard-extra" in clone
+
+
+class TestErrors:
+    def test_empty_ring_rejects_lookups(self):
+        ring = ConsistentHashRing(())
+        with pytest.raises(ClusterError):
+            ring.node_for(0)
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(("a",))
+        with pytest.raises(ClusterError):
+            ring.add_node("a")
+
+    def test_removing_unknown_node_rejected(self):
+        ring = ConsistentHashRing(("a",))
+        with pytest.raises(ClusterError):
+            ring.remove_node("b")

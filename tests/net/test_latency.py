@@ -42,3 +42,69 @@ class TestDistanceLatency:
             positions={"a": (0, 0), "near": (100, 0), "far": (100_000, 0)}
         )
         assert model.delay_seconds(0, "a", "far") > model.delay_seconds(0, "a", "near")
+
+
+class TestSeededJitterLatency:
+    def _model(self, seed=7, jitter_fraction=0.2):
+        from repro.net.latency import SeededJitterLatency
+
+        return SeededJitterLatency(
+            ConstantLatency(rtt_seconds=0.02, bandwidth_bytes_per_s=1e6),
+            seed=seed,
+            jitter_fraction=jitter_fraction,
+        )
+
+    def test_jitter_is_bounded_and_additive(self):
+        model = self._model()
+        base = ConstantLatency(rtt_seconds=0.02, bandwidth_bytes_per_s=1e6)
+        for _ in range(50):
+            delay = model.delay_seconds(1000, "router", "shard-0")
+            floor = base.delay_seconds(1000, "router", "shard-0")
+            assert floor <= delay <= floor * 1.2
+
+    def test_same_seed_replays_identical_delays(self):
+        a, b = self._model(seed=7), self._model(seed=7)
+        delays_a = [a.delay_seconds(100, "router", "shard-0") for _ in range(20)]
+        delays_b = [b.delay_seconds(100, "router", "shard-0") for _ in range(20)]
+        assert delays_a == delays_b
+
+    def test_different_seeds_diverge(self):
+        a, b = self._model(seed=7), self._model(seed=8)
+        delays_a = [a.delay_seconds(100, "x", "y") for _ in range(10)]
+        delays_b = [b.delay_seconds(100, "x", "y") for _ in range(10)]
+        assert delays_a != delays_b
+
+    def test_links_have_independent_streams(self):
+        """Traffic on one link must not perturb another link's draws —
+        the property that keeps multiplexed cluster runs reproducible."""
+        quiet = self._model(seed=7)
+        busy = self._model(seed=7)
+        # The busy transport interleaves heavy traffic on other links.
+        for _ in range(25):
+            busy.delay_seconds(100, "router", "shard-1")
+            busy.delay_seconds(100, "shard-1", "router")
+        quiet_delays = [
+            quiet.delay_seconds(100, "router", "shard-0") for _ in range(10)
+        ]
+        busy_delays = [
+            busy.delay_seconds(100, "router", "shard-0") for _ in range(10)
+        ]
+        assert quiet_delays == busy_delays
+
+    def test_directions_are_distinct_links(self):
+        model = self._model()
+        forward = model.delay_seconds(100, "a", "b")
+        model_2 = self._model()
+        backward = model_2.delay_seconds(100, "b", "a")
+        assert forward != backward
+
+    def test_zero_jitter_degenerates_to_base(self):
+        model = self._model(jitter_fraction=0.0)
+        base = ConstantLatency(rtt_seconds=0.02, bandwidth_bytes_per_s=1e6)
+        assert model.delay_seconds(500, "a", "b") == pytest.approx(
+            base.delay_seconds(500, "a", "b")
+        )
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            self._model(jitter_fraction=-0.1)

@@ -150,3 +150,92 @@ class TestParallelDelay:
     def test_empty_transport(self):
         transport = InMemoryTransport()
         assert transport.total_delay_seconds(parallel=True) == 0.0
+
+
+class TestMultiplexedTransport:
+    def _mux(self, **kwargs):
+        from repro.net.transport import MultiplexedTransport
+
+        return MultiplexedTransport(**kwargs)
+
+    def test_behaves_like_base_transport_by_default(self):
+        transport = self._mux(latency=ConstantLatency(
+            rtt_seconds=0.1, bandwidth_bytes_per_s=1000.0
+        ))
+        transport.send(FakeMessage(500), "router", "shard-0")
+        assert transport.total_bytes() == 500
+        assert transport.total_delay_seconds() == pytest.approx(0.05 + 0.5)
+
+    def test_failed_link_raises_and_records_nothing(self):
+        from repro.errors import LinkDownError
+
+        transport = self._mux()
+        transport.fail_link("router", "shard-0")
+        with pytest.raises(LinkDownError):
+            transport.send(FakeMessage(10), "router", "shard-0")
+        # The bytes never made it onto the wire.
+        assert transport.count() == 0
+        assert transport.total_bytes() == 0
+        # The reverse direction and other links still flow.
+        transport.send(FakeMessage(10), "shard-0", "router")
+        transport.send(FakeMessage(10), "router", "shard-1")
+        assert transport.count() == 2
+
+    def test_restore_link(self):
+        transport = self._mux()
+        transport.fail_link("a", "b")
+        transport.restore_link("a", "b")
+        transport.send(FakeMessage(1), "a", "b")
+        assert transport.count() == 1
+
+    def test_fail_endpoint_cuts_both_directions(self):
+        from repro.errors import LinkDownError
+
+        transport = self._mux()
+        transport.fail_endpoint("shard-0")
+        for sender, receiver in (("router", "shard-0"), ("shard-0", "router")):
+            with pytest.raises(LinkDownError):
+                transport.send(FakeMessage(1), sender, receiver)
+        transport.restore_endpoint("shard-0")
+        transport.send(FakeMessage(1), "router", "shard-0")
+        assert transport.link_is_up("router", "shard-0")
+
+    def test_per_link_latency_override(self):
+        transport = self._mux(latency=ConstantLatency(
+            rtt_seconds=1.0, bandwidth_bytes_per_s=1e12
+        ))
+        transport.configure_link(
+            "router", "shard-0",
+            latency=ConstantLatency(rtt_seconds=0.001, bandwidth_bytes_per_s=1e12),
+        )
+        transport.send(FakeMessage(0), "router", "shard-0")  # fast link
+        transport.send(FakeMessage(0), "router", "shard-1")  # default link
+        fast, slow = transport.records
+        assert fast.delay_seconds == pytest.approx(0.0005)
+        assert slow.delay_seconds == pytest.approx(0.5)
+
+    def test_configured_link_with_no_model_is_free(self):
+        transport = self._mux(latency=ConstantLatency(rtt_seconds=1.0))
+        transport.configure_link("a", "b", latency=None)
+        transport.send(FakeMessage(10), "a", "b")
+        assert transport.total_delay_seconds() == 0.0
+
+    def test_channel_binds_one_directed_link(self):
+        transport = self._mux()
+        channel = transport.channel("router", "shard-2")
+        assert channel.link == ("router", "shard-2")
+        channel.send(FakeMessage(42))
+        record = transport.records[0]
+        assert (record.sender, record.receiver) == ("router", "shard-2")
+        assert record.size_bytes == 42
+
+    def test_ring_buffer_eviction_across_multiplexed_links(self):
+        transport = self._mux(max_records=2)
+        transport.configure_link("router", "shard-1", latency=None)
+        transport.send(FakeMessage(10), "router", "shard-0")
+        transport.send(FakeMessage(20), "router", "shard-1")
+        transport.send(FakeMessage(30), "shard-1", "router")
+        assert [r.size_bytes for r in transport.records] == [20, 30]
+        # Aggregates keep counting every message ever sent.
+        assert transport.total_bytes() == 60
+        assert transport.count() == 3

@@ -5,7 +5,7 @@ import asyncio
 import pytest
 
 from repro.crypto.rand import DeterministicRandomSource
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ShardDownError
 from repro.pisa.protocol import PisaCoordinator
 from repro.service.batching import AllocationResult, BatchAllocator
 from repro.service.broker import (
@@ -127,6 +127,75 @@ class TestRejections:
         assert decision.reason == REASON_DEADLINE_EXPIRED
         assert not decision.ran
 
+    def test_zero_deadline_never_reaches_the_allocator(self):
+        allocator = StubAllocator()
+
+        async def scenario():
+            async with _broker(allocator, batch_window_s=0.01) as broker:
+                return await broker.submit_request(
+                    "su-1", object(), deadline_s=0.0
+                )
+
+        decision = asyncio.run(scenario())
+        assert decision.reason == REASON_DEADLINE_EXPIRED
+        assert allocator.epochs == []  # admission control, not a failed run
+
+    def test_expired_while_queued_is_rejected_not_dispatched(self):
+        """A deadline that lapses between admission and queue pull must
+        produce the distinct deadline error — the protocol never runs."""
+        allocator = StubAllocator()
+
+        async def scenario():
+            # First clock read (admission) sees t=100; every later read
+            # sees t=102 — past the t=101 deadline, as if the ticket sat
+            # queued behind a slow epoch.
+            times = [100.0, 102.0]
+
+            def clock():
+                return times.pop(0) if len(times) > 1 else times[0]
+
+            broker = SpectrumAccessBroker(
+                allocator=allocator,
+                config=ServiceConfig(batch_window_s=0.01),
+                clock=clock,
+            )
+            async with broker:
+                return await broker.submit_request(
+                    "su-1", object(), deadline_s=1.0
+                )
+
+        decision = asyncio.run(scenario())
+        assert decision.status == "rejected"
+        assert decision.reason == REASON_DEADLINE_EXPIRED
+        assert allocator.epochs == []
+
+    def test_drain_distinguishes_expired_from_live(self):
+        """Shutdown drain: an already-expired ticket reports its own
+        failure mode, a live one reports the shutdown."""
+
+        async def scenario():
+            now = [100.0]
+            broker = SpectrumAccessBroker(
+                allocator=StubAllocator(),
+                config=ServiceConfig(batch_window_s=60.0),
+                clock=lambda: now[0],
+            )
+            broker._running = True  # queue without running the loop
+            expired = asyncio.ensure_future(
+                broker.submit_request("su-old", object(), deadline_s=0.5)
+            )
+            live = asyncio.ensure_future(
+                broker.submit_request("su-new", object(), deadline_s=60.0)
+            )
+            await asyncio.sleep(0)  # both tickets reach the queue
+            now[0] = 101.0  # su-old's deadline has lapsed, su-new's has not
+            broker._drain_rejecting()
+            return await expired, await live
+
+        old, new = asyncio.run(scenario())
+        assert old.reason == REASON_DEADLINE_EXPIRED
+        assert new.reason == REASON_SHUTTING_DOWN
+
     def test_queue_full(self):
         async def scenario():
             async with _broker(
@@ -165,6 +234,53 @@ class TestRejections:
         decision = asyncio.run(scenario())
         assert decision.status == "rejected"
         assert decision.reason == REASON_INTERNAL_ERROR
+
+
+class FlakyClusterAllocator(StubAllocator):
+    """Fails the first ``failures`` passes with a cluster error."""
+
+    def __init__(self, failures: int = 1) -> None:
+        super().__init__()
+        self.failures = failures
+        self.calls = 0
+
+    def allocate(self, epoch):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ShardDownError("primary died mid-epoch")
+        return super().allocate(epoch)
+
+
+class TestClusterRetry:
+    def test_shard_failure_retries_the_epoch_once(self):
+        allocator = FlakyClusterAllocator(failures=1)
+
+        async def scenario():
+            async with _broker(allocator, batch_window_s=0.01) as broker:
+                decision = await broker.submit_request("su-1", object())
+                return decision, broker.metrics.snapshot()
+
+        decision, metrics = asyncio.run(scenario())
+        assert decision.status == "granted"
+        assert allocator.calls == 2
+        retries = [
+            value
+            for name, value in metrics["counters"].items()
+            if "epoch_cluster_retries" in name
+        ]
+        assert retries == [1]
+
+    def test_persistent_cluster_failure_rejects(self):
+        allocator = FlakyClusterAllocator(failures=2)
+
+        async def scenario():
+            async with _broker(allocator, batch_window_s=0.01) as broker:
+                return await broker.submit_request("su-1", object())
+
+        decision = asyncio.run(scenario())
+        assert decision.status == "rejected"
+        assert decision.reason == REASON_INTERNAL_ERROR
+        assert allocator.calls == 2  # one retry, then give up
 
 
 class TestPuUpdates:

@@ -68,3 +68,37 @@ class TestReport:
         payload = report.to_json_dict()
         assert payload["completed"] == 3
         assert payload["throughput_rps"] == pytest.approx(1.5)
+
+
+class TestClusterConfigValidation:
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadtestConfig(shards=-1)
+
+    def test_kill_shard_requires_sharded_run(self):
+        with pytest.raises(ConfigurationError):
+            LoadtestConfig(kill_shard_after=2)
+
+    def test_kill_shard_with_shards_accepted(self):
+        config = LoadtestConfig(shards=2, kill_shard_after=2)
+        assert config.shards == 2
+
+
+class TestClusterLoadtest:
+    def test_two_shard_run_with_mid_run_kill_completes(self):
+        """The §VI-style smoke: a 2-shard service survives losing a
+        primary mid-run and still decides every request."""
+        from repro.service.loadtest import run_loadtest
+
+        config = LoadtestConfig(
+            seed=3,
+            num_requests=4,
+            num_sus=2,
+            num_pu_switches=1,
+            key_bits=256,
+            shards=2,
+            kill_shard_after=2,
+        )
+        report = run_loadtest(config)
+        assert report.completed == 4
+        assert report.rejected == 0
