@@ -74,6 +74,17 @@ class AuditConfig:
             "repro.cluster.shard",
         }
     )
+    #: Package prefixes where the ad-hoc-retry rule (RES001) applies.
+    resilience_scope: tuple[str, ...] = (
+        "repro.service",
+        "repro.cluster",
+        "repro.net",
+        "repro.resilience",
+        "repro.pisa",
+    )
+    #: Modules exempt from RES001 (the policy engine is the one place a
+    #: sleep-in-a-loop is intentional).
+    resilience_exempt: frozenset[str] = frozenset({"repro.resilience.policy"})
     #: Restrict the run to these rule ids (empty = all).
     select: frozenset[str] = frozenset()
 

@@ -5,8 +5,9 @@ from __future__ import annotations
 from repro.audit.rules import (  # noqa: F401
     ordering,
     randomness,
+    resilience,
     service,
     taint_rules,
 )
 
-__all__ = ["ordering", "randomness", "service", "taint_rules"]
+__all__ = ["ordering", "randomness", "resilience", "service", "taint_rules"]

@@ -175,5 +175,21 @@ class SanitizingTransport:
 
     # -- delegation --------------------------------------------------------
 
+    def channel(self, sender: str, receiver: str):
+        """A per-link send handle that still routes through the sanitizer.
+
+        Without this override, ``__getattr__`` would hand back the inner
+        multiplexed transport's channel — bound to the *inner* transport,
+        silently bypassing every check above.  The canonical stack is
+        ``SanitizingTransport(MultiplexedTransport(...))``: sanitize at
+        the outside (checks see exactly what the caller sent), inject
+        faults at the inside (a dropped message was still a *sent*
+        message and must still pass the protocol checks).  See
+        ``docs/resilience.md``.
+        """
+        from repro.net.transport import BoundChannel
+
+        return BoundChannel(transport=self, sender=sender, receiver=receiver)
+
     def __getattr__(self, name: str):
         return getattr(self.inner, name)

@@ -108,6 +108,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault plans and check transcript/license survival",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--plan", type=str, default="kill-shard",
+                       help="comma-separated fault plans composed into one "
+                            "schedule, or 'all' to run every plan singly")
+    chaos.add_argument("--shards", type=int, default=2)
+    chaos.add_argument("--rounds", type=int, default=2,
+                       help="protocol rounds per run")
+    chaos.add_argument("--key-bits", type=int, default=256,
+                       help="Paillier modulus for the paired deployments")
+    chaos.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="also write the results as JSON")
+
     audit = sub.add_parser(
         "audit",
         help="run the crypto-hygiene static analyzer over the source tree",
@@ -337,6 +353,46 @@ def _cmd_serve_loadtest(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.resilience.chaos import PLAN_NAMES, ChaosHarness
+
+    harness = ChaosHarness(
+        seed=args.seed,
+        shards=args.shards,
+        rounds=args.rounds,
+        key_bits=args.key_bits,
+    )
+    if args.plan == "all":
+        schedules = [[name] for name in PLAN_NAMES]
+    else:
+        schedules = [[p.strip() for p in args.plan.split(",") if p.strip()]]
+    results = []
+    failed = 0
+    for schedule in schedules:
+        result = harness.run(schedule)
+        results.append(result)
+        verdict = "OK" if result.ok else "FAIL"
+        print(
+            f"chaos [{'+'.join(result.plans)}] seed={result.seed} "
+            f"shards={result.shards}: {verdict} "
+            f"(transcript_equal={result.transcript_equal}, "
+            f"licenses_valid={result.licenses_valid}, "
+            f"failovers={result.failovers}, faults={result.fault_stats})"
+        )
+        for note in result.notes:
+            print(f"  - {note}")
+        if not result.ok:
+            failed += 1
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump([r.to_dict() for r in results], fh, indent=2,
+                      sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
 def _cmd_audit(args) -> int:
     from repro.audit.cli import run_audit
 
@@ -354,6 +410,7 @@ def _cmd_audit(args) -> int:
 _COMMANDS = {
     "demo": _cmd_demo,
     "audit": _cmd_audit,
+    "chaos": _cmd_chaos,
     "serve-loadtest": _cmd_serve_loadtest,
     "negotiate": _cmd_negotiate,
     "capacity": _cmd_capacity,

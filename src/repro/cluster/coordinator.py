@@ -46,7 +46,11 @@ from repro.crypto.rand import RandomSource, default_rng
 from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
 from repro.errors import ProtocolError
 from repro.geo.region import PrivacyRegion
-from repro.net.transport import InMemoryTransport, MultiplexedTransport
+from repro.net.transport import (
+    InMemoryTransport,
+    MultiplexedTransport,
+    resolve_multiplexed,
+)
 from repro.pisa.blinding import BlindingFactory, BlindingParameters
 from repro.pisa.license import TransmissionLicense
 from repro.pisa.messages import (
@@ -61,6 +65,7 @@ from repro.pisa.pu_client import PUClient
 from repro.pisa.sdc_server import PendingRound, SdcStats
 from repro.pisa.stp_server import StpServer
 from repro.pisa.su_client import SUClient
+from repro.resilience.journal import JournaledClock, JournalingRandomSource
 from repro.watch.entities import PUReceiver, SUTransmitter
 from repro.watch.environment import SpectrumEnvironment
 
@@ -91,6 +96,7 @@ class ClusterSdc:
         rng: RandomSource | None = None,
         fresh_beta_encryption: bool = True,
         clock=time.time,
+        journal=None,
     ) -> None:
         self.environment = environment
         self.directory = directory
@@ -100,6 +106,13 @@ class ClusterSdc:
         self._rng = default_rng(rng)
         self._fresh_beta = fresh_beta_encryption
         self._clock = clock
+        #: Optional :class:`repro.resilience.journal.EpochJournal`.  When
+        #: set, protocol-step markers are write-ahead logged and phase-2
+        #: randomness is *pre-drawn* behind a durability barrier (see
+        #: :meth:`finish_request`) so a crash mid-phase-2 replays
+        #: byte-identically.  ``None`` leaves the draw timing exactly as
+        #: the transcript-equivalence tests pin it.
+        self.journal = journal
         self.stats = SdcStats()
         self._pending: dict[str, PendingRound] = {}
         self._round_counter = itertools.count()
@@ -122,6 +135,8 @@ class ClusterSdc:
 
     def handle_pu_update(self, message: PUUpdateMessage) -> None:
         """Route the update to the owning shard (validated there)."""
+        if self.journal is not None:
+            self.journal.pu_update(message.to_bytes())
         self.router.route_pu_update(message)
         self.stats.pu_updates += 1
 
@@ -158,6 +173,10 @@ class ClusterSdc:
             blinding_rows.append(tuple(blinding_row))
             obfuscator_rows.append(tuple(obfuscator_row))
         round_id = f"round-{next(self._round_counter)}"
+        if self.journal is not None:
+            # Every phase-1 random input is drawn; barrier before the
+            # first message derived from it can leave the process.
+            self.journal.phase1_committed(round_id)
         split = self.router.split_columns(request.region_blocks)
         subqueries = {}
         for shard_id, columns in split.items():
@@ -222,6 +241,24 @@ class ClusterSdc:
                 if x_ct.public_key != su_key:
                     raise ProtocolError("converted sign not under the SU's key")
         del self._pending[response.round_id]
+        if self.journal is not None:
+            # Pre-draw every phase-2 random input — signature obfuscator,
+            # η, the license clock — in the single-SDC order, and put a
+            # durability barrier under them *before* the scatter.  A
+            # coordinator killed anywhere past this point replays the
+            # round byte-identically from the journal alone.  The draw
+            # *order* (r, then η) matches the unjournaled path below, so
+            # journaling never shifts the transcript.
+            sig_r = su_key.random_r(self._rng)
+            eta = BlindingFactory(
+                self.blinding_parameters(), rng=self._rng
+            ).draw_eta()
+            issued_at = int(self._clock())
+            self.journal.phase2_committed(response.round_id)
+        else:
+            sig_r = None
+            eta = None
+            issued_at = None
         # Phase 2 is block-state-free (pure X̃/ε arithmetic), so the
         # *current* ring decides who computes what — a round that spans
         # a membership change still completes.
@@ -251,15 +288,25 @@ class ClusterSdc:
             issuer_id=self.issuer_id,
             request_digest=pending.request_digest,
             channels=pending.channels,
-            issued_at=int(self._clock()),
+            issued_at=(
+                issued_at if issued_at is not None else int(self._clock())
+            ),
         )
         signature = license_body.sign(self.signer, max_value=su_key.n)
         encrypted_signature = EncryptedNumber(
-            su_key, su_key.raw_encrypt(signature, rng=self._rng)
+            su_key,
+            (
+                su_key.raw_encrypt(signature, r=sig_r)
+                if sig_r is not None
+                else su_key.raw_encrypt(signature, rng=self._rng)
+            ),
         )
         # eq. (17): G̃ = SG̃ ⊕ (η ⊗ ΣQ̃) — same RNG order as the single
         # SDC (signature nonce, then η).
-        eta = BlindingFactory(self.blinding_parameters(), rng=self._rng).draw_eta()
+        if eta is None:  # audit-ok: SEC002 — None-sentinel on the pre-draw slot, not a value branch
+            eta = BlindingFactory(
+                self.blinding_parameters(), rng=self._rng
+            ).draw_eta()
         self.last_q_sum = q_sum
         g_ct = encrypted_signature.add(q_sum.scalar_mul(eta))
         self.stats.requests_completed += 1
@@ -300,6 +347,8 @@ class ClusterCoordinator:
         max_attempts: int = 2,
         virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
         scatter_threads: int | None = None,
+        journal=None,
+        clock=time.time,
     ) -> None:
         if num_shards < 1:
             raise ProtocolError("num_shards must be positive")
@@ -312,6 +361,15 @@ class ClusterCoordinator:
         self.environment = environment
         self.key_bits = key_bits
         self._rng = default_rng(rng)
+        self.journal = journal
+        if journal is not None:
+            # Journal the shared draw stream at the root: key generation,
+            # blinding triples, obfuscator nonces, client randomness —
+            # everything the deployment ever draws goes through this one
+            # wrapper, so one journal replays the whole deployment.
+            self._rng = JournalingRandomSource(self._rng, journal)
+            clock = JournaledClock(journal, base=clock)
+        self._clock = clock
         self.transport: InMemoryTransport = (
             transport if transport is not None else MultiplexedTransport()
         )
@@ -335,11 +393,10 @@ class ClusterCoordinator:
         self.router = ShardRouter(
             self.membership,
             self.replica_sets,
-            transport=(
-                self.transport
-                if isinstance(self.transport, MultiplexedTransport)
-                else None
-            ),
+            # Unwrap decorator transports (sanitizer, chaos recorder) so
+            # link accounting and fault handling reach the multiplexed
+            # layer regardless of stacking order.
+            transport=resolve_multiplexed(self.transport),
             max_attempts=max_attempts,
             scatter_threads=scatter_threads,
         )
@@ -350,6 +407,8 @@ class ClusterCoordinator:
             router=self.router,
             rng=self._rng,
             fresh_beta_encryption=fresh_beta_encryption,
+            clock=self._clock,
+            journal=journal,
         )
         self._pu_clients: dict[str, PUClient] = {}
         self._su_clients: dict[str, SUClient] = {}
@@ -376,6 +435,7 @@ class ClusterCoordinator:
             shard_factory=factory,
             snapshots=self.snapshots,
             heartbeat_timeout_s=self._heartbeat_timeout_s,
+            journal=self.journal,
         )
 
     def close(self) -> None:
@@ -490,8 +550,9 @@ class ClusterCoordinator:
     def kill_shard(self, shard_id: str) -> None:
         """Crash a shard's primary and cut its wire (failover drill)."""
         self.replica_sets[shard_id].kill_primary()
-        if isinstance(self.transport, MultiplexedTransport):
-            self.transport.fail_endpoint(shard_id)
+        mux = resolve_multiplexed(self.transport)
+        if mux is not None:
+            mux.fail_endpoint(shard_id)
 
     def join_shard(self, shard_id: str) -> HandoffPlan:
         """Admit a new shard mid-epoch: ring swap + block handoff."""

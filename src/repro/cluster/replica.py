@@ -90,6 +90,7 @@ class ShardReplicaSet:
         snapshots: SnapshotStore | None = None,
         heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
         clock=time.monotonic,
+        journal=None,
     ) -> None:
         if heartbeat_timeout_s <= 0:
             raise ClusterError("heartbeat_timeout_s must be positive")
@@ -100,6 +101,9 @@ class ShardReplicaSet:
         self.snapshots = snapshots if snapshots is not None else SnapshotStore()
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self._clock = clock
+        #: Optional :class:`repro.resilience.journal.EpochJournal`; when
+        #: set, epoch commits and promotions are write-ahead logged.
+        self.journal = journal
         # Promotion and heartbeat bookkeeping race with the router's
         # scatter threads; all mutations hold the lock.
         self._lock = threading.Lock()
@@ -133,6 +137,8 @@ class ShardReplicaSet:
         self.standby.commit_epoch(epoch_id)
         if snapshot:
             self.snapshots.save(self.primary)
+        if self.journal is not None:
+            self.journal.epoch_commit(self.shard_id, epoch_id)
 
     # -- liveness ------------------------------------------------------------------
 
@@ -197,7 +203,9 @@ class ShardReplicaSet:
                 from_snapshot=from_snapshot,
             )
             self.failovers.append(event)
-            return event
+        if self.journal is not None:
+            self.journal.promote(self.shard_id, event.resumed_epoch)
+        return event
 
     def __repr__(self) -> str:
         return (

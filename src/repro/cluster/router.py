@@ -30,9 +30,17 @@ from dataclasses import dataclass
 
 from repro.cluster.membership import ClusterMembership
 from repro.cluster.replica import ShardReplicaSet
-from repro.errors import ClusterError, LinkDownError, ShardDownError
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import (
+    ClusterError,
+    LinkDownError,
+    MessageDroppedError,
+    RetryExhaustedError,
+    ShardDownError,
+)
 from repro.net.transport import MultiplexedTransport
 from repro.pisa.messages import PUUpdateMessage
+from repro.resilience.policy import CircuitBreaker, RetryPolicy, run_with_policy
 
 __all__ = ["RouterStats", "ShardRouter"]
 
@@ -45,6 +53,8 @@ class RouterStats:
     subquery_failures: int = 0
     failovers: int = 0
     pu_updates_routed: int = 0
+    #: Injected drops retried in place (no failover — the link was up).
+    drops_retried: int = 0
 
 
 class ShardRouter:
@@ -67,6 +77,21 @@ class ShardRouter:
         self.stats = RouterStats()
         self._replicas = dict(replica_sets)
         self._transport = transport
+        # The canonical retry loop (repro.resilience.policy) replaces the
+        # old hand-rolled while-loop.  Backoff is zeroed: a failover
+        # retry should hit the freshly promoted primary immediately, and
+        # the modelled transports have no congestion to back off from.
+        self._policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_backoff_s=0.0,
+            backoff_cap_s=0.0,
+            retryable=(ShardDownError, LinkDownError, MessageDroppedError),
+        )
+        self._retry_rng = DeterministicRandomSource(0)
+        #: Per-shard circuit breaker.  Deliberately lenient — a normal
+        #: failover burns one or two consecutive failures; the breaker
+        #: exists to shed hundred-call storms at a shard that stays dead.
+        self._breakers: dict[str, CircuitBreaker] = {}
         # Stats and the replica table are touched from scatter threads.
         self._lock = threading.Lock()
         workers = (
@@ -143,35 +168,66 @@ class ShardRouter:
                 promoted.append(shard_id)
         return tuple(promoted)
 
+    def breaker_for(self, shard_id: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(shard_id)
+            if breaker is None:
+                breaker = CircuitBreaker(name=f"router->{shard_id}")
+                self._breakers[shard_id] = breaker
+            return breaker
+
     def _call_shard(self, shard_id: str, request, invoke):
-        """One sub-query with transport accounting and bounded failover."""
-        attempts = 0
-        while True:
+        """One sub-query with transport accounting and bounded failover.
+
+        Retries run through the unified policy engine: an injected drop
+        (:class:`~repro.errors.MessageDroppedError`) is retried against
+        the *same* primary (the link is up — failing over would discard
+        a healthy shard), while a dead shard or cut wire promotes the
+        standby before the next attempt.  Budget and message shape match
+        the pre-policy behaviour exactly: at most ``max_attempts`` tries,
+        then ``ShardDownError`` naming the attempt count.
+        """
+
+        def attempt():
             replica_set = self.replica_set(shard_id)
+            if self._transport is not None:
+                self._transport.send(request, self.endpoint, shard_id)
+            result = invoke(replica_set.primary, request)
+            replica_set.record_heartbeat()
+            if self._transport is not None:
+                self._transport.send(result, shard_id, self.endpoint)
+            with self._lock:
+                self.stats.subqueries += 1
+            return result
+
+        def on_retry(_attempt_number, exc, _sleep_s):
+            with self._lock:
+                self.stats.subquery_failures += 1
+            if isinstance(exc, MessageDroppedError):
+                with self._lock:
+                    self.stats.drops_retried += 1
+                return
             try:
-                if self._transport is not None:
-                    self._transport.send(request, self.endpoint, shard_id)
-                result = invoke(replica_set.primary, request)
-                replica_set.record_heartbeat()
-                if self._transport is not None:
-                    self._transport.send(result, shard_id, self.endpoint)
-                with self._lock:
-                    self.stats.subqueries += 1
-                return result
-            except (ShardDownError, LinkDownError) as exc:
-                attempts += 1
-                with self._lock:
-                    self.stats.subquery_failures += 1
-                if attempts >= self.max_attempts:
-                    raise ShardDownError(
-                        f"shard {shard_id!r} failed {attempts} attempts"
-                    ) from exc
-                try:
-                    self._recover(shard_id)
-                except ClusterError as promote_exc:
-                    raise ShardDownError(
-                        f"shard {shard_id!r} is down and cannot be recovered"
-                    ) from promote_exc
+                self._recover(shard_id)
+            except ClusterError as promote_exc:
+                raise ShardDownError(
+                    f"shard {shard_id!r} is down and cannot be recovered"
+                ) from promote_exc
+
+        try:
+            return run_with_policy(
+                attempt,
+                self._policy,
+                breaker=self.breaker_for(shard_id),
+                rng=self._retry_rng,
+                on_retry=on_retry,
+            )
+        except RetryExhaustedError as exc:
+            with self._lock:
+                self.stats.subquery_failures += 1
+            raise ShardDownError(
+                f"shard {shard_id!r} failed {self.max_attempts} attempts"
+            ) from exc
 
     # -- the data path ----------------------------------------------------------------
 

@@ -40,6 +40,10 @@ class SerializationError(ReproError):
     """A value could not be encoded to or decoded from its wire form."""
 
 
+class IntegrityError(SerializationError):
+    """A CRC-framed blob (snapshot file, journal record) failed its check."""
+
+
 class ProtocolError(ReproError):
     """A PISA protocol step received an out-of-order or malformed message."""
 
@@ -54,6 +58,15 @@ class TransportError(ReproError):
 
 class LinkDownError(TransportError):
     """The addressed per-shard channel is failed (injected or modelled)."""
+
+
+class MessageDroppedError(TransportError):
+    """An injected fault dropped this message; the link itself is up.
+
+    Transient by construction — a retry of the same send is expected to
+    succeed, so the policy engine retries it *without* triggering
+    replica failover (unlike :class:`LinkDownError`).
+    """
 
 
 class ClusterError(ReproError):
@@ -74,6 +87,38 @@ class AuditError(ReproError):
 
 class SanitizerViolation(AuditError):
     """The runtime protocol sanitizer caught an invalid message in flight."""
+
+
+class ResilienceError(ReproError):
+    """Base class for crash-recovery / fault-handling (repro.resilience)."""
+
+
+class JournalError(ResilienceError):
+    """Base class for write-ahead epoch-journal failures."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal record failed its CRC or framing check (strict read)."""
+
+
+class JournalDiskFullError(JournalError):
+    """The journal device refused an append (modelled or real ENOSPC)."""
+
+
+class JournalReplayError(JournalError):
+    """Replay diverged from the journal (wrong draw width or clock order)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A retry budget (wall-clock or attempts) was spent before success."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open; the call was refused without trying."""
+
+
+class ChaosPlanError(ResilienceError):
+    """A chaos fault plan is malformed or names an unknown fault."""
 
 
 class RadioError(ReproError):

@@ -16,10 +16,10 @@ keep memory bounded.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol
 
-from repro.errors import LinkDownError
+from repro.errors import LinkDownError, MessageDroppedError
 from repro.net.latency import LatencyModel
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "InMemoryTransport",
     "MultiplexedTransport",
     "BoundChannel",
+    "resolve_multiplexed",
 ]
 
 
@@ -185,6 +186,34 @@ class BoundChannel:
         return (self.sender, self.receiver)
 
 
+@dataclass
+class _LinkFaults:
+    """Remaining injected-fault budgets for one directed link."""
+
+    #: Next N sends are dropped (raise ``MessageDroppedError``).
+    drop: int = 0
+    #: Next N sends are recorded twice (wire-level duplicate).
+    duplicate: int = 0
+    #: Extra one-way delay added to affected sends.
+    delay_extra_s: float = 0.0
+    #: How many sends the extra delay applies to; ``-1`` = all of them.
+    delay_remaining: int = 0
+    #: When > 1, records are held back and flushed in reverse once this
+    #: many accumulate (wire-level reordering of the accounting log).
+    reorder_window: int = 0
+    held: deque = field(default_factory=deque)
+
+    @property
+    def exhausted(self) -> bool:
+        return (
+            self.drop == 0
+            and self.duplicate == 0
+            and self.delay_remaining == 0
+            and self.reorder_window <= 1
+            and not self.held
+        )
+
+
 class MultiplexedTransport(InMemoryTransport):
     """An :class:`InMemoryTransport` with per-link overrides.
 
@@ -200,6 +229,16 @@ class MultiplexedTransport(InMemoryTransport):
     Sending on a failed link raises :class:`~repro.errors.LinkDownError`
     *without* recording the message — the bytes never made it onto the
     wire, so they must not count toward the §VI-A overhead totals.
+
+    **Fault injection** (:meth:`inject_faults`) layers finer, *transient*
+    faults on top: drop the next N sends
+    (:class:`~repro.errors.MessageDroppedError` — the link itself stays
+    up, so the retry policy retries in place instead of failing over),
+    duplicate them on the wire log, stretch their delay, or reorder the
+    accounting log through a hold-back window.  Delivery in this
+    in-memory model is the synchronous return value, so duplicate and
+    reorder affect the observed *wire log*, not the call graph — exactly
+    the layer the §VI-A accounting and the chaos transcript read.
     """
 
     def __init__(
@@ -209,6 +248,14 @@ class MultiplexedTransport(InMemoryTransport):
         self._link_latency: dict[tuple[str, str], LatencyModel | None] = {}
         self._link_down: set[tuple[str, str]] = set()
         self._down_endpoints: set[str] = set()
+        self._faults: dict[tuple[str, str], _LinkFaults] = {}
+        #: Injected-fault counters: dropped / duplicated / delayed / reordered.
+        self.fault_stats: dict[str, int] = {
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "reordered": 0,
+        }
 
     # -- link administration -----------------------------------------------------
 
@@ -251,20 +298,114 @@ class MultiplexedTransport(InMemoryTransport):
         """A send handle bound to one directed link."""
         return BoundChannel(transport=self, sender=sender, receiver=receiver)
 
+    # -- fault injection -----------------------------------------------------------
+
+    def inject_faults(
+        self,
+        sender: str,
+        receiver: str,
+        *,
+        drop: int = 0,
+        duplicate: int = 0,
+        delay_s: float = 0.0,
+        delay_count: int = -1,
+        reorder_window: int = 0,
+    ) -> None:
+        """Arm transient faults on one directed link.
+
+        ``drop``/``duplicate`` are budgets consumed one send at a time;
+        ``delay_s`` adds to the modelled delay of the next
+        ``delay_count`` sends (``-1`` = every send); ``reorder_window``
+        > 1 holds records back and flushes them reversed per window.
+        Budgets are deterministic — the same arm + the same send
+        sequence always yields the same fault schedule.
+        """
+        link = (sender, receiver)
+        faults = self._faults.setdefault(link, _LinkFaults())
+        faults.drop += drop
+        faults.duplicate += duplicate
+        if delay_s > 0.0:
+            faults.delay_extra_s = delay_s
+            faults.delay_remaining = delay_count
+        if reorder_window:
+            faults.reorder_window = reorder_window
+
+    def clear_faults(self) -> None:
+        """Disarm all faults, flushing any held (reordered) records."""
+        for faults in self._faults.values():
+            while faults.held:
+                self._record(*faults.held.popleft())
+        self._faults.clear()
+
     # -- sending -------------------------------------------------------------------
 
     def send(self, message: _SizedMessage, sender: str, receiver: str):
         if not self.link_is_up(sender, receiver):
             raise LinkDownError(f"link {sender!r} -> {receiver!r} is down")
         link = (sender, receiver)
-        if link in self._link_latency:
-            model = self._link_latency[link]
-            size = message.wire_size()
-            delay = (
-                model.delay_seconds(size, sender, receiver)
-                if model is not None
-                else 0.0
-            )
+        model = (
+            self._link_latency[link]
+            if link in self._link_latency
+            else self.latency
+        )
+        size = message.wire_size()
+        delay = (
+            model.delay_seconds(size, sender, receiver)
+            if model is not None
+            else 0.0
+        )
+        faults = self._faults.get(link)
+        if faults is None:
             self._record(message, sender, receiver, size, delay)
             return message
-        return super().send(message, sender, receiver)
+        if faults.drop > 0:
+            faults.drop -= 1
+            self.fault_stats["dropped"] += 1
+            raise MessageDroppedError(
+                f"injected drop on link {sender!r} -> {receiver!r}"
+            )
+        if faults.delay_remaining != 0:
+            if faults.delay_remaining > 0:
+                faults.delay_remaining -= 1
+            delay += faults.delay_extra_s
+            self.fault_stats["delayed"] += 1
+        copies = 1
+        if faults.duplicate > 0:
+            faults.duplicate -= 1
+            copies = 2
+            self.fault_stats["duplicated"] += 1
+        entries = [(message, sender, receiver, size, delay)] * copies
+        if faults.reorder_window > 1:
+            faults.held.extend(entries)
+            while len(faults.held) >= faults.reorder_window:
+                batch = [
+                    faults.held.popleft() for _ in range(faults.reorder_window)
+                ]
+                for entry in reversed(batch):
+                    self._record(*entry)
+                self.fault_stats["reordered"] += len(batch)
+        else:
+            for entry in entries:
+                self._record(*entry)
+        if faults.exhausted:
+            del self._faults[link]
+        return message
+
+
+def resolve_multiplexed(transport) -> MultiplexedTransport | None:
+    """Unwrap decorator transports down to the ``MultiplexedTransport``.
+
+    Wrappers like :class:`repro.audit.runtime.SanitizingTransport` (and
+    the chaos recorder) expose their wrapped transport as ``.inner``;
+    coordinator code that needs link administration (failing a shard's
+    wire, arming faults) must reach the multiplexed layer rather than
+    giving up because the outermost object is a wrapper.  Returns
+    ``None`` when no multiplexed transport is in the stack.
+    """
+    seen = 0
+    while transport is not None and seen < 16:
+        if isinstance(transport, MultiplexedTransport):
+            return transport
+        transport = getattr(transport, "inner", None)
+        seen += 1
+    return None

@@ -17,9 +17,20 @@ What needs persisting is deliberately small:
 Snapshots are canonical bytes (versioned, self-describing), restored by
 replaying updates through the normal ``handle_pu_update`` path so the
 incremental aggregate is rebuilt by the same audited code that built it.
+
+Durable copies go through the CRC frame helpers (:func:`frame_payload`
+/ :func:`unframe_payload` and the file-level
+:func:`write_state_file` / :func:`read_state_file`): a truncated or
+bit-flipped file surfaces as a typed
+:class:`~repro.errors.IntegrityError` instead of garbage state.  The
+write-ahead epoch journal (:mod:`repro.resilience.journal`) frames its
+records with the same helpers, so one decoder audits both formats.
 """
 
 from __future__ import annotations
+
+import os
+import zlib
 
 from repro.crypto.paillier import PaillierPublicKey
 from repro.crypto.serialization import (
@@ -31,7 +42,7 @@ from repro.crypto.serialization import (
     encode_public_key,
 )
 from repro.crypto.signatures import RsaPublicKey
-from repro.errors import SerializationError
+from repro.errors import IntegrityError, SerializationError
 from repro.pisa.keys import KeyDirectory
 from repro.pisa.messages import PUUpdateMessage
 
@@ -42,11 +53,94 @@ __all__ = [
     "restore_shard_state",
     "serialize_directory",
     "restore_directory",
+    "frame_payload",
+    "unframe_payload",
+    "write_state_file",
+    "read_state_file",
 ]
 
 _SDC_MAGIC = b"PISA-SDC-STATE-v1"
 _SHARD_MAGIC = b"PISA-SHARD-STATE-v1"
 _DIR_MAGIC = b"PISA-DIRECTORY-v1"
+
+#: Two-byte marker opening every CRC frame.
+FRAME_MAGIC = b"PF"
+#: Fixed framing overhead: magic + 4-byte length prefix + 4-byte CRC32.
+FRAME_OVERHEAD = len(FRAME_MAGIC) + 4 + 4
+
+_STATE_FILE_MAGIC = b"PISA-STATE-FILE-v1\n"
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a self-checking frame: magic, length, CRC32."""
+    return (
+        FRAME_MAGIC
+        + encode_bytes(payload)
+        + zlib.crc32(payload).to_bytes(4, "big")
+    )
+
+
+def unframe_payload(buffer: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Decode one frame at ``offset``; returns ``(payload, next_offset)``.
+
+    Raises :class:`~repro.errors.IntegrityError` on a wrong magic, a
+    truncated frame, or a CRC mismatch — the caller never sees partial
+    or corrupted payload bytes.
+    """
+    end_magic = offset + len(FRAME_MAGIC)
+    if buffer[offset:end_magic] != FRAME_MAGIC:
+        raise IntegrityError(f"bad frame magic at offset {offset}")
+    try:
+        payload, offset = decode_bytes(buffer, end_magic)
+    except SerializationError as exc:
+        raise IntegrityError(f"truncated frame: {exc}") from exc
+    if offset + 4 > len(buffer):
+        raise IntegrityError("truncated frame checksum")
+    expected = int.from_bytes(buffer[offset : offset + 4], "big")
+    if zlib.crc32(payload) != expected:
+        raise IntegrityError("frame checksum mismatch")
+    return payload, offset + 4
+
+
+def write_state_file(path, blob: bytes) -> None:
+    """Durably write one snapshot blob as a CRC-framed file.
+
+    Written to a sibling temp file, fsynced, then renamed into place, so
+    a crash mid-write leaves either the old file or the new one — never
+    a torn hybrid.
+    """
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(_STATE_FILE_MAGIC + frame_payload(blob))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_state_file(path) -> bytes:
+    """Read a snapshot blob written by :func:`write_state_file`.
+
+    Raises :class:`~repro.errors.IntegrityError` when the file is
+    truncated, corrupted, or not a state file at all.
+    """
+    with open(os.fspath(path), "rb") as fh:
+        raw = fh.read()
+    if not raw.startswith(_STATE_FILE_MAGIC):
+        raise IntegrityError("not a PISA state file")
+    blob, offset = unframe_payload(raw, len(_STATE_FILE_MAGIC))
+    if offset != len(raw):
+        raise IntegrityError("trailing bytes after state frame")
+    return blob
+
+
+def _decode_str(buffer: bytes, offset: int) -> tuple[str, int]:
+    """Decode a UTF-8 string field; corruption raises a typed error."""
+    raw, offset = decode_bytes(buffer, offset)
+    try:
+        return raw.decode("utf-8"), offset
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"corrupt string field: {exc}") from exc
 
 
 def serialize_sdc_state(sdc) -> bytes:
@@ -116,8 +210,7 @@ def restore_shard_state(shard, blob: bytes) -> int:
         raise SerializationError("restore target already holds PU state")
     if not blob.startswith(_SHARD_MAGIC):
         raise SerializationError("not a v1 shard snapshot")
-    shard_id_raw, offset = decode_bytes(blob, len(_SHARD_MAGIC))
-    shard_id = shard_id_raw.decode("utf-8")
+    shard_id, offset = _decode_str(blob, len(_SHARD_MAGIC))
     if shard_id != shard.shard_id:
         raise SerializationError(
             f"snapshot is for shard {shard_id!r}, not {shard.shard_id!r}"
@@ -170,19 +263,15 @@ def restore_directory(blob: bytes) -> KeyDirectory:
     directory = KeyDirectory(decode_public_key(group_raw))
     su_count, offset = decode_int(blob, offset)
     for _ in range(su_count):
-        su_raw, offset = decode_bytes(blob, offset)
+        su_id, offset = _decode_str(blob, offset)
         key_raw, offset = decode_bytes(blob, offset)
-        directory.register_su_key(
-            su_raw.decode("utf-8"), decode_public_key(key_raw)
-        )
+        directory.register_su_key(su_id, decode_public_key(key_raw))
     issuer_count, offset = decode_int(blob, offset)
     for _ in range(issuer_count):
-        issuer_raw, offset = decode_bytes(blob, offset)
+        issuer_id, offset = _decode_str(blob, offset)
         n, offset = decode_int(blob, offset)
         e, offset = decode_int(blob, offset)
-        directory.register_signing_key(
-            issuer_raw.decode("utf-8"), RsaPublicKey(n=n, e=e)
-        )
+        directory.register_signing_key(issuer_id, RsaPublicKey(n=n, e=e))
     if offset != len(blob):
         raise SerializationError("trailing bytes in directory snapshot")
     return directory

@@ -1,0 +1,656 @@
+"""Deterministic chaos harness for the sharded PISA deployment.
+
+The harness runs the *same seeded deployment twice* — once clean
+(control), once with a composed schedule of injected faults — and
+asserts the property the paper's protocol depends on:
+
+    **the protocol transcript is byte-identical and every issued
+    license verifies**, no matter which components were killed,
+    which wires dropped/delayed/duplicated/reordered messages, or
+    where the journal device failed.
+
+Faults are *fault plans*: named, seeded, composable units
+(``kill-shard``, ``drop-links``, ``coordinator-crash``, ...) that arm
+transport faults (:meth:`repro.net.transport.MultiplexedTransport.inject_faults`),
+kill processes, cut the SDC↔STP wire, or fill the journal device at a
+deterministic point.  ``repro chaos --seed 7 --plan kill-shard,drop-links``
+runs one composed schedule from the command line.
+
+Transcript capture happens in :class:`ChaosTransport`, which fingerprints
+every *protocol-level* message (SU/PU ↔ SDC ↔ STP) after a successful
+send.  Router↔shard sub-queries are excluded on purpose: failover
+legitimately re-sends them, and the protocol's externally visible bytes
+are exactly the non-shard links.  Recording *post-send* makes transient
+faults transparent: a dropped message was never delivered (not
+recorded), a retried one is recorded once — the logical
+delivered-exactly-once transcript.
+
+Two plans exercise the write-ahead journal end to end:
+
+* ``coordinator-crash`` — SIGKILL-equivalent mid-phase-2 (after the
+  phase-2 randomness barrier, during the scatter).  The journal's
+  unfsynced tail is discarded, then the deployment is **rebuilt and
+  replayed** from the journal with a *differently seeded* fallback RNG;
+  the replay must match the control transcript byte for byte with zero
+  fallback draws.
+* ``journal-disk-full`` — the journal device fills mid-round.  The
+  typed :class:`~repro.errors.JournalDiskFullError` must surface, the
+  written prefix must stay readable, and replaying that prefix must
+  reproduce every *completed* round byte-identically (the interrupted
+  round re-runs on fresh randomness — its draws never left the process,
+  so no external bytes constrain it — and must still yield a verifying
+  license).
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+from dataclasses import dataclass, field
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.crypto.hashing import sha256
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import (
+    ChaosPlanError,
+    JournalDiskFullError,
+    LinkDownError,
+    MessageDroppedError,
+)
+from repro.net.transport import MultiplexedTransport
+from repro.resilience.journal import EpochJournal, JournalWriter, read_journal
+from repro.resilience.policy import RetryPolicy, run_with_policy
+from repro.resilience.recovery import replay_sources, summarize
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+__all__ = [
+    "ChaosTransport",
+    "ChaosResult",
+    "ChaosHarness",
+    "PLAN_NAMES",
+    "fingerprint_message",
+]
+
+#: License clock both runs freeze to, so ``issued_at`` is deterministic.
+FROZEN_CLOCK = 1_700_000_000.0
+
+#: Sends the harness performs are retried under this policy — drops are
+#: transient, and a cut SDC↔STP wire queues the message until the plan
+#: drains the outage.
+SEND_POLICY = RetryPolicy(
+    max_attempts=8,
+    base_backoff_s=0.0,
+    backoff_cap_s=0.0,
+    retryable=(LinkDownError, MessageDroppedError),
+)
+
+
+def fingerprint_message(message, sender: str, receiver: str) -> str:
+    """Stable digest of one protocol message's exact bytes on a link."""
+    to_bytes = getattr(message, "to_bytes", None)
+    if to_bytes is not None:
+        body = to_bytes()
+    else:  # pragma: no cover - every protocol message serialises
+        body = repr(message).encode("utf-8")
+    return sha256(
+        type(message).__name__.encode("utf-8"),
+        b"|" + sender.encode("utf-8"),
+        b"|" + receiver.encode("utf-8") + b"|",
+        body,
+    ).hex()
+
+
+class ChaosTransport(MultiplexedTransport):
+    """A multiplexed transport that also fingerprints the transcript.
+
+    Subclassing (rather than wrapping) keeps
+    ``resolve_multiplexed``-based coordinator plumbing — link failure,
+    fault injection — working unchanged.  Only protocol-level links are
+    fingerprinted; router↔shard traffic re-sends under failover and is
+    not part of the externally visible transcript.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fingerprints: list[str] = []
+        self._marks: list[int] = []
+
+    @staticmethod
+    def _is_protocol_link(sender: str, receiver: str) -> bool:
+        for endpoint in (sender, receiver):
+            if endpoint.startswith("shard-") or endpoint == "router":
+                return False
+        return True
+
+    def send(self, message, sender: str, receiver: str):
+        result = super().send(message, sender, receiver)
+        if self._is_protocol_link(sender, receiver):
+            self.fingerprints.append(
+                fingerprint_message(message, sender, receiver)
+            )
+        return result
+
+    def mark(self) -> int:
+        """Close a transcript segment (enrolment, round N, ...)."""
+        self._marks.append(len(self.fingerprints))
+        return len(self._marks) - 1
+
+    def segments(self) -> tuple[tuple[str, ...], ...]:
+        """Fingerprints sliced by :meth:`mark` boundaries."""
+        out = []
+        start = 0
+        for end in self._marks:
+            out.append(tuple(self.fingerprints[start:end]))
+            start = end
+        return tuple(out)
+
+
+class _InjectedCrash(Exception):
+    """Stand-in for SIGKILL: unwinds the harness, never handled below it."""
+
+
+class _DiskFullFile(io.BytesIO):
+    """A BytesIO that models a filling disk.
+
+    Once ``limit`` is set, a write that would exceed it lands *partially*
+    (like a real short write at the end of a device) and raises
+    ``ENOSPC`` — exercising both the typed error path and the
+    torn-record tolerance of the journal reader.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.limit: int | None = None
+
+    def write(self, data):
+        if self.limit is not None and self.tell() + len(data) > self.limit:
+            room = max(0, self.limit - self.tell())
+            if room:
+                super().write(data[:room])
+            raise OSError(errno.ENOSPC, "chaos: journal device full")
+        return super().write(data)
+
+    def close(self) -> None:  # keep the buffer readable post-"crash"
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# Fault plans
+# --------------------------------------------------------------------------- #
+
+
+class FaultPlan:
+    """One named, composable fault. Subclasses override the hooks."""
+
+    name = "noop"
+    #: Plans that need the write-ahead journal active in the faulted run.
+    wants_journal = False
+    #: Plans whose faulted run ends in a crash + journal replay.
+    crashes = False
+
+    def arm(self, ctx: "_RunContext") -> None:
+        """Called once, after the deployment is built, before round 0."""
+
+    def before_round(self, ctx: "_RunContext", round_index: int) -> None:
+        """Called before each round of the faulted run."""
+
+    def on_send_retry(self, ctx: "_RunContext", exc, link) -> None:
+        """Called when a harness-level send is about to be retried."""
+
+
+class _KillShard(FaultPlan):
+    """Crash one shard's primary (and cut its wire) before round 1."""
+
+    name = "kill-shard"
+
+    def before_round(self, ctx, round_index):
+        if round_index == min(1, ctx.rounds - 1):
+            victim = ctx.coordinator.router.shard_ids[0]
+            ctx.coordinator.kill_shard(victim)
+            ctx.note(f"killed {victim} before round {round_index}")
+
+
+class _DropLinks(FaultPlan):
+    """Drop the first send on every router↔shard link, every round."""
+
+    name = "drop-links"
+
+    def before_round(self, ctx, round_index):
+        for shard_id in ctx.coordinator.router.shard_ids:
+            ctx.mux.inject_faults("router", shard_id, drop=1)
+
+
+class _DelayLinks(FaultPlan):
+    """Stretch the modelled delay of two sends per shard link per round."""
+
+    name = "delay-links"
+
+    def before_round(self, ctx, round_index):
+        for shard_id in ctx.coordinator.router.shard_ids:
+            ctx.mux.inject_faults(
+                "router", shard_id, delay_s=0.005, delay_count=2
+            )
+
+
+class _DuplicateLinks(FaultPlan):
+    """Duplicate one send per shard link per round (wire-level)."""
+
+    name = "duplicate-links"
+
+    def before_round(self, ctx, round_index):
+        for shard_id in ctx.coordinator.router.shard_ids:
+            ctx.mux.inject_faults("router", shard_id, duplicate=1)
+
+
+class _ReorderLinks(FaultPlan):
+    """Reorder the wire log of the first shard link in windows of two."""
+
+    name = "reorder-links"
+
+    def before_round(self, ctx, round_index):
+        shard_id = ctx.coordinator.router.shard_ids[0]
+        ctx.mux.inject_faults("router", shard_id, reorder_window=2)
+
+
+class _StpOutage(FaultPlan):
+    """Cut the SDC→STP wire before round 1; drain after two retries.
+
+    Models an STP outage with queue-and-drain degradation: the blinded
+    sign-extraction request is *held* (the harness retries the exact
+    same bytes) rather than rebuilt, so the transcript is unchanged.
+    """
+
+    name = "stp-outage"
+    OUTAGE_RETRIES = 2
+
+    def before_round(self, ctx, round_index):
+        if round_index == min(1, ctx.rounds - 1):
+            ctx.mux.fail_link("sdc", "stp")
+            ctx.stp_outage_remaining = self.OUTAGE_RETRIES
+            ctx.note(f"cut sdc->stp before round {round_index}")
+
+    def on_send_retry(self, ctx, exc, link):
+        if link != ("sdc", "stp") or not isinstance(exc, LinkDownError):
+            return
+        ctx.stp_outage_remaining -= 1
+        ctx.stp_drained_sends += 1
+        if ctx.stp_outage_remaining <= 0:
+            ctx.mux.restore_link("sdc", "stp")
+            ctx.note("stp outage drained; link restored")
+
+
+class _CoordinatorCrash(FaultPlan):
+    """SIGKILL the coordinator mid-phase-2 of the last round.
+
+    The crash fires *inside* the phase-2 scatter — after the phase-2
+    randomness barrier, before any partial product returns — exactly the
+    window the write-ahead discipline exists for.
+    """
+
+    name = "coordinator-crash"
+    wants_journal = True
+    crashes = True
+
+    def before_round(self, ctx, round_index):
+        if round_index != ctx.rounds - 1:
+            return
+        router = ctx.coordinator.router
+        real_scatter = router.scatter_phase2
+
+        def scatter_then_die(requests):
+            real_scatter(requests)  # partials computed, then the kill lands
+            raise _InjectedCrash(
+                f"coordinator killed mid-phase-2 of round {round_index}"
+            )
+
+        router.scatter_phase2 = scatter_then_die
+        ctx.note(f"armed coordinator kill in round {round_index} phase 2")
+
+
+class _JournalDiskFull(FaultPlan):
+    """Fill the journal device 2 kB into the last round's draws."""
+
+    name = "journal-disk-full"
+    wants_journal = True
+    crashes = True
+    HEADROOM_BYTES = 2048
+
+    def before_round(self, ctx, round_index):
+        if round_index == ctx.rounds - 1 and ctx.journal_device is not None:
+            ctx.journal_device.limit = (
+                ctx.journal_device.tell() + self.HEADROOM_BYTES
+            )
+            ctx.note(f"journal device limited before round {round_index}")
+
+
+_PLAN_TYPES = (
+    _KillShard,
+    _DropLinks,
+    _DelayLinks,
+    _DuplicateLinks,
+    _ReorderLinks,
+    _StpOutage,
+    _CoordinatorCrash,
+    _JournalDiskFull,
+)
+
+PLAN_NAMES: tuple[str, ...] = tuple(plan.name for plan in _PLAN_TYPES)
+_PLANS = {plan.name: plan for plan in _PLAN_TYPES}
+
+
+def _resolve_plans(names) -> list[FaultPlan]:
+    plans = []
+    for name in names:
+        plan_type = _PLANS.get(name)
+        if plan_type is None:
+            raise ChaosPlanError(
+                f"unknown fault plan {name!r} (known: {', '.join(PLAN_NAMES)})"
+            )
+        plans.append(plan_type())
+    if not plans:
+        raise ChaosPlanError("a chaos schedule needs at least one fault plan")
+    if sum(1 for p in plans if p.crashes) > 1:
+        raise ChaosPlanError(
+            "at most one crashing plan (coordinator-crash / journal-disk-full) "
+            "per schedule"
+        )
+    return plans
+
+
+# --------------------------------------------------------------------------- #
+# The harness
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _RunContext:
+    coordinator: ClusterCoordinator
+    mux: ChaosTransport
+    rounds: int
+    journal_device: _DiskFullFile | None = None
+    stp_outage_remaining: int = 0
+    stp_drained_sends: int = 0
+    notes: list = field(default_factory=list)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+@dataclass
+class _RunRecord:
+    """One full run's observable outcome."""
+
+    segments: tuple[tuple[str, ...], ...]
+    granted: tuple[bool, ...]
+    licenses: tuple
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """The verdict of one composed chaos schedule."""
+
+    plans: tuple[str, ...]
+    seed: int
+    shards: int
+    rounds: int
+    #: Property 1: transcript byte-equality over the required segments.
+    transcript_equal: bool
+    #: How many segments (enrolment + rounds) had to match exactly.
+    exact_segments: int
+    #: Property 2: every completed round's license verified, and its
+    #: grant/deny outcome matches the control run.
+    licenses_valid: bool
+    #: Draws the replay served from the journal / from the fallback RNG
+    #: (crash plans only; -1 when no replay happened).
+    replayed_draws: int
+    fallback_draws: int
+    fault_stats: dict
+    failovers: int
+    drops_retried: int
+    notes: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.transcript_equal and self.licenses_valid
+
+    def to_dict(self) -> dict:
+        return {
+            "plans": list(self.plans),
+            "seed": self.seed,
+            "shards": self.shards,
+            "rounds": self.rounds,
+            "ok": self.ok,
+            "transcript_equal": self.transcript_equal,
+            "exact_segments": self.exact_segments,
+            "licenses_valid": self.licenses_valid,
+            "replayed_draws": self.replayed_draws,
+            "fallback_draws": self.fallback_draws,
+            "fault_stats": dict(self.fault_stats),
+            "failovers": self.failovers,
+            "drops_retried": self.drops_retried,
+            "notes": list(self.notes),
+        }
+
+
+class ChaosHarness:
+    """Builds seed-paired deployments and judges fault schedules.
+
+    The control run is built once per harness and reused across
+    schedules — every faulted run is compared against the same clean
+    transcript.
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        shards: int = 2,
+        rounds: int = 2,
+        key_bits: int = 256,
+        scenario_seed: int = 5,
+    ) -> None:
+        if rounds < 1:
+            raise ChaosPlanError("rounds must be positive")
+        self.seed = seed
+        self.shards = shards
+        self.rounds = rounds
+        self.key_bits = key_bits
+        self.scenario_seed = scenario_seed
+        self._control: _RunRecord | None = None
+
+    # -- deployment plumbing ----------------------------------------------------
+
+    def _build(self, rng, transport, journal=None, clock=None):
+        scenario = build_scenario(ScenarioConfig(seed=self.scenario_seed))
+        coordinator = ClusterCoordinator(
+            scenario.environment,
+            num_shards=self.shards,
+            key_bits=self.key_bits,
+            rng=rng,
+            transport=transport,
+            scatter_threads=1,
+            # Composed schedules can burn several attempts on one
+            # sub-query (a failover *and* an injected drop); give the
+            # router a chaos-sized budget.  Attempts don't affect the
+            # transcript, so control and faulted runs stay paired.
+            max_attempts=4,
+            journal=journal,
+            clock=clock if clock is not None else (lambda: FROZEN_CLOCK),
+        )
+        for pu in scenario.pus:
+            coordinator.enroll_pu(pu)
+        for su in scenario.sus:
+            coordinator.enroll_su(su)
+        su_ids = tuple(su.su_id for su in scenario.sus)
+        return coordinator, su_ids
+
+    def _run_round(self, ctx: _RunContext, plans, su_id: str):
+        """One Figure 5 round with retried (queue-and-drain) sends."""
+        coordinator = ctx.coordinator
+
+        def send(message, sender, receiver):
+            def on_retry(_attempt, exc, _sleep_s):
+                for plan in plans:
+                    plan.on_send_retry(ctx, exc, (sender, receiver))
+
+            run_with_policy(
+                lambda: ctx.mux.send(message, sender, receiver),
+                SEND_POLICY,
+                rng=DeterministicRandomSource(0),
+                on_retry=on_retry,
+            )
+
+        client = coordinator.su_client(su_id)
+        request = client.prepare_request()
+        send(request, su_id, "sdc")
+        sign_request = coordinator.sdc.start_request(request)
+        send(sign_request, "sdc", "stp")
+        sign_response = coordinator.stp.handle_sign_extraction(sign_request)
+        send(sign_response, "stp", "sdc")
+        response = coordinator.sdc.finish_request(sign_response)
+        send(response, "sdc", su_id)
+        return client.process_response(response, coordinator.stp.directory)
+
+    def _execute(self, ctx: _RunContext, plans, su_ids) -> _RunRecord:
+        """Enrolment already ran in ``_build``; mark it and run rounds."""
+        ctx.mux.mark()
+        outcomes = []
+        for round_index in range(ctx.rounds):
+            for plan in plans:
+                plan.before_round(ctx, round_index)
+            outcomes.append(
+                self._run_round(ctx, plans, su_ids[round_index % len(su_ids)])
+            )
+            ctx.mux.mark()
+        ctx.mux.clear_faults()
+        return _RunRecord(
+            segments=ctx.mux.segments(),
+            granted=tuple(o.granted for o in outcomes),
+            licenses=tuple(o.license for o in outcomes),
+        )
+
+    def control(self) -> _RunRecord:
+        if self._control is None:
+            transport = ChaosTransport()
+            coordinator, su_ids = self._build(
+                DeterministicRandomSource(self.seed), transport
+            )
+            ctx = _RunContext(
+                coordinator=coordinator, mux=transport, rounds=self.rounds
+            )
+            try:
+                self._control = self._execute(ctx, [], su_ids)
+            finally:
+                coordinator.close()
+        return self._control
+
+    # -- the verdict ------------------------------------------------------------
+
+    def run(self, plan_names) -> ChaosResult:
+        """Run one composed fault schedule and judge it against control."""
+        plans = _resolve_plans(plan_names)
+        control = self.control()
+        wants_journal = any(p.wants_journal for p in plans)
+
+        device = _DiskFullFile() if wants_journal else None
+        writer = (
+            JournalWriter(fileobj=device, fsync_every=8) if device else None
+        )
+        journal = EpochJournal(writer) if writer else None
+
+        transport = ChaosTransport()
+        coordinator, su_ids = self._build(
+            DeterministicRandomSource(self.seed), transport, journal=journal
+        )
+        ctx = _RunContext(
+            coordinator=coordinator,
+            mux=transport,
+            rounds=self.rounds,
+            journal_device=device,
+        )
+        crashed: Exception | None = None
+        record: _RunRecord | None = None
+        try:
+            record = self._execute(ctx, plans, su_ids)
+        except (_InjectedCrash, JournalDiskFullError) as exc:
+            crashed = exc
+            ctx.note(f"crash: {type(exc).__name__}: {exc}")
+        finally:
+            failovers = ctx.coordinator.router.stats.failovers
+            drops_retried = ctx.coordinator.router.stats.drops_retried
+            fault_stats = dict(transport.fault_stats)
+            coordinator.close()
+
+        replayed_draws = -1
+        fallback_draws = -1
+        if crashed is not None:
+            # Recovery: replay the journal prefix through a fresh
+            # deployment.  The fallback RNG is seeded differently, so a
+            # byte-equal transcript proves the bytes came from the disk.
+            record, replayed_draws, fallback_draws = self._replay(
+                device, ctx, su_ids
+            )
+            exact_segments = (
+                len(control.segments)
+                if isinstance(crashed, _InjectedCrash)
+                # Disk-full loses the interrupted round's draws (they
+                # never crossed a barrier): every *completed* segment
+                # must match, the final round re-runs on fresh entropy.
+                else len(control.segments) - 1
+            )
+        else:
+            exact_segments = len(control.segments)
+
+        assert record is not None
+        transcript_equal = (
+            record.segments[:exact_segments]
+            == control.segments[:exact_segments]
+        )
+        licenses_valid = record.granted == control.granted and all(
+            lic is not None for lic in record.licenses
+        )
+        return ChaosResult(
+            plans=tuple(p.name for p in plans),
+            seed=self.seed,
+            shards=self.shards,
+            rounds=self.rounds,
+            transcript_equal=transcript_equal,
+            exact_segments=exact_segments,
+            licenses_valid=licenses_valid,
+            replayed_draws=replayed_draws,
+            fallback_draws=fallback_draws,
+            fault_stats=fault_stats,
+            failovers=failovers,
+            drops_retried=drops_retried,
+            notes=tuple(ctx.notes),
+        )
+
+    def _replay(self, device: _DiskFullFile, ctx: _RunContext, su_ids):
+        """Rebuild from the journal and re-run the whole script, clean."""
+        journal_bytes = device.getvalue()
+        result = read_journal(journal_bytes)
+        summary = summarize(result)
+        ctx.note(
+            f"journal: {summary.draws} draws, "
+            f"{len(summary.phase2_rounds)} phase-2 barriers, "
+            f"torn_tail={summary.torn_tail}"
+        )
+        rng, clock = replay_sources(
+            result, self.seed, fallback_clock=lambda: FROZEN_CLOCK
+        )
+        transport = ChaosTransport()
+        coordinator, _ = self._build(rng, transport, clock=clock)
+        replay_ctx = _RunContext(
+            coordinator=coordinator,
+            mux=transport,
+            rounds=self.rounds,
+            notes=ctx.notes,
+        )
+        try:
+            record = self._execute(replay_ctx, [], su_ids)
+        finally:
+            coordinator.close()
+        ctx.note(
+            f"replay: {rng.replayed_draws} draws from journal, "
+            f"{rng.fallback_draws} from fallback"
+        )
+        return record, rng.replayed_draws, rng.fallback_draws

@@ -24,10 +24,17 @@ request run alone through its coordinator.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 from dataclasses import dataclass
 
+from repro.crypto.rand import DeterministicRandomSource
 from repro.errors import ClusterError, ProtocolError
+from repro.resilience.policy import (
+    IdempotencyCache,
+    RetryPolicy,
+    run_with_policy,
+)
 from repro.service.batching import BatchAllocator, Epoch, EpochBatcher
 from repro.service.metrics import MetricsRegistry
 
@@ -95,6 +102,9 @@ class ServiceDecision:
 
 @dataclass
 class _Ticket:
+    #: Unique per submission — the idempotency key every resolution path
+    #: dedupes on, so no ticket can be double-counted in the metrics.
+    request_id: str
     su_id: str
     request: object
     submitted_at: float
@@ -137,12 +147,17 @@ class SpectrumAccessBroker:
         config: ServiceConfig | None = None,
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
+        journal=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
         self._allocator = allocator
         self._pu_update_handler = pu_update_handler
         self._clock = clock
+        #: Optional :class:`repro.resilience.journal.EpochJournal` — each
+        #: dispatched epoch is logged with its request ids before the
+        #: allocation pass runs.
+        self.journal = journal
         self._batcher: EpochBatcher[_Ticket] = EpochBatcher(
             self.config.batch_window_s, self.config.max_batch
         )
@@ -151,6 +166,24 @@ class SpectrumAccessBroker:
         self._running = False
         self._shutting_down = False
         self._loop_task: asyncio.Task | None = None
+        self._request_ids = itertools.count()
+        #: Request ids already resolved (granted/denied/rejected), as a
+        #: bounded LRU so a long-running broker stays flat.  Every
+        #: resolution path checks this first: a ticket that an expired
+        #: deadline and a failed epoch retry both try to reject is
+        #: counted exactly once in the metrics.
+        self._resolved = IdempotencyCache(capacity=4096)
+        # Epoch retries run through the unified policy engine: at most
+        # one retry after a ClusterError (the router has already promoted
+        # standbys on the failed links), no backoff — the recovered
+        # plane is ready immediately in the modelled runtime.
+        self._epoch_policy = RetryPolicy(
+            max_attempts=2,
+            base_backoff_s=0.0,
+            backoff_cap_s=0.0,
+            retryable=(ClusterError,),
+        )
+        self._retry_rng = DeterministicRandomSource(0)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -210,6 +243,7 @@ class SpectrumAccessBroker:
             # must not run for it even if the epoch would drain instantly.
             return self._reject(su_id, REASON_DEADLINE_EXPIRED, now)
         ticket = _Ticket(
+            request_id=f"req-{next(self._request_ids)}",
             su_id=su_id,
             request=request,
             submitted_at=now,
@@ -280,9 +314,25 @@ class SpectrumAccessBroker:
                 else:
                     self._resolve_rejection(item, REASON_SHUTTING_DOWN)
 
-    def _resolve_rejection(self, ticket: _Ticket, reason: str) -> None:
+    def _mark_resolved(self, ticket: _Ticket) -> bool:
+        """First resolution of this ticket?  Dedupe by request id.
+
+        Before this guard, a ticket could be rejected twice — once by a
+        deadline check and again when a failed (retried) epoch pass
+        rejected everything it carried — decrementing ``_pending`` and
+        bumping ``requests_rejected`` both times.
+        """
+        if ticket.request_id in self._resolved:
+            self.metrics.counter("requests_deduped").inc()
+            return False
+        self._resolved.put(ticket.request_id, True)
         self._pending -= 1
         self.metrics.gauge("queue_depth").set(self._pending)
+        return True
+
+    def _resolve_rejection(self, ticket: _Ticket, reason: str) -> None:
+        if not self._mark_resolved(ticket):
+            return
         self.metrics.counter("requests_rejected", reason=reason).inc()
         if not ticket.future.done():
             ticket.future.set_result(
@@ -313,17 +363,26 @@ class SpectrumAccessBroker:
             items=[(t.su_id, t.request) for t in live],
         )
         self.metrics.histogram("batch_size").observe(len(live))
+        if self.journal is not None:
+            self.journal.epoch_dispatch(
+                epoch.epoch_id, tuple(t.request_id for t in live)
+            )
+
+        def on_retry(_attempt, _exc, _sleep_s):
+            # A shard died mid-pass.  The router has already promoted
+            # standbys on the failed links; one retry of the whole epoch
+            # against the recovered plane is cheap and usually succeeds.
+            self.metrics.counter("epoch_cluster_retries").inc()
+
         try:
             with self.metrics.timer("epoch_allocation_s"):
-                try:
-                    results = await asyncio.to_thread(self._allocator.allocate, work)
-                except ClusterError:
-                    # A shard died mid-pass.  The router has already
-                    # promoted standbys on the failed links; one retry of
-                    # the whole epoch against the recovered plane is
-                    # cheap and usually succeeds.
-                    self.metrics.counter("epoch_cluster_retries").inc()
-                    results = await asyncio.to_thread(self._allocator.allocate, work)
+                results = await asyncio.to_thread(
+                    run_with_policy,
+                    lambda: self._allocator.allocate(work),
+                    self._epoch_policy,
+                    rng=self._retry_rng,
+                    on_retry=on_retry,
+                )
         except Exception:
             # A failed pass must not strand its callers or kill the loop.
             self.metrics.counter("epoch_failures").inc()
@@ -332,7 +391,8 @@ class SpectrumAccessBroker:
             return
         done_at = self._clock()
         for ticket, result in zip(live, results):
-            self._pending -= 1
+            if not self._mark_resolved(ticket):
+                continue
             status = "granted" if result.granted else "denied"
             self.metrics.counter(f"requests_{status}").inc()
             latency = done_at - ticket.submitted_at

@@ -308,7 +308,7 @@ async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
                 broker.submit_pu_update(update)
                 switch_budget -= 1
         if i + 1 < config.num_requests:
-            await asyncio.sleep(arrivals.next_gap_s())
+            await asyncio.sleep(arrivals.next_gap_s())  # audit-ok: RES001 — open-loop arrival pacing, not a retry
     return await asyncio.gather(*tasks)
 
 

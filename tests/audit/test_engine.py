@@ -27,7 +27,15 @@ def _unit(source: str, module: str = "repro.pisa.blinding") -> ModuleUnit:
 class TestEngine:
     def test_all_rules_registered(self):
         ids = {rule.rule_id for rule in all_rules()}
-        assert ids == {"CRY001", "CRY002", "SEC001", "SEC002", "ORD001", "SVC001"}
+        assert ids == {
+            "CRY001",
+            "CRY002",
+            "SEC001",
+            "SEC002",
+            "ORD001",
+            "SVC001",
+            "RES001",
+        }
 
     def test_select_restricts_rules(self):
         engine = AuditEngine(AuditConfig(select=frozenset({"SVC001"})))

@@ -383,3 +383,113 @@ class TestFindingMetadata:
             select={"SVC001"},
         )
         assert a[0].fingerprint != b[0].fingerprint
+
+
+class TestRes001AdhocResilience:
+    def test_flags_bare_except(self):
+        source = """
+            def fetch():
+                try:
+                    return 1
+                except:
+                    return None
+        """
+        assert "RES001" in rules_hit(
+            source, module="repro.service.broker", select={"RES001"}
+        )
+
+    def test_flags_sleep_in_while_loop(self):
+        source = """
+            import time
+
+            def poll():
+                while True:
+                    time.sleep(0.1)
+        """
+        assert "RES001" in rules_hit(
+            source, module="repro.cluster.router", select={"RES001"}
+        )
+
+    def test_flags_asyncio_sleep_in_for_loop(self):
+        source = """
+            import asyncio
+
+            async def drain(items):
+                for _ in items:
+                    await asyncio.sleep(0.5)
+        """
+        assert "RES001" in rules_hit(
+            source, module="repro.service.loadtest", select={"RES001"}
+        )
+
+    def test_allows_sleep_outside_loops(self):
+        source = """
+            import time
+
+            def settle():
+                time.sleep(0.1)
+        """
+        assert not rules_hit(
+            source, module="repro.service.broker", select={"RES001"}
+        )
+
+    def test_policy_engine_is_exempt(self):
+        source = """
+            import time
+
+            def run():
+                while True:
+                    time.sleep(0.01)
+        """
+        assert not rules_hit(
+            source, module="repro.resilience.policy", select={"RES001"}
+        )
+
+    def test_out_of_scope_module_ignored(self):
+        source = """
+            def fetch():
+                try:
+                    return 1
+                except:
+                    return None
+        """
+        assert not rules_hit(
+            source, module="repro.analysis.report", select={"RES001"}
+        )
+
+    def test_typed_except_is_fine(self):
+        source = """
+            def fetch():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+        """
+        assert not rules_hit(
+            source, module="repro.service.broker", select={"RES001"}
+        )
+
+    def test_nested_def_resets_loop_context(self):
+        source = """
+            import time
+
+            def build(items):
+                for item in items:
+                    def pace():
+                        time.sleep(0.1)  # not itself inside a loop
+        """
+        assert not rules_hit(
+            source, module="repro.service.broker", select={"RES001"}
+        )
+
+    def test_waiver_comment_suppresses(self):
+        source = """
+            import asyncio
+
+            async def generate(gaps):
+                for gap in gaps:
+                    await asyncio.sleep(gap)  # audit-ok: RES001 — pacing
+        """
+        assert not rules_hit(
+            source, module="repro.service.loadtest", select={"RES001"}
+        )

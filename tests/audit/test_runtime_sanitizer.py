@@ -211,3 +211,46 @@ def test_injected_violation_caught_mid_protocol(scenario):
     request.matrix[0][0].ciphertext = coordinator.stp.group_public_key.n_sq + 1
     with pytest.raises(SanitizerViolation, match="out of range"):
         transport.send(request, su.su_id, "sdc")
+
+
+class TestChannelComposition:
+    """Regression: ``channel()`` must not bypass the sanitizer.
+
+    ``__getattr__`` delegation used to hand back the *inner* multiplexed
+    transport's :class:`BoundChannel`, so per-link sends skipped every
+    in-flight check.  The canonical stack is
+    ``SanitizingTransport(MultiplexedTransport(...))``.
+    """
+
+    def test_channel_is_bound_to_the_sanitizer(self, keypair):
+        from repro.net.transport import MultiplexedTransport
+
+        sanitizer = SanitizingTransport(MultiplexedTransport())
+        channel = sanitizer.channel("pu-0", "sdc")
+        assert channel.transport is sanitizer
+        assert channel.link == ("pu-0", "sdc")
+
+    def test_channel_send_still_sanitizes(self, keypair, fresh_rng):
+        from repro.net.transport import MultiplexedTransport
+
+        pk = keypair.public_key
+        sanitizer = SanitizingTransport(MultiplexedTransport())
+        channel = sanitizer.channel("pu-0", "sdc")
+
+        good = _pu_update(pk, fresh_rng)
+        channel.send(good)
+        assert sanitizer.messages_checked == 1
+
+        bad = _pu_update(pk, fresh_rng)
+        bad.ciphertexts[0].ciphertext = pk.n_sq + 7
+        with pytest.raises(SanitizerViolation, match="out of range"):
+            channel.send(bad)
+
+    def test_link_admin_still_delegates_to_inner(self):
+        from repro.net.transport import MultiplexedTransport, resolve_multiplexed
+
+        inner = MultiplexedTransport()
+        sanitizer = SanitizingTransport(inner)
+        sanitizer.fail_link("a", "b")  # __getattr__ delegation
+        assert not inner.link_is_up("a", "b")
+        assert resolve_multiplexed(sanitizer) is inner

@@ -364,3 +364,68 @@ class TestIntegration:
         assert decision.ran
         assert (decision.status == "granted") == direct_report.granted
         assert decision.outcome.granted == direct_report.granted
+
+
+class TestResolutionDedupe:
+    """Regression: a ticket resolved twice must count once in metrics."""
+
+    def _ticket(self, loop):
+        from repro.service.broker import _Ticket
+
+        return _Ticket(
+            request_id="req-dedupe",
+            su_id="su-1",
+            request=object(),
+            submitted_at=0.0,
+            deadline_at=0.0,
+            future=loop.create_future(),
+        )
+
+    def test_double_rejection_counts_once(self):
+        async def scenario():
+            async with _broker(batch_window_s=0.01) as broker:
+                ticket = self._ticket(asyncio.get_running_loop())
+                broker._pending = 1
+                # Historically: deadline check rejected the ticket, then a
+                # failed epoch pass rejected it again — double-decrementing
+                # the queue and double-counting requests_rejected.
+                broker._resolve_rejection(ticket, REASON_DEADLINE_EXPIRED)
+                broker._resolve_rejection(ticket, REASON_INTERNAL_ERROR)
+                return broker.metrics.snapshot(), broker._pending
+
+        snap, pending = asyncio.run(scenario())
+        assert pending == 0  # decremented exactly once
+        rejected = sum(
+            value
+            for name, value in snap["counters"].items()
+            if name.startswith("requests_rejected")
+        )
+        assert rejected == 1
+        assert snap["counters"]["requests_deduped"] == 1
+
+    def test_rejected_ticket_cannot_be_granted_later(self):
+        async def scenario():
+            async with _broker(batch_window_s=0.01) as broker:
+                ticket = self._ticket(asyncio.get_running_loop())
+                broker._pending = 1
+                broker._resolve_rejection(ticket, REASON_DEADLINE_EXPIRED)
+                # The dedupe guard is what the epoch grant loop consults.
+                return broker._mark_resolved(ticket)
+
+        assert asyncio.run(scenario()) is False
+
+    def test_request_ids_are_unique_per_submission(self):
+        async def scenario():
+            async with _broker(batch_window_s=0.01, max_batch=8) as broker:
+                task_a = asyncio.create_task(
+                    broker.submit_request("su-1", object())
+                )
+                task_b = asyncio.create_task(
+                    broker.submit_request("su-1", object())
+                )
+                await asyncio.gather(task_a, task_b)
+                return broker.metrics.snapshot()
+
+        snap = asyncio.run(scenario())
+        assert snap["counters"]["requests_granted"] == 2
+        assert "requests_deduped" not in snap["counters"]
