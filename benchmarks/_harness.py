@@ -1,0 +1,80 @@
+"""Shared benchmark harness: run-history persistence + telemetry timers.
+
+Every bench that publishes a ``BENCH_*.json`` artifact used to carry its
+own copy of the timestamp/append-history boilerplate; the hand-rolled
+``time.perf_counter()`` busy-window accounting lived in each file too.
+Both now live here, and the timing side is built on
+:mod:`repro.telemetry` (:class:`~repro.telemetry.Timer`), so benches and
+the service runtime share one clock/percentile implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.telemetry import Timer, percentile  # noqa: F401  (re-exported)
+
+__all__ = [
+    "Timer",
+    "percentile",
+    "utc_timestamp",
+    "append_history",
+    "describe_history",
+    "method_timer",
+]
+
+
+def utc_timestamp() -> str:
+    """The run-history timestamp format every BENCH artifact uses."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def append_history(json_path: pathlib.Path, entry: dict) -> int:
+    """Append ``entry`` to ``json_path``'s run history; returns the count.
+
+    Histories append instead of clobbering: regressions are only visible
+    if past runs survive.  A legacy single-run file (a plain dict
+    without ``"history"``) becomes the first history entry.
+    """
+    history = []
+    if json_path.exists():
+        try:
+            previous = json.loads(json_path.read_text(encoding="utf-8"))
+        except ValueError:
+            previous = None
+        if isinstance(previous, dict) and isinstance(previous.get("history"), list):
+            history = previous["history"]
+        elif isinstance(previous, dict) and previous:
+            history = [previous]
+    history.append(entry)
+    json_path.write_text(
+        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(history)
+
+
+def describe_history(json_path: pathlib.Path, count: int) -> str:
+    """The ``wrote ...`` line benches emit after appending."""
+    return f"wrote {json_path} ({count} run{'s' if count != 1 else ''})"
+
+
+def method_timer(obj, method_names, timer: Timer) -> Timer:
+    """Wrap methods of ``obj`` so every call laps ``timer``.
+
+    Replaces the hand-rolled closure-over-``perf_counter`` pattern:
+    the timer accumulates each wrapped call's duration (``total_s``,
+    ``count``, percentiles), while arguments and results pass through
+    untouched.
+    """
+    for name in method_names:
+        original = getattr(obj, name)
+
+        def timed(*args, _original=original, **kwargs):
+            with timer.lap():
+                return _original(*args, **kwargs)
+
+        setattr(obj, name, timed)
+    return timer

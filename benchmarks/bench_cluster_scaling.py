@@ -29,13 +29,18 @@ Emits ``BENCH_cluster.json`` at the repo root with a timestamped run
 history (throughput vs shard count + the recovery probe).
 """
 
-import json
 import os
 import pathlib
 import time
-from collections import defaultdict
 
 import pytest
+from _harness import (
+    Timer,
+    append_history,
+    describe_history,
+    method_timer,
+    utc_timestamp,
+)
 from conftest import emit
 
 from repro.analysis.reporting import format_comparison_table
@@ -83,19 +88,13 @@ def _deploy(num_shards):
 
 def _instrument(coordinator):
     """Wrap every primary's phase handlers with a per-shard busy timer."""
-    busy = defaultdict(float)
+    busy = {}
     for shard_id, replica_set in coordinator.replica_sets.items():
-        shard = replica_set.primary
-        for name in ("process_phase1", "process_phase2"):
-            original = getattr(shard, name)
-
-            def timed(request, _original=original, _shard_id=shard_id):
-                start = time.perf_counter()
-                result = _original(request)
-                busy[_shard_id] += time.perf_counter() - start
-                return result
-
-            setattr(shard, name, timed)
+        busy[shard_id] = method_timer(
+            replica_set.primary,
+            ("process_phase1", "process_phase2"),
+            Timer(name=shard_id),
+        )
     return busy
 
 
@@ -112,17 +111,21 @@ def test_throughput_by_shard_count(benchmark, num_shards):
         modeled = []
 
         def one_round():
-            busy.clear()
+            for timer in busy.values():
+                timer.reset()
             start = time.perf_counter()
             coordinator.run_request_round(su_id, reuse_cached_request=True)
             wall = time.perf_counter() - start
-            modeled.append(wall - sum(busy.values()) + max(busy.values()))
+            totals = [timer.total_s for timer in busy.values()]
+            modeled.append(wall - sum(totals) + max(totals))
 
         benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
         _RESULTS[num_shards] = {
             "wall_s": benchmark.stats["min"],
             "modeled_s": min(modeled),
-            "shard_busy_s": {k: round(v, 4) for k, v in sorted(busy.items())},
+            "shard_busy_s": {
+                k: round(t.total_s, 4) for k, t in sorted(busy.items())
+            },
             "granted": first.granted,
         }
     finally:
@@ -201,7 +204,7 @@ def test_zzz_render(benchmark):
     ))
 
     entry = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": utc_timestamp(),
         "key_bits": KEY_BITS,
         "cpu_count": os.cpu_count(),
         "scenario": {
@@ -221,25 +224,7 @@ def test_zzz_render(benchmark):
         },
         "recovery": recovery,
     }
-    # Append to a run history instead of clobbering: scaling regressions
-    # are only visible if past runs survive.  A legacy single-run file
-    # (plain dict without "history") becomes the first history entry.
-    history = []
-    if JSON_PATH.exists():
-        try:
-            previous = json.loads(JSON_PATH.read_text(encoding="utf-8"))
-        except ValueError:
-            previous = None
-        if isinstance(previous, dict) and isinstance(previous.get("history"), list):
-            history = previous["history"]
-        elif isinstance(previous, dict) and previous:
-            history = [previous]
-    history.append(entry)
-    JSON_PATH.write_text(
-        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    emit(f"wrote {JSON_PATH} ({len(history)} run{'s' if len(history) != 1 else ''})")
+    emit(describe_history(JSON_PATH, append_history(JSON_PATH, entry)))
 
     # Same seed, same decision, regardless of how the map is sharded.
     assert len({_RESULTS[n]["granted"] for n in SHARD_COUNTS}) == 1

@@ -19,13 +19,12 @@ Emits ``BENCH_resilience.json`` at the repo root with a timestamped run
 history (journal-off vs journal-on latency + the measured overhead).
 """
 
-import json
 import os
 import pathlib
 import tempfile
-import time
 
 import pytest
+from _harness import append_history, describe_history, utc_timestamp
 from conftest import emit
 
 from repro.analysis.reporting import format_comparison_table
@@ -139,7 +138,7 @@ def test_zzz_render(benchmark):
     ))
 
     entry = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": utc_timestamp(),
         "key_bits": KEY_BITS,
         "seed": SEED,
         "shards": SHARDS,
@@ -156,22 +155,7 @@ def test_zzz_render(benchmark):
         "journal_bytes": on["journal_bytes"],
         "draws_journaled": on["draws_journaled"],
     }
-    history = []
-    if JSON_PATH.exists():
-        try:
-            previous = json.loads(JSON_PATH.read_text(encoding="utf-8"))
-        except ValueError:
-            previous = None
-        if isinstance(previous, dict) and isinstance(previous.get("history"), list):
-            history = previous["history"]
-        elif isinstance(previous, dict) and previous:
-            history = [previous]
-    history.append(entry)
-    JSON_PATH.write_text(
-        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    emit(f"wrote {JSON_PATH} ({len(history)} run{'s' if len(history) != 1 else ''})")
+    emit(describe_history(JSON_PATH, append_history(JSON_PATH, entry)))
 
     # Same seed, same decision — journaling must be protocol-transparent.
     assert on["granted"] == off["granted"]

@@ -17,10 +17,9 @@ Emits ``BENCH_service.json`` at the repo root with throughput, latency
 percentiles, and the batch-size histogram.
 """
 
-import json
 import pathlib
-import time
 
+from _harness import append_history, describe_history, utc_timestamp
 from conftest import emit
 
 from repro.analysis.reporting import format_comparison_table
@@ -163,7 +162,7 @@ def test_zzz_render(benchmark):
     ))
 
     entry = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": utc_timestamp(),
         "key_bits": KEY_BITS,
         "baseline": {
             "seconds_per_request": base["seconds_per_request"],
@@ -173,25 +172,7 @@ def test_zzz_render(benchmark):
         "speedup": speedup,
         "executor_equivalence": equivalence["byte_identical"],
     }
-    # Append to a run history instead of clobbering: regressions are only
-    # visible if past runs survive.  A legacy single-run file (plain dict
-    # without "history") becomes the first history entry.
-    history = []
-    if JSON_PATH.exists():
-        try:
-            previous = json.loads(JSON_PATH.read_text(encoding="utf-8"))
-        except ValueError:
-            previous = None
-        if isinstance(previous, dict) and isinstance(previous.get("history"), list):
-            history = previous["history"]
-        elif isinstance(previous, dict) and previous:
-            history = [previous]
-    history.append(entry)
-    JSON_PATH.write_text(
-        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    emit(f"wrote {JSON_PATH} ({len(history)} run{'s' if len(history) != 1 else ''})")
+    emit(describe_history(JSON_PATH, append_history(JSON_PATH, entry)))
 
     # Equal allocation results: every SU the baseline grants/denies, the
     # batched service grants/denies identically.

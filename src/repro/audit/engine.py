@@ -85,6 +85,10 @@ class AuditConfig:
     #: Modules exempt from RES001 (the policy engine is the one place a
     #: sleep-in-a-loop is intentional).
     resilience_exempt: frozenset[str] = frozenset({"repro.resilience.policy"})
+    #: Package prefixes where the telemetry-hygiene rule (TEL001) applies —
+    #: everywhere spans/metrics are recorded, including the telemetry
+    #: plane itself.
+    telemetry_scope: tuple[str, ...] = ("repro",)
     #: Restrict the run to these rule ids (empty = all).
     select: frozenset[str] = frozenset()
 

@@ -8,6 +8,14 @@ from repro.audit.rules import (  # noqa: F401
     resilience,
     service,
     taint_rules,
+    telemetry,
 )
 
-__all__ = ["ordering", "randomness", "resilience", "service", "taint_rules"]
+__all__ = [
+    "ordering",
+    "randomness",
+    "resilience",
+    "service",
+    "taint_rules",
+    "telemetry",
+]

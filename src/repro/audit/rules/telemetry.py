@@ -1,0 +1,117 @@
+"""TEL001 — secret material must never reach the telemetry plane.
+
+Spans and metrics are *exported*: the tracer renders attribute values,
+and the metrics registry serialises every label into the Prometheus
+exposition.  A secret that leaks into either outlives the process's
+memory-hygiene guarantees.  The runtime already refuses secret-*named*
+attribute keys and label names (:mod:`repro.telemetry`), but a value
+smuggled under an innocent key (``span.set_attribute("x", sk)``) passes
+the runtime check — this rule closes that gap statically.
+
+Flagged, inside ``telemetry_scope``:
+
+* ``set_attribute(<secret-name>, ...)`` or ``set_attribute(..., <expr
+  mentioning a secret identifier>)``;
+* keyword arguments to the recording surfaces (``start_span`` /
+  ``child`` / ``counter`` / ``gauge`` / ``histogram`` / ``timer``)
+  whose *name* is a secret identifier or whose *value expression*
+  mentions one;
+* ``inc`` / ``set`` / ``observe`` / ``record`` calls whose argument
+  mentions a secret identifier (a counter incremented *by* ``lam`` is
+  as much a leak as a label).
+
+"Mentions" is the same identifier test the secret-logging rule (SEC001)
+uses: any :class:`ast.Name` or attribute access whose terminal name is
+exactly one of ``config.secret_names``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.audit.registry import register_rule
+
+RULE_ID = "TEL001"
+
+#: Callables that create spans / metric instruments and accept ``**labels``
+#: or ``**attributes`` keywords rendered into exports.
+_RECORDING_FUNCS = frozenset(
+    {"start_span", "child", "counter", "gauge", "histogram", "timer"}
+)
+
+#: Instrument methods whose positional argument becomes an exported value.
+_VALUE_FUNCS = frozenset({"inc", "set", "observe", "record"})
+
+
+def _callee_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _secret_identifiers(expr: ast.AST, secret_names: frozenset[str]) -> set[str]:
+    """Terminal identifiers in ``expr`` that exactly match a secret name."""
+    found: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in secret_names:
+            found.add(node.id)
+        elif isinstance(node, ast.Attribute) and node.attr in secret_names:
+            found.add(node.attr)
+    return found
+
+
+@register_rule(RULE_ID, "secret-typed value recorded as span attribute or metric label")
+def check_telemetry_hygiene(unit, config) -> Iterator:
+    if not config.in_scope(unit.module, config.telemetry_scope):
+        return
+    secret_names = config.secret_names
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node.func)
+        if callee == "set_attribute":
+            if node.args and isinstance(node.args[0], ast.Constant):
+                key = node.args[0].value
+                if isinstance(key, str) and key in secret_names:
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        f"span attribute key {key!r} names secret material",
+                    )
+            for value in node.args[1:]:
+                for name in sorted(_secret_identifiers(value, secret_names)):
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        f"span attribute value mentions secret {name!r}",
+                    )
+        elif callee in _RECORDING_FUNCS:
+            for keyword in node.keywords:
+                if keyword.arg is not None and keyword.arg in secret_names:
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        f"telemetry label/attribute {keyword.arg!r} names "
+                        "secret material",
+                    )
+                    continue
+                for name in sorted(
+                    _secret_identifiers(keyword.value, secret_names)
+                ):
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        f"telemetry label/attribute value mentions secret "
+                        f"{name!r}",
+                    )
+        elif callee in _VALUE_FUNCS:
+            for arg in node.args:
+                for name in sorted(_secret_identifiers(arg, secret_names)):
+                    yield unit.finding(
+                        node,
+                        RULE_ID,
+                        f"metric value expression mentions secret {name!r}",
+                    )

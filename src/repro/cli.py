@@ -12,7 +12,11 @@ Gives downstream users one entry point into the reproduction:
 ``profile``    Table II Paillier micro-benchmarks at any key size
 ``serve-loadtest``  drive the async service broker with synthetic
                open-loop load and report throughput/latency
-``audit``      crypto-hygiene static analyzer (CRY/SEC/ORD/SVC
+``trace``      run a traced loadtest and print the span tree plus
+               a per-phase latency breakdown
+``metrics-dump``  run a loadtest and dump the unified metrics
+               registry (Prometheus text or JSON)
+``audit``      crypto-hygiene static analyzer (CRY/SEC/ORD/SVC/TEL
                rules) with baseline-gated exit status
 =============  =================================================
 """
@@ -107,6 +111,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "--shards)")
     serve.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
+
+    def add_loadtest_args(p, requests_default: int) -> None:
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--requests", type=int, default=requests_default,
+                       help="SU request arrivals to fire")
+        p.add_argument("--rate", type=float, default=50.0,
+                       help="mean arrivals per second (open loop)")
+        p.add_argument("--sus", type=int, default=3,
+                       help="distinct SUs cycling through arrivals")
+        p.add_argument("--key-bits", type=int, default=512,
+                       help="Paillier modulus (packed mode needs >= 512)")
+        p.add_argument("--shards", type=int, default=0,
+                       help="SDC shards behind the cluster facade "
+                            "(0 = single packed SDC)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced loadtest and print the span tree",
+    )
+    add_loadtest_args(trace, requests_default=4)
+    trace.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="also write the span trees as JSON")
+
+    metrics_dump = sub.add_parser(
+        "metrics-dump",
+        help="run a loadtest and dump the unified metrics registry",
+    )
+    add_loadtest_args(metrics_dump, requests_default=8)
+    metrics_dump.add_argument("--format", choices=("prom", "json"),
+                              default="prom",
+                              help="exposition format (default: prom)")
+    metrics_dump.add_argument("--output", type=str, default=None,
+                              metavar="PATH",
+                              help="write the dump to PATH instead of stdout")
 
     chaos = sub.add_parser(
         "chaos",
@@ -353,6 +391,60 @@ def _cmd_serve_loadtest(args) -> int:
     return 0
 
 
+def _loadtest_config(args):
+    from repro.service import LoadtestConfig
+
+    return LoadtestConfig(
+        seed=args.seed,
+        num_requests=args.requests,
+        arrivals_per_second=args.rate,
+        num_sus=args.sus,
+        key_bits=args.key_bits,
+        shards=args.shards,
+    )
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.service import run_loadtest
+    from repro.telemetry import MetricsRegistry, Tracer
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    report = run_loadtest(_loadtest_config(args), metrics=metrics, tracer=tracer)
+    print(tracer.render(), end="")
+    print()
+    print(f"{'phase':<12} {'count':>5} {'mean ms':>9} {'max ms':>9}")
+    for name, stats in sorted(tracer.phase_latency().items()):
+        print(f"{name:<12} {stats['count']:>5} "
+              f"{stats['mean_s'] * 1e3:>9.2f} {stats['max_s'] * 1e3:>9.2f}")
+    print(f"requests: {len(report.decisions)} "
+          f"(granted {report.granted}, rejected {report.rejected})")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump([span.to_dict() for span in tracer.roots], fh,
+                      indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_metrics_dump(args) -> int:
+    from repro.service import run_loadtest
+    from repro.telemetry import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    run_loadtest(_loadtest_config(args), metrics=metrics)
+    dump = metrics.to_json() if args.format == "json" else metrics.to_prometheus()
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(dump if dump.endswith("\n") else dump + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dump, end="" if dump.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -412,6 +504,8 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "chaos": _cmd_chaos,
     "serve-loadtest": _cmd_serve_loadtest,
+    "trace": _cmd_trace,
+    "metrics-dump": _cmd_metrics_dump,
     "negotiate": _cmd_negotiate,
     "capacity": _cmd_capacity,
     "testbed": _cmd_testbed,

@@ -142,9 +142,18 @@ class ClusterSdc:
 
     # -- Figure 5 phase 1 --------------------------------------------------------
 
-    def start_request(self, request: SURequestMessage) -> SignExtractionRequest:
-        """Scatter phase 1 and reassemble the exact single-SDC ``Ṽ``."""
+    def start_request(
+        self, request: SURequestMessage, span=None
+    ) -> SignExtractionRequest:
+        """Scatter phase 1 and reassemble the exact single-SDC ``Ṽ``.
+
+        ``span`` (optional :class:`repro.telemetry.Span`) becomes the
+        parent of the per-shard scatter spans; tracing draws no protocol
+        randomness, so traced and untraced transcripts stay identical.
+        """
         env = self.environment
+        if span is not None:
+            span.set_attribute("blocks", len(request.region_blocks))
         if len(request.matrix) != env.num_channels:
             raise ProtocolError("request must carry one row per channel")
         if not self.directory.has_su_key(request.su_id):
@@ -196,7 +205,9 @@ class ClusterSdc:
                     tuple(row[k] for k in columns) for row in obfuscator_rows
                 ),
             )
-        responses = self.router.scatter_phase1(subqueries)
+        if span is not None:
+            span.set_attribute("shards", len(subqueries))
+        responses = self.router.scatter_phase1(subqueries, parent=span)
         # Gather: place each shard's columns back at their request
         # positions — the reassembled matrix is column-for-column the
         # matrix one SDC would have produced.
@@ -224,7 +235,9 @@ class ClusterSdc:
 
     # -- Figure 5 phase 2 --------------------------------------------------------
 
-    def finish_request(self, response: SignExtractionResponse) -> LicenseResponse:
+    def finish_request(
+        self, response: SignExtractionResponse, span=None
+    ) -> LicenseResponse:
         """Scatter the ``Q̃`` work, merge partial ``ΣQ̃``, issue the license."""
         pending = self._pending.get(response.round_id)
         if pending is None:
@@ -277,7 +290,9 @@ class ClusterSdc:
                     for row in pending.blindings
                 ),
             )
-        partials = self.router.scatter_phase2(subqueries)
+        if span is not None:
+            span.set_attribute("shards", len(subqueries))
+        partials = self.router.scatter_phase2(subqueries, parent=span)
         # Merge order is fixed (sorted shard id) for determinism, though
         # mod-n² multiplication makes any order produce the same integer.
         q_sum = hom_sum(
@@ -349,6 +364,7 @@ class ClusterCoordinator:
         scatter_threads: int | None = None,
         journal=None,
         clock=time.time,
+        metrics=None,
     ) -> None:
         if num_shards < 1:
             raise ProtocolError("num_shards must be positive")
@@ -399,7 +415,10 @@ class ClusterCoordinator:
             transport=resolve_multiplexed(self.transport),
             max_attempts=max_attempts,
             scatter_threads=scatter_threads,
+            metrics=metrics,
         )
+        if metrics is not None:
+            self.transport.attach_metrics(metrics)
         self.sdc = ClusterSdc(
             environment,
             directory=self.stp.directory,

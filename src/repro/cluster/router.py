@@ -41,6 +41,7 @@ from repro.errors import (
 from repro.net.transport import MultiplexedTransport
 from repro.pisa.messages import PUUpdateMessage
 from repro.resilience.policy import CircuitBreaker, RetryPolicy, run_with_policy
+from repro.telemetry import child
 
 __all__ = ["RouterStats", "ShardRouter"]
 
@@ -68,6 +69,7 @@ class ShardRouter:
         endpoint: str = "router",
         max_attempts: int = 2,
         scatter_threads: int | None = None,
+        metrics=None,
     ) -> None:
         if max_attempts < 1:
             raise ClusterError("max_attempts must be positive")
@@ -75,6 +77,10 @@ class ShardRouter:
         self.endpoint = endpoint
         self.max_attempts = max_attempts
         self.stats = RouterStats()
+        #: Optional :class:`repro.telemetry.MetricsRegistry` mirroring
+        #: :attr:`stats` as ``cluster_*`` counter families (plus the
+        #: policy engine's retry counters and breaker state).
+        self._metrics = metrics
         self._replicas = dict(replica_sets)
         self._transport = transport
         # The canonical retry loop (repro.resilience.policy) replaces the
@@ -105,6 +111,18 @@ class ShardRouter:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+    def attach_metrics(self, metrics) -> None:
+        """Adopt a telemetry registry (also wired into existing breakers)."""
+        self._metrics = metrics
+        with self._lock:
+            breakers = list(self._breakers.values())
+        for breaker in breakers:
+            breaker.metrics = metrics
+
+    def _count(self, name: str, amount: int = 1, **labels: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, **labels).inc(amount)
 
     def replica_set(self, shard_id: str) -> ShardReplicaSet:
         with self._lock:
@@ -153,6 +171,7 @@ class ShardRouter:
             self._transport.restore_endpoint(shard_id)
         with self._lock:
             self.stats.failovers += 1
+        self._count("cluster_failovers_total", shard=shard_id)
 
     def check_liveness(self, now: float | None = None) -> tuple[str, ...]:
         """Promote every shard whose primary is dead and heartbeat stale.
@@ -172,11 +191,13 @@ class ShardRouter:
         with self._lock:
             breaker = self._breakers.get(shard_id)
             if breaker is None:
-                breaker = CircuitBreaker(name=f"router->{shard_id}")
+                breaker = CircuitBreaker(
+                    name=f"router->{shard_id}", metrics=self._metrics
+                )
                 self._breakers[shard_id] = breaker
             return breaker
 
-    def _call_shard(self, shard_id: str, request, invoke):
+    def _call_shard(self, shard_id: str, request, invoke, span=None):
         """One sub-query with transport accounting and bounded failover.
 
         Retries run through the unified policy engine: an injected drop
@@ -186,6 +207,10 @@ class ShardRouter:
         standby before the next attempt.  Budget and message shape match
         the pre-policy behaviour exactly: at most ``max_attempts`` tries,
         then ``ShardDownError`` naming the attempt count.
+
+        ``span`` (pre-created by :meth:`scatter` on the calling thread)
+        covers the whole *logical* sub-query — every retry and failover
+        included — so fault schedules never change the span-tree shape.
         """
 
         def attempt():
@@ -198,14 +223,17 @@ class ShardRouter:
                 self._transport.send(result, shard_id, self.endpoint)
             with self._lock:
                 self.stats.subqueries += 1
+            self._count("cluster_subqueries_total", shard=shard_id)
             return result
 
         def on_retry(_attempt_number, exc, _sleep_s):
             with self._lock:
                 self.stats.subquery_failures += 1
+            self._count("cluster_subquery_failures_total", shard=shard_id)
             if isinstance(exc, MessageDroppedError):
                 with self._lock:
                     self.stats.drops_retried += 1
+                self._count("cluster_drops_retried_total", shard=shard_id)
                 return
             try:
                 self._recover(shard_id)
@@ -221,13 +249,21 @@ class ShardRouter:
                 breaker=self.breaker_for(shard_id),
                 rng=self._retry_rng,
                 on_retry=on_retry,
+                metrics=self._metrics,
+                op="shard_subquery",
             )
         except RetryExhaustedError as exc:
             with self._lock:
                 self.stats.subquery_failures += 1
+            self._count("cluster_subquery_failures_total", shard=shard_id)
+            if span is not None:
+                span.record_error(exc)
             raise ShardDownError(
                 f"shard {shard_id!r} failed {self.max_attempts} attempts"
             ) from exc
+        finally:
+            if span is not None:
+                span.end()
 
     # -- the data path ----------------------------------------------------------------
 
@@ -243,9 +279,12 @@ class ShardRouter:
         self._call_shard(shard_id, message, invoke)
         with self._lock:
             self.stats.pu_updates_routed += 1
+        self._count("cluster_pu_updates_routed_total", shard=shard_id)
         return shard_id
 
-    def scatter(self, requests: dict[str, object], invoke) -> dict[str, object]:
+    def scatter(
+        self, requests: dict[str, object], invoke, parent=None
+    ) -> dict[str, object]:
         """Fan ``{shard_id: sub-query}`` out concurrently; gather in order.
 
         ``invoke(primary_shard, request)`` runs on a scatter thread per
@@ -253,23 +292,43 @@ class ShardRouter:
         process, so the batch completes in roughly the slowest shard's
         time rather than the sum.  Any sub-query that exhausts its
         retries re-raises here.
+
+        When ``parent`` (a :class:`repro.telemetry.Span`) is given, one
+        ``shard`` child span per sub-query is created *here*, in sorted
+        shard order on the calling thread — never from the pool threads —
+        so the span tree is deterministic regardless of which shard
+        finishes first.
         """
         if not requests:
             return {}
+        spans = {
+            shard_id: child(parent, "shard", shard=shard_id)
+            for shard_id in sorted(requests)
+        }
         futures = {
-            shard_id: self._pool.submit(self._call_shard, shard_id, request, invoke)
+            shard_id: self._pool.submit(
+                self._call_shard, shard_id, request, invoke, spans[shard_id]
+            )
             for shard_id, request in requests.items()
         }
         return {shard_id: future.result() for shard_id, future in futures.items()}
 
-    def scatter_phase1(self, requests: dict[str, object]) -> dict[str, object]:
+    def scatter_phase1(
+        self, requests: dict[str, object], parent=None
+    ) -> dict[str, object]:
         return self.scatter(
-            requests, lambda primary, request: primary.process_phase1(request)
+            requests,
+            lambda primary, request: primary.process_phase1(request),
+            parent=parent,
         )
 
-    def scatter_phase2(self, requests: dict[str, object]) -> dict[str, object]:
+    def scatter_phase2(
+        self, requests: dict[str, object], parent=None
+    ) -> dict[str, object]:
         return self.scatter(
-            requests, lambda primary, request: primary.process_phase2(request)
+            requests,
+            lambda primary, request: primary.process_phase2(request),
+            parent=parent,
         )
 
     # -- epoch control ---------------------------------------------------------------

@@ -121,6 +121,10 @@ class ChaosPlanError(ResilienceError):
     """A chaos fault plan is malformed or names an unknown fault."""
 
 
+class TelemetryError(ReproError):
+    """Misuse of the tracing/metrics plane (e.g. secret-named attribute)."""
+
+
 class RadioError(ReproError):
     """Base class for radio/propagation-model failures."""
 

@@ -77,6 +77,9 @@ class InMemoryTransport:
         self.latency = latency
         self.max_records = max_records
         self.records: deque[MessageRecord] = deque(maxlen=max_records)
+        #: Optional :class:`repro.telemetry.MetricsRegistry` exposing
+        #: per-link transfer counters (see :meth:`attach_metrics`).
+        self._metrics = None
         self._reset_totals()
 
     def _reset_totals(self) -> None:
@@ -87,6 +90,18 @@ class InMemoryTransport:
         self._by_kind: dict[str, list[int]] = {}
         #: (sender, receiver) → summed delay on that link
         self._link_delay: dict[tuple[str, str], float] = {}
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror transfer accounting into a telemetry registry.
+
+        Every recorded message increments
+        ``transport_records_total{link="sender->receiver"}`` and adds its
+        size to ``transport_bytes_total{link=...}``.  Wired through
+        :meth:`_record` — the single accounting funnel — so fault-path
+        records (duplicates, reorder flushes) are mirrored too, and the
+        counters match :attr:`records` / the aggregate totals exactly.
+        """
+        self._metrics = metrics
 
     def send(self, message: _SizedMessage, sender: str, receiver: str):
         """Account for one message and hand it back for delivery."""
@@ -125,6 +140,10 @@ class InMemoryTransport:
         kind_totals[1] += size
         link = (sender, receiver)
         self._link_delay[link] = self._link_delay.get(link, 0.0) + delay
+        if self._metrics is not None:
+            label = f"{sender}->{receiver}"
+            self._metrics.counter("transport_records_total", link=label).inc()
+            self._metrics.counter("transport_bytes_total", link=label).inc(size)
 
     # -- accounting queries ------------------------------------------------------
 

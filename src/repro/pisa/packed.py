@@ -413,8 +413,12 @@ class PackedSdcServer:
         ])
         return packed, self.group_public_key.random_r(self._rng)
 
-    def start_request(self, request: PackedRequestMessage) -> PackedSignExtractionRequest:
+    def start_request(
+        self, request: PackedRequestMessage, span=None
+    ) -> PackedSignExtractionRequest:
         env = self.environment
+        if span is not None:
+            span.set_attribute("blocks", len(request.region_blocks))
         if len(request.rows) != env.num_channels:
             raise ProtocolError("request must carry one row per channel")
         if not self.directory.has_su_key(request.su_id):
@@ -475,7 +479,9 @@ class PackedSdcServer:
             round_id=round_id, su_id=request.su_id, chunks=tuple(shuffled)
         )
 
-    def finish_request(self, response: PackedSignExtractionResponse) -> LicenseResponse:
+    def finish_request(
+        self, response: PackedSignExtractionResponse, span=None
+    ) -> LicenseResponse:
         pending = self._pending.get(response.round_id)
         if pending is None:
             raise ProtocolError(f"unknown round {response.round_id!r}")
@@ -545,8 +551,10 @@ class PackedStpServer:
         self.directory.register_su_key(su_id, public_key)
 
     def handle_sign_extraction(
-        self, request: PackedSignExtractionRequest
+        self, request: PackedSignExtractionRequest, span=None
     ) -> PackedSignExtractionResponse:
+        if span is not None:
+            span.set_attribute("chunks", len(request.chunks))
         if not self.directory.has_su_key(request.su_id):
             raise ProtocolError(f"SU {request.su_id!r} has not registered a key")
         su_key = self.directory.su_key(request.su_id)
@@ -591,6 +599,7 @@ class PackedCoordinator:
         rng: RandomSource | None = None,
         transport=None,
         executor: Executor | None = None,
+        clock=None,
     ) -> None:
         from repro.crypto.paillier import generate_keypair
         from repro.crypto.signatures import RsaFdhSigner, generate_rsa_keypair
@@ -620,6 +629,7 @@ class PackedCoordinator:
             signer=RsaFdhSigner(signing_private),
             config=self.config,
             rng=self._rng,
+            clock=clock,
             executor=executor,
         )
         self._pu_clients = {}

@@ -175,9 +175,18 @@ class SdcServer:
             self.stats.hom_operations += 1
         return indicator
 
-    def start_request(self, request: SURequestMessage) -> SignExtractionRequest:
-        """Process an SU request up to the blinded-indicator hand-off."""
+    def start_request(
+        self, request: SURequestMessage, span=None
+    ) -> SignExtractionRequest:
+        """Process an SU request up to the blinded-indicator hand-off.
+
+        ``span`` is an optional :class:`repro.telemetry.Span` annotated
+        with operational shape only (block count) — phase boundaries
+        never record protocol values.
+        """
         env = self.environment
+        if span is not None:
+            span.set_attribute("blocks", len(request.region_blocks))
         if len(request.matrix) != env.num_channels:
             raise ProtocolError("request must carry one row per channel")
         if not self.directory.has_su_key(request.su_id):
@@ -244,7 +253,9 @@ class SdcServer:
 
     # -- Figure 5 steps 9-11: request phase 2 ----------------------------------------------
 
-    def finish_request(self, response: SignExtractionResponse) -> LicenseResponse:
+    def finish_request(
+        self, response: SignExtractionResponse, span=None
+    ) -> LicenseResponse:
         """Unblind the STP's signs and issue the perturbed encrypted license."""
         # Validate the response in full BEFORE consuming the round state:
         # a malformed/spliced response must not destroy a pending round.

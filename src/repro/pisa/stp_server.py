@@ -73,9 +73,11 @@ class StpServer:
     # -- the key-conversion service --------------------------------------------
 
     def handle_sign_extraction(
-        self, request: SignExtractionRequest
+        self, request: SignExtractionRequest, span=None
     ) -> SignExtractionResponse:
         """Steps 6-8 of Figure 5: decrypt Ṽ, take signs, re-encrypt under pk_j."""
+        if span is not None:
+            span.set_attribute("rows", len(request.matrix))
         if not self.directory.has_su_key(request.su_id):
             raise ProtocolError(f"SU {request.su_id!r} has not registered a key")
         su_key = self.directory.su_key(request.su_id)

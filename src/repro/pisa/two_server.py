@@ -108,13 +108,15 @@ class FrontServer(SdcServer):
             raise ProtocolError("share does not match the directory's group key")
         self._share = share
 
-    def start_request_with_partials(self, request) -> PartialSignExtractionRequest:
+    def start_request_with_partials(
+        self, request, span=None
+    ) -> PartialSignExtractionRequest:
         """Eq. (14) blinding + the front's threshold partials.
 
         The ``Ṽ^{d₁}`` exponentiations are independent per cell, so they
         ship to the executor as one batch.
         """
-        extraction = self.start_request(request)
+        extraction = self.start_request(request, span=span)
         jobs = [
             (ct.ciphertext, self._share.exponent, self.group_public_key.n_sq)
             for row in extraction.matrix
@@ -158,9 +160,11 @@ class BackendServer:
         self.cells_combined = 0
 
     def handle_partial_extraction(
-        self, request: PartialSignExtractionRequest
+        self, request: PartialSignExtractionRequest, span=None
     ) -> SignExtractionResponse:
         """Combine partials, extract signs (eq. (15)), convert to pk_j."""
+        if span is not None:
+            span.set_attribute("rows", len(request.matrix))
         if not self.directory.has_su_key(request.su_id):
             raise ProtocolError(f"SU {request.su_id!r} has no registered key")
         su_key = self.directory.su_key(request.su_id)

@@ -61,6 +61,7 @@ from repro.net.transport import MultiplexedTransport
 from repro.resilience.journal import EpochJournal, JournalWriter, read_journal
 from repro.resilience.policy import RetryPolicy, run_with_policy
 from repro.resilience.recovery import replay_sources, summarize
+from repro.telemetry import child
 from repro.watch.scenario import ScenarioConfig, build_scenario
 
 __all__ = [
@@ -297,8 +298,9 @@ class _CoordinatorCrash(FaultPlan):
         router = ctx.coordinator.router
         real_scatter = router.scatter_phase2
 
-        def scatter_then_die(requests):
-            real_scatter(requests)  # partials computed, then the kill lands
+        def scatter_then_die(requests, parent=None):
+            # partials computed, then the kill lands
+            real_scatter(requests, parent=parent)
             raise _InjectedCrash(
                 f"coordinator killed mid-phase-2 of round {round_index}"
             )
@@ -370,6 +372,10 @@ class _RunContext:
     journal_device: _DiskFullFile | None = None
     stp_outage_remaining: int = 0
     stp_drained_sends: int = 0
+    #: Optional :class:`repro.telemetry.Tracer`; one root span per
+    #: round.  The tracer draws ids from its own RNG, so traced and
+    #: untraced runs keep byte-identical transcripts.
+    tracer: object | None = None
     notes: list = field(default_factory=list)
 
     def note(self, text: str) -> None:
@@ -447,6 +453,7 @@ class ChaosHarness:
         rounds: int = 2,
         key_bits: int = 256,
         scenario_seed: int = 5,
+        metrics=None,
     ) -> None:
         if rounds < 1:
             raise ChaosPlanError("rounds must be positive")
@@ -455,6 +462,11 @@ class ChaosHarness:
         self.rounds = rounds
         self.key_bits = key_bits
         self.scenario_seed = scenario_seed
+        #: Optional :class:`repro.telemetry.MetricsRegistry` threaded
+        #: through every deployment the harness builds (router, policy
+        #: engine, transport counters) plus the harness's own
+        #: ``chaos_runs_total`` / ``chaos_crashes_total``.
+        self.metrics = metrics
         self._control: _RunRecord | None = None
 
     # -- deployment plumbing ----------------------------------------------------
@@ -475,6 +487,7 @@ class ChaosHarness:
             max_attempts=4,
             journal=journal,
             clock=clock if clock is not None else (lambda: FROZEN_CLOCK),
+            metrics=self.metrics,
         )
         for pu in scenario.pus:
             coordinator.enroll_pu(pu)
@@ -499,16 +512,57 @@ class ChaosHarness:
                 on_retry=on_retry,
             )
 
-        client = coordinator.su_client(su_id)
-        request = client.prepare_request()
-        send(request, su_id, "sdc")
-        sign_request = coordinator.sdc.start_request(request)
-        send(sign_request, "sdc", "stp")
-        sign_response = coordinator.stp.handle_sign_extraction(sign_request)
-        send(sign_response, "stp", "sdc")
-        response = coordinator.sdc.finish_request(sign_response)
-        send(response, "sdc", su_id)
-        return client.process_response(response, coordinator.stp.directory)
+        root = (
+            ctx.tracer.start_span("round", su=su_id)
+            if ctx.tracer is not None
+            else None
+        )
+        try:
+            client = coordinator.su_client(su_id)
+            request = client.prepare_request()
+            send(request, su_id, "sdc")
+            sign_request = self._phase(
+                root, "phase1", coordinator.sdc.start_request, request
+            )
+            send(sign_request, "sdc", "stp")
+            sign_response = self._phase(
+                root, "stp", coordinator.stp.handle_sign_extraction, sign_request
+            )
+            send(sign_response, "stp", "sdc")
+            response = self._phase(
+                root, "phase2", coordinator.sdc.finish_request, sign_response
+            )
+            send(response, "sdc", su_id)
+            outcome = self._phase(
+                root,
+                "license",
+                lambda message, span=None: client.process_response(
+                    message, coordinator.stp.directory
+                ),
+                response,
+            )
+            return outcome
+        except BaseException as exc:
+            if root is not None:
+                root.record_error(exc)
+            raise
+        finally:
+            if root is not None:
+                root.end()
+
+    @staticmethod
+    def _phase(root, name, fn, message):
+        """Run one protocol phase under a child span of ``root``."""
+        span = child(root, name)
+        try:
+            return fn(message, span=span)
+        except BaseException as exc:
+            if span is not None:
+                span.record_error(exc)
+            raise
+        finally:
+            if span is not None:
+                span.end()
 
     def _execute(self, ctx: _RunContext, plans, su_ids) -> _RunRecord:
         """Enrolment already ran in ``_build``; mark it and run rounds."""
@@ -528,27 +582,41 @@ class ChaosHarness:
             licenses=tuple(o.license for o in outcomes),
         )
 
-    def control(self) -> _RunRecord:
+    def control(self, tracer=None) -> _RunRecord:
+        """The clean run.  Untraced controls are built once and cached;
+        a traced control always runs fresh (it must populate *this*
+        tracer's span tree) and seeds the cache, which is sound because
+        tracing never touches the protocol RNG."""
+        if self._control is not None and tracer is None:
+            return self._control
+        transport = ChaosTransport()
+        coordinator, su_ids = self._build(
+            DeterministicRandomSource(self.seed), transport
+        )
+        ctx = _RunContext(
+            coordinator=coordinator,
+            mux=transport,
+            rounds=self.rounds,
+            tracer=tracer,
+        )
+        try:
+            record = self._execute(ctx, [], su_ids)
+        finally:
+            coordinator.close()
         if self._control is None:
-            transport = ChaosTransport()
-            coordinator, su_ids = self._build(
-                DeterministicRandomSource(self.seed), transport
-            )
-            ctx = _RunContext(
-                coordinator=coordinator, mux=transport, rounds=self.rounds
-            )
-            try:
-                self._control = self._execute(ctx, [], su_ids)
-            finally:
-                coordinator.close()
-        return self._control
+            self._control = record
+        return record
 
     # -- the verdict ------------------------------------------------------------
 
-    def run(self, plan_names) -> ChaosResult:
+    def run(self, plan_names, tracer=None) -> ChaosResult:
         """Run one composed fault schedule and judge it against control."""
         plans = _resolve_plans(plan_names)
         control = self.control()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "chaos_runs_total", plan="+".join(sorted(plan_names))
+            ).inc()
         wants_journal = any(p.wants_journal for p in plans)
 
         device = _DiskFullFile() if wants_journal else None
@@ -566,6 +634,7 @@ class ChaosHarness:
             mux=transport,
             rounds=self.rounds,
             journal_device=device,
+            tracer=tracer,
         )
         crashed: Exception | None = None
         record: _RunRecord | None = None
@@ -574,6 +643,10 @@ class ChaosHarness:
         except (_InjectedCrash, JournalDiskFullError) as exc:
             crashed = exc
             ctx.note(f"crash: {type(exc).__name__}: {exc}")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "chaos_crashes_total", kind=type(exc).__name__
+                ).inc()
         finally:
             failovers = ctx.coordinator.router.stats.failovers
             drops_retried = ctx.coordinator.router.stats.drops_retried

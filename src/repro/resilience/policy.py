@@ -121,6 +121,7 @@ class CircuitBreaker:
         failure_threshold: int = 8,
         reset_timeout_s: float = 5.0,
         clock=time.monotonic,
+        metrics=None,
     ) -> None:
         self.name = name
         self.failure_threshold = failure_threshold
@@ -130,6 +131,11 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self.trips = 0
+        #: Optional :class:`repro.telemetry.MetricsRegistry`; when set,
+        #: trips count into ``circuit_trips_total{circuit=name}`` and the
+        #: current state is mirrored in ``circuit_open{circuit=name}``
+        #: (1 = open, 0 = closed/half-open).
+        self.metrics = metrics
 
     @property
     def state(self) -> str:
@@ -148,9 +154,16 @@ class CircuitBreaker:
                 f"({self._consecutive_failures} consecutive failures)"
             )
 
+    def _publish_state(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "circuit_open", circuit=self.name or "anonymous"
+            ).set(1.0 if self._state == self.OPEN else 0.0)
+
     def record_success(self) -> None:
         self._consecutive_failures = 0
         self._state = self.CLOSED
+        self._publish_state()
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -158,18 +171,27 @@ class CircuitBreaker:
             # The probe failed: straight back to open, fresh timeout.
             self._state = self.OPEN
             self._opened_at = self._clock()
-            self.trips += 1
+            self._trip()
         elif (
             self._state == self.CLOSED
             and self._consecutive_failures >= self.failure_threshold
         ):
             self._state = self.OPEN
             self._opened_at = self._clock()
-            self.trips += 1
+            self._trip()
+
+    def _trip(self) -> None:
+        self.trips += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "circuit_trips_total", circuit=self.name or "anonymous"
+            ).inc()
+        self._publish_state()
 
     def reset(self) -> None:
         self._state = self.CLOSED
         self._consecutive_failures = 0
+        self._publish_state()
 
 
 class IdempotencyCache:
@@ -222,6 +244,8 @@ def run_with_policy(
     on_retry=None,
     idempotency_key: str | None = None,
     cache: IdempotencyCache | None = None,
+    metrics=None,
+    op: str = "operation",
 ):
     """Run ``operation()`` under ``policy`` — the canonical retry loop.
 
@@ -236,6 +260,9 @@ def run_with_policy(
       last failure.
     * ``on_retry(attempt, exc, sleep_s)`` is called before each backoff
       — the chaos harness uses it to drive fault-plan countdowns.
+    * ``metrics`` (a :class:`repro.telemetry.MetricsRegistry`) records
+      ``retry_attempts_total{op=...}`` per retry and
+      ``retry_exhausted_total{op=...}`` when the budget runs out.
     """
     if cache is not None and idempotency_key is not None:
         sentinel = object()
@@ -244,6 +271,10 @@ def run_with_policy(
             return cached
     if rng is None:
         rng = DeterministicRandomSource(0)
+    if metrics is not None:
+        # Materialise the family at zero so a clean run still exposes
+        # it — dashboards and the CI exposition grep rely on presence.
+        metrics.counter("retry_attempts_total", op=op)
     started = clock()
     previous_sleep = 0.0
     last_exc: BaseException | None = None
@@ -269,6 +300,8 @@ def run_with_policy(
                     break
                 sleep_s = min(sleep_s, remaining)
             previous_sleep = sleep_s
+            if metrics is not None:
+                metrics.counter("retry_attempts_total", op=op).inc()
             if on_retry is not None:
                 on_retry(attempt, exc, sleep_s)
             if sleep_s > 0:
@@ -279,6 +312,8 @@ def run_with_policy(
         if cache is not None and idempotency_key is not None:
             cache.put(idempotency_key, result)
         return result
+    if metrics is not None:
+        metrics.counter("retry_exhausted_total", op=op).inc()
     raise RetryExhaustedError(
         f"operation failed after {policy.max_attempts} attempts: {last_exc}"
     ) from last_exc

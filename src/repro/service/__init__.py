@@ -10,10 +10,13 @@ this package turns it into a long-running *service*:
 * :mod:`repro.service.workers` — a process pool for the Paillier
   modular-exponentiation batches (the
   :class:`~repro.crypto.parallel.Executor` seam);
-* :mod:`repro.service.metrics` — counters, gauges, and latency
-  histograms with JSON snapshots;
 * :mod:`repro.service.loadtest` — synthetic open-loop workload driver
   (``repro serve-loadtest``).
+
+Metrics moved to :mod:`repro.telemetry` (the ``Counter`` / ``Gauge`` /
+``Histogram`` / ``MetricsRegistry`` names re-exported here are the
+telemetry classes; ``repro.service.metrics`` remains as a deprecated
+shim).
 """
 
 from repro.service.batching import BatchAllocator, Epoch, EpochBatcher
@@ -33,8 +36,8 @@ from repro.service.loadtest import (
     build_packed_service,
     run_loadtest,
 )
-from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.workers import ProcessWorkerPool, SerialExecutor
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "BatchAllocator",

@@ -28,11 +28,13 @@ same request would get alone (fixed RNG seed).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.crypto.serialization import encode_bytes
 from repro.errors import ProtocolError
+from repro.telemetry import child
 
 __all__ = [
     "Epoch",
@@ -160,6 +162,27 @@ class BatchSignExtractionResponse:
 # -- running an epoch through a coordinator -----------------------------------------
 
 
+def _accepts_span(fn: Callable) -> bool:
+    """Whether ``fn`` can be called with a ``span=`` keyword."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if (
+            parameter.name == "span"
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ):
+            return True
+    return False
+
+
 @dataclass(frozen=True)
 class AllocationResult:
     """One request's outcome from a batched allocation pass."""
@@ -202,6 +225,13 @@ class BatchAllocator:
         self._transport = transport
         self._conversion_peer = conversion_peer
         self._commit_epoch = commit_epoch
+        # Span support is detected once, here, rather than try/except per
+        # call: phase callables may be plain lambdas (tests) that don't
+        # take a ``span`` kwarg, and a per-call TypeError probe could
+        # mask a genuine TypeError from inside the phase.
+        self._phase1_span = _accepts_span(phase1)
+        self._convert_span = _accepts_span(convert)
+        self._phase2_span = _accepts_span(phase2)
 
     @classmethod
     def for_coordinator(cls, coordinator) -> "BatchAllocator":
@@ -237,21 +267,49 @@ class BatchAllocator:
             commit_epoch=getattr(coordinator.sdc, "commit_epoch", None),
         )
 
-    def allocate(self, epoch: Epoch) -> list[AllocationResult]:
+    def _run_phase(self, fn, supports_span, message, parent, name):
+        """One phase call under a child span (threaded in when supported)."""
+        phase_span = child(parent, name)
+        try:
+            if supports_span and phase_span is not None:
+                return fn(message, span=phase_span)
+            return fn(message)
+        except BaseException as exc:
+            if phase_span is not None:
+                phase_span.record_error(exc)
+            raise
+        finally:
+            if phase_span is not None:
+                phase_span.end()
+
+    def allocate(self, epoch: Epoch, spans: Sequence | None = None) -> list[AllocationResult]:
         """One allocation pass over ``(su_id, request_message)`` items.
 
         Phase 1 runs per request (each already a single executor batch),
         the conversion leg crosses the wire once as a batch envelope, and
         phase 2 issues every license.  Order of results matches order of
         admission.
+
+        ``spans`` is an optional per-item parallel sequence of
+        :class:`repro.telemetry.Span` parents (the broker's per-request
+        root spans); each item's ``phase1`` / ``stp`` / ``phase2`` /
+        ``license`` children hang off its own parent.  Phase callables
+        that accept a ``span`` kwarg (the real coordinators) receive the
+        phase child, so per-shard scatter spans nest beneath it.
         """
         if not epoch.items:
             return []
+        if spans is None or len(spans) != len(epoch.items):
+            spans = [None] * len(epoch.items)
         extractions = []
-        for su_id, request in epoch.items:
+        for (su_id, request), span in zip(epoch.items, spans):
             if self._transport is not None:
                 self._transport.send(request, sender=su_id, receiver="sdc")
-            extractions.append(self._phase1(request))
+            extractions.append(
+                self._run_phase(
+                    self._phase1, self._phase1_span, request, span, "phase1"
+                )
+            )
         batch_request = BatchSignExtractionRequest(
             epoch_id=epoch.epoch_id, requests=tuple(extractions)
         )
@@ -259,7 +317,10 @@ class BatchAllocator:
             self._transport.send(
                 batch_request, sender="sdc", receiver=self._conversion_peer
             )
-        conversions = tuple(self._convert(ext) for ext in extractions)
+        conversions = tuple(
+            self._run_phase(self._convert, self._convert_span, ext, span, "stp")
+            for ext, span in zip(extractions, spans)
+        )
         batch_response = BatchSignExtractionResponse(
             epoch_id=epoch.epoch_id, responses=conversions
         )
@@ -268,11 +329,20 @@ class BatchAllocator:
                 batch_response, sender=self._conversion_peer, receiver="sdc"
             )
         results = []
-        for (su_id, request), conversion in zip(epoch.items, conversions):
-            response = self._phase2(conversion)
+        for (su_id, request), conversion, span in zip(
+            epoch.items, conversions, spans
+        ):
+            response = self._run_phase(
+                self._phase2, self._phase2_span, conversion, span, "phase2"
+            )
             if self._transport is not None:
                 self._transport.send(response, sender="sdc", receiver=su_id)
-            outcome = self._process_response(su_id, response)
+            with_license = child(span, "license")
+            try:
+                outcome = self._process_response(su_id, response)
+            finally:
+                if with_license is not None:
+                    with_license.end()
             results.append(
                 AllocationResult(
                     su_id=su_id,

@@ -36,7 +36,7 @@ from repro.resilience.policy import (
     run_with_policy,
 )
 from repro.service.batching import BatchAllocator, Epoch, EpochBatcher
-from repro.service.metrics import MetricsRegistry
+from repro.telemetry import MetricsRegistry, Tracer, child
 
 __all__ = [
     "ServiceConfig",
@@ -110,6 +110,10 @@ class _Ticket:
     submitted_at: float
     deadline_at: float
     future: asyncio.Future
+    #: Per-request root span (``None`` when the broker is untraced).
+    span: object | None = None
+    #: Open ``batch`` child covering queue-to-dispatch residence.
+    batch_span: object | None = None
 
 
 class _PuUpdate:
@@ -148,9 +152,22 @@ class SpectrumAccessBroker:
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
         journal=None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
+        # Materialise the outcome families at zero so a run that grants
+        # (or denies) nothing still exposes them — dashboards and the CI
+        # exposition grep rely on presence, not just increments.
+        self.metrics.counter("requests_submitted")
+        self.metrics.counter("requests_granted")
+        self.metrics.counter("requests_denied")
+        #: Optional :class:`repro.telemetry.Tracer`.  When set, every
+        #: submission opens a ``request`` root span with ``admission`` /
+        #: ``batch`` children here and per-phase children in the
+        #: allocator.  The tracer owns its own deterministic RNG, so
+        #: tracing never touches the protocol draw stream.
+        self.tracer = tracer
         self._allocator = allocator
         self._pu_update_handler = pu_update_handler
         self._clock = clock
@@ -231,17 +248,25 @@ class SpectrumAccessBroker:
         """
         now = self._clock()
         self.metrics.counter("requests_submitted").inc()
+        span = (
+            self.tracer.start_span("request", su=su_id)
+            if self.tracer is not None
+            else None
+        )
+        admission = child(span, "admission")
         if self._shutting_down or not self._running:
-            return self._reject(su_id, REASON_SHUTTING_DOWN, now)
+            return self._reject(su_id, REASON_SHUTTING_DOWN, now, span, admission)
         if self._pending >= self.config.max_pending:
-            return self._reject(su_id, REASON_QUEUE_FULL, now)
+            return self._reject(su_id, REASON_QUEUE_FULL, now, span, admission)
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         if deadline_s <= 0:
             # Admission-control boundary: a budget that is already spent
             # can never be met, so reject before queueing — the protocol
             # must not run for it even if the epoch would drain instantly.
-            return self._reject(su_id, REASON_DEADLINE_EXPIRED, now)
+            return self._reject(
+                su_id, REASON_DEADLINE_EXPIRED, now, span, admission
+            )
         ticket = _Ticket(
             request_id=f"req-{next(self._request_ids)}",
             su_id=su_id,
@@ -249,14 +274,33 @@ class SpectrumAccessBroker:
             submitted_at=now,
             deadline_at=now + deadline_s,
             future=asyncio.get_running_loop().create_future(),
+            span=span,
         )
+        if span is not None:
+            span.set_attribute("request_id", ticket.request_id)
+        if admission is not None:
+            admission.end()
+        ticket.batch_span = child(span, "batch")
         self._pending += 1
         self.metrics.gauge("queue_depth").set(self._pending)
         self._queue.put_nowait(ticket)
         return await ticket.future
 
-    def _reject(self, su_id: str, reason: str, submitted_at: float) -> ServiceDecision:
+    def _reject(
+        self,
+        su_id: str,
+        reason: str,
+        submitted_at: float,
+        span=None,
+        admission=None,
+    ) -> ServiceDecision:
         self.metrics.counter("requests_rejected", reason=reason).inc()
+        if admission is not None:
+            admission.end()
+        if span is not None:
+            span.set_attribute("status", "rejected")
+            span.set_attribute("reason", reason)
+            span.end()
         return ServiceDecision(
             su_id=su_id,
             status="rejected",
@@ -330,10 +374,21 @@ class SpectrumAccessBroker:
         self.metrics.gauge("queue_depth").set(self._pending)
         return True
 
+    def _close_ticket_span(self, ticket: _Ticket, status: str, reason=None) -> None:
+        if ticket.batch_span is not None:
+            ticket.batch_span.end()
+            ticket.batch_span = None
+        if ticket.span is not None:
+            ticket.span.set_attribute("status", status)
+            if reason is not None:
+                ticket.span.set_attribute("reason", reason)
+            ticket.span.end()
+
     def _resolve_rejection(self, ticket: _Ticket, reason: str) -> None:
         if not self._mark_resolved(ticket):
             return
         self.metrics.counter("requests_rejected", reason=reason).inc()
+        self._close_ticket_span(ticket, "rejected", reason)
         if not ticket.future.done():
             ticket.future.set_result(
                 ServiceDecision(
@@ -362,6 +417,16 @@ class SpectrumAccessBroker:
             due_at=epoch.due_at,
             items=[(t.su_id, t.request) for t in live],
         )
+        spans = []
+        for ticket in live:
+            # Batch formation ends here; the phase spans hang directly
+            # off the request root, alongside admission and batch.
+            if ticket.batch_span is not None:
+                ticket.batch_span.set_attribute("epoch", epoch.epoch_id)
+                ticket.batch_span.set_attribute("batch_size", len(live))
+                ticket.batch_span.end()
+                ticket.batch_span = None
+            spans.append(ticket.span)
         self.metrics.histogram("batch_size").observe(len(live))
         if self.journal is not None:
             self.journal.epoch_dispatch(
@@ -378,10 +443,12 @@ class SpectrumAccessBroker:
             with self.metrics.timer("epoch_allocation_s"):
                 results = await asyncio.to_thread(
                     run_with_policy,
-                    lambda: self._allocator.allocate(work),
+                    lambda: self._allocator.allocate(work, spans=spans),
                     self._epoch_policy,
                     rng=self._retry_rng,
                     on_retry=on_retry,
+                    metrics=self.metrics,
+                    op="epoch",
                 )
         except Exception:
             # A failed pass must not strand its callers or kill the loop.
@@ -395,6 +462,7 @@ class SpectrumAccessBroker:
                 continue
             status = "granted" if result.granted else "denied"
             self.metrics.counter(f"requests_{status}").inc()
+            self._close_ticket_span(ticket, status)
             latency = done_at - ticket.submitted_at
             self.metrics.histogram("request_latency_s").observe(latency)
             if not ticket.future.done():

@@ -32,8 +32,8 @@ from repro.crypto.rand import DeterministicRandomSource
 from repro.errors import ConfigurationError
 from repro.service.batching import BatchAllocator
 from repro.service.broker import ServiceConfig, ServiceDecision, SpectrumAccessBroker
-from repro.service.metrics import MetricsRegistry
 from repro.sim.workload import PoissonArrivals, PuSwitchProcess
+from repro.telemetry import MetricsRegistry, Tracer
 
 __all__ = [
     "LoadtestConfig",
@@ -165,6 +165,9 @@ def build_packed_service(
     executor: Executor | None = None,
     metrics: MetricsRegistry | None = None,
     scenario=None,
+    tracer: Tracer | None = None,
+    transport=None,
+    clock=None,
 ) -> ServiceFixture:
     """Stand up a packed-mode deployment wrapped in a broker.
 
@@ -183,12 +186,16 @@ def build_packed_service(
             ScenarioConfig(seed=config.seed, num_sus=max(config.num_sus, 1))
         )
     rng = DeterministicRandomSource(config.seed)
+    metrics = metrics if metrics is not None else MetricsRegistry()
     coordinator = PackedCoordinator(
         scenario.environment,
         key_bits=max(config.key_bits, 512),
         rng=rng,
         executor=executor,
+        transport=transport,
+        clock=clock,
     )
+    coordinator.transport.attach_metrics(metrics)
     pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
     su_ids = []
     for su in scenario.sus[: config.num_sus]:
@@ -199,6 +206,7 @@ def build_packed_service(
         pu_update_handler=coordinator.sdc.handle_pu_update,
         config=config.service,
         metrics=metrics,
+        tracer=tracer,
     )
     return ServiceFixture(
         broker=broker,
@@ -215,6 +223,9 @@ def build_cluster_service(
     metrics: MetricsRegistry | None = None,
     scenario=None,
     shard_executor_factory=None,
+    tracer: Tracer | None = None,
+    transport=None,
+    clock=None,
 ) -> ServiceFixture:
     """Stand up a sharded-SDC deployment wrapped in a broker.
 
@@ -237,13 +248,21 @@ def build_cluster_service(
             ScenarioConfig(seed=config.seed, num_sus=max(config.num_sus, 1))
         )
     rng = DeterministicRandomSource(config.seed)
+    # One registry spans the whole deployment: the broker's service
+    # counters, the router's cluster_* counters, the policy engine's
+    # retry counters, and the transport's per-link transfer counters all
+    # land in the same exposition.
+    metrics = metrics if metrics is not None else MetricsRegistry()
     coordinator = ClusterCoordinator(
         scenario.environment,
         num_shards=config.shards,
         key_bits=max(config.key_bits, 512),
         rng=rng,
+        transport=transport,
         stp_executor=executor,
         shard_executor_factory=shard_executor_factory,
+        metrics=metrics,
+        clock=clock if clock is not None else time.time,
     )
     pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
     su_ids = []
@@ -255,6 +274,7 @@ def build_cluster_service(
         pu_update_handler=coordinator.sdc.handle_pu_update,
         config=config.service,
         metrics=metrics,
+        tracer=tracer,
     )
     return ServiceFixture(
         broker=broker,
@@ -312,11 +332,19 @@ async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
     return await asyncio.gather(*tasks)
 
 
-async def _run_async(config: LoadtestConfig, executor, metrics, scenario) -> LoadtestReport:
+async def _run_async(
+    config: LoadtestConfig, executor, metrics, scenario, tracer, transport, clock
+) -> LoadtestReport:
     if config.shards:
-        fixture = build_cluster_service(config, executor, metrics, scenario=scenario)
+        fixture = build_cluster_service(
+            config, executor, metrics, scenario=scenario,
+            tracer=tracer, transport=transport, clock=clock,
+        )
     else:
-        fixture = build_packed_service(config, executor, metrics, scenario=scenario)
+        fixture = build_packed_service(
+            config, executor, metrics, scenario=scenario,
+            tracer=tracer, transport=transport, clock=clock,
+        )
     try:
         start = time.perf_counter()
         async with fixture.broker:
@@ -336,6 +364,18 @@ def run_loadtest(
     executor: Executor | None = None,
     metrics: MetricsRegistry | None = None,
     scenario=None,
+    tracer: Tracer | None = None,
+    transport=None,
+    clock=None,
 ) -> LoadtestReport:
-    """Synchronous entry point: build, drive, tear down, report."""
-    return asyncio.run(_run_async(config, executor, metrics, scenario))
+    """Synchronous entry point: build, drive, tear down, report.
+
+    ``tracer`` threads a :class:`repro.telemetry.Tracer` through the
+    broker (one root span per request); ``transport`` substitutes the
+    deployment's transport and ``clock`` pins the license ``issued_at``
+    source — together they let the byte-identity tests compare traced
+    and untraced transcripts on a frozen clock.
+    """
+    return asyncio.run(
+        _run_async(config, executor, metrics, scenario, tracer, transport, clock)
+    )

@@ -1,208 +1,28 @@
-"""Service-runtime metrics: counters, gauges, latency histograms.
+"""Deprecated alias for :mod:`repro.telemetry.metrics`.
 
-The broker, batcher, and worker pool all report through one
-:class:`MetricsRegistry`.  The design goals are the usual ones for an
-embedded metrics layer:
-
-* **cheap on the hot path** — recording a sample is a few attribute
-  writes, no locks (CPython's GIL suffices for our single-loop broker),
-  no string formatting;
-* **bounded memory** — histograms keep a fixed-size reservoir of recent
-  samples for percentile estimation plus exact running count/sum/min/max,
-  so a week-long soak test cannot grow the registry;
-* **machine-readable** — :meth:`MetricsRegistry.snapshot` returns plain
-  dicts ready for ``json.dumps``; the throughput benchmark and the
-  ``repro serve-loadtest`` CLI both emit it verbatim.
-
-Labels follow the Prometheus convention textually —
-``requests_rejected{reason=queue_full}`` is simply a distinct metric
-name — which keeps the registry a flat ``dict`` without a label-matching
-engine.
+The service-local metrics module grew into the stack-wide telemetry
+plane; the real implementation now lives in :mod:`repro.telemetry`.
+This shim keeps old imports working (same classes, same behaviour —
+they *are* the telemetry classes) while steering callers to the new
+home.  It will be removed once nothing imports it.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from collections import deque
-from contextlib import contextmanager
-from typing import Iterator
+import warnings
 
-__all__ = [
-    "Counter",
-    "Gauge",
-    "Histogram",
-    "MetricsRegistry",
-    "labelled",
-]
+from repro.telemetry.metrics import (  # noqa: F401  (re-exports)
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labelled,
+)
 
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "labelled"]
 
-def labelled(name: str, **labels: str) -> str:
-    """``labelled("rejected", reason="queue_full")`` → ``rejected{reason=queue_full}``."""
-    if not labels:
-        return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
-    return f"{name}{{{inner}}}"
-
-
-class Counter:
-    """Monotonically increasing event count."""
-
-    __slots__ = ("value",)
-
-    def __init__(self) -> None:
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        self.value += amount
-
-    def snapshot(self) -> int:
-        return self.value
-
-
-class Gauge:
-    """A value that can go up and down (queue depth, pool size, ...)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self) -> None:
-        self.value = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = value
-
-    def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
-
-    def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
-
-    def snapshot(self) -> float:
-        return self.value
-
-
-class Histogram:
-    """Sample distribution with exact totals and reservoir percentiles.
-
-    ``count``/``sum``/``min``/``max`` are exact over every observation.
-    Percentiles are computed over the most recent ``reservoir`` samples
-    — a sliding window, which for a service runtime is usually *more*
-    useful than all-time percentiles (it reflects current behaviour),
-    and is what keeps memory bounded.
-    """
-
-    __slots__ = ("count", "total", "min", "max", "_samples")
-
-    def __init__(self, reservoir: int = 4096) -> None:
-        if reservoir < 1:
-            raise ValueError("reservoir must be positive")
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self._samples: deque[float] = deque(maxlen=reservoir)
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._samples.append(value)
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in [0, 100]) over the window."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict[str, float]:
-        if not self.count:
-            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
-        ordered = sorted(self._samples)
-
-        def pct(q: float) -> float:
-            rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-            return ordered[rank]
-
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": pct(50),
-            "p95": pct(95),
-            "p99": pct(99),
-        }
-
-
-class MetricsRegistry:
-    """Named metrics, created on first use.
-
-    ``registry.counter("x").inc()`` — the registry owns the instances,
-    so every component holding the registry sees the same metric.
-    """
-
-    def __init__(self, clock=time.perf_counter) -> None:
-        self._clock = clock
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str, **labels: str) -> Counter:
-        key = labelled(name, **labels)
-        try:
-            return self._counters[key]
-        except KeyError:
-            metric = self._counters[key] = Counter()
-            return metric
-
-    def gauge(self, name: str, **labels: str) -> Gauge:
-        key = labelled(name, **labels)
-        try:
-            return self._gauges[key]
-        except KeyError:
-            metric = self._gauges[key] = Gauge()
-            return metric
-
-    def histogram(self, name: str, reservoir: int = 4096, **labels: str) -> Histogram:
-        key = labelled(name, **labels)
-        try:
-            return self._histograms[key]
-        except KeyError:
-            metric = self._histograms[key] = Histogram(reservoir)
-            return metric
-
-    @contextmanager
-    def timer(self, name: str, **labels: str) -> Iterator[None]:
-        """Time a block and record seconds into histogram ``name``."""
-        histogram = self.histogram(name, **labels)
-        start = self._clock()
-        try:
-            yield
-        finally:
-            histogram.observe(self._clock() - start)
-
-    def snapshot(self) -> dict:
-        """Plain-dict state of every metric, ready for ``json.dumps``."""
-        return {
-            "counters": {k: c.snapshot() for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.snapshot() for k, g in sorted(self._gauges.items())},
-            "histograms": {
-                k: h.snapshot() for k, h in sorted(self._histograms.items())
-            },
-        }
-
-    def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+warnings.warn(
+    "repro.service.metrics is deprecated; import from repro.telemetry instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

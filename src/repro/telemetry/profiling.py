@@ -1,0 +1,180 @@
+"""Profiling hooks: wall-clock timers and optional cProfile capture.
+
+The benchmarks used to hand-roll ``time.perf_counter()`` pairs and
+nearest-rank percentile math in three places; this module is the one
+implementation.  :class:`Timer` measures repeated laps of one phase,
+:func:`phase_profile` times a dict of labelled callables in one sweep,
+and :class:`ProfileCapture` wraps :mod:`cProfile` so an epoch (or any
+block) can be profiled on demand — e.g. per-epoch captures from the
+broker when ``profile_epochs`` is enabled.
+
+Everything here reports through plain floats/dicts so the benchmark
+harness, the CLI, and tests consume the same numbers that a
+:class:`~repro.telemetry.metrics.MetricsRegistry` histogram would see.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import math
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["Timer", "phase_profile", "ProfileCapture", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``.
+
+    The textbook definition: the smallest sample such that at least
+    ``q`` percent of the data is <= it (``ceil(q/100 * n)``-th order
+    statistic).  No interpolation, so the result is always an observed
+    sample.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+
+
+class Timer:
+    """Repeated wall-clock laps of one named phase.
+
+    ::
+
+        timer = Timer("phase1")
+        for _ in range(rounds):
+            with timer.lap():
+                run_phase1()
+        print(timer.mean_s, timer.p95_s)
+    """
+
+    def __init__(self, name: str = "", clock=time.perf_counter) -> None:
+        self.name = name
+        self._clock = clock
+        self.laps: list[float] = []
+
+    @contextmanager
+    def lap(self) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.laps.append(self._clock() - start)
+
+    def time(self, fn: Callable, *args, **kwargs):
+        """Time one call of ``fn``; returns its result."""
+        with self.lap():
+            return fn(*args, **kwargs)
+
+    def reset(self) -> None:
+        """Discard accumulated laps (between measurement windows)."""
+        self.laps.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self.laps)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / len(self.laps) if self.laps else 0.0
+
+    @property
+    def min_s(self) -> float:
+        return min(self.laps) if self.laps else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return max(self.laps) if self.laps else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.laps, 50)
+
+    @property
+    def p95_s(self) -> float:
+        return percentile(self.laps, 95)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+        }
+
+
+def phase_profile(
+    phases: dict[str, Callable[[], object]],
+    rounds: int = 1,
+    clock=time.perf_counter,
+) -> dict[str, dict[str, float]]:
+    """Time each labelled phase ``rounds`` times; returns summaries.
+
+    ``{"phase1": lambda: ..., "phase2": lambda: ...}`` →
+    ``{"phase1": {"count": r, "mean_s": ..., ...}, ...}``.  Phases run
+    in dict order, all laps of one phase back to back.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    out: dict[str, dict[str, float]] = {}
+    for name, fn in phases.items():
+        timer = Timer(name, clock=clock)
+        for _ in range(rounds):
+            timer.time(fn)
+        out[name] = timer.summary()
+    return out
+
+
+class ProfileCapture:
+    """On-demand :mod:`cProfile` capture of a code block.
+
+    ::
+
+        capture = ProfileCapture()
+        with capture.capture():
+            allocator.allocate(epoch)
+        print(capture.report(limit=10))
+
+    Repeated captures accumulate into the same stats, so the broker can
+    profile every epoch of a loadtest and report one merged profile.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: list[cProfile.Profile] = []
+
+    @contextmanager
+    def capture(self) -> Iterator[None]:
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._profiles.append(profile)
+
+    @property
+    def captures(self) -> int:
+        return len(self._profiles)
+
+    def report(self, limit: int = 20, sort: str = "cumulative") -> str:
+        """Merged text report of every capture (empty string if none)."""
+        if not self._profiles:
+            return ""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profiles[0], stream=buffer)
+        for extra in self._profiles[1:]:
+            stats.add(extra)
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()

@@ -35,6 +35,7 @@ class TestEngine:
             "ORD001",
             "SVC001",
             "RES001",
+            "TEL001",
         }
 
     def test_select_restricts_rules(self):

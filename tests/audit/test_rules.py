@@ -493,3 +493,67 @@ class TestRes001AdhocResilience:
         assert not rules_hit(
             source, module="repro.service.loadtest", select={"RES001"}
         )
+
+
+class TestTel001TelemetryHygiene:
+    def test_flags_secret_attribute_key(self):
+        assert "TEL001" in rules_hit(
+            'span.set_attribute("sk", value)\n',
+            module="repro.service.broker",
+            select={"TEL001"},
+        )
+
+    def test_flags_secret_in_attribute_value(self):
+        assert "TEL001" in rules_hit(
+            'span.set_attribute("key_id", keypair.lam)\n',
+            module="repro.service.broker",
+            select={"TEL001"},
+        )
+
+    def test_flags_secret_label_keyword(self):
+        assert "TEL001" in rules_hit(
+            'metrics.counter("ops", alpha="x").inc()\n',
+            module="repro.cluster.router",
+            select={"TEL001"},
+        )
+
+    def test_flags_secret_in_label_value(self):
+        assert "TEL001" in rules_hit(
+            'tracer.start_span("round", key=blinding)\n',
+            module="repro.resilience.chaos",
+            select={"TEL001"},
+        )
+
+    def test_flags_secret_as_metric_value(self):
+        assert "TEL001" in rules_hit(
+            'metrics.gauge("level").set(eta)\n',
+            module="repro.service.broker",
+            select={"TEL001"},
+        )
+
+    def test_allows_public_attributes_and_labels(self):
+        assert "TEL001" not in rules_hit(
+            'span.set_attribute("shard", shard_id)\n'
+            'metrics.counter("ops", reason="queue_full").inc()\n'
+            'metrics.histogram("lat").observe(elapsed)\n',
+            module="repro.service.broker",
+            select={"TEL001"},
+        )
+
+    def test_exact_name_match_only(self):
+        # ``skew``/``alphabet`` contain secret names as substrings but
+        # are public identifiers.
+        assert "TEL001" not in rules_hit(
+            'span.set_attribute("clock", skew)\n'
+            'metrics.counter("ops", kind=alphabet).inc()\n',
+            module="repro.service.broker",
+            select={"TEL001"},
+        )
+
+    def test_out_of_scope_module_ignored(self):
+        findings = run_rules(
+            'span.set_attribute("sk", value)\n',
+            module="sandbox.notebook",
+            select={"TEL001"},
+        )
+        assert not findings

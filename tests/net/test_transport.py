@@ -239,3 +239,101 @@ class TestMultiplexedTransport:
         # Aggregates keep counting every message ever sent.
         assert transport.total_bytes() == 60
         assert transport.count() == 3
+
+
+class TestMetricsMirroring:
+    """Per-link transfer counters mirror the record log exactly.
+
+    ``_record`` is the single accounting funnel, so whatever lands in
+    ``records`` — ordinary sends, wire-level duplicates, reorder
+    flushes — must land in the attached registry too, and dropped sends
+    (never on the wire) must not.
+    """
+
+    def _expected_by_link(self, transport):
+        counts: dict[str, int] = {}
+        sizes: dict[str, int] = {}
+        for record in transport.records:
+            link = f"{record.sender}->{record.receiver}"
+            counts[link] = counts.get(link, 0) + 1
+            sizes[link] = sizes.get(link, 0) + record.size_bytes
+        return counts, sizes
+
+    def _assert_mirrored(self, transport, metrics):
+        counts, sizes = self._expected_by_link(transport)
+        snap = metrics.snapshot()["counters"]
+        for link, count in counts.items():
+            assert snap[f"transport_records_total{{link={link}}}"] == count
+            assert snap[f"transport_bytes_total{{link={link}}}"] == sizes[link]
+        # No phantom links: every series corresponds to observed records.
+        recorded = {
+            key for key in snap if key.startswith("transport_records_total")
+        }
+        assert recorded == {
+            f"transport_records_total{{link={link}}}" for link in counts
+        }
+
+    def test_counters_match_records_per_link(self):
+        from repro.net.transport import MultiplexedTransport
+        from repro.telemetry import MetricsRegistry
+
+        transport = MultiplexedTransport()
+        metrics = MetricsRegistry()
+        transport.attach_metrics(metrics)
+        transport.send(FakeMessage(100), "su-0", "sdc")
+        transport.send(FakeMessage(40), "sdc", "stp")
+        transport.send(FakeMessage(60), "su-0", "sdc")
+        self._assert_mirrored(transport, metrics)
+        snap = metrics.snapshot()["counters"]
+        assert snap["transport_records_total{link=su-0->sdc}"] == 2
+        assert snap["transport_bytes_total{link=su-0->sdc}"] == 160
+
+    def test_duplicates_counted_and_drops_not(self):
+        from repro.errors import MessageDroppedError
+        from repro.net.transport import MultiplexedTransport
+        from repro.telemetry import MetricsRegistry
+
+        transport = MultiplexedTransport()
+        metrics = MetricsRegistry()
+        transport.attach_metrics(metrics)
+        transport.inject_faults("a", "b", drop=1, duplicate=1)
+        with pytest.raises(MessageDroppedError):
+            transport.send(FakeMessage(10), "a", "b")
+        transport.send(FakeMessage(10), "a", "b")  # duplicated on the wire
+        transport.send(FakeMessage(5), "a", "b")
+        assert transport.count() == 3  # 2 copies + 1 plain, drop absent
+        self._assert_mirrored(transport, metrics)
+
+    def test_reorder_flush_is_mirrored(self):
+        from repro.net.transport import MultiplexedTransport
+        from repro.telemetry import MetricsRegistry
+
+        transport = MultiplexedTransport()
+        metrics = MetricsRegistry()
+        transport.attach_metrics(metrics)
+        transport.inject_faults("a", "b", reorder_window=3)
+        transport.send(FakeMessage(1), "a", "b")
+        transport.send(FakeMessage(2), "a", "b")
+        # Held back — nothing recorded, nothing counted yet.
+        assert transport.count() == 0
+        assert metrics.snapshot()["counters"] == {}
+        transport.clear_faults()  # flushes the held window
+        assert transport.count() == 2
+        self._assert_mirrored(transport, metrics)
+
+    def test_aggregate_totals_match(self):
+        from repro.net.transport import MultiplexedTransport
+        from repro.telemetry import MetricsRegistry
+
+        transport = MultiplexedTransport()
+        metrics = MetricsRegistry()
+        transport.attach_metrics(metrics)
+        for size, link in ((10, ("a", "b")), (20, ("b", "c")), (30, ("a", "b"))):
+            transport.send(FakeMessage(size), *link)
+        snap = metrics.snapshot()["counters"]
+        assert sum(
+            v for k, v in snap.items() if k.startswith("transport_records_total")
+        ) == transport.count()
+        assert sum(
+            v for k, v in snap.items() if k.startswith("transport_bytes_total")
+        ) == transport.total_bytes()

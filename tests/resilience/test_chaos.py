@@ -100,3 +100,45 @@ class TestFingerprint:
         base = fingerprint_message(Msg(), "sdc", "stp")
         assert fingerprint_message(Msg(), "sdc", "stp") == base
         assert fingerprint_message(Msg(), "stp", "sdc") != base
+
+
+class TestTracedChaos:
+    """Tracing is a pure observer of the chaos harness.
+
+    The tracer draws span ids from its own RNG, so a traced control run
+    must reproduce the untraced transcript byte for byte — and because
+    retries/failovers happen *inside* one logical sub-query span, a
+    faulted run's span tree has the same structural signature as the
+    clean run's.
+    """
+
+    def test_traced_control_transcript_is_byte_identical(self, harness):
+        from repro.telemetry import Tracer
+
+        untraced = harness.control()
+        tracer = Tracer()
+        traced = harness.control(tracer=tracer)
+        assert traced.segments == untraced.segments
+        assert traced.granted == untraced.granted
+        assert len(tracer.roots) == harness.rounds
+        assert all(root.name == "round" for root in tracer.roots)
+
+    def test_span_signatures_identical_clean_vs_faulted(self, harness):
+        from repro.telemetry import Tracer
+
+        clean = Tracer()
+        harness.control(tracer=clean)
+        faulted = Tracer()
+        result = harness.run(["drop-links"], tracer=faulted)
+        assert result.ok
+        assert result.fault_stats["dropped"] > 0
+        assert [r.signature() for r in clean.roots] == [
+            r.signature() for r in faulted.roots
+        ]
+
+    def test_traced_faulted_run_still_transcript_equal(self, harness):
+        from repro.telemetry import Tracer
+
+        result = harness.run(["kill-shard"], tracer=Tracer())
+        assert result.transcript_equal, result.notes
+        assert result.licenses_valid, result.notes

@@ -31,7 +31,7 @@ class StubAllocator:
         self.epochs = []
         self.fail = fail
 
-    def allocate(self, epoch):
+    def allocate(self, epoch, spans=None):
         if self.fail:
             raise RuntimeError("allocator exploded")
         self.epochs.append(epoch)
@@ -244,11 +244,11 @@ class FlakyClusterAllocator(StubAllocator):
         self.failures = failures
         self.calls = 0
 
-    def allocate(self, epoch):
+    def allocate(self, epoch, spans=None):
         self.calls += 1
         if self.calls <= self.failures:
             raise ShardDownError("primary died mid-epoch")
-        return super().allocate(epoch)
+        return super().allocate(epoch, spans=spans)
 
 
 class TestClusterRetry:

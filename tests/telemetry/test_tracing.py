@@ -1,0 +1,129 @@
+"""Unit tests for the span tracer."""
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Span, Tracer, child
+
+
+class TestSpanIds:
+    def test_ids_are_deterministic_for_a_seeded_tracer(self):
+        first = Tracer()
+        second = Tracer()
+        a = first.start_span("request")
+        b = second.start_span("request")
+        assert a.span_id == b.span_id
+        assert a.child("phase1").span_id == b.child("phase1").span_id
+
+    def test_ids_are_unique_within_a_tracer(self):
+        tracer = Tracer()
+        ids = {tracer.start_span("s").span_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_id_allocation_is_thread_safe(self):
+        tracer = Tracer()
+        seen = []
+
+        def spin():
+            for _ in range(100):
+                seen.append(tracer.start_span("s").span_id)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 400
+
+
+class TestSpanTree:
+    def test_children_nest_and_parent_ids_link(self):
+        tracer = Tracer()
+        root = tracer.start_span("request")
+        phase = root.child("phase1")
+        leaf = phase.child("shard", shard="shard-0")
+        assert phase.parent_id == root.span_id
+        assert leaf.parent_id == phase.span_id
+        assert [s.name for s in root.find("shard")] == ["shard"]
+
+    def test_signature_excludes_ids_durations_attributes(self):
+        first = Tracer()
+        second = Tracer()
+        a = first.start_span("request", su="su-0")
+        a.child("phase1", blocks=24).end()
+        a.end()
+        b = second.start_span("request", su="su-99")
+        b.child("phase1", blocks=7).end()
+        b.end()
+        assert a.signature() == b.signature()
+
+    def test_signature_includes_status(self):
+        tracer = Tracer()
+        ok = tracer.start_span("op")
+        ok.end()
+        failed = tracer.start_span("op")
+        failed.record_error(ValueError("boom"))
+        failed.end()
+        assert ok.signature() != failed.signature()
+        assert failed.status == "error:ValueError"
+
+    def test_context_manager_ends_and_records_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.start_span("op") as span:
+                raise RuntimeError("boom")
+        assert span.ended_at is not None
+        assert span.status == "error:RuntimeError"
+
+    def test_to_dict_and_render(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", su="su-0")
+        root.child("phase1").end()
+        root.end()
+        as_dict = root.to_dict()
+        assert as_dict["name"] == "request"
+        assert as_dict["children"][0]["name"] == "phase1"
+        rendered = tracer.render()
+        assert "request" in rendered and "phase1" in rendered
+
+
+class TestAttributeHygiene:
+    def test_secret_named_attribute_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(TelemetryError):
+            tracer.start_span("op", sk=1)
+        span = tracer.start_span("op")
+        with pytest.raises(TelemetryError):
+            span.set_attribute("alpha", 2)
+
+    def test_huge_int_attribute_rejected(self):
+        span = Tracer().start_span("op")
+        with pytest.raises(TelemetryError):
+            span.set_attribute("value", 1 << 64)
+        span.set_attribute("value", 123)  # ordinary ints are fine
+
+
+class TestHelpers:
+    def test_child_helper_tolerates_none(self):
+        assert child(None, "phase1") is None
+        root = Tracer().start_span("request")
+        assert child(root, "phase1").name == "phase1"
+
+    def test_phase_latency_aggregates_by_name(self):
+        ticks = iter(float(i) for i in range(100))
+        tracer = Tracer(clock=lambda: next(ticks))
+        root = tracer.start_span("request")
+        root.child("phase1").end()
+        root.child("phase1").end()
+        root.end()
+        stats = tracer.phase_latency()
+        assert stats["phase1"]["count"] == 2
+        assert stats["request"]["count"] == 1
+        assert stats["phase1"]["mean_s"] > 0
+
+    def test_span_is_slotted(self):
+        span = Tracer().start_span("op")
+        assert not hasattr(span, "__dict__")
+        assert isinstance(span, Span)

@@ -116,3 +116,53 @@ class TestServeLoadtest:
         assert report["requests"] == 3
         assert report["completed"] + report["rejected"] == 3
         assert "latency_s" in report and "batch_size" in report
+
+
+class TestTelemetryCommands:
+    def test_trace_parses_with_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.command == "trace"
+        assert args.requests == 4
+        assert args.json is None
+
+    def test_metrics_dump_parses_with_defaults(self):
+        args = build_parser().parse_args(["metrics-dump"])
+        assert args.command == "metrics-dump"
+        assert args.requests == 8
+        assert args.format == "prom"
+
+    def test_trace_prints_span_tree_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "spans.json"
+        assert main([
+            "trace", "--seed", "3", "--requests", "2", "--rate", "200",
+            "--sus", "2", "--key-bits", "256", "--shards", "2",
+            "--json", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "request" in printed
+        assert "phase1" in printed and "phase2" in printed
+        import json
+
+        spans = json.loads(out.read_text())
+        assert len(spans) == 2  # one root span per request
+        assert all(span["name"] == "request" for span in spans)
+
+    def test_metrics_dump_prometheus_to_file(self, capsys, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert main([
+            "metrics-dump", "--seed", "3", "--requests", "2", "--rate", "200",
+            "--sus", "2", "--key-bits", "256", "--output", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "# TYPE requests_submitted counter" in text
+        assert "# TYPE request_latency_s histogram" in text
+
+    def test_metrics_dump_json_to_stdout(self, capsys):
+        assert main([
+            "metrics-dump", "--seed", "3", "--requests", "2", "--rate", "200",
+            "--sus", "2", "--key-bits", "256", "--format", "json",
+        ]) == 0
+        import json
+
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["counters"]["requests_submitted"] == 2
