@@ -1,0 +1,168 @@
+"""Socket plane vs in-memory plane — what real process boundaries cost.
+
+The two planes run the *same* seeded loadtest (same scenario, same
+draws, byte-identical transcripts — that part is asserted by
+``tests/netd/test_equivalence.py``); this bench measures what changes:
+wall time per granted license once every protocol byte crosses a real
+TCP frame into shard/STP subprocesses, at 1, 2, and 4 shards.
+
+Two effects compose:
+
+* **fixed deployment cost** — spawning workers, bootstrap pulls, and
+  connection dials happen once per deployment, not per request, so they
+  are reported separately (``setup_s``) instead of polluting the
+  per-request number;
+* **per-request framing cost** — encode + CRC + syscall + decode per
+  protocol leg.  On a single-core box the homomorphic arithmetic
+  dominates, so the measured overhead ratio is the honest headline: the
+  socket plane stays within ``MAX_OVERHEAD_RATIO`` of in-memory.
+
+Emits ``BENCH_socket.json`` at the repo root with a timestamped run
+history (per plane x shard count: wall, setup, per-request latency,
+frames and bytes on the wire).
+"""
+
+import pathlib
+import time
+
+import pytest
+from _harness import append_history, describe_history, utc_timestamp
+from conftest import emit
+
+from repro.analysis.reporting import format_comparison_table
+from repro.netd.plane import run_socket_loadtest
+from repro.service.broker import ServiceConfig
+from repro.service.loadtest import LoadtestConfig, run_loadtest
+from repro.telemetry import MetricsRegistry
+from repro.watch.scenario import ScenarioConfig
+
+KEY_BITS = 256
+SHARD_COUNTS = (1, 2, 4)
+REQUESTS = 3
+JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_socket.json"
+
+#: Single-core CI boxes: arithmetic dominates, frames are cheap — but a
+#: regression that serialises twice or re-dials per request shows up
+#: loudly against this bound.
+MAX_OVERHEAD_RATIO = 3.0
+
+SCENARIO_CONFIG = ScenarioConfig(seed=7, num_sus=1)
+
+_RESULTS: dict = {"memory": {}, "socket": {}}
+
+
+def _config(shards: int) -> LoadtestConfig:
+    return LoadtestConfig(
+        seed=7,
+        num_requests=REQUESTS,
+        arrivals_per_second=500.0,
+        num_sus=1,
+        num_pu_switches=0,
+        key_bits=KEY_BITS,
+        shards=shards,
+        service=ServiceConfig(batch_window_s=0.0, max_batch=1),
+    )
+
+
+def _counter_total(metrics_snapshot: dict, family: str) -> int:
+    return int(
+        sum(
+            value
+            for key, value in metrics_snapshot["counters"].items()
+            if key.split("{", 1)[0] == family
+        )
+    )
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_memory_plane(benchmark, num_shards):
+    from repro.watch.scenario import build_scenario
+
+    def run():
+        start = time.perf_counter()
+        report = run_loadtest(
+            _config(num_shards), scenario=build_scenario(SCENARIO_CONFIG)
+        )
+        return report, time.perf_counter() - start
+
+    report, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.completed == REQUESTS
+    _RESULTS["memory"][num_shards] = {
+        "wall_s": wall,
+        "per_request_s": wall / REQUESTS,
+        "granted": report.granted,
+    }
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_socket_plane(benchmark, num_shards):
+    def run():
+        metrics = MetricsRegistry()
+        deploy_start = time.perf_counter()
+        report, _ = run_socket_loadtest(_config(num_shards), metrics=metrics)
+        total = time.perf_counter() - deploy_start
+        return report, metrics.snapshot(), total
+
+    report, snapshot, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.completed == REQUESTS
+    # wall_seconds covers only the drive phase; the rest is deployment
+    # setup (process spawn + key generation + bootstrap + dials).
+    _RESULTS["socket"][num_shards] = {
+        "wall_s": report.wall_seconds,
+        "per_request_s": report.wall_seconds / REQUESTS,
+        "setup_s": max(0.0, total - report.wall_seconds),
+        "granted": report.granted,
+        "netd_frames": _counter_total(snapshot, "netd_frames_total"),
+        "netd_bytes": _counter_total(snapshot, "netd_bytes_total"),
+        "netd_dials": _counter_total(snapshot, "netd_dials_total"),
+    }
+
+
+def test_zzz_render(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mem, sock = _RESULTS["memory"], _RESULTS["socket"]
+    overhead = {
+        n: sock[n]["per_request_s"] / mem[n]["per_request_s"] for n in SHARD_COUNTS
+    }
+
+    emit(format_comparison_table(
+        f"Socket plane vs in-memory ({REQUESTS} req, n = {KEY_BITS}, 2 shards)",
+        [
+            ("per-request latency",
+             f"{mem[2]['per_request_s'] * 1e3:.0f} ms",
+             f"{sock[2]['per_request_s'] * 1e3:.0f} ms"),
+            ("process overhead", "1.0x", f"{overhead[2]:.2f}x"),
+            ("deployment setup", "-", f"{sock[2]['setup_s']:.2f} s"),
+            ("frames on the wire", "0", str(sock[2]["netd_frames"])),
+            ("bytes on the wire", "0", f"{sock[2]['netd_bytes']:,}"),
+            ("connection dials", "0", str(sock[2]["netd_dials"])),
+        ],
+        headers=("metric", "in-memory", "socket"),
+    ))
+
+    entry = {
+        "timestamp": utc_timestamp(),
+        "key_bits": KEY_BITS,
+        "requests": REQUESTS,
+        "by_shard_count": {
+            str(n): {
+                "memory": mem[n],
+                "socket": sock[n],
+                "overhead_ratio": overhead[n],
+            }
+            for n in SHARD_COUNTS
+        },
+    }
+    emit(describe_history(JSON_PATH, append_history(JSON_PATH, entry)))
+
+    for n in SHARD_COUNTS:
+        # Same seed → same decisions on both planes, at every width.
+        assert sock[n]["granted"] == mem[n]["granted"]
+        # Real frames actually crossed the wire, and more shards mean
+        # more scatter legs, hence more frames.
+        assert sock[n]["netd_frames"] > 0 and sock[n]["netd_bytes"] > 0
+        assert overhead[n] <= MAX_OVERHEAD_RATIO, (
+            f"{n}-shard socket overhead {overhead[n]:.2f}x exceeds "
+            f"{MAX_OVERHEAD_RATIO}x"
+        )
+    assert sock[4]["netd_frames"] > sock[1]["netd_frames"]

@@ -79,12 +79,21 @@ class AuditConfig:
         "repro.service",
         "repro.cluster",
         "repro.net",
+        "repro.netd",
         "repro.resilience",
         "repro.pisa",
     )
     #: Modules exempt from RES001 (the policy engine is the one place a
     #: sleep-in-a-loop is intentional).
     resilience_exempt: frozenset[str] = frozenset({"repro.resilience.policy"})
+    #: Package prefixes where the wire-primitive rule (NET001) applies.
+    network_scope: tuple[str, ...] = ("repro",)
+    #: Package prefixes that *own* wire formats and sockets (NET001 exempt).
+    network_owned: tuple[str, ...] = ("repro.netd",)
+    #: Single modules with a grandfathered byte-layout of their own.
+    network_allowed: frozenset[str] = frozenset(
+        {"repro.crypto.serialization", "repro.resilience.journal"}
+    )
     #: Package prefixes where the telemetry-hygiene rule (TEL001) applies —
     #: everywhere spans/metrics are recorded, including the telemetry
     #: plane itself.

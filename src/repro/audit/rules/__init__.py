@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.audit.rules import (  # noqa: F401
+    net,
     ordering,
     randomness,
     resilience,
@@ -12,6 +13,7 @@ from repro.audit.rules import (  # noqa: F401
 )
 
 __all__ = [
+    "net",
     "ordering",
     "randomness",
     "resilience",

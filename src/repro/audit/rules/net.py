@@ -1,0 +1,66 @@
+"""NET001 — wire-format and socket primitives outside their owners.
+
+The socket plane has exactly one byte-layout authority per concern:
+:mod:`repro.netd.framing` owns the frame header (``struct``),
+:mod:`repro.crypto.serialization` owns ciphertext encodings, and
+:mod:`repro.resilience.journal` owns its record layout.  Any other
+module reaching for ``socket``/``struct`` is inventing a second wire
+format the equivalence tests don't cover, and ``pickle``/``marshal``
+anywhere in the protocol path is worse: both execute attacker-chosen
+bytecode/constructors on load, which for a service that accepts frames
+from the network is remote code execution waiting for a peer.
+
+The rule flags ``import``/``from … import`` of the four primitive
+modules outside the owner allowlist.  Legitimate one-off uses carry an
+inline ``# audit-ok: NET001`` waiver naming the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.audit.registry import register_rule
+
+RULE_ID = "NET001"
+
+#: Modules whose import means "I am defining a wire format / raw socket".
+_PRIMITIVES = {"socket", "pickle", "marshal", "struct"}
+
+_REASONS = {
+    "socket": "raw sockets belong to repro.netd (framed, CRC-checked, TLS-able)",
+    "struct": "byte layouts belong to a single owner module per format",
+    "pickle": "pickle.load runs attacker-chosen constructors — never on wire data",
+    "marshal": "marshal.loads executes untrusted bytecode — never on wire data",
+}
+
+
+def _imported_primitives(node: ast.AST) -> Iterator[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            root = alias.name.split(".", 1)[0]
+            if root in _PRIMITIVES:
+                yield root
+    elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        root = node.module.split(".", 1)[0]
+        if root in _PRIMITIVES:
+            yield root
+
+
+@register_rule(RULE_ID, "socket/struct/pickle primitives outside repro.netd owners")
+def check_network_primitives(unit, config) -> Iterator:
+    if not config.in_scope(unit.module, config.network_scope):
+        return
+    if config.in_scope(unit.module, config.network_owned):
+        return
+    if unit.module in config.network_allowed:
+        return
+    for node in ast.walk(unit.tree):
+        for name in _imported_primitives(node):
+            yield unit.finding(
+                node,
+                RULE_ID,
+                f"import of {name!r} outside the wire-format owners — "
+                f"{_REASONS[name]}",
+                context=unit.module,
+            )

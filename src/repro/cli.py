@@ -12,6 +12,9 @@ Gives downstream users one entry point into the reproduction:
 ``profile``    Table II Paillier micro-benchmarks at any key size
 ``serve-loadtest``  drive the async service broker with synthetic
                open-loop load and report throughput/latency
+               (``--plane socket`` runs shards + STP as subprocesses)
+``cluster-up`` materialise a cluster spec file as real processes and
+               run its seeded workload end to end
 ``trace``      run a traced loadtest and print the span tree plus
                a per-phase latency breakdown
 ``metrics-dump``  run a loadtest and dump the unified metrics
@@ -86,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-loadtest",
         help="drive the async service broker with synthetic open-loop load",
     )
+    serve.add_argument("--plane", choices=("memory", "socket"), default="memory",
+                       help="deployment plane: in-process transport, or SDC "
+                            "shards + STP as subprocesses over TCP frames")
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument("--requests", type=int, default=12,
                        help="SU request arrivals to fire")
@@ -111,6 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "--shards)")
     serve.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
+
+    cluster_up = sub.add_parser(
+        "cluster-up",
+        help="materialise a cluster spec as real processes and run its "
+             "workload (broker, SDC shards, and STP over TCP frames)",
+    )
+    cluster_up.add_argument("--spec", type=str,
+                            default="examples/cluster_spec.json",
+                            metavar="PATH",
+                            help="cluster spec JSON "
+                                 "(default: examples/cluster_spec.json)")
+    cluster_up.add_argument("--output", type=str, default=None, metavar="PATH",
+                            help="write the loadtest report as JSON")
+    cluster_up.add_argument("--metrics", type=str, default=None, metavar="PATH",
+                            help="write the metrics registry as Prometheus "
+                                 "text exposition")
+    cluster_up.add_argument("--timeout", type=float, default=300.0,
+                            help="seconds to wait for the workload")
 
     def add_loadtest_args(p, requests_default: int) -> None:
         p.add_argument("--seed", type=int, default=7)
@@ -153,7 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--plan", type=str, default="kill-shard",
                        help="comma-separated fault plans composed into one "
-                            "schedule, or 'all' to run every plan singly")
+                            "schedule, or 'all' to run every plan singly; "
+                            "'proc-kill-shard' SIGKILLs a real shard "
+                            "subprocess on the socket plane (runs alone)")
     chaos.add_argument("--shards", type=int, default=2)
     chaos.add_argument("--rounds", type=int, default=2,
                        help="protocol rounds per run")
@@ -357,28 +383,42 @@ def _cmd_serve_loadtest(args) -> int:
     from repro.service import LoadtestConfig, ServiceConfig, run_loadtest
     from repro.service.workers import ProcessWorkerPool
 
+    if args.plane == "socket" and (args.workers or args.kill_shard):
+        print("--plane socket does not take --workers / --kill-shard "
+              "(homomorphic work already runs in the shard processes; "
+              "use `repro chaos --plan proc-kill-shard` for process faults)",
+              file=sys.stderr)
+        return 2
+    shards = max(args.shards, 1) if args.plane == "socket" else args.shards
     config = LoadtestConfig(
         seed=args.seed,
         num_requests=args.requests,
         arrivals_per_second=args.rate,
         num_sus=args.sus,
         key_bits=args.key_bits,
-        shards=args.shards,
+        shards=shards,
         kill_shard_after=args.kill_shard,
         service=ServiceConfig(
             batch_window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
         ),
     )
-    if args.workers > 0:
+    if args.plane == "socket":
+        from repro.netd import run_socket_loadtest
+
+        report, _ = run_socket_loadtest(config)
+        executor_name = "shard-processes"
+        plane = f"{shards}-shard socket plane"
+    elif args.workers > 0:
         with ProcessWorkerPool(max_workers=args.workers) as pool:
             pool.warm_up()  # fork workers before the event loop spins up
             report = run_loadtest(config, executor=pool)
         executor_name = f"process-pool[{args.workers}]"
+        plane = f"{args.shards}-shard cluster" if args.shards else "single SDC"
     else:
         report = run_loadtest(config)
         executor_name = "serial"
-    plane = f"{args.shards}-shard cluster" if args.shards else "single SDC"
+        plane = f"{args.shards}-shard cluster" if args.shards else "single SDC"
     print(format_table(
         f"serve-loadtest: {args.requests} req @ {args.rate:g}/s, "
         f"window {args.window_ms:g} ms, executor {executor_name}, {plane}",
@@ -445,6 +485,43 @@ def _cmd_metrics_dump(args) -> int:
     return 0
 
 
+def _cmd_cluster_up(args) -> int:
+    import json
+
+    from repro.netd.supervisor import ProcessSupervisor
+    from repro.netd.topology import load_cluster_spec
+
+    spec = load_cluster_spec(args.spec)  # fail fast, before any spawn
+    output = args.output or "cluster-report.json"
+    metrics_path = args.metrics or "cluster-metrics.prom"
+    print(f"cluster-up: {spec.shards} shard(s) + stp + broker from {args.spec}")
+    supervisor = ProcessSupervisor(host=spec.host, monitor=False)
+    try:
+        supervisor.start(
+            "broker",
+            "broker",
+            ("--spec", args.spec, "--output", output, "--metrics", metrics_path),
+            restart=False,
+        )
+        supervisor.wait_ready(["broker"], timeout_s=args.timeout)
+        code = supervisor.wait_exit("broker", timeout_s=args.timeout)
+        if code != 0:
+            tail = supervisor._stderr_tail("broker", lines=20)
+            print(f"broker exited with status {code}:\n{tail}", file=sys.stderr)
+            return 1
+    finally:
+        supervisor.stop_all()
+    with open(output, encoding="utf-8") as fh:
+        report = json.load(fh)
+    print(f"workload complete: {report.get('requests', 0)} requests "
+          f"({report.get('granted', 0)} granted, "
+          f"{report.get('rejected', 0)} rejected), "
+          f"wall {report.get('wall_seconds', 0.0):.2f} s")
+    print(f"wrote {output}")
+    print(f"wrote {metrics_path}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -457,13 +534,29 @@ def _cmd_chaos(args) -> int:
         key_bits=args.key_bits,
     )
     if args.plan == "all":
+        # Simulated-transport plans only; the process plan costs real
+        # subprocess spawns and is asked for by name.
         schedules = [[name] for name in PLAN_NAMES]
     else:
         schedules = [[p.strip() for p in args.plan.split(",") if p.strip()]]
     results = []
     failed = 0
     for schedule in schedules:
-        result = harness.run(schedule)
+        if "proc-kill-shard" in schedule:
+            from repro.netd.chaos import PROC_PLAN_NAME, run_process_chaos
+
+            if schedule != [PROC_PLAN_NAME]:
+                print("proc-kill-shard runs alone (it has its own "
+                      "socket-plane schedule)", file=sys.stderr)
+                return 2
+            result = run_process_chaos(
+                seed=args.seed,
+                shards=args.shards,
+                rounds=args.rounds,
+                key_bits=args.key_bits,
+            )
+        else:
+            result = harness.run(schedule)
         results.append(result)
         verdict = "OK" if result.ok else "FAIL"
         print(
@@ -503,6 +596,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "audit": _cmd_audit,
     "chaos": _cmd_chaos,
+    "cluster-up": _cmd_cluster_up,
     "serve-loadtest": _cmd_serve_loadtest,
     "trace": _cmd_trace,
     "metrics-dump": _cmd_metrics_dump,

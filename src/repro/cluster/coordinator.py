@@ -389,7 +389,7 @@ class ClusterCoordinator:
         self.transport: InMemoryTransport = (
             transport if transport is not None else MultiplexedTransport()
         )
-        self.stp = StpServer(key_bits=key_bits, rng=self._rng, executor=stp_executor)
+        self.stp = self._build_stp(key_bits, stp_executor)
         _, signing_private = generate_rsa_keypair(signature_bits, rng=self._rng)
         # Control plane — deterministic, no RNG draws from here on.
         self._shard_executor_factory = shard_executor_factory
@@ -431,6 +431,11 @@ class ClusterCoordinator:
         )
         self._pu_clients: dict[str, PUClient] = {}
         self._su_clients: dict[str, SUClient] = {}
+
+    def _build_stp(self, key_bits: int, stp_executor) -> StpServer:
+        """Build the STP; the socket plane overrides this with a remote
+        proxy that draws the group keypair at this exact position."""
+        return StpServer(key_bits=key_bits, rng=self._rng, executor=stp_executor)
 
     def _build_replica_set(self, shard_id: str) -> ShardReplicaSet:
         executor = (

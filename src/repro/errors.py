@@ -69,6 +69,24 @@ class MessageDroppedError(TransportError):
     """
 
 
+class PortInUseError(TransportError):
+    """A socket-plane listener could not bind: the address is taken.
+
+    Not retryable against the same address — the caller must pick
+    another port (or kill the squatter), so it is deliberately *not* a
+    :class:`LinkDownError` subclass.
+    """
+
+
+class HandshakeTimeoutError(TransportError):
+    """A socket-plane peer accepted the connection but never said hello.
+
+    Distinguishes a wedged/foreign listener from a dead one: refused or
+    reset connections map to :class:`LinkDownError` (retry → failover),
+    while a silent accept times out here and names the peer.
+    """
+
+
 class ClusterError(ReproError):
     """Base class for sharded-SDC-plane (repro.cluster) failures."""
 

@@ -1,0 +1,226 @@
+"""Process-level chaos: SIGKILL a real shard worker mid-round.
+
+The in-memory chaos harness (:mod:`repro.resilience.chaos`) injects
+faults into a simulated transport; this module injects the real thing —
+``SIGKILL`` delivered to a shard *subprocess* while a Figure-5 round is
+mid-phase-1 — and holds the socket plane to the same verdict:
+
+* the supervisor restarts the worker, which re-pulls its full state
+  from the bootstrap provider;
+* the router's retry re-sends the *identical* sub-query bytes (phase
+  randomness was drawn centrally before the scatter, so nothing is
+  re-drawn);
+* the protocol transcript stays byte-identical to an **in-memory
+  control run** with the same seeds, and every license verifies.
+
+Passing both properties at once proves cross-plane determinism *and*
+crash recovery in a single schedule.  The verdict reuses
+:class:`repro.resilience.chaos.ChaosResult` so ``repro chaos`` renders
+it exactly like the simulated plans (``replayed_draws``/``fallback_draws``
+are ``-1`` — no journal replay happens here).
+"""
+
+from __future__ import annotations
+
+import signal
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.crypto.rand import DeterministicRandomSource
+from repro.net.recording import TranscriptTransport
+from repro.resilience.chaos import FROZEN_CLOCK, ChaosResult
+from repro.telemetry.tracing import child
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+__all__ = ["PROC_PLAN_NAME", "run_process_chaos"]
+
+#: The plan name ``repro chaos --plan`` dispatches to this module.
+PROC_PLAN_NAME = "proc-kill-shard"
+
+
+def _run_round(coordinator, transport, su_id: str, tracer=None):
+    """One direct Figure-5 round (the chaos harness's driver, plain sends).
+
+    Unlike the in-memory harness there is no send-retry wrapper:
+    protocol-link sends are pure accounting on both planes and never
+    fail here — the injected fault lives on the router↔shard leg, where
+    the router's own policy recovers it.
+    """
+    client = coordinator.su_client(su_id)
+    root = tracer.start_span("round", su=su_id) if tracer is not None else None
+
+    def phase(name, fn, message):
+        span = child(root, name)
+        try:
+            return fn(message, span=span)
+        except BaseException as exc:
+            if span is not None:
+                span.record_error(exc)
+            raise
+        finally:
+            if span is not None:
+                span.end()
+
+    try:
+        request = client.prepare_request()
+        transport.send(request, su_id, "sdc")
+        sign_request = phase("phase1", coordinator.sdc.start_request, request)
+        transport.send(sign_request, "sdc", "stp")
+        sign_response = phase(
+            "stp", coordinator.stp.handle_sign_extraction, sign_request
+        )
+        transport.send(sign_response, "stp", "sdc")
+        response = phase("phase2", coordinator.sdc.finish_request, sign_response)
+        transport.send(response, "sdc", su_id)
+        return phase(
+            "license",
+            lambda message, span=None: client.process_response(
+                message, coordinator.stp.directory
+            ),
+            response,
+        )
+    except BaseException as exc:
+        if root is not None:
+            root.record_error(exc)
+        raise
+    finally:
+        if root is not None:
+            root.end()
+
+
+def _execute(coordinator, transport, rounds: int, su_ids, tracer=None):
+    transport.mark()  # close the enrolment segment
+    outcomes = []
+    for round_index in range(rounds):
+        outcomes.append(
+            _run_round(
+                coordinator, transport, su_ids[round_index % len(su_ids)], tracer
+            )
+        )
+        transport.mark()
+    return (
+        transport.segments(),
+        tuple(o.granted for o in outcomes),
+        tuple(o.license for o in outcomes),
+    )
+
+
+def _control_run(seed, shards, rounds, key_bits, scenario_seed, metrics):
+    """The clean in-memory run every faulted socket run is judged against."""
+    scenario = build_scenario(ScenarioConfig(seed=scenario_seed))
+    transport = TranscriptTransport()
+    coordinator = ClusterCoordinator(
+        scenario.environment,
+        num_shards=shards,
+        key_bits=key_bits,
+        rng=DeterministicRandomSource(seed),
+        transport=transport,
+        scatter_threads=1,
+        max_attempts=4,
+        clock=lambda: FROZEN_CLOCK,
+        metrics=metrics,
+    )
+    try:
+        for pu in scenario.pus:
+            coordinator.enroll_pu(pu)
+        su_ids = []
+        for su in scenario.sus:
+            coordinator.enroll_su(su)
+            su_ids.append(su.su_id)
+        return _execute(coordinator, transport, rounds, su_ids)
+    finally:
+        coordinator.close()
+
+
+def run_process_chaos(
+    seed: int = 7,
+    shards: int = 2,
+    rounds: int = 2,
+    key_bits: int = 256,
+    scenario_seed: int = 5,
+    metrics=None,
+    tracer=None,
+    workdir=None,
+) -> ChaosResult:
+    """SIGKILL shard-0's worker mid-phase-1 of round 1; judge vs control.
+
+    The fault fires from the sub-query hook *just before* the router's
+    first phase-1 transact to the victim, and waits for the process to
+    actually exit — so the transact deterministically hits a dead
+    worker, fails with ``LinkDownError``, and exercises the full
+    promote → restart → re-bootstrap → re-send path.
+    """
+    from repro.netd.plane import build_socket_coordinator
+
+    control_segments, control_granted, _ = _control_run(
+        seed, shards, rounds, key_bits, scenario_seed, metrics
+    )
+    if metrics is not None:
+        metrics.counter("chaos_runs_total", plan=PROC_PLAN_NAME).inc()
+
+    coordinator, scenario = build_socket_coordinator(
+        shards,
+        key_bits,
+        DeterministicRandomSource(seed),
+        ScenarioConfig(seed=scenario_seed),
+        metrics=metrics,
+        clock=lambda: FROZEN_CLOCK,
+        record_transcript=True,
+        workdir=workdir,
+        max_attempts=4,
+        scatter_threads=1,
+    )
+    victim = "shard-0"
+    notes: list[str] = []
+    try:
+        for pu in scenario.pus:
+            coordinator.enroll_pu(pu)
+        su_ids = []
+        for su in scenario.sus:
+            coordinator.enroll_su(su)
+            su_ids.append(su.su_id)
+
+        supervisor = coordinator._netd.supervisor
+        fired = [False]
+
+        def kill_once(phase: str, request) -> None:
+            if fired[0] or phase != "phase1" or request.shard_id != victim:
+                return
+            fired[0] = True
+            supervisor.kill(victim, signal.SIGKILL)
+            code = supervisor.wait_exit(victim)
+            notes.append(f"SIGKILL {victim} before phase-1 transact (exit {code})")
+
+        coordinator.replica_sets[victim].set_subquery_hook(kill_once)
+
+        transport = coordinator.transport
+        segments, granted, licenses = _execute(
+            coordinator, transport, rounds, su_ids, tracer
+        )
+        if not fired[0]:
+            notes.append(f"fault never fired: no phase-1 sub-query hit {victim}")
+        notes.append(f"restarts({victim})={supervisor.restarts(victim)}")
+        failovers = coordinator.router.stats.failovers
+        drops_retried = coordinator.router.stats.drops_retried
+        fault_stats = dict(transport.fault_stats)
+    finally:
+        coordinator.close()
+
+    transcript_equal = fired[0] and segments == control_segments
+    licenses_valid = granted == control_granted and all(
+        lic is not None for lic in licenses
+    )
+    return ChaosResult(
+        plans=(PROC_PLAN_NAME,),
+        seed=seed,
+        shards=shards,
+        rounds=rounds,
+        transcript_equal=transcript_equal,
+        exact_segments=len(control_segments),
+        licenses_valid=licenses_valid,
+        replayed_draws=-1,
+        fallback_draws=-1,
+        fault_stats=fault_stats,
+        failovers=failovers,
+        drops_retried=drops_retried,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,194 @@
+"""Length-prefixed, CRC-checked frames for the socket plane.
+
+One frame carries one message between processes::
+
+    b"NP" | u32 body_len | body | u32 crc32(body)
+    body  = encode_bytes(kind) + encode_int(seq) + encode_bytes(payload)
+
+The envelope mirrors :func:`repro.pisa.storage.frame_payload` (magic,
+explicit length, trailing CRC over the body) with two stream-oriented
+additions: the length prefix sits *outside* the body so a reader can
+size its next read before trusting anything else, and the body carries
+a ``kind`` tag plus a ``seq`` echo so responses pair with requests on a
+pooled connection.
+
+Payloads are the canonical byte encodings — ``pisa.messages.to_bytes``
+for protocol messages, :mod:`repro.netd.wire` codecs for shard
+sub-queries and control frames — so the socket plane adds framing, not
+a second serialisation format.
+
+Corruption anywhere (bad magic, torn frame, truncated length prefix,
+CRC mismatch, garbage body) raises
+:class:`~repro.errors.IntegrityError`, the same taxonomy the snapshot
+and journal readers use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct  # audit-ok: NET001 — netd owns the frame header layout
+import zlib
+
+from repro.crypto.serialization import decode_bytes, decode_int, encode_bytes, encode_int
+from repro.errors import IntegrityError, SerializationError
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_OVERHEAD",
+    "MAX_FRAME_BYTES",
+    "Frame",
+    "FrameDecoder",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+FRAME_MAGIC = b"NP"
+_LEN = struct.Struct(">I")
+#: magic + length prefix + trailing CRC.
+FRAME_OVERHEAD = len(FRAME_MAGIC) + _LEN.size + 4
+#: Default ceiling on one frame's body.  A paper-scale phase-1
+#: sub-query at 2048-bit keys is a few MB; 256 MB rejects garbage
+#: lengths (a corrupt prefix would otherwise stall a reader waiting for
+#: gigabytes) without constraining any real message.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class Frame:
+    """One decoded frame: a ``kind`` tag, a ``seq`` echo, and the payload."""
+
+    __slots__ = ("kind", "seq", "payload")
+
+    def __init__(self, kind: str, seq: int, payload: bytes) -> None:
+        self.kind = kind
+        self.seq = seq
+        self.payload = payload
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Frame)
+            and self.kind == other.kind
+            and self.seq == other.seq
+            and self.payload == other.payload
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame({self.kind!r}, seq={self.seq}, {len(self.payload)}B)"
+
+
+def encode_frame(kind: str, seq: int, payload: bytes) -> bytes:
+    """Serialise one frame; the inverse of :func:`decode_frame`."""
+    body = encode_bytes(kind.encode("utf-8")) + encode_int(seq) + encode_bytes(payload)
+    return FRAME_MAGIC + _LEN.pack(len(body)) + body + _LEN.pack(zlib.crc32(body))
+
+
+def _decode_body(body: bytes) -> Frame:
+    try:
+        kind_bytes, offset = decode_bytes(body, 0)
+        seq, offset = decode_int(body, offset)
+        payload, offset = decode_bytes(body, offset)
+        kind = kind_bytes.decode("utf-8")
+    except (SerializationError, UnicodeDecodeError) as exc:
+        raise IntegrityError(f"frame body is malformed: {exc}") from exc
+    if offset != len(body):
+        raise IntegrityError(f"frame body has {len(body) - offset} trailing bytes")
+    return Frame(kind, seq, payload)
+
+
+def decode_frame(
+    buffer: bytes, offset: int = 0, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> tuple[Frame, int]:
+    """Decode one frame at ``offset``; returns ``(frame, next_offset)``."""
+    header_end = offset + len(FRAME_MAGIC) + _LEN.size
+    if len(buffer) < header_end:
+        raise IntegrityError("frame truncated inside the length prefix")
+    if buffer[offset : offset + len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise IntegrityError("bad frame magic")
+    (body_len,) = _LEN.unpack_from(buffer, offset + len(FRAME_MAGIC))
+    if body_len > max_frame_bytes:
+        raise IntegrityError(
+            f"frame body of {body_len} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    end = header_end + body_len + 4
+    if len(buffer) < end:
+        raise IntegrityError("frame truncated before its CRC")
+    body = buffer[header_end : header_end + body_len]
+    (expected_crc,) = _LEN.unpack_from(buffer, header_end + body_len)
+    if zlib.crc32(body) != expected_crc:
+        raise IntegrityError("frame CRC mismatch")
+    return _decode_body(body), end
+
+
+class FrameDecoder:
+    """Incremental decoder for a TCP byte stream.
+
+    Feed arbitrary chunks; complete frames come out in order.  The
+    decoder never resynchronises after corruption — a TCP stream with a
+    bad frame has no trustworthy continuation, so the connection must be
+    torn down (the caller maps :class:`~repro.errors.IntegrityError` to
+    a link fault).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max = max_frame_bytes
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        header_size = len(FRAME_MAGIC) + _LEN.size
+        while len(self._buffer) >= header_size:
+            if bytes(self._buffer[: len(FRAME_MAGIC)]) != FRAME_MAGIC:
+                raise IntegrityError("bad frame magic in stream")
+            (body_len,) = _LEN.unpack_from(self._buffer, len(FRAME_MAGIC))
+            if body_len > self._max:
+                raise IntegrityError(
+                    f"frame body of {body_len} bytes exceeds the {self._max}-byte cap"
+                )
+            total = header_size + body_len + 4
+            if len(self._buffer) < total:
+                break
+            frame, _ = decode_frame(bytes(self._buffer[:total]), 0, self._max)
+            frames.append(frame)
+            del self._buffer[:total]
+        return frames
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Frame:
+    """Read exactly one frame from an asyncio stream.
+
+    Raises :class:`~repro.errors.IntegrityError` on corruption and lets
+    ``asyncio.IncompleteReadError`` (peer closed mid-frame) propagate
+    for the connection layer to classify as a link fault.
+    """
+    header = await reader.readexactly(len(FRAME_MAGIC) + _LEN.size)
+    if header[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise IntegrityError("bad frame magic on stream")
+    (body_len,) = _LEN.unpack_from(header, len(FRAME_MAGIC))
+    if body_len > max_frame_bytes:
+        raise IntegrityError(
+            f"frame body of {body_len} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    rest = await reader.readexactly(body_len + 4)
+    body = rest[:body_len]
+    (expected_crc,) = _LEN.unpack_from(rest, body_len)
+    if zlib.crc32(body) != expected_crc:
+        raise IntegrityError("frame CRC mismatch on stream")
+    return _decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, kind: str, seq: int, payload: bytes
+) -> int:
+    """Encode and write one frame; returns the bytes put on the wire."""
+    data = encode_frame(kind, seq, payload)
+    writer.write(data)
+    await writer.drain()
+    return len(data)

@@ -1,0 +1,376 @@
+"""The socket plane: a sharded PISA deployment across real OS processes.
+
+:func:`build_socket_service` stands up the same deployment shape as
+:func:`repro.service.loadtest.build_cluster_service`, except the SDC
+shards and the STP live in worker subprocesses behind TCP frames:
+
+* the **broker process** (this one) keeps the coordinator, the batch
+  allocator, every RNG draw, and license signing;
+* ``shard-N`` workers do the deterministic homomorphic arithmetic;
+* the ``stp`` worker performs sign extraction, reaching back to the
+  broker's authority for its per-cell nonces.
+
+Because all randomness stays on the broker's single stream — in the
+same order the in-memory plane draws it — and because
+``SocketTransport.send`` *is* the in-memory accounting funnel, a
+socket-plane run produces byte-identical protocol transcripts and
+identical span signatures to an in-memory run with the same seeds.
+That is asserted by ``tests/netd/test_equivalence.py`` and is the
+contract documented in ``docs/networking.md``.
+
+Construction order matters and is worth spelling out: the authority
+starts first (bound to the run's rng/clock), workers are spawned and
+poll ``bootstrap``, then the coordinator is built — registering the
+bootstrap providers mid-``__init__`` at the moment the group key
+exists — and the first ``transact`` of the build (block assignment)
+politely waits for the target worker's readiness file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ConfigurationError, TransportError
+from repro.netd.remote import AuthorityServer, RemoteShardSet, RemoteStp
+from repro.netd.supervisor import ProcessSupervisor
+from repro.netd.topology import ClusterSpec, TlsSpec
+from repro.netd.transport import NetLoop, PeerClient, SocketTransport
+from repro.netd.wire import decode_control, encode_control
+from repro.service import loadtest as loadtest_module
+from repro.service.batching import BatchAllocator
+from repro.service.broker import ServiceConfig, SpectrumAccessBroker
+from repro.service.loadtest import LoadtestConfig, LoadtestReport, ServiceFixture
+from repro.telemetry import MetricsRegistry, Tracer
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+__all__ = [
+    "SocketClusterCoordinator",
+    "build_socket_coordinator",
+    "build_socket_service",
+    "health_check",
+    "run_cluster_workload",
+    "run_socket_loadtest",
+]
+
+STP_ENDPOINT = "stp"
+
+
+@dataclass
+class NetdContext:
+    """Everything one socket-plane deployment owns besides the coordinator."""
+
+    loop: NetLoop
+    authority: AuthorityServer
+    supervisor: ProcessSupervisor
+    transport: SocketTransport
+    client_ssl: object = None
+
+    def close(self) -> None:
+        # SIGTERM first (workers shut down gracefully and the monitor
+        # stops resurrecting), then drop connections and the loop.
+        self.supervisor.stop_all()
+        self.transport.close_peers()
+        self.authority.stop()
+        self.loop.close()
+
+
+class SocketClusterCoordinator(ClusterCoordinator):
+    """A :class:`ClusterCoordinator` whose STP and shards are processes.
+
+    Only the two build hooks change: :meth:`_build_stp` draws the group
+    keypair *at the exact position* the in-process ``StpServer.__init__``
+    would (first draw of construction, before the signing key), then
+    hands it to a :class:`~repro.netd.remote.RemoteStp`; and
+    :meth:`_build_replica_set` yields
+    :class:`~repro.netd.remote.RemoteShardSet` proxies.  Everything else
+    — router, allocator, clients, license signing — is inherited
+    unchanged, which is the point.
+    """
+
+    def __init__(self, environment, netd: NetdContext, scenario_config, **kwargs):
+        # The build hooks run inside super().__init__; stash their
+        # dependencies first.
+        self._netd = netd
+        self._scenario_config = scenario_config
+        super().__init__(environment, **kwargs)
+
+    def _build_stp(self, key_bits: int, stp_executor) -> RemoteStp:
+        keypair = generate_keypair(key_bits, rng=self._rng)
+        stp = RemoteStp(self._netd.transport, STP_ENDPOINT, keypair, key_bits)
+        self._netd.authority.register_bootstrap(
+            STP_ENDPOINT, stp.bootstrap_payload
+        )
+        return stp
+
+    def _build_replica_set(self, shard_id: str) -> RemoteShardSet:
+        return RemoteShardSet(
+            shard_id,
+            self._netd.transport,
+            self._netd.supervisor,
+            self._netd.authority,
+            self._scenario_config,
+            self.stp.group_public_key,
+            heartbeat_timeout_s=self._heartbeat_timeout_s,
+        )
+
+    def close(self) -> None:
+        super().close()
+        self._netd.close()
+
+
+def build_socket_coordinator(
+    num_shards: int,
+    key_bits: int,
+    rng,
+    scenario_config: ScenarioConfig,
+    metrics: MetricsRegistry | None = None,
+    clock=None,
+    record_transcript: bool = False,
+    tls: TlsSpec | None = None,
+    host: str = "127.0.0.1",
+    workdir=None,
+    max_attempts: int = 2,
+    scatter_threads: int | None = None,
+):
+    """Stand up the process topology and the coordinator over it.
+
+    Returns ``(coordinator, scenario)``; nothing is enrolled yet.  The
+    lower-level seam shared by :func:`build_socket_service` and the
+    process-chaos harness (which drives Figure-5 rounds directly, no
+    broker).
+    """
+    if num_shards < 1:
+        raise ConfigurationError("the socket plane needs at least one shard")
+    scenario = build_scenario(scenario_config)
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    clock = clock if clock is not None else time.time
+
+    loop = NetLoop()
+    client_ssl = tls.client_context() if tls is not None else None
+    server_ssl = tls.server_context() if tls is not None else None
+    # The authority serves the same rng/clock objects the coordinator
+    # will draw from — one stream for the whole deployment.
+    authority = AuthorityServer(
+        loop, rng, clock, host=host, ssl_context=server_ssl, metrics=metrics
+    )
+    supervisor = ProcessSupervisor(host=host, workdir=workdir, metrics=metrics)
+    transport = SocketTransport(record_transcript=record_transcript)
+    try:
+        authority_host, authority_port = authority.start()
+        worker_args = ["--authority", f"{authority_host}:{authority_port}"]
+        if tls is not None:
+            worker_args += ["--tls-cert", tls.certfile, "--tls-key", tls.keyfile]
+            if tls.cafile:
+                worker_args += ["--tls-ca", tls.cafile]
+        names = [f"shard-{i}" for i in range(num_shards)] + [STP_ENDPOINT]
+        for i in range(num_shards):
+            supervisor.start(f"shard-{i}", "shard", tuple(worker_args))
+        supervisor.start(STP_ENDPOINT, "stp", tuple(worker_args))
+        for name in names:
+            transport.register_peer(
+                name,
+                PeerClient(
+                    name,
+                    # late-bound per peer; the provider re-reads the
+                    # readiness file, so restarts re-resolve transparently
+                    (lambda n: (lambda: supervisor.address(n)))(name),
+                    loop,
+                    ssl_context=client_ssl,
+                    metrics=metrics,
+                ),
+            )
+        netd = NetdContext(loop, authority, supervisor, transport, client_ssl)
+        coordinator = SocketClusterCoordinator(
+            scenario.environment,
+            netd=netd,
+            scenario_config=scenario_config,
+            num_shards=num_shards,
+            key_bits=key_bits,
+            rng=rng,
+            transport=transport,
+            metrics=metrics,
+            clock=clock,
+            max_attempts=max_attempts,
+            scatter_threads=scatter_threads,
+        )
+    except BaseException:
+        supervisor.stop_all()
+        transport.close_peers()
+        authority.stop()
+        loop.close()
+        raise
+    return coordinator, scenario
+
+
+def build_socket_service(
+    config: LoadtestConfig,
+    scenario_config: ScenarioConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    clock=None,
+    record_transcript: bool = False,
+    tls: TlsSpec | None = None,
+    host: str = "127.0.0.1",
+    workdir=None,
+) -> ServiceFixture:
+    """Stand up a socket-plane deployment wrapped in a service broker.
+
+    Same fixture surface as ``build_cluster_service`` — the loadtest
+    driver, broker, and report code run on it unmodified.  Call
+    ``fixture.close()``; it tears down the worker processes too.
+    """
+    if scenario_config is None:
+        scenario_config = ScenarioConfig(
+            seed=config.seed, num_sus=max(config.num_sus, 1)
+        )
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    coordinator, scenario = build_socket_coordinator(
+        config.shards,
+        max(config.key_bits, 512),
+        DeterministicRandomSource(config.seed),
+        scenario_config,
+        metrics=metrics,
+        clock=clock,
+        record_transcript=record_transcript,
+        tls=tls,
+        host=host,
+        workdir=workdir,
+    )
+    pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
+    su_ids = []
+    for su in scenario.sus[: config.num_sus]:
+        coordinator.enroll_su(su)
+        su_ids.append(su.su_id)
+    broker = SpectrumAccessBroker(
+        allocator=BatchAllocator.for_coordinator(coordinator),
+        pu_update_handler=coordinator.sdc.handle_pu_update,
+        config=config.service,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return ServiceFixture(
+        broker=broker,
+        coordinator=coordinator,
+        scenario=scenario,
+        pu_clients=pu_clients,
+        su_ids=su_ids,
+    )
+
+
+async def _run_fixture(fixture: ServiceFixture, config: LoadtestConfig) -> LoadtestReport:
+    start = time.perf_counter()
+    async with fixture.broker:
+        decisions = await loadtest_module._drive(fixture, config)
+    wall = time.perf_counter() - start
+    return LoadtestReport(
+        decisions=tuple(decisions),
+        wall_seconds=wall,
+        metrics=fixture.broker.metrics.snapshot(),
+    )
+
+
+def run_socket_loadtest(
+    config: LoadtestConfig,
+    scenario_config: ScenarioConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    clock=None,
+    record_transcript: bool = False,
+    tls: TlsSpec | None = None,
+    host: str = "127.0.0.1",
+    workdir=None,
+) -> tuple[LoadtestReport, tuple[str, ...]]:
+    """Drive the standard loadtest over real sockets.
+
+    Returns the report plus the captured protocol transcript
+    (fingerprints; empty unless ``record_transcript=True``) so callers
+    can compare planes without keeping the deployment alive.
+    """
+    fixture = build_socket_service(
+        config,
+        scenario_config=scenario_config,
+        metrics=metrics,
+        tracer=tracer,
+        clock=clock,
+        record_transcript=record_transcript,
+        tls=tls,
+        host=host,
+        workdir=workdir,
+    )
+    try:
+        report = asyncio.run(_run_fixture(fixture, config))
+        fingerprints = tuple(fixture.coordinator.transport.fingerprints)
+    finally:
+        fixture.close()
+    return report, fingerprints
+
+
+def health_check(fixture: ServiceFixture) -> dict:
+    """Ping every worker over its live link; include process liveness."""
+    coordinator = fixture.coordinator
+    netd: NetdContext = coordinator._netd
+    out = {}
+    for name in netd.transport.peer_endpoints:
+        entry = {"process_running": netd.supervisor.is_running(name)}
+        try:
+            frame = netd.transport.transact(
+                name, "ping", encode_control({}), timeout=5.0
+            )
+            info, _ = decode_control(frame.payload)
+            entry.update(info)
+            entry["reachable"] = True
+        except TransportError as exc:
+            entry["reachable"] = False
+            entry["error"] = str(exc)
+        out[name] = entry
+    return out
+
+
+def run_cluster_workload(
+    spec: ClusterSpec,
+    output: str = "",
+    metrics_path: str = "",
+) -> LoadtestReport:
+    """Materialise a spec's process topology and run its workload.
+
+    This is what ``repro cluster-up`` executes (inside the broker
+    worker): build the socket plane, drive the seeded loadtest, and
+    write the report JSON / Prometheus metrics text where asked.
+    """
+    config = LoadtestConfig(
+        seed=spec.seed,
+        num_requests=spec.requests,
+        arrivals_per_second=spec.rate_per_second,
+        num_sus=spec.sus,
+        num_pu_switches=spec.pu_switches,
+        key_bits=spec.key_bits,
+        shards=spec.shards,
+        service=ServiceConfig(
+            batch_window_s=spec.batch_window_ms / 1000.0, max_batch=spec.max_batch
+        ),
+    )
+    metrics = MetricsRegistry()
+    report, _ = run_socket_loadtest(
+        config,
+        scenario_config=ScenarioConfig(seed=spec.scenario_seed, num_sus=max(spec.sus, 1)),
+        metrics=metrics,
+        tls=spec.tls,
+        host=spec.host,
+    )
+    if output:
+        pathlib.Path(output).write_text(
+            json.dumps(report.to_json_dict(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+    if metrics_path:
+        pathlib.Path(metrics_path).write_text(
+            metrics.to_prometheus(), encoding="utf-8"
+        )
+    return report

@@ -1,0 +1,463 @@
+"""The authority server and the broker-side proxies for remote workers.
+
+Determinism across process boundaries hinges on one rule: **every
+protocol draw happens against the broker's RNG stream**.  Local draws
+(blinding triples, obfuscator nonces, keys) already do; the one remote
+consumer — the STP worker's per-cell re-encryption nonces — reaches
+back over the wire instead of drawing locally.  :class:`AuthorityServer`
+is that reach-back point: it serves ``rand`` and ``clock`` frames
+straight from the coordinator's (possibly journaling) sources, so the
+unified draw stream — and therefore the epoch journal — covers the
+whole deployment, and a socket-plane run replays the exact in-memory
+draw order.
+
+The same server doubles as the bootstrap registry.  Workers *pull*
+their configuration: dial the authority, poll ``bootstrap`` until the
+coordinator has registered a provider, apply it, bind, report ready.
+Because providers serve the *current* state (blocks, cached PU updates,
+registered SU keys), a crash restart re-runs the identical pull and
+needs no push-style resync from the broker.
+
+The proxies — :class:`RemoteStp`, :class:`RemoteShardSet` /
+:class:`RemoteShard` — present the exact duck interfaces of
+:class:`~repro.pisa.stp_server.StpServer` and
+:class:`~repro.cluster.replica.ShardReplicaSet`, so the router, batch
+allocator, and :class:`~repro.cluster.coordinator.ClusterSdc` run
+unmodified over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import signal
+import threading
+import time
+
+from repro.cluster.replica import FailoverEvent
+from repro.crypto.paillier import PaillierKeypair, PaillierPublicKey
+from repro.crypto.rand import RandomSource
+from repro.crypto.serialization import (
+    decode_int,
+    encode_bytes,
+    encode_int,
+    encode_private_key,
+    encode_public_key,
+)
+from repro.errors import ProtocolError, ReproError, TransportError
+from repro.netd.framing import read_frame, write_frame
+from repro.netd.transport import PeerClient, SocketTransport, classify_network_error
+from repro.netd.wire import (
+    decode_control,
+    decode_phase1_response,
+    decode_phase2_response,
+    encode_control,
+    encode_error,
+    encode_phase1_request,
+    encode_phase2_request,
+)
+from repro.pisa.keys import KeyDirectory
+from repro.pisa.messages import SignExtractionRequest, SignExtractionResponse
+from repro.pisa.stp_server import StpStats
+
+__all__ = [
+    "AuthorityServer",
+    "RemoteClock",
+    "RemoteRandomSource",
+    "RemoteShard",
+    "RemoteShardSet",
+    "RemoteStp",
+]
+
+
+class AuthorityServer:
+    """The broker's single source of randomness, time, and bootstrap state.
+
+    Runs on the deployment's :class:`~repro.netd.transport.NetLoop`.
+    ``rand`` handlers execute on the loop thread, so concurrent remote
+    draws are serialised exactly like concurrent local ones — one
+    stream, one order.
+    """
+
+    def __init__(
+        self,
+        runner,
+        rng: RandomSource,
+        clock,
+        host: str = "127.0.0.1",
+        ssl_context=None,
+        metrics=None,
+    ) -> None:
+        self._runner = runner
+        self._rng = rng
+        self._clock = clock
+        self._host = host
+        self._ssl = ssl_context
+        self._metrics = metrics
+        self._providers: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+
+    def register_bootstrap(self, name: str, provider) -> None:
+        """Register ``provider() -> bytes`` as worker ``name``'s config."""
+        with self._lock:
+            self._providers[name] = provider
+
+    def start(self) -> tuple[str, int]:
+        self.address = self._runner.run(self._start(), timeout=10.0)
+        return self.address
+
+    async def _start(self) -> tuple[str, int]:
+        try:
+            self._server = await asyncio.start_server(
+                self._serve, self._host, 0, ssl=self._ssl
+            )
+        except Exception as exc:
+            raise classify_network_error(exc, "authority") from exc
+        port = self._server.sockets[0].getsockname()[1]
+        return (self._host, port)
+
+    async def _serve(self, reader, writer) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                try:
+                    kind, payload = self._dispatch(frame.kind, frame.payload)
+                except ReproError as exc:
+                    kind, payload = "err", encode_error(exc)
+                await write_frame(writer, kind, frame.seq, payload)
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "netd_frames_total", peer="authority"
+                    ).inc(2)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, kind: str, payload: bytes) -> tuple[str, bytes]:
+        if kind == "hello":
+            return "hello", encode_control({})
+        if kind == "ping":
+            return "ok", encode_control({"ok": True})
+        if kind == "rand":
+            obj, _ = decode_control(payload)
+            value = self._rng.randbits(int(obj["bits"]))
+            return "ok", encode_int(value)
+        if kind == "clock":
+            return "ok", encode_control({"value": float(self._clock())})
+        if kind == "bootstrap":
+            obj, _ = decode_control(payload)
+            name = str(obj["name"])
+            with self._lock:
+                provider = self._providers.get(name)
+            if provider is None:
+                # The worker started before the coordinator finished
+                # building; tell it to poll again rather than erroring.
+                return "retry", encode_control({})
+            return "ok", provider()
+        raise TransportError(f"authority cannot serve frame kind {kind!r}")
+
+    def stop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+
+        async def _close() -> None:
+            server.close()
+            await server.wait_closed()
+
+        try:
+            self._runner.run(_close(), timeout=5.0)
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+class RemoteRandomSource(RandomSource):
+    """A worker's view of the broker's draw stream.
+
+    Only :meth:`randbits` crosses the wire; ``randbelow``'s rejection
+    sampling runs locally on top of it, so the *number and width* of
+    raw draws is bit-identical to an in-process
+    :class:`~repro.crypto.rand.RandomSource` — the property the
+    transcript-equivalence test rests on.
+    """
+
+    def __init__(self, peer: PeerClient) -> None:
+        self._peer = peer
+
+    def randbits(self, bits: int) -> int:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits == 0:
+            return 0
+        frame = self._peer.transact("rand", encode_control({"bits": int(bits)}))
+        value, _ = decode_int(frame.payload, 0)
+        return value
+
+
+class RemoteClock:
+    """A worker's view of the broker's (possibly journaled) clock."""
+
+    def __init__(self, peer: PeerClient) -> None:
+        self._peer = peer
+
+    def __call__(self) -> float:
+        frame = self._peer.transact("clock", encode_control({}))
+        obj, _ = decode_control(frame.payload)
+        return float(obj["value"])
+
+
+class RemoteStp:
+    """Broker-side proxy for an STP worker process.
+
+    The key directory lives *here* (the broker enrols SUs and validates
+    licenses); registrations are mirrored to the worker both live (a
+    ``register_su`` frame) and via the bootstrap provider, so a
+    restarted STP re-learns every key.  The group keypair is generated
+    broker-side — at the exact draw position ``StpServer.__init__``
+    would use — and shipped to the worker in its bootstrap.
+    """
+
+    def __init__(
+        self,
+        transport: SocketTransport,
+        endpoint: str,
+        keypair: PaillierKeypair,
+        key_bits: int,
+    ) -> None:
+        self._transport = transport
+        self._endpoint = endpoint
+        self._keypair = keypair
+        self.key_bits = key_bits
+        self.directory = KeyDirectory(keypair.public_key)
+        #: su_id → public key, in registration order (dicts preserve it);
+        #: the bootstrap provider serialises this.
+        self._su_registry: dict[str, PaillierPublicKey] = {}
+        self.stats = StpStats()
+
+    @property
+    def group_public_key(self) -> PaillierPublicKey:
+        return self._keypair.public_key
+
+    def bootstrap_payload(self) -> bytes:
+        su_ids = list(self._su_registry)
+        attachments = [encode_private_key(self._keypair.private_key)]
+        attachments.extend(
+            encode_public_key(self._su_registry[su_id]) for su_id in su_ids
+        )
+        return encode_control(
+            {"role": "stp", "key_bits": self.key_bits, "sus": su_ids},
+            *attachments,
+        )
+
+    def register_su(self, su_id: str, public_key: PaillierPublicKey) -> None:
+        self.directory.register_su_key(su_id, public_key)
+        self._su_registry[su_id] = public_key
+        self._transport.transact(
+            self._endpoint,
+            "register_su",
+            encode_control({"su_id": su_id}, encode_public_key(public_key)),
+        )
+
+    def handle_sign_extraction(
+        self, request: SignExtractionRequest, span=None
+    ) -> SignExtractionResponse:
+        if span is not None:
+            span.set_attribute("rows", len(request.matrix))
+        # Same early validation (and error type) as the local server —
+        # a missing key must not cost a round trip.
+        if not self.directory.has_su_key(request.su_id):
+            raise ProtocolError(f"SU {request.su_id!r} has not registered a key")
+        su_key = self.directory.su_key(request.su_id)
+        frame = self._transport.transact(
+            self._endpoint, "sign_req", request.to_bytes()
+        )
+        response = SignExtractionResponse.from_bytes(frame.payload, su_key)
+        cells = sum(len(row) for row in request.matrix)
+        self.stats.cells_decrypted += cells
+        self.stats.cells_encrypted += cells
+        self.stats.conversions += 1
+        return response
+
+
+class RemoteShard:
+    """The ``.primary`` face of a shard worker: sub-queries over frames.
+
+    Phase-2 matrices are under the requesting SU's key, which the worker
+    does not hold — so the frame prepends ``pk_j`` and the worker
+    decodes against it (ciphertext validation needs the right modulus).
+    """
+
+    def __init__(self, owner: "RemoteShardSet") -> None:
+        self._owner = owner
+        self.shard_id = owner.shard_id
+
+    @property
+    def alive(self) -> bool:
+        return self._owner.supervisor.is_running(self.shard_id)
+
+    def process_phase1(self, request):
+        self._owner.fire_subquery_hook("phase1", request)
+        frame = self._owner.transact("phase1", encode_phase1_request(request))
+        return decode_phase1_response(frame.payload, self._owner.group_public_key)
+
+    def process_phase2(self, request):
+        self._owner.fire_subquery_hook("phase2", request)
+        su_key = request.matrix[0][0].public_key
+        payload = encode_bytes(encode_public_key(su_key)) + encode_phase2_request(
+            request
+        )
+        frame = self._owner.transact("phase2", payload)
+        return decode_phase2_response(frame.payload, su_key)
+
+
+class RemoteShardSet:
+    """Broker-side stand-in for :class:`~repro.cluster.replica.ShardReplicaSet`.
+
+    There is no warm standby process; the "promote" of the socket plane
+    is *restart and re-bootstrap* — :meth:`promote` asks the supervisor
+    for a live worker, and the worker pulls its full current state
+    (blocks, latest update per PU, committed epoch) from the bootstrap
+    provider, which this object keeps serving from its caches.  Since
+    ``⊕`` is commutative and the shard keeps only the latest update per
+    PU, replaying those latest updates onto a fresh shard reproduces the
+    exact pre-crash aggregate ``W̃`` state.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        transport: SocketTransport,
+        supervisor,
+        authority: AuthorityServer,
+        scenario_config,
+        group_public_key: PaillierPublicKey,
+        heartbeat_timeout_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.shard_id = shard_id
+        self._transport = transport
+        self.supervisor = supervisor
+        self._scenario_spec = dataclasses.asdict(scenario_config)
+        self.group_public_key = group_public_key
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._blocks: set[int] = set()
+        self._pu_updates: dict[str, bytes] = {}
+        self._last_epoch = -1
+        self._hook = None
+        self._last_heartbeat = clock()
+        self.failovers: list[FailoverEvent] = []
+        self.primary = RemoteShard(self)
+        authority.register_bootstrap(shard_id, self.bootstrap_payload)
+
+    # -- bootstrap -----------------------------------------------------------------
+
+    def bootstrap_payload(self) -> bytes:
+        with self._lock:
+            pu_ids = sorted(self._pu_updates)
+            attachments = [encode_public_key(self.group_public_key)]
+            attachments.extend(self._pu_updates[pu_id] for pu_id in pu_ids)
+            return encode_control(
+                {
+                    "role": "shard",
+                    "shard_id": self.shard_id,
+                    "scenario": self._scenario_spec,
+                    "blocks": sorted(self._blocks),
+                    "pus": pu_ids,
+                    "epoch": self._last_epoch,
+                },
+                *attachments,
+            )
+
+    # -- wiring --------------------------------------------------------------------
+
+    def transact(self, kind: str, payload: bytes):
+        return self._transport.transact(self.shard_id, kind, payload)
+
+    def set_subquery_hook(self, hook) -> None:
+        """Chaos seam: ``hook(phase, request)`` fires before each transact."""
+        self._hook = hook
+
+    def fire_subquery_hook(self, phase: str, request) -> None:
+        hook = self._hook
+        if hook is not None:
+            hook(phase, request)
+
+    # -- state fan-out (mirrors ShardReplicaSet) -----------------------------------
+
+    def assign_blocks(self, blocks: tuple[int, ...]) -> None:
+        with self._lock:
+            self._blocks.update(blocks)
+        self.transact("assign_blocks", encode_control({"blocks": sorted(blocks)}))
+
+    def release_blocks(self, blocks: tuple[int, ...]) -> None:
+        with self._lock:
+            self._blocks.difference_update(blocks)
+        self.transact("release_blocks", encode_control({"blocks": sorted(blocks)}))
+
+    @property
+    def blocks(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._blocks))
+
+    def apply_pu_update(self, message) -> None:
+        raw = message.to_bytes()
+        with self._lock:
+            self._pu_updates[message.pu_id] = raw
+        self.transact("pu_update", raw)
+
+    def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
+        with self._lock:
+            self._last_epoch = max(self._last_epoch, epoch_id)
+        self.transact(
+            "commit_epoch",
+            encode_control({"epoch": epoch_id, "snapshot": bool(snapshot)}),
+        )
+
+    # -- liveness ------------------------------------------------------------------
+
+    def record_heartbeat(self, now: float | None = None) -> None:
+        with self._lock:
+            self._last_heartbeat = self._clock() if now is None else now
+
+    def heartbeat_age(self, now: float | None = None) -> float:
+        with self._lock:
+            reference = self._clock() if now is None else now
+            return reference - self._last_heartbeat
+
+    def is_alive(self, now: float | None = None) -> bool:
+        return (
+            self.primary.alive
+            and self.heartbeat_age(now) <= self.heartbeat_timeout_s
+        )
+
+    def kill_primary(self) -> None:
+        """Real fault injection: SIGKILL the worker process."""
+        self.supervisor.kill(self.shard_id, signal.SIGKILL)
+
+    # -- failover ------------------------------------------------------------------
+
+    def promote(self) -> FailoverEvent:
+        """Restart-and-re-bootstrap; the socket plane's failover."""
+        self.supervisor.ensure_running(self.shard_id)
+        self.record_heartbeat()
+        with self._lock:
+            event = FailoverEvent(
+                shard_id=self.shard_id,
+                at=self._clock(),
+                resumed_epoch=self._last_epoch,
+                from_snapshot=False,
+            )
+            self.failovers.append(event)
+        return event
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteShardSet({self.shard_id!r}, "
+            f"alive={self.primary.alive}, failovers={len(self.failovers)})"
+        )

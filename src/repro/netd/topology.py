@@ -1,0 +1,163 @@
+"""Cluster topology specs for ``repro cluster-up``.
+
+A spec file is a small JSON document describing the process topology
+and the seeded workload to run over it::
+
+    {
+      "shards": 2,
+      "requests": 6,
+      "rate_per_second": 200.0,
+      "sus": 2,
+      "pu_switches": 0,
+      "seed": 7,
+      "scenario_seed": 5,
+      "key_bits": 256,
+      "batch_window_ms": 0.0,
+      "max_batch": 4,
+      "host": "127.0.0.1",
+      "tls": {"certfile": "...", "keyfile": "...", "cafile": "..."}
+    }
+
+Everything except ``shards`` has a default; ``tls`` is optional (see
+``docs/networking.md`` for certificate setup).  Ports are never part of
+a spec — workers bind ephemeral ports and report them through their
+readiness files, so two clusters can share a machine.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import ssl
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ClusterSpec", "TlsSpec", "load_cluster_spec"]
+
+
+@dataclass(frozen=True)
+class TlsSpec:
+    """Paths for mutually authenticated TLS between broker and workers."""
+
+    certfile: str
+    keyfile: str
+    cafile: str | None = None
+
+    def __post_init__(self) -> None:
+        for label, path in (("certfile", self.certfile), ("keyfile", self.keyfile)):
+            if not pathlib.Path(path).exists():
+                raise ConfigurationError(f"tls {label} does not exist: {path}")
+        if self.cafile is not None and not pathlib.Path(self.cafile).exists():
+            raise ConfigurationError(f"tls cafile does not exist: {self.cafile}")
+
+    def client_context(self) -> ssl.SSLContext:
+        context = ssl.create_default_context(
+            ssl.Purpose.SERVER_AUTH, cafile=self.cafile
+        )
+        context.load_cert_chain(self.certfile, self.keyfile)
+        # Workers present the shared deployment certificate, not a
+        # per-host one; identity is the CA, not the hostname.
+        context.check_hostname = False
+        return context
+
+    def server_context(self) -> ssl.SSLContext:
+        context = ssl.create_default_context(
+            ssl.Purpose.CLIENT_AUTH, cafile=self.cafile
+        )
+        context.load_cert_chain(self.certfile, self.keyfile)
+        if self.cafile is not None:
+            context.verify_mode = ssl.CERT_REQUIRED
+        return context
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One materialisable deployment: topology + seeded workload."""
+
+    shards: int = 2
+    requests: int = 6
+    rate_per_second: float = 200.0
+    sus: int = 2
+    pu_switches: int = 0
+    seed: int = 7
+    scenario_seed: int = 5
+    key_bits: int = 256
+    batch_window_ms: float = 0.0
+    max_batch: int = 4
+    host: str = "127.0.0.1"
+    tls: TlsSpec | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("a cluster spec needs at least one shard")
+        if self.requests < 1:
+            raise ConfigurationError("a cluster spec needs at least one request")
+        if self.rate_per_second <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.sus < 1:
+            raise ConfigurationError("a cluster spec needs at least one SU")
+
+    def to_json_dict(self) -> dict:
+        out = {
+            "shards": self.shards,
+            "requests": self.requests,
+            "rate_per_second": self.rate_per_second,
+            "sus": self.sus,
+            "pu_switches": self.pu_switches,
+            "seed": self.seed,
+            "scenario_seed": self.scenario_seed,
+            "key_bits": self.key_bits,
+            "batch_window_ms": self.batch_window_ms,
+            "max_batch": self.max_batch,
+            "host": self.host,
+        }
+        if self.tls is not None:
+            out["tls"] = {
+                "certfile": self.tls.certfile,
+                "keyfile": self.tls.keyfile,
+                "cafile": self.tls.cafile,
+            }
+        return out
+
+
+_SPEC_KEYS = {
+    "shards",
+    "requests",
+    "rate_per_second",
+    "sus",
+    "pu_switches",
+    "seed",
+    "scenario_seed",
+    "key_bits",
+    "batch_window_ms",
+    "max_batch",
+    "host",
+    "tls",
+}
+
+
+def load_cluster_spec(path: str | pathlib.Path) -> ClusterSpec:
+    """Parse and validate a spec file; unknown keys are typos, not noise."""
+    try:
+        raw = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read cluster spec {path}: {exc}") from exc
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"cluster spec {path} is not JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("a cluster spec must be a JSON object")
+    unknown = sorted(set(data) - _SPEC_KEYS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown cluster spec keys: {', '.join(unknown)}"
+        )
+    tls_data = data.pop("tls", None)
+    tls = None
+    if tls_data is not None:
+        if not isinstance(tls_data, dict):
+            raise ConfigurationError("cluster spec 'tls' must be an object")
+        tls = TlsSpec(**tls_data)
+    return ClusterSpec(tls=tls, **data)

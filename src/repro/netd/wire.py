@@ -1,0 +1,341 @@
+"""Byte codecs for everything the socket plane puts in a frame payload.
+
+Three payload families cross process boundaries:
+
+* **Protocol messages** (``pisa.messages``) already own canonical
+  ``to_bytes``/``from_bytes`` encodings; frames carry those bytes
+  verbatim.  :data:`PROTOCOL_KINDS` names the frame kind per class.
+* **Shard sub-queries** (``cluster.shard`` dataclasses) existed only
+  in-process before; this module gives them byte codecs built from the
+  same :mod:`repro.crypto.serialization` primitives, matching the
+  ``wire_size()`` arithmetic the §VI-A accounting already used (ε as a
+  one-byte-magnitude sign flag, obfuscators with a presence flag).
+* **Control frames** (hello, config, bootstrap, rand, clock, errors)
+  are small JSON objects — sorted keys, UTF-8 — optionally followed by
+  binary attachments via ``encode_bytes``.
+
+Error propagation is typed end to end: a worker catches a
+:class:`~repro.errors.ReproError`, ships ``{"error": <class name>,
+"message": ...}`` in an ``err`` frame, and :func:`raise_remote_error`
+re-raises the same class in the caller — so a remote
+``ProtocolError`` is indistinguishable from a local one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.errors as errors_module
+from repro.cluster.shard import (
+    ShardPhase1Request,
+    ShardPhase1Response,
+    ShardPhase2Request,
+    ShardPhase2Response,
+)
+from repro.crypto.paillier import PaillierPublicKey
+from repro.crypto.serialization import (
+    decode_bytes,
+    decode_ciphertext,
+    decode_int,
+    encode_bytes,
+    encode_ciphertext,
+    encode_int,
+)
+from repro.errors import ReproError, SerializationError, TransportError
+from repro.pisa.blinding import CellBlinding
+from repro.pisa.messages import (
+    LicenseResponse,
+    PUUpdateMessage,
+    SignExtractionRequest,
+    SignExtractionResponse,
+    SURequestMessage,
+)
+
+__all__ = [
+    "PROTOCOL_KINDS",
+    "decode_control",
+    "decode_error",
+    "decode_phase1_request",
+    "decode_phase1_response",
+    "decode_phase2_request",
+    "decode_phase2_response",
+    "encode_control",
+    "encode_error",
+    "encode_phase1_request",
+    "encode_phase1_response",
+    "encode_phase2_request",
+    "encode_phase2_response",
+    "raise_remote_error",
+]
+
+#: Frame kind per protocol message class (payload = ``to_bytes()``).
+PROTOCOL_KINDS: dict[type, str] = {
+    PUUpdateMessage: "pu_update",
+    SURequestMessage: "su_request",
+    SignExtractionRequest: "sign_req",
+    SignExtractionResponse: "sign_resp",
+    LicenseResponse: "license_resp",
+}
+
+
+def _encode_str(value: str) -> bytes:
+    return encode_bytes(value.encode("utf-8"))
+
+
+def _decode_str(buffer: bytes, offset: int) -> tuple[str, int]:
+    raw, offset = decode_bytes(buffer, offset)
+    return raw.decode("utf-8"), offset
+
+
+def _encode_ints(values: tuple[int, ...]) -> bytes:
+    return encode_int(len(values)) + b"".join(encode_int(v) for v in values)
+
+
+def _decode_ints(buffer: bytes, offset: int) -> tuple[tuple[int, ...], int]:
+    count, offset = decode_int(buffer, offset)
+    out = []
+    for _ in range(count):
+        value, offset = decode_int(buffer, offset)
+        out.append(value)
+    return tuple(out), offset
+
+
+def _check_consumed(buffer: bytes, offset: int, what: str) -> None:
+    if offset != len(buffer):
+        raise SerializationError(f"trailing bytes in {what}")
+
+
+# -- shard sub-queries ------------------------------------------------------------
+#
+# Dimensions travel as (rows, cols) headers; ε as 0/1 (−1 ↔ 0) so every
+# field stays a non-negative ``encode_int`` — the same one-byte-magnitude
+# sign flag the dataclasses' ``wire_size()`` arithmetic already assumed.
+
+
+def encode_phase1_request(request: ShardPhase1Request) -> bytes:
+    parts = [
+        _encode_str(request.round_id),
+        _encode_str(request.su_id),
+        _encode_str(request.shard_id),
+        _encode_ints(request.columns),
+        _encode_ints(request.blocks),
+        encode_int(len(request.matrix)),
+        encode_int(len(request.matrix[0]) if request.matrix else 0),
+    ]
+    for row, blinding_row, obf_row in zip(
+        request.matrix, request.blindings, request.obfuscators
+    ):
+        for ct, cell, r in zip(row, blinding_row, obf_row):
+            parts.append(encode_ciphertext(ct))
+            parts.append(encode_int(cell.alpha))
+            parts.append(encode_int(cell.beta))
+            parts.append(encode_int(1 if cell.epsilon == 1 else 0))
+            if r is None:
+                parts.append(encode_int(0))
+            else:
+                parts.append(encode_int(1))
+                parts.append(encode_int(r))
+    return b"".join(parts)
+
+
+def decode_phase1_request(
+    buffer: bytes, public_key: PaillierPublicKey
+) -> ShardPhase1Request:
+    round_id, offset = _decode_str(buffer, 0)
+    su_id, offset = _decode_str(buffer, offset)
+    shard_id, offset = _decode_str(buffer, offset)
+    columns, offset = _decode_ints(buffer, offset)
+    blocks, offset = _decode_ints(buffer, offset)
+    n_rows, offset = decode_int(buffer, offset)
+    n_cols, offset = decode_int(buffer, offset)
+    matrix, blindings, obfuscators = [], [], []
+    for _ in range(n_rows):
+        ct_row, blinding_row, obf_row = [], [], []
+        for _ in range(n_cols):
+            ct, offset = decode_ciphertext(buffer, public_key, offset)
+            alpha, offset = decode_int(buffer, offset)
+            beta, offset = decode_int(buffer, offset)
+            eps_flag, offset = decode_int(buffer, offset)
+            has_r, offset = decode_int(buffer, offset)
+            r = None
+            if has_r:
+                r, offset = decode_int(buffer, offset)
+            ct_row.append(ct)
+            blinding_row.append(
+                CellBlinding(alpha=alpha, beta=beta, epsilon=1 if eps_flag else -1)
+            )
+            obf_row.append(r)
+        matrix.append(tuple(ct_row))
+        blindings.append(tuple(blinding_row))
+        obfuscators.append(tuple(obf_row))
+    _check_consumed(buffer, offset, "shard phase-1 request")
+    return ShardPhase1Request(
+        round_id=round_id,
+        su_id=su_id,
+        shard_id=shard_id,
+        columns=columns,
+        blocks=blocks,
+        matrix=tuple(matrix),
+        blindings=tuple(blindings),
+        obfuscators=tuple(obfuscators),
+    )
+
+
+def encode_phase1_response(response: ShardPhase1Response) -> bytes:
+    parts = [
+        _encode_str(response.round_id),
+        _encode_str(response.shard_id),
+        _encode_ints(response.columns),
+        encode_int(len(response.matrix)),
+        encode_int(len(response.matrix[0]) if response.matrix else 0),
+    ]
+    for row in response.matrix:
+        parts.extend(encode_ciphertext(ct) for ct in row)
+    return b"".join(parts)
+
+
+def decode_phase1_response(
+    buffer: bytes, public_key: PaillierPublicKey
+) -> ShardPhase1Response:
+    round_id, offset = _decode_str(buffer, 0)
+    shard_id, offset = _decode_str(buffer, offset)
+    columns, offset = _decode_ints(buffer, offset)
+    n_rows, offset = decode_int(buffer, offset)
+    n_cols, offset = decode_int(buffer, offset)
+    matrix = []
+    for _ in range(n_rows):
+        row = []
+        for _ in range(n_cols):
+            ct, offset = decode_ciphertext(buffer, public_key, offset)
+            row.append(ct)
+        matrix.append(tuple(row))
+    _check_consumed(buffer, offset, "shard phase-1 response")
+    return ShardPhase1Response(
+        round_id=round_id, shard_id=shard_id, columns=columns, matrix=tuple(matrix)
+    )
+
+
+def encode_phase2_request(request: ShardPhase2Request) -> bytes:
+    parts = [
+        _encode_str(request.round_id),
+        _encode_str(request.shard_id),
+        _encode_ints(request.columns),
+        encode_int(len(request.matrix)),
+        encode_int(len(request.matrix[0]) if request.matrix else 0),
+    ]
+    for row, eps_row in zip(request.matrix, request.epsilons):
+        for ct, epsilon in zip(row, eps_row):
+            parts.append(encode_ciphertext(ct))
+            parts.append(encode_int(1 if epsilon == 1 else 0))
+    return b"".join(parts)
+
+
+def decode_phase2_request(
+    buffer: bytes, su_public_key: PaillierPublicKey
+) -> ShardPhase2Request:
+    round_id, offset = _decode_str(buffer, 0)
+    shard_id, offset = _decode_str(buffer, offset)
+    columns, offset = _decode_ints(buffer, offset)
+    n_rows, offset = decode_int(buffer, offset)
+    n_cols, offset = decode_int(buffer, offset)
+    matrix, epsilons = [], []
+    for _ in range(n_rows):
+        ct_row, eps_row = [], []
+        for _ in range(n_cols):
+            ct, offset = decode_ciphertext(buffer, su_public_key, offset)
+            eps_flag, offset = decode_int(buffer, offset)
+            ct_row.append(ct)
+            eps_row.append(1 if eps_flag else -1)
+        matrix.append(tuple(ct_row))
+        epsilons.append(tuple(eps_row))
+    _check_consumed(buffer, offset, "shard phase-2 request")
+    return ShardPhase2Request(
+        round_id=round_id,
+        shard_id=shard_id,
+        columns=columns,
+        matrix=tuple(matrix),
+        epsilons=tuple(epsilons),
+    )
+
+
+def encode_phase2_response(response: ShardPhase2Response) -> bytes:
+    return b"".join(
+        [
+            _encode_str(response.round_id),
+            _encode_str(response.shard_id),
+            encode_int(response.cell_count),
+            encode_ciphertext(response.partial_q),
+        ]
+    )
+
+
+def decode_phase2_response(
+    buffer: bytes, su_public_key: PaillierPublicKey
+) -> ShardPhase2Response:
+    round_id, offset = _decode_str(buffer, 0)
+    shard_id, offset = _decode_str(buffer, offset)
+    cell_count, offset = decode_int(buffer, offset)
+    partial_q, offset = decode_ciphertext(buffer, su_public_key, offset)
+    _check_consumed(buffer, offset, "shard phase-2 response")
+    return ShardPhase2Response(
+        round_id=round_id,
+        shard_id=shard_id,
+        cell_count=cell_count,
+        partial_q=partial_q,
+    )
+
+
+# -- control frames ---------------------------------------------------------------
+
+
+def encode_control(obj: dict, *attachments: bytes) -> bytes:
+    """A JSON control header plus ordered binary attachments."""
+    payload = encode_bytes(
+        json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+    return payload + b"".join(encode_bytes(blob) for blob in attachments)
+
+
+def decode_control(
+    payload: bytes, num_attachments: int = 0
+) -> tuple[dict, list[bytes]]:
+    raw, offset = decode_bytes(payload, 0)
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed control frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise SerializationError("control frame header must be a JSON object")
+    attachments = []
+    for _ in range(num_attachments):
+        blob, offset = decode_bytes(payload, offset)
+        attachments.append(blob)
+    _check_consumed(payload, offset, "control frame")
+    return obj, attachments
+
+
+# -- typed remote errors ----------------------------------------------------------
+
+
+def encode_error(exc: BaseException) -> bytes:
+    """Serialise an exception for an ``err`` frame."""
+    return encode_control({"error": type(exc).__name__, "message": str(exc)})
+
+
+def decode_error(payload: bytes) -> tuple[str, str]:
+    obj, _ = decode_control(payload)
+    return str(obj.get("error", "TransportError")), str(obj.get("message", ""))
+
+
+def raise_remote_error(payload: bytes, peer: str) -> None:
+    """Re-raise a worker-side failure under its original typed class.
+
+    Unknown names (a worker running newer code, a non-Repro exception)
+    degrade to :class:`~repro.errors.TransportError` rather than being
+    swallowed.
+    """
+    name, message = decode_error(payload)
+    exc_type = getattr(errors_module, name, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        raise exc_type(f"{peer}: {message}")
+    raise TransportError(f"{peer} failed with {name}: {message}")

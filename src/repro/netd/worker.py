@@ -1,0 +1,413 @@
+"""Socket-plane worker process: ``python -m repro.netd.worker``.
+
+One executable, three roles:
+
+* ``shard`` — hosts one :class:`~repro.cluster.shard.SdcShard` and
+  serves phase-1/phase-2 sub-queries plus state fan-out frames;
+* ``stp`` — hosts an :class:`~repro.pisa.stp_server.StpServer` whose
+  per-cell re-encryption nonces come from the broker's authority via
+  :class:`~repro.netd.remote.RemoteRandomSource`, keeping the
+  deployment on one draw stream;
+* ``broker`` — runs a whole ``cluster-up`` workload (it builds the
+  socket plane, spawning its own shard/STP children) and exits.
+
+Startup is a *pull*: dial the authority, poll ``bootstrap`` until the
+coordinator registers this worker's provider, apply the config, bind an
+ephemeral port, atomically write the readiness file.  A crash restart
+re-runs exactly the same pull — the provider serves current state — so
+the supervisor never pushes anything.
+
+The request loop reads frames on the process's asyncio loop and runs
+handlers in a worker thread (``asyncio.to_thread``), so pings stay
+responsive while a shard grinds through homomorphic arithmetic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import sys
+
+from repro.cluster.shard import SdcShard
+from repro.crypto.paillier import PaillierKeypair
+from repro.crypto.serialization import decode_bytes, decode_private_key, decode_public_key
+from repro.errors import ReproError, SerializationError, TransportError
+from repro.netd.framing import read_frame, write_frame
+from repro.netd.remote import RemoteRandomSource
+from repro.netd.topology import TlsSpec
+from repro.netd.transport import LoopRunner, PeerClient, classify_network_error
+from repro.netd.wire import (
+    decode_control,
+    decode_phase1_request,
+    decode_phase2_request,
+    encode_control,
+    encode_error,
+    encode_phase1_response,
+    encode_phase2_response,
+    raise_remote_error,
+)
+from repro.pisa.messages import PUUpdateMessage, SignExtractionRequest
+from repro.pisa.stp_server import StpServer
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+_BOOTSTRAP_POLL_S = 0.05
+_BOOTSTRAP_TIMEOUT_S = 60.0
+
+
+def _decode_header(payload: bytes) -> tuple[dict, int]:
+    """Control header + offset of the first attachment."""
+    raw, offset = decode_bytes(payload, 0)
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed bootstrap header: {exc}") from exc
+    return obj, offset
+
+
+def _read_attachments(payload: bytes, offset: int, count: int) -> list[bytes]:
+    out = []
+    for _ in range(count):
+        blob, offset = decode_bytes(payload, offset)
+        out.append(blob)
+    if offset != len(payload):
+        raise SerializationError("trailing bytes in bootstrap payload")
+    return out
+
+
+async def _fetch_clock(host: str, port: int, ssl_context=None) -> float:
+    """One deterministic-clock read, done *async* on the worker's loop.
+
+    (A blocking :class:`~repro.netd.remote.RemoteClock` would post onto
+    this very loop and deadlock; only handler threads may block.)
+    """
+    reader, writer = await asyncio.open_connection(host, port, ssl=ssl_context)
+    try:
+        await write_frame(writer, "clock", 0, encode_control({}))
+        frame = await read_frame(reader)
+        if frame.kind == "err":
+            raise_remote_error(frame.payload, "authority")
+        obj, _ = decode_control(frame.payload)
+        return float(obj["value"])
+    finally:
+        writer.close()
+
+
+async def _pull_bootstrap(
+    host: str, port: int, name: str, ssl_context=None
+) -> bytes:
+    """Poll the authority until our provider is registered."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + _BOOTSTRAP_TIMEOUT_S
+    seq = 0
+    while True:
+        if loop.time() > deadline:
+            raise TransportError(f"worker {name!r}: bootstrap timed out")
+        try:
+            reader, writer = await asyncio.open_connection(host, port, ssl=ssl_context)
+        except OSError:
+            await asyncio.sleep(_BOOTSTRAP_POLL_S)  # audit-ok: RES001 — startup poll
+            continue
+        try:
+            while True:
+                await write_frame(
+                    writer, "bootstrap", seq, encode_control({"name": name})
+                )
+                seq += 1
+                frame = await read_frame(reader)
+                if frame.kind == "ok":
+                    return frame.payload
+                if frame.kind == "err":
+                    raise_remote_error(frame.payload, "authority")
+                if loop.time() > deadline:
+                    raise TransportError(f"worker {name!r}: bootstrap timed out")
+                await asyncio.sleep(_BOOTSTRAP_POLL_S)  # audit-ok: RES001 — startup poll
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await asyncio.sleep(_BOOTSTRAP_POLL_S)  # audit-ok: RES001 — startup poll
+        finally:
+            writer.close()
+
+
+async def _race_stop(awaitable, stop: asyncio.Event):
+    """Run *awaitable* unless *stop* fires first; ``None`` means stopped."""
+    task = asyncio.ensure_future(awaitable)
+    stopper = asyncio.ensure_future(stop.wait())
+    done, _ = await asyncio.wait({task, stopper}, return_when=asyncio.FIRST_COMPLETED)
+    if task in done:
+        stopper.cancel()
+        return task.result()
+    task.cancel()
+    return None
+
+
+class ShardState:
+    """A shard worker's handler table over its local :class:`SdcShard`."""
+
+    role = "shard"
+
+    def __init__(self, payload: bytes) -> None:
+        obj, offset = _decode_header(payload)
+        attachments = _read_attachments(payload, offset, 1 + len(obj["pus"]))
+        self.group_public_key = decode_public_key(attachments[0])
+        scenario = build_scenario(ScenarioConfig(**obj["scenario"]))
+        self.shard = SdcShard(
+            str(obj["shard_id"]),
+            scenario.environment,
+            self.group_public_key,
+            blocks=tuple(int(b) for b in obj["blocks"]),
+        )
+        # Latest update per PU, replayed in sorted order; ⊕ commutes, so
+        # this reproduces the pre-crash aggregate exactly.
+        for raw in attachments[1:]:
+            self.shard.handle_pu_update(
+                PUUpdateMessage.from_bytes(raw, self.group_public_key)
+            )
+        epoch = int(obj["epoch"])
+        if epoch >= 0:
+            self.shard.commit_epoch(epoch)
+
+    def handle(self, kind: str, payload: bytes) -> tuple[str, bytes]:
+        if kind == "phase1":
+            request = decode_phase1_request(payload, self.group_public_key)
+            return "ok", encode_phase1_response(self.shard.process_phase1(request))
+        if kind == "phase2":
+            pk_raw, offset = decode_bytes(payload, 0)
+            su_key = decode_public_key(pk_raw)
+            request = decode_phase2_request(payload[offset:], su_key)
+            return "ok", encode_phase2_response(self.shard.process_phase2(request))
+        if kind == "pu_update":
+            message = PUUpdateMessage.from_bytes(payload, self.group_public_key)
+            self.shard.handle_pu_update(message)
+            return "ok", encode_control({})
+        if kind == "assign_blocks":
+            obj, _ = decode_control(payload)
+            self.shard.assign_blocks(tuple(int(b) for b in obj["blocks"]))
+            return "ok", encode_control({})
+        if kind == "release_blocks":
+            obj, _ = decode_control(payload)
+            self.shard.release_blocks(tuple(int(b) for b in obj["blocks"]))
+            return "ok", encode_control({})
+        if kind == "commit_epoch":
+            obj, _ = decode_control(payload)
+            self.shard.commit_epoch(int(obj["epoch"]))
+            return "ok", encode_control({})
+        raise TransportError(f"shard worker cannot serve frame kind {kind!r}")
+
+
+class StpState:
+    """An STP worker: group keypair from bootstrap, nonces from the broker."""
+
+    role = "stp"
+
+    def __init__(self, payload: bytes, authority_peer: PeerClient) -> None:
+        obj, offset = _decode_header(payload)
+        su_ids = [str(s) for s in obj["sus"]]
+        attachments = _read_attachments(payload, offset, 1 + len(su_ids))
+        private_key = decode_private_key(attachments[0])
+        keypair = PaillierKeypair(
+            public_key=private_key.public_key, private_key=private_key
+        )
+        self.stp = StpServer(
+            group_keypair=keypair, rng=RemoteRandomSource(authority_peer)
+        )
+        for su_id, raw in zip(su_ids, attachments[1:]):
+            self.stp.register_su(su_id, decode_public_key(raw))
+
+    def handle(self, kind: str, payload: bytes) -> tuple[str, bytes]:
+        if kind == "sign_req":
+            request = SignExtractionRequest.from_bytes(
+                payload, self.stp.group_public_key
+            )
+            return "ok", self.stp.handle_sign_extraction(request).to_bytes()
+        if kind == "register_su":
+            obj, attachments = decode_control(payload, num_attachments=1)
+            self.stp.register_su(str(obj["su_id"]), decode_public_key(attachments[0]))
+            return "ok", encode_control({})
+        raise TransportError(f"stp worker cannot serve frame kind {kind!r}")
+
+
+def _write_ready(path: str, data: dict) -> None:
+    """Atomic write: the supervisor must never read a torn file."""
+    target = pathlib.Path(path)
+    tmp = target.with_suffix(".tmp")
+    tmp.write_text(json.dumps(data, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, target)
+
+
+async def _serve(args, tls: TlsSpec | None) -> int:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+
+    # Orphan guard: if the supervising broker dies without a graceful
+    # stop_all (SIGKILL, OOM), this process is reparented — exit rather
+    # than serve a deployment that no longer exists.  The supervisor
+    # ships its pid in the environment because our own ppid is already
+    # the *reparented* one if the broker died while this interpreter was
+    # still starting up; bare getppid() is the manual-launch fallback.
+    parent_pid = int(os.environ.get("REPRO_NETD_PARENT_PID") or os.getppid())
+
+    async def watch_parent() -> None:
+        while not stop.is_set():
+            if os.getppid() != parent_pid:
+                stop.set()
+                return
+            await asyncio.sleep(0.5)  # audit-ok: RES001 — orphan watchdog tick
+
+    # Started *before* the bootstrap pull: a worker whose broker died
+    # mid-spawn must not sit in the poll loop until the 60 s timeout.
+    watchdog = asyncio.ensure_future(watch_parent())
+
+    authority_host, authority_port = args.authority.rsplit(":", 1)
+    authority_port = int(authority_port)
+    client_ssl = tls.client_context() if tls is not None else None
+    payload = await _race_stop(
+        _pull_bootstrap(
+            authority_host, authority_port, args.name, ssl_context=client_ssl
+        ),
+        stop,
+    )
+    if payload is None:
+        watchdog.cancel()
+        return 0
+
+    if args.role == "shard":
+        state = ShardState(payload)
+        authority_peer = None
+    else:
+        # The STP's nonce draws are blocking transacts posted back onto
+        # this loop from handler threads; safe because handlers never
+        # run on the loop thread (asyncio.to_thread below).
+        authority_peer = PeerClient(
+            "authority",
+            lambda: (authority_host, authority_port),
+            LoopRunner(loop),
+            ssl_context=client_ssl,
+        )
+        state = StpState(payload, authority_peer)
+
+    clock_at_boot = await _fetch_clock(
+        authority_host, authority_port, ssl_context=client_ssl
+    )
+
+    ping_info = {
+        "name": args.name,
+        "role": state.role,
+        "clock_at_boot": clock_at_boot,
+    }
+
+    async def serve_conn(reader, writer) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame.kind == "hello":
+                    await write_frame(
+                        writer, "hello", frame.seq, encode_control({"name": args.name})
+                    )
+                    continue
+                if frame.kind == "ping":
+                    await write_frame(
+                        writer, "ok", frame.seq, encode_control(ping_info)
+                    )
+                    continue
+                if frame.kind == "shutdown":
+                    await write_frame(writer, "ok", frame.seq, encode_control({}))
+                    stop.set()
+                    continue
+                try:
+                    kind, payload = await asyncio.to_thread(
+                        state.handle, frame.kind, frame.payload
+                    )
+                except ReproError as exc:
+                    kind, payload = "err", encode_error(exc)
+                except Exception as exc:  # ship, don't kill the worker
+                    kind, payload = "err", encode_error(exc)
+                await write_frame(writer, kind, frame.seq, payload)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server_ssl = tls.server_context() if tls is not None else None
+    try:
+        server = await asyncio.start_server(
+            serve_conn, args.host, args.port, ssl=server_ssl
+        )
+    except Exception as exc:
+        raise classify_network_error(exc, args.name) from exc
+    port = server.sockets[0].getsockname()[1]
+    _write_ready(
+        args.ready_file,
+        {
+            "name": args.name,
+            "port": port,
+            "pid": os.getpid(),
+            "clock_at_boot": clock_at_boot,
+        },
+    )
+
+    await stop.wait()
+    watchdog.cancel()
+    server.close()
+    await server.wait_closed()
+    if authority_peer is not None:
+        authority_peer.close()
+    return 0
+
+
+def _run_broker(args) -> int:
+    # Imported here: the broker role pulls in the whole plane (and its
+    # own supervisor), which shard/stp workers never need.
+    from repro.netd.plane import run_cluster_workload
+    from repro.netd.topology import load_cluster_spec
+
+    spec = load_cluster_spec(args.spec)
+    if args.ready_file:
+        # The broker binds no port of its own; -1 marks "launched".
+        _write_ready(
+            args.ready_file, {"name": args.name, "port": -1, "pid": os.getpid()}
+        )
+    run_cluster_workload(spec, output=args.output, metrics_path=args.metrics)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.netd.worker")
+    parser.add_argument("--role", required=True, choices=("shard", "stp", "broker"))
+    parser.add_argument("--name", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--ready-file", default="")
+    parser.add_argument("--authority", default="", help="authority host:port")
+    parser.add_argument("--tls-cert", default="")
+    parser.add_argument("--tls-key", default="")
+    parser.add_argument("--tls-ca", default="")
+    parser.add_argument("--spec", default="", help="broker role: cluster spec path")
+    parser.add_argument("--output", default="", help="broker role: report JSON path")
+    parser.add_argument("--metrics", default="", help="broker role: metrics text path")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.role == "broker":
+            return _run_broker(args)
+        if not args.authority:
+            raise TransportError("shard/stp workers need --authority host:port")
+        tls = None
+        if args.tls_cert:
+            tls = TlsSpec(
+                certfile=args.tls_cert,
+                keyfile=args.tls_key,
+                cafile=args.tls_ca or None,
+            )
+        return asyncio.run(_serve(args, tls))
+    except ReproError as exc:
+        print(f"{args.name}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

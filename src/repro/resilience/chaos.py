@@ -49,7 +49,6 @@ import io
 from dataclasses import dataclass, field
 
 from repro.cluster.coordinator import ClusterCoordinator
-from repro.crypto.hashing import sha256
 from repro.crypto.rand import DeterministicRandomSource
 from repro.errors import (
     ChaosPlanError,
@@ -57,7 +56,7 @@ from repro.errors import (
     LinkDownError,
     MessageDroppedError,
 )
-from repro.net.transport import MultiplexedTransport
+from repro.net.recording import TranscriptTransport, fingerprint_message
 from repro.resilience.journal import EpochJournal, JournalWriter, read_journal
 from repro.resilience.policy import RetryPolicy, run_with_policy
 from repro.resilience.recovery import replay_sources, summarize
@@ -86,64 +85,11 @@ SEND_POLICY = RetryPolicy(
 )
 
 
-def fingerprint_message(message, sender: str, receiver: str) -> str:
-    """Stable digest of one protocol message's exact bytes on a link."""
-    to_bytes = getattr(message, "to_bytes", None)
-    if to_bytes is not None:
-        body = to_bytes()
-    else:  # pragma: no cover - every protocol message serialises
-        body = repr(message).encode("utf-8")
-    return sha256(
-        type(message).__name__.encode("utf-8"),
-        b"|" + sender.encode("utf-8"),
-        b"|" + receiver.encode("utf-8") + b"|",
-        body,
-    ).hex()
-
-
-class ChaosTransport(MultiplexedTransport):
-    """A multiplexed transport that also fingerprints the transcript.
-
-    Subclassing (rather than wrapping) keeps
-    ``resolve_multiplexed``-based coordinator plumbing — link failure,
-    fault injection — working unchanged.  Only protocol-level links are
-    fingerprinted; router↔shard traffic re-sends under failover and is
-    not part of the externally visible transcript.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.fingerprints: list[str] = []
-        self._marks: list[int] = []
-
-    @staticmethod
-    def _is_protocol_link(sender: str, receiver: str) -> bool:
-        for endpoint in (sender, receiver):
-            if endpoint.startswith("shard-") or endpoint == "router":
-                return False
-        return True
-
-    def send(self, message, sender: str, receiver: str):
-        result = super().send(message, sender, receiver)
-        if self._is_protocol_link(sender, receiver):
-            self.fingerprints.append(
-                fingerprint_message(message, sender, receiver)
-            )
-        return result
-
-    def mark(self) -> int:
-        """Close a transcript segment (enrolment, round N, ...)."""
-        self._marks.append(len(self.fingerprints))
-        return len(self._marks) - 1
-
-    def segments(self) -> tuple[tuple[str, ...], ...]:
-        """Fingerprints sliced by :meth:`mark` boundaries."""
-        out = []
-        start = 0
-        for end in self._marks:
-            out.append(tuple(self.fingerprints[start:end]))
-            start = end
-        return tuple(out)
+#: Transcript capture now lives in :mod:`repro.net.recording` so the
+#: socket plane's equivalence tests and the process chaos plan share
+#: the exact fingerprint/link-predicate definitions; the chaos name is
+#: kept for the harness's public surface and existing callers.
+ChaosTransport = TranscriptTransport
 
 
 class _InjectedCrash(Exception):

@@ -36,6 +36,7 @@ class TestEngine:
             "SVC001",
             "RES001",
             "TEL001",
+            "NET001",
         }
 
     def test_select_restricts_rules(self):

@@ -557,3 +557,59 @@ class TestTel001TelemetryHygiene:
             select={"TEL001"},
         )
         assert not findings
+
+
+class TestNet001WireFormatOwnership:
+    def test_flags_socket_outside_netd(self):
+        assert "NET001" in rules_hit(
+            "import socket\n", module="repro.service.broker", select={"NET001"}
+        )
+
+    def test_flags_pickle_and_struct_from_imports(self):
+        hits = rules_hit(
+            "from struct import pack\nfrom pickle import loads\n",
+            module="repro.pisa.sdc_server",
+            select={"NET001"},
+        )
+        assert "NET001" in hits
+
+    def test_netd_owns_its_primitives(self):
+        assert not rules_hit(
+            "import socket\nimport struct\n",
+            module="repro.netd.framing",
+            select={"NET001"},
+        )
+
+    def test_serialization_owner_allowlisted(self):
+        assert not rules_hit(
+            "import struct\n",
+            module="repro.crypto.serialization",
+            select={"NET001"},
+        )
+
+    def test_dotted_submodule_import_flagged(self):
+        assert "NET001" in rules_hit(
+            "import socket.timeout\n",
+            module="repro.cluster.router",
+            select={"NET001"},
+        )
+
+    def test_relative_import_not_confused_with_primitive(self):
+        # ``from .struct import x`` is a package-local module, not stdlib.
+        assert not rules_hit(
+            "from .struct import layout\n",
+            module="repro.watch.scenario",
+            select={"NET001"},
+        )
+
+    def test_out_of_scope_module_ignored(self):
+        assert not rules_hit(
+            "import pickle\n", module="sandbox.notebook", select={"NET001"}
+        )
+
+    def test_waiver_comment_suppresses(self):
+        assert not rules_hit(
+            "import struct  # audit-ok: NET001 — scratch layout in a tool\n",
+            module="repro.service.broker",
+            select={"NET001"},
+        )

@@ -1,0 +1,97 @@
+"""The socket plane's hard invariant: byte-identity with the in-memory plane.
+
+Same seeds, same scenario, same frozen clock — one run over
+:class:`InMemoryTransport` accounting, one over real worker processes
+and TCP frames.  The protocol transcript (every PISA message
+fingerprinted in send order) and the span-tree signature must match
+exactly.  This is the acceptance test for the determinism layering:
+single broker-side draw stream, remote nonce round-trips, canonical
+byte codecs.
+"""
+
+import pytest
+
+from repro.net.recording import TranscriptTransport
+from repro.netd.plane import run_socket_loadtest
+from repro.resilience.chaos import FROZEN_CLOCK
+from repro.service.loadtest import LoadtestConfig, run_loadtest
+from repro.service.broker import ServiceConfig
+from repro.telemetry import Tracer
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+CONFIG = LoadtestConfig(
+    seed=7,
+    num_requests=2,
+    arrivals_per_second=500.0,
+    num_sus=1,
+    num_pu_switches=0,
+    key_bits=256,
+    shards=2,
+    service=ServiceConfig(batch_window_s=0.0, max_batch=1),
+)
+SCENARIO_CONFIG = ScenarioConfig(seed=7, num_sus=1)
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    clock = lambda: FROZEN_CLOCK  # noqa: E731
+
+    memory_tracer = Tracer()
+    memory_transport = TranscriptTransport()
+    memory_report = run_loadtest(
+        CONFIG,
+        tracer=memory_tracer,
+        transport=memory_transport,
+        clock=clock,
+        scenario=build_scenario(SCENARIO_CONFIG),
+    )
+
+    socket_tracer = Tracer()
+    socket_report, socket_fingerprints = run_socket_loadtest(
+        CONFIG,
+        scenario_config=SCENARIO_CONFIG,
+        tracer=socket_tracer,
+        clock=clock,
+        record_transcript=True,
+    )
+    return (
+        memory_report,
+        tuple(memory_transport.fingerprints),
+        memory_tracer,
+        socket_report,
+        socket_fingerprints,
+        socket_tracer,
+    )
+
+
+class TestCrossPlaneEquivalence:
+    def test_transcripts_are_byte_identical(self, paired_runs):
+        _, memory_fps, _, _, socket_fps, _ = paired_runs
+        assert len(memory_fps) > 0
+        assert socket_fps == memory_fps
+
+    def test_span_signatures_match(self, paired_runs):
+        _, _, memory_tracer, _, _, socket_tracer = paired_runs
+        memory_sig = tuple(span.signature() for span in memory_tracer.roots)
+        socket_sig = tuple(span.signature() for span in socket_tracer.roots)
+        assert len(memory_sig) > 0
+        assert socket_sig == memory_sig
+
+    def test_decisions_match(self, paired_runs):
+        memory_report, _, _, socket_report, _, _ = paired_runs
+        assert len(socket_report.decisions) == CONFIG.num_requests
+        assert [
+            (d.su_id, d.status, d.batch_size) for d in socket_report.decisions
+        ] == [(d.su_id, d.status, d.batch_size) for d in memory_report.decisions]
+
+    def test_socket_plane_recorded_transport_metrics(self, paired_runs):
+        _, _, _, socket_report, _, _ = paired_runs
+        counters = socket_report.metrics["counters"]
+        families = {key.split("{", 1)[0] for key in counters}
+        # The in-memory accounting funnel still runs (transport_*) and
+        # the real wire adds its own families (netd_*).
+        assert "transport_records_total" in families
+        assert "transport_bytes_total" in families
+        assert "netd_frames_total" in families
+        assert "netd_bytes_total" in families
+        assert "netd_dials_total" in families

@@ -1,0 +1,104 @@
+"""Socket error taxonomy mapping and cluster-spec parsing."""
+
+import asyncio
+import errno
+import json
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    HandshakeTimeoutError,
+    IntegrityError,
+    LinkDownError,
+    PortInUseError,
+    TransportError,
+)
+from repro.netd.topology import ClusterSpec, TlsSpec, load_cluster_spec
+from repro.netd.transport import classify_network_error
+
+
+class TestErrorClassification:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            ConnectionRefusedError("refused"),
+            ConnectionResetError("reset"),
+            BrokenPipeError("pipe"),
+            asyncio.IncompleteReadError(b"", 10),
+            EOFError(),
+            OSError(errno.EHOSTUNREACH, "unreachable"),
+        ],
+    )
+    def test_dead_links_map_to_link_down(self, raw):
+        exc = classify_network_error(raw, "shard-0")
+        assert isinstance(exc, LinkDownError)
+        assert "shard-0" in str(exc)
+
+    def test_addr_in_use_maps_to_port_in_use(self):
+        exc = classify_network_error(OSError(errno.EADDRINUSE, "in use"), "stp")
+        assert isinstance(exc, PortInUseError)
+        assert not isinstance(exc, LinkDownError)  # not retryable in place
+
+    def test_typed_errors_pass_through_unchanged(self):
+        original = IntegrityError("frame CRC mismatch")
+        # IntegrityError is not a TransportError: corruption must surface,
+        # not be retried as a link fault.
+        assert not isinstance(original, TransportError)
+        kept = classify_network_error(HandshakeTimeoutError("slow"), "p")
+        assert isinstance(kept, HandshakeTimeoutError)
+
+    def test_unknown_exceptions_degrade_to_transport_error(self):
+        exc = classify_network_error(RuntimeError("?"), "peer")
+        assert type(exc) is TransportError
+
+    def test_taxonomy_shape(self):
+        # The retry policies key on these subtype relationships.
+        assert issubclass(LinkDownError, TransportError)
+        assert issubclass(PortInUseError, TransportError)
+        assert issubclass(HandshakeTimeoutError, TransportError)
+        assert not issubclass(PortInUseError, LinkDownError)
+
+
+class TestClusterSpec:
+    def test_load_example_spec(self):
+        spec = load_cluster_spec("examples/cluster_spec.json")
+        assert spec.shards == 2
+        assert spec.tls is None
+
+    def test_defaults_and_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"shards": 3}), encoding="utf-8")
+        spec = load_cluster_spec(path)
+        assert spec == ClusterSpec(shards=3)
+        assert spec.to_json_dict()["shards"] == 3
+
+    def test_unknown_keys_are_typos(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"shards": 2, "shrads": 3}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="shrads"):
+            load_cluster_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_cluster_spec(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            load_cluster_spec(path)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"shards": 0}, {"requests": 0}, {"rate_per_second": 0.0}, {"sus": 0}],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(**overrides)
+
+    def test_tls_paths_must_exist(self, tmp_path):
+        cert = tmp_path / "cert.pem"
+        cert.write_text("x", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="keyfile"):
+            TlsSpec(certfile=str(cert), keyfile=str(tmp_path / "missing.pem"))

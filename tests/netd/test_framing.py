@@ -1,0 +1,200 @@
+"""Frame envelope properties: round-trips, corruption rejection, streaming.
+
+The frame layer must carry every canonical protocol encoding verbatim
+(the socket plane adds framing, not a second serialisation format) and
+refuse anything torn, truncated, or bit-flipped — a TCP stream with a
+corrupt frame has no trustworthy continuation.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.netd.framing import (
+    FRAME_MAGIC,
+    FRAME_OVERHEAD,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+)
+from repro.netd.wire import PROTOCOL_KINDS
+from repro.pisa.license import TransmissionLicense
+from repro.pisa.messages import (
+    LicenseResponse,
+    PUUpdateMessage,
+    SignExtractionRequest,
+    SignExtractionResponse,
+    SURequestMessage,
+)
+
+
+def ct_matrix(pk, rng, rows, cols, base=0):
+    return tuple(
+        tuple(pk.encrypt(base + r * cols + c, rng=rng) for c in range(cols))
+        for r in range(rows)
+    )
+
+
+@pytest.fixture()
+def protocol_messages(keypair, second_keypair, fresh_rng):
+    """One instance of every ``pisa.messages`` type (group + SU keys)."""
+    group_pk = keypair.public_key
+    su_pk = second_keypair.public_key
+    lic = TransmissionLicense(
+        su_id="su-1",
+        issuer_id="sdc",
+        request_digest=b"\x09" * 32,
+        channels=(0, 2),
+        issued_at=11,
+    )
+    return [
+        PUUpdateMessage(
+            pu_id="pu-3",
+            block_index=12,
+            ciphertexts=tuple(group_pk.encrypt(v, rng=fresh_rng) for v in (-5, 0, 7)),
+        ),
+        SURequestMessage(
+            su_id="su-1",
+            region_blocks=(0, 3, 5),
+            matrix=ct_matrix(group_pk, fresh_rng, 2, 3),
+        ),
+        SignExtractionRequest(
+            round_id="round-9", su_id="su-1", matrix=ct_matrix(group_pk, fresh_rng, 2, 2)
+        ),
+        SignExtractionResponse(
+            round_id="round-9", su_id="su-1", matrix=ct_matrix(su_pk, fresh_rng, 2, 2)
+        ),
+        LicenseResponse(license=lic, encrypted_signature=su_pk.encrypt(1, rng=fresh_rng)),
+    ]
+
+
+class TestEveryProtocolMessageThroughFrames:
+    def test_every_message_type_has_a_kind(self, protocol_messages):
+        assert {type(m) for m in protocol_messages} == set(PROTOCOL_KINDS)
+
+    def test_payload_bytes_survive_framing_verbatim(self, protocol_messages):
+        for seq, message in enumerate(protocol_messages):
+            payload = message.to_bytes()
+            kind = PROTOCOL_KINDS[type(message)]
+            encoded = encode_frame(kind, seq, payload)
+            assert len(encoded) > len(payload) + FRAME_OVERHEAD  # kind+seq too
+            frame, consumed = decode_frame(encoded)
+            assert consumed == len(encoded)
+            assert frame == Frame(kind, seq, payload)
+
+    def test_decoded_payload_reconstructs_message(
+        self, protocol_messages, keypair, second_keypair
+    ):
+        group_pk = keypair.public_key
+        su_pk = second_keypair.public_key
+        keys = {
+            PUUpdateMessage: group_pk,
+            SURequestMessage: group_pk,
+            SignExtractionRequest: group_pk,
+            SignExtractionResponse: su_pk,
+            LicenseResponse: su_pk,
+        }
+        for message in protocol_messages:
+            kind = PROTOCOL_KINDS[type(message)]
+            frame, _ = decode_frame(encode_frame(kind, 1, message.to_bytes()))
+            decoded = type(message).from_bytes(frame.payload, keys[type(message)])
+            assert decoded.to_bytes() == message.to_bytes()
+
+
+class TestCorruptionRejection:
+    def test_bad_magic(self):
+        data = bytearray(encode_frame("ping", 0, b"x"))
+        data[0] ^= 0xFF
+        with pytest.raises(IntegrityError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_truncated_inside_length_prefix(self):
+        data = encode_frame("ping", 0, b"x")
+        with pytest.raises(IntegrityError, match="length prefix"):
+            decode_frame(data[:3])
+
+    def test_torn_frame_before_crc(self):
+        data = encode_frame("ping", 0, b"payload")
+        with pytest.raises(IntegrityError, match="truncated"):
+            decode_frame(data[:-3])
+
+    def test_crc_mismatch(self):
+        data = bytearray(encode_frame("ping", 0, b"payload"))
+        data[-6] ^= 0x01  # flip a body byte, leave the CRC alone
+        with pytest.raises(IntegrityError, match="CRC"):
+            decode_frame(bytes(data))
+
+    def test_oversize_length_rejected_before_reading_body(self):
+        data = encode_frame("ping", 0, b"x" * 64)
+        with pytest.raises(IntegrityError, match="cap"):
+            decode_frame(data, max_frame_bytes=16)
+
+    def test_trailing_garbage_in_body(self):
+        body = encode_frame("ping", 0, b"x")[6:-4] + b"\x00"
+        raw = FRAME_MAGIC + len(body).to_bytes(4, "big") + body
+        raw += zlib.crc32(body).to_bytes(4, "big")
+        with pytest.raises(IntegrityError, match="trailing"):
+            decode_frame(raw)
+
+    def test_every_single_byte_flip_is_detected(self):
+        """Fuzz: no single-byte corruption ever yields a wrong frame."""
+        original = encode_frame("phase1", 42, b"\x01\x02\x03" * 20)
+        rng = random.Random(7)
+        for _ in range(200):
+            index = rng.randrange(len(original))
+            flip = rng.randrange(1, 256)
+            corrupt = bytearray(original)
+            corrupt[index] ^= flip
+            try:
+                frame, _ = decode_frame(bytes(corrupt))
+            except IntegrityError:
+                continue
+            pytest.fail(f"byte {index} xor {flip:#x} decoded as {frame!r}")
+
+
+class TestFrameDecoderStreaming:
+    def test_byte_at_a_time_feeding(self):
+        frames = [
+            encode_frame("a", 0, b"first"),
+            encode_frame("b", 1, b""),
+            encode_frame("c", 2, b"x" * 300),
+        ]
+        decoder = FrameDecoder()
+        out = []
+        for byte in b"".join(frames):
+            out.extend(decoder.feed(bytes([byte])))
+        assert [(f.kind, f.seq, f.payload) for f in out] == [
+            ("a", 0, b"first"),
+            ("b", 1, b""),
+            ("c", 2, b"x" * 300),
+        ]
+        assert decoder.pending_bytes == 0
+
+    def test_random_chunk_boundaries(self):
+        rng = random.Random(13)
+        frames = [
+            encode_frame(f"k{i}", i, bytes(rng.randrange(256) for _ in range(rng.randrange(200))))
+            for i in range(20)
+        ]
+        stream = b"".join(frames)
+        decoder = FrameDecoder()
+        out = []
+        offset = 0
+        while offset < len(stream):
+            step = rng.randrange(1, 64)
+            out.extend(decoder.feed(stream[offset : offset + step]))
+            offset += step
+        assert len(out) == 20
+        assert [f.seq for f in out] == list(range(20))
+
+    def test_stream_corruption_poisons_the_connection(self):
+        decoder = FrameDecoder()
+        good = encode_frame("a", 0, b"ok")
+        assert len(decoder.feed(good)) == 1
+        bad = bytearray(encode_frame("b", 1, b"bad"))
+        bad[0] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            decoder.feed(bytes(bad))

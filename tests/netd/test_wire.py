@@ -1,0 +1,156 @@
+"""Wire codecs for shard sub-queries, control frames, and typed errors."""
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    SerializationError,
+    TransportError,
+)
+from repro.netd.wire import (
+    decode_control,
+    decode_error,
+    decode_phase1_request,
+    decode_phase1_response,
+    decode_phase2_request,
+    decode_phase2_response,
+    encode_control,
+    encode_error,
+    encode_phase1_request,
+    encode_phase1_response,
+    encode_phase2_request,
+    encode_phase2_response,
+    raise_remote_error,
+)
+from repro.cluster.shard import (
+    ShardPhase1Request,
+    ShardPhase1Response,
+    ShardPhase2Request,
+    ShardPhase2Response,
+)
+from repro.pisa.blinding import CellBlinding
+
+
+def ct_matrix(pk, rng, rows, cols, base=0):
+    return tuple(
+        tuple(pk.encrypt(base + r * cols + c, rng=rng) for c in range(cols))
+        for r in range(rows)
+    )
+
+
+class TestShardCodecs:
+    def test_phase1_request_roundtrip(self, keypair, fresh_rng):
+        pk, sk = keypair.public_key, keypair.private_key
+        request = ShardPhase1Request(
+            round_id="r-1",
+            su_id="su-1",
+            shard_id="shard-0",
+            columns=(1, 4),
+            blocks=(3, 9),
+            matrix=ct_matrix(pk, fresh_rng, 2, 2),
+            blindings=(
+                (
+                    CellBlinding(alpha=3, beta=17, epsilon=1),
+                    CellBlinding(alpha=5, beta=23, epsilon=-1),
+                ),
+                (
+                    CellBlinding(alpha=7, beta=29, epsilon=-1),
+                    CellBlinding(alpha=11, beta=31, epsilon=1),
+                ),
+            ),
+            obfuscators=((None, 41), (43, None)),
+        )
+        decoded = decode_phase1_request(encode_phase1_request(request), pk)
+        assert decoded.round_id == "r-1"
+        assert decoded.columns == (1, 4)
+        assert decoded.blocks == (3, 9)
+        assert decoded.blindings == request.blindings
+        assert decoded.obfuscators == ((None, 41), (43, None))
+        assert [
+            [sk.decrypt(ct) for ct in row] for row in decoded.matrix
+        ] == [[0, 1], [2, 3]]
+
+    def test_phase1_response_roundtrip(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        response = ShardPhase1Response(
+            round_id="r-1",
+            shard_id="shard-1",
+            columns=(0, 2, 5),
+            matrix=ct_matrix(pk, fresh_rng, 2, 3),
+        )
+        decoded = decode_phase1_response(encode_phase1_response(response), pk)
+        assert decoded.columns == (0, 2, 5)
+        assert len(decoded.matrix) == 2 and len(decoded.matrix[0]) == 3
+
+    def test_phase2_request_roundtrip(self, second_keypair, fresh_rng):
+        su_pk = second_keypair.public_key  # phase 2 runs under the SU's key
+        request = ShardPhase2Request(
+            round_id="r-2",
+            shard_id="shard-0",
+            columns=(2,),
+            matrix=ct_matrix(su_pk, fresh_rng, 1, 2),
+            epsilons=((1, -1),),
+        )
+        decoded = decode_phase2_request(encode_phase2_request(request), su_pk)
+        assert decoded.epsilons == ((1, -1),)
+
+    def test_phase2_response_roundtrip(self, second_keypair, fresh_rng):
+        su_pk, su_sk = second_keypair.public_key, second_keypair.private_key
+        response = ShardPhase2Response(
+            round_id="r-2",
+            shard_id="shard-0",
+            cell_count=6,
+            partial_q=su_pk.encrypt(-4, rng=fresh_rng),
+        )
+        decoded = decode_phase2_response(encode_phase2_response(response), su_pk)
+        assert decoded.cell_count == 6
+        assert su_sk.decrypt(decoded.partial_q) == -4
+
+    def test_trailing_bytes_rejected(self, keypair, fresh_rng):
+        pk = keypair.public_key
+        response = ShardPhase1Response(
+            round_id="r", shard_id="s", columns=(0,), matrix=ct_matrix(pk, fresh_rng, 1, 1)
+        )
+        with pytest.raises(SerializationError, match="trailing"):
+            decode_phase1_response(encode_phase1_response(response) + b"\x00", pk)
+
+
+class TestControlFrames:
+    def test_header_and_attachments_roundtrip(self):
+        payload = encode_control({"name": "shard-0", "epoch": 3}, b"blob-a", b"")
+        obj, attachments = decode_control(payload, num_attachments=2)
+        assert obj == {"name": "shard-0", "epoch": 3}
+        assert attachments == [b"blob-a", b""]
+
+    def test_unconsumed_attachments_rejected(self):
+        payload = encode_control({}, b"blob")
+        with pytest.raises(SerializationError, match="trailing"):
+            decode_control(payload)  # caller forgot num_attachments
+
+    def test_non_object_header_rejected(self):
+        from repro.crypto.serialization import encode_bytes
+
+        with pytest.raises(SerializationError, match="JSON object"):
+            decode_control(encode_bytes(b"[1,2]"))
+
+    def test_garbage_header_rejected(self):
+        from repro.crypto.serialization import encode_bytes
+
+        with pytest.raises(SerializationError, match="malformed"):
+            decode_control(encode_bytes(b"\xff\xfe not json"))
+
+
+class TestTypedRemoteErrors:
+    def test_known_class_reraised_typed(self):
+        payload = encode_error(ProtocolError("SU 'su-9' is not registered"))
+        assert decode_error(payload) == (
+            "ProtocolError",
+            "SU 'su-9' is not registered",
+        )
+        with pytest.raises(ProtocolError, match="stp: SU 'su-9'"):
+            raise_remote_error(payload, "stp")
+
+    def test_unknown_class_degrades_to_transport_error(self):
+        payload = encode_error(ValueError("not a repro error"))
+        with pytest.raises(TransportError, match="ValueError"):
+            raise_remote_error(payload, "shard-0")
