@@ -3,13 +3,20 @@
 Two halves, one purpose: keep the implementation honest about the
 paper's security claims.
 
-* The **static analyzer** (``repro audit`` on the CLI) parses the source
-  tree and enforces crypto-hygiene rules — randomness funneled through
-  :class:`repro.crypto.rand.RandomSource` (CRY001), no float arithmetic
-  on secret-derived values (CRY002), no logging (SEC001) or branching
-  (SEC002) on secrets, the transcript-order invariant (ORD001), and a
-  shared-state race heuristic for the service layer (SVC001).  Accepted
-  pre-existing findings live in a checked-in baseline
+* The **static analyzer** (``repro audit`` on the CLI) is a
+  flow-sensitive *interprocedural* engine: it builds a project-wide
+  symbol table and call graph (:mod:`repro.audit.callgraph`) and
+  propagates secret/blocking/nondeterminism facts across function
+  boundaries to a fixpoint, so a coroutine calling a helper that calls
+  ``os.replace`` is flagged with its provenance chain.  Rule families:
+  crypto hygiene (CRY0xx), secret confinement (SEC0xx, taint crosses
+  call boundaries), transcript ordering (ORD001), service-state races
+  (SVC001), resilience/telemetry/transport ownership (RES001, TEL001,
+  NET001), determinism proving (DET0xx), and async-race detection for
+  the socket plane (ASY0xx).  Per-file results are cached by content +
+  config + taint digest (:mod:`repro.audit.cache`), findings export as
+  SARIF 2.1.0, ``--explain RULEID`` prints any rule's card, and
+  accepted pre-existing findings live in a checked-in baseline
   (``audit-baseline.json``); only *new* findings fail the run.
 * The **runtime sanitizer** (:class:`repro.audit.runtime.SanitizingTransport`)
   wraps the message transport during tests and asserts per-message

@@ -18,7 +18,12 @@ from repro.errors import AuditError
 
 __all__ = ["Baseline", "diff_against_baseline"]
 
-_VERSION = 1
+#: Current on-disk version.  Version 1 (engine v1) files load
+#: transparently — fingerprints are unchanged across the engine-v2
+#: migration, so prior waivers survive byte-for-byte — and are rewritten
+#: as version 2 on the next ``--update-baseline``.
+_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -36,7 +41,7 @@ class Baseline:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
             raise AuditError(f"cannot read baseline {path}: {exc}") from exc
-        if payload.get("version") != _VERSION:
+        if payload.get("version") not in _READABLE_VERSIONS:
             raise AuditError(
                 f"unsupported baseline version in {path}: {payload.get('version')!r}"
             )

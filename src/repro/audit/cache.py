@@ -1,0 +1,155 @@
+"""Incremental audit cache keyed by content hash.
+
+A full-repo audit parses ~200 files; most audits touch a handful.  The
+cache stores, per file, the JSON-serialized
+:class:`~repro.audit.callgraph.ModuleSummary` plus the unit-level
+findings, keyed by a content hash that also covers the active
+configuration and an engine version stamp.  On a warm run an unchanged
+file contributes its summary to the call graph and replays its findings
+without being read into an AST at all.
+
+Unit-level findings are additionally keyed by a *taint digest* — a hash
+of the global call-graph surface (function idents + secret returners).
+Cross-function taint seeds can change when *another* file changes, so a
+file's cached taint findings are only valid while that global surface
+is stable.  Summary-kind rules are never cached: they run over the
+in-memory summaries each time and are cheap by construction.
+
+The on-disk format is plain JSON (the analyzer forbids pickle outside
+``repro.netd`` — rule NET001 — and the analyzer should pass its own
+audit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.audit.findings import Finding
+from repro.crypto.hashing import sha256
+
+__all__ = ["AuditCache", "ENGINE_VERSION"]
+
+#: Bump whenever summary extraction or rule semantics change: it
+#: invalidates every cache entry at once.
+ENGINE_VERSION = "2.0"
+
+_CACHE_FORMAT = 1
+
+
+class AuditCache:
+    """JSON-backed per-file cache of summaries and unit findings."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                data = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if data.get("format") == _CACHE_FORMAT:
+                self._entries = data.get("files", {})
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def config_digest(config) -> str:
+        """Hash of everything that can change rule output for a file.
+
+        Frozenset fields are sorted before hashing: their repr order is
+        PYTHONHASHSEED-dependent, which would silently invalidate the
+        cache on every new process (the exact bug class DET003 polices).
+        """
+        import dataclasses
+
+        parts = [ENGINE_VERSION]
+        for f in dataclasses.fields(config):
+            value = getattr(config, f.name)
+            if isinstance(value, (frozenset, set)):
+                rendered = ",".join(sorted(value))
+            elif isinstance(value, tuple):
+                rendered = ",".join(value)
+            else:
+                rendered = repr(value)
+            parts.append(f"{f.name}={rendered}")
+        return sha256("|".join(parts).encode("utf-8")).hex()[:16]
+
+    @staticmethod
+    def content_key(source: str, config_digest: str) -> str:
+        return sha256(
+            f"{config_digest}|{source}".encode("utf-8")
+        ).hex()[:24]
+
+    @staticmethod
+    def taint_digest(project) -> str:
+        """Hash of the cross-file inputs to unit-level taint rules."""
+        basis = "|".join(
+            (
+                ",".join(sorted(project.functions)),
+                ",".join(sorted(project.secret_returners)),
+            )
+        )
+        return sha256(basis.encode("utf-8")).hex()[:16]
+
+    # -- lookups -----------------------------------------------------------
+
+    def get_summary(self, path: str, key: str):
+        from repro.audit.callgraph import ModuleSummary
+
+        entry = self._entries.get(path)
+        if entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ModuleSummary.from_json_dict(entry["summary"])
+
+    def get_unit_findings(
+        self, path: str, key: str, taint_digest: str
+    ) -> list[Finding] | None:
+        entry = self._entries.get(path)
+        if (
+            entry is None
+            or entry.get("key") != key
+            or entry.get("taint_digest") != taint_digest
+        ):
+            return None
+        return [Finding(**f) for f in entry["findings"]]
+
+    def put(
+        self,
+        path: str,
+        key: str,
+        *,
+        summary,
+        findings: list[Finding],
+        taint_digest: str,
+    ) -> None:
+        self._entries[path] = {
+            "key": key,
+            "taint_digest": taint_digest,
+            "summary": summary.to_json_dict(),
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "module": f.module,
+                    "context": f.context,
+                    "snippet": f.snippet,
+                }
+                for f in findings
+            ],
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self) -> None:
+        payload = {"format": _CACHE_FORMAT, "files": self._entries}
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path)

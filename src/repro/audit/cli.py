@@ -4,6 +4,11 @@ Exit status: 0 when no *new* findings (relative to the baseline), 1 when
 new findings exist, so CI can gate on it directly.  ``--update-baseline``
 rewrites the baseline to exactly the current finding set (preserving
 reasons for entries that survive) and always exits 0.
+
+``--explain RULEID`` prints the rule card (rationale, bad/good example,
+waiver syntax) and exits without analyzing anything.  ``--cache PATH``
+enables the incremental summary cache: warm runs skip parsing for
+unchanged files.
 """
 
 from __future__ import annotations
@@ -13,11 +18,28 @@ from pathlib import Path
 
 from repro.audit.baseline import Baseline, diff_against_baseline
 from repro.audit.engine import AuditConfig, AuditEngine
-from repro.audit.reporters import render_json, render_text
+from repro.audit.reporters import render_json, render_sarif, render_text
 
-__all__ = ["run_audit", "DEFAULT_BASELINE"]
+__all__ = ["run_audit", "explain_rule", "DEFAULT_BASELINE"]
 
 DEFAULT_BASELINE = "audit-baseline.json"
+
+
+def explain_rule(rule_id: str, *, stream=None) -> int:
+    """Print the rule card for ``rule_id`` (``repro audit --explain``)."""
+    from repro.audit.registry import get_rule
+    from repro.errors import AuditError
+
+    stream = stream if stream is not None else sys.stdout
+    try:
+        rule = get_rule(rule_id.upper())
+    except AuditError as exc:
+        from repro.audit.registry import rule_ids
+
+        print(f"{exc}\nknown rules: {', '.join(rule_ids())}", file=stream)
+        return 1
+    print(rule.explain(), file=stream)
+    return 0
 
 
 def run_audit(
@@ -26,15 +48,25 @@ def run_audit(
     baseline_path: str = DEFAULT_BASELINE,
     update_baseline: bool = False,
     json_path: str | None = None,
+    sarif_path: str | None = None,
     output_format: str = "text",
     select: list[str] | None = None,
+    cache_path: str | None = None,
     verbose: bool = False,
     stream=None,
 ) -> int:
     stream = stream if stream is not None else sys.stdout
     config = AuditConfig(select=frozenset(select or ()))
     engine = AuditEngine(config)
-    findings = engine.run(paths)
+
+    cache = None
+    if cache_path is not None:
+        from repro.audit.cache import AuditCache
+
+        cache = AuditCache(cache_path)
+    findings = engine.run(paths, cache=cache)
+    if cache is not None:
+        cache.save()
 
     baseline = Baseline.load(baseline_path)
     new, grandfathered, stale = diff_against_baseline(findings, baseline)
@@ -58,9 +90,15 @@ def run_audit(
         Path(json_path).write_text(
             render_json(new, grandfathered, stale), encoding="utf-8"
         )
+    if sarif_path is not None:
+        Path(sarif_path).write_text(
+            render_sarif(new, grandfathered, stale), encoding="utf-8"
+        )
 
     if output_format == "json":
         print(render_json(new, grandfathered, stale), file=stream, end="")
+    elif output_format == "sarif":
+        print(render_sarif(new, grandfathered, stale), file=stream, end="")
     else:
         print(render_text(new, grandfathered, stale, verbose=verbose), file=stream)
 

@@ -98,6 +98,29 @@ class AuditConfig:
     #: everywhere spans/metrics are recorded, including the telemetry
     #: plane itself.
     telemetry_scope: tuple[str, ...] = ("repro",)
+    #: Package prefixes covered by the determinism family (DET0xx): every
+    #: module whose output can reach a protocol transcript.
+    determinism_scope: tuple[str, ...] = (
+        "repro.crypto",
+        "repro.pisa",
+        "repro.service",
+        "repro.cluster",
+        "repro.netd",
+        "repro.resilience",
+    )
+    #: Modules allowed to read civil time — the injected Clock seam
+    #: implementations.  Everything else must take a ``clock=`` parameter.
+    clock_seam_modules: frozenset[str] = frozenset()
+    #: Package prefixes where float accumulation is a transcript hazard
+    #: (DET005) — the protocol core, not analysis/reporting code.
+    float_accum_scope: tuple[str, ...] = (
+        "repro.pisa",
+        "repro.crypto",
+        "repro.cluster",
+    )
+    #: Package prefixes where the asyncio-hygiene family (ASY0xx) applies —
+    #: the planes that run an event loop.
+    asyncio_scope: tuple[str, ...] = ("repro.netd", "repro.service")
     #: Restrict the run to these rule ids (empty = all).
     select: frozenset[str] = frozenset()
 
@@ -204,11 +227,22 @@ class AuditEngine:
                 raise AuditError(f"no such file or directory: {raw}")
         return sorted(files)
 
-    def run_unit(self, unit: ModuleUnit) -> list[Finding]:
-        """Run all active rules over one parsed module, applying waivers."""
+    def run_unit(self, unit: ModuleUnit, project=None) -> list[Finding]:
+        """Run unit-level rules over one parsed module, applying waivers.
+
+        Without a ``project``, taint rules degrade to their
+        intra-function analysis and summary rules are skipped — this is
+        the engine-v1 behavior that single-module tests rely on.
+        """
         findings: list[Finding] = []
         for rule in self._active_rules():
-            for finding in rule(unit, self.config):
+            if rule.kind == "summary":
+                continue
+            if rule.kind == "taint":
+                produced = rule.check(unit, self.config, project)
+            else:
+                produced = rule.check(unit, self.config)
+            for finding in produced:
                 waived = unit.waived_rules(finding.line)
                 if waived is not None and (not waived or finding.rule in waived):
                     continue
@@ -216,14 +250,112 @@ class AuditEngine:
         findings.sort()
         return findings
 
-    def run(self, paths: Iterable[str]) -> list[Finding]:
-        """Analyze all python files reachable from ``paths``."""
+    def run_summary_rules(self, project) -> list[Finding]:
+        """Run the interprocedural rules over a populated project."""
         findings: list[Finding] = []
-        for path in self.collect_files(paths):
+        for rule in self._active_rules():
+            if rule.kind != "summary":
+                continue
+            for finding in rule.check(project, self.config):
+                if project.waived(finding.module, finding.line, finding.rule):
+                    continue
+                findings.append(finding)
+        findings.sort()
+        return findings
+
+    def build_project(self, units: Iterable[ModuleUnit]):
+        """Assemble summaries + call graph + fact lattice for ``units``."""
+        from repro.audit.callgraph import Project, build_module_summary
+        from repro.audit.taint import propagate_facts
+
+        summaries = {
+            unit.module: build_module_summary(unit, self.config.secret_names)
+            for unit in units
+        }
+        project = Project(summaries)
+        propagate_facts(project, self.config)
+        return project
+
+    def run(self, paths: Iterable[str], cache=None) -> list[Finding]:
+        """Analyze all python files reachable from ``paths``.
+
+        With a :class:`repro.audit.cache.AuditCache`, unchanged files
+        skip parsing entirely: their cached summaries feed the call
+        graph and their cached unit-level findings are replayed, so a
+        warm full-repo audit is dominated by hashing + the summary-rule
+        fixpoint.
+        """
+        from repro.audit.callgraph import Project
+        from repro.audit.taint import propagate_facts
+
+        files = self.collect_files(paths)
+        if cache is None:
+            units = [
+                ModuleUnit.from_source(
+                    p.read_text(encoding="utf-8"),
+                    path=str(p),
+                    module=module_name_for_path(p),
+                )
+                for p in files
+            ]
+            project = self.build_project(units)
+            findings: list[Finding] = []
+            for unit in units:
+                findings.extend(self.run_unit(unit, project))
+            findings.extend(self.run_summary_rules(project))
+            findings.sort()
+            return findings
+        return self._run_cached(files, cache)
+
+    def _run_cached(self, files: list[Path], cache) -> list[Finding]:
+        from repro.audit.callgraph import Project, build_module_summary
+        from repro.audit.taint import propagate_facts
+
+        sources: dict[str, str] = {}
+        keys: dict[str, str] = {}
+        units: dict[str, ModuleUnit] = {}
+        summaries: dict[str, "object"] = {}
+        config_digest = cache.config_digest(self.config)
+
+        for path in files:
             source = path.read_text(encoding="utf-8")
-            unit = ModuleUnit.from_source(
-                source, path=str(path), module=module_name_for_path(path)
-            )
-            findings.extend(self.run_unit(unit))
+            module = module_name_for_path(path)
+            key = cache.content_key(source, config_digest)
+            sources[module] = source
+            keys[module] = key
+            summary = cache.get_summary(str(path), key)
+            if summary is None:
+                unit = ModuleUnit.from_source(source, path=str(path), module=module)
+                units[module] = unit
+                summary = build_module_summary(unit, self.config.secret_names)
+            summaries[module] = summary
+
+        project = Project(summaries)
+        propagate_facts(project, self.config)
+        taint_digest = cache.taint_digest(project)
+
+        findings: list[Finding] = []
+        for path in files:
+            module = module_name_for_path(path)
+            key = keys[module]
+            cached = cache.get_unit_findings(str(path), key, taint_digest)
+            if cached is None:
+                unit = units.get(module)
+                if unit is None:
+                    unit = ModuleUnit.from_source(
+                        sources[module], path=str(path), module=module
+                    )
+                unit_findings = self.run_unit(unit, project)
+                cache.put(
+                    str(path),
+                    key,
+                    summary=summaries[module],
+                    findings=unit_findings,
+                    taint_digest=taint_digest,
+                )
+                findings.extend(unit_findings)
+            else:
+                findings.extend(cached)
+        findings.extend(self.run_summary_rules(project))
         findings.sort()
         return findings

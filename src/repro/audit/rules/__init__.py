@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from repro.audit.rules import (  # noqa: F401
+    concurrency,
+    determinism,
     net,
     ordering,
     randomness,
@@ -13,6 +15,8 @@ from repro.audit.rules import (  # noqa: F401
 )
 
 __all__ = [
+    "concurrency",
+    "determinism",
     "net",
     "ordering",
     "randomness",

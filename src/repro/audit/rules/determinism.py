@@ -1,0 +1,244 @@
+"""DET0xx — determinism prover rules.
+
+The stack's defining invariant is that a seeded run produces
+byte-identical protocol transcripts across the in-memory, cluster, and
+socket planes.  Everything that can silently break that invariant has
+one of five shapes, and each gets a rule:
+
+* **DET001** — wall-clock reads (``time.time``, ``datetime.now``…)
+  outside the injected Clock seam.  Monotonic/perf-counter reads are
+  fine (local measurement only).
+* **DET002** — ambient randomness (``random``, ``secrets``,
+  ``os.urandom``, ``uuid4``) reachable from transcript-producing code
+  outside the journaled RandomSource funnel.
+* **DET003** — iterating a ``set``/``frozenset`` where the iteration
+  order can feed serialized output; set order varies across processes
+  when PYTHONHASHSEED varies.
+* **DET004** — the ``hash()`` builtin on protocol values;
+  ``PYTHONHASHSEED`` randomizes string hashing per process.
+* **DET005** — float accumulation in ΣQ̃-style sums; float addition is
+  non-associative, so a different reduction order changes the bytes.
+
+DET001/DET002 are *summary* rules: they use the interprocedural fact
+lattice, so a wall-clock read three calls deep in a helper module is
+attributed to the in-scope call site that reaches it.  DET003–005 match
+local operation records extracted into the same summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.audit.findings import Finding
+from repro.audit.registry import register_rule
+from repro.audit.taint import FACT_AMBIENT_RANDOM, FACT_WALLCLOCK
+
+
+def _finding_from_op(op, info, rule: str, message: str, path: str) -> Finding:
+    return Finding(
+        path=path,
+        line=op.lineno,
+        col=op.col,
+        rule=rule,
+        message=message,
+        module=info.module,
+        context=op.context,
+        snippet=op.snippet,
+    )
+
+
+def _finding_from_call(call, info, rule: str, message: str, path: str) -> Finding:
+    return Finding(
+        path=path,
+        line=call.lineno,
+        col=call.col,
+        rule=rule,
+        message=message,
+        module=info.module,
+        context=call.context,
+        snippet=call.snippet,
+    )
+
+
+def _fact_findings(project, config, *, fact, op_kind, rule, noun) -> Iterator[Finding]:
+    """Shared shape of DET001/DET002: local ops + boundary-crossing calls."""
+    for module, summary in sorted(project.modules.items()):
+        if not config.in_scope(module, config.determinism_scope):
+            continue
+        for info in summary.functions.values():
+            for op in info.ops:
+                if op.kind == op_kind:
+                    if fact == FACT_WALLCLOCK and module in config.clock_seam_modules:
+                        continue
+                    if fact == FACT_AMBIENT_RANDOM and module in config.randomness_allowed:
+                        continue
+                    yield _finding_from_op(
+                        op,
+                        info,
+                        rule,
+                        f"{noun} via {op.detail} — inject it through the "
+                        "seeded seam instead",
+                        summary.path,
+                    )
+            for call in info.calls:
+                for callee in project.resolve(module, info.qualname, call.callee):
+                    callee_info = project.functions[callee]
+                    if config.in_scope(callee_info.module, config.determinism_scope):
+                        continue  # the source itself is flagged there
+                    provenance = project.facts.get(callee, {}).get(fact)
+                    if provenance:
+                        yield _finding_from_call(
+                            call,
+                            info,
+                            rule,
+                            f"{noun} reachable through {call.callee}() "
+                            f"({provenance})",
+                            summary.path,
+                        )
+                        break
+
+
+@register_rule(
+    "DET001",
+    "no wall-clock reads outside the injected Clock seam",
+    kind="summary",
+    rationale=(
+        "Transcript bytes must be a function of (seed, inputs) alone. A "
+        "time.time()/datetime.now() read anywhere on a transcript path makes "
+        "replay runs diverge from the journal; every timestamp must flow "
+        "through the injected clock so tests and replay can pin it. "
+        "time.monotonic/perf_counter are exempt — they never reach "
+        "serialized output, only local duration measurement."
+    ),
+    bad="issued_at = int(time.time())        # wall clock inside the protocol",
+    good="issued_at = int(self._clock())      # injected seam, replayable",
+)
+def check_wallclock(project, config) -> Iterator[Finding]:
+    yield from _fact_findings(
+        project,
+        config,
+        fact=FACT_WALLCLOCK,
+        op_kind="wallclock",
+        rule="DET001",
+        noun="wall-clock read",
+    )
+
+
+@register_rule(
+    "DET002",
+    "no ambient randomness reachable from transcript-producing code",
+    kind="summary",
+    rationale=(
+        "All entropy must flow through the journaled RandomSource so a "
+        "transcript can be replayed draw-for-draw. An os.urandom/uuid4/"
+        "random.random call reachable from protocol code — even three "
+        "helpers deep — silently desynchronizes replay. CRY001 already "
+        "flags the imports; DET002 follows the *calls* across functions."
+    ),
+    bad="nonce = os.urandom(16)              # invisible to the journal",
+    good="nonce = rng.randbits(128)           # journaled RandomSource draw",
+)
+def check_ambient_randomness(project, config) -> Iterator[Finding]:
+    yield from _fact_findings(
+        project,
+        config,
+        fact=FACT_AMBIENT_RANDOM,
+        op_kind="ambient-random",
+        rule="DET002",
+        noun="ambient randomness",
+    )
+
+
+@register_rule(
+    "DET003",
+    "no set/frozenset iteration where order can feed serialized output",
+    kind="summary",
+    rationale=(
+        "Set iteration order depends on PYTHONHASHSEED and insertion "
+        "history, so two processes disagree on it. Any loop over a set "
+        "that appends to a message, a journal record, or a ΣQ̃ "
+        "accumulation produces plane-dependent bytes. Sort first: the "
+        "transcript needs one canonical order anyway."
+    ),
+    bad="for su_id in shard_ids:             # shard_ids is a set",
+    good="for su_id in sorted(shard_ids):     # canonical transcript order",
+)
+def check_set_iteration(project, config) -> Iterator[Finding]:
+    for module, summary in sorted(project.modules.items()):
+        if not config.in_scope(module, config.determinism_scope):
+            continue
+        for info in summary.functions.values():
+            for op in info.ops:
+                if op.kind == "set-iter":
+                    yield _finding_from_op(
+                        op,
+                        info,
+                        "DET003",
+                        f"iteration over an unordered set ({op.detail}) — "
+                        "wrap in sorted() to fix the transcript order",
+                        summary.path,
+                    )
+
+
+@register_rule(
+    "DET004",
+    "no hash() builtin on protocol values",
+    kind="summary",
+    rationale=(
+        "hash() on str/bytes is salted per process by PYTHONHASHSEED: the "
+        "same SU id hashes differently on every worker, so any routing, "
+        "bucketing, or dedup keyed on hash() diverges across the planes. "
+        "Use repro.crypto.hashing.sha256 (stable) or int keys. Defining "
+        "__hash__ on a value type is fine — calling the builtin is not."
+    ),
+    bad="bucket = hash(su_id) % shards       # salted per process",
+    good="bucket = stable_bucket(su_id, shards)  # sha256-based, plane-stable",
+)
+def check_hash_builtin(project, config) -> Iterator[Finding]:
+    for module, summary in sorted(project.modules.items()):
+        if not config.in_scope(module, config.determinism_scope):
+            continue
+        for info in summary.functions.values():
+            for op in info.ops:
+                if op.kind == "hash":
+                    yield _finding_from_op(
+                        op,
+                        info,
+                        "DET004",
+                        "hash() is PYTHONHASHSEED-salted and differs across "
+                        "processes — use repro.crypto.hashing for stable digests",
+                        summary.path,
+                    )
+
+
+@register_rule(
+    "DET005",
+    "no float accumulation in protocol-core sums",
+    kind="summary",
+    rationale=(
+        "Float addition is non-associative: reordering a ΣQ̃ reduction "
+        "(e.g. merging shard partials in a different order) changes the "
+        "low bits, which changes ciphertext plaintexts, which changes "
+        "transcript bytes. Protocol sums must stay in exact integer "
+        "(fixed-point) arithmetic; floats belong in analysis/reporting "
+        "code only."
+    ),
+    bad="total += q_tilde / scale            # float partial sums reorder",
+    good="total += q_fixed                    # integer fixed-point, exact",
+)
+def check_float_accumulation(project, config) -> Iterator[Finding]:
+    for module, summary in sorted(project.modules.items()):
+        if not config.in_scope(module, config.float_accum_scope):
+            continue
+        for info in summary.functions.values():
+            for op in info.ops:
+                if op.kind == "float-accum":
+                    yield _finding_from_op(
+                        op,
+                        info,
+                        "DET005",
+                        f"float accumulation ({op.detail}) in protocol core — "
+                        "use integer fixed-point so reduction order cannot "
+                        "change the bytes",
+                        summary.path,
+                    )

@@ -16,6 +16,13 @@ All three share the intra-function taint walk from
   control-flow side channel.  The STP sign-extraction modules are the
   one place the protocol *requires* comparing a decrypted value, so they
   are exempt by configuration.
+
+Engine v2 makes all three *interprocedural*: when a project call graph
+is available, locals bound from calls that resolve to secret-returning
+functions (``material = secret_part(key)``) are seeded into the taint
+set, so a leak split across two functions is no longer invisible.
+Without a project (unit tests, ``run_unit``) the rules degrade to the
+intra-function analysis.
 """
 
 from __future__ import annotations
@@ -24,12 +31,28 @@ import ast
 from typing import Iterator
 
 from repro.audit.registry import register_rule
-from repro.audit.taint import expr_is_tainted, tainted_names
+from repro.audit.taint import (
+    expr_is_tainted,
+    interprocedural_seeds,
+    tainted_names,
+)
 from repro.audit.rules.common import iter_function_defs
 
 
 def _tainted(expr: ast.AST, tainted: frozenset[str], config) -> bool:
     return expr_is_tainted(expr, tainted, config.secret_names)
+
+
+def _taint_set(func, unit, config, project, qualname) -> frozenset[str]:
+    """Intra-function taint plus cross-function secret-return seeds."""
+    local = tainted_names(func, config.secret_names)
+    seeds = interprocedural_seeds(func, project, unit.module, qualname)
+    if not seeds:
+        return local
+    # Seeds are taint sources too: rerun the fixpoint with them treated
+    # as secret names so second-order assignments propagate.
+    widened = tainted_names(func, config.secret_names | seeds)
+    return local | seeds | widened
 
 
 def _has_float_constant(expr: ast.AST) -> bool:
@@ -39,12 +62,23 @@ def _has_float_constant(expr: ast.AST) -> bool:
     )
 
 
-@register_rule("CRY002", "no float arithmetic or true division on secret-derived values")
-def check_float_taint(unit, config) -> Iterator:
+@register_rule(
+    "CRY002",
+    "no float arithmetic or true division on secret-derived values",
+    kind="taint",
+    rationale=(
+        "Paillier/Damgård–Jurik arithmetic is exact integer math mod n^(s+1); "
+        "a float truncates silently and breaks the eq. (14)/(17) recovery "
+        "identities, corrupting every transcript downstream."
+    ),
+    bad="noise = lam / 2            # true division on the Carmichael secret",
+    good="noise = lam // 2           # floor division stays in the integers",
+)
+def check_float_taint(unit, config, project=None) -> Iterator:
     if not config.in_scope(unit.module, config.taint_scope):
         return
     for qualname, func in iter_function_defs(unit.tree):
-        tainted = tainted_names(func, config.secret_names)
+        tainted = _taint_set(func, unit, config, project, qualname)
         for node in ast.walk(func):
             if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
                 if _tainted(node.left, tainted, config) or _tainted(
@@ -102,12 +136,28 @@ def _is_log_call(node: ast.Call) -> bool:
     return False
 
 
-@register_rule("SEC001", "no logging/printing/interpolation of secret-derived values")
-def check_secret_logging(unit, config) -> Iterator:
+@register_rule(
+    "SEC001",
+    "no logging/printing/interpolation of secret-derived values",
+    kind="taint",
+    rationale=(
+        "A log line or f-string carrying sk/λ/μ or a blinding factor leaks "
+        "exactly the material PISA's privacy argument assumes stays inside "
+        "the process; log aggregation makes the leak durable. The v2 engine "
+        "follows secrets through helper-function returns, so splitting the "
+        "leak across two functions no longer hides it."
+    ),
+    bad=(
+        "material = secret_part(key)   # helper returns key.lam\n"
+        "log.info(material)            # cross-function leak"
+    ),
+    good='log.info("keygen done", extra={"bits": key.bits})  # sizes only',
+)
+def check_secret_logging(unit, config, project=None) -> Iterator:
     if not config.in_scope(unit.module, config.logging_scope):
         return
     for qualname, func in iter_function_defs(unit.tree):
-        tainted = tainted_names(func, config.secret_names)
+        tainted = _taint_set(func, unit, config, project, qualname)
         for node in ast.walk(func):
             if isinstance(node, ast.Call) and _is_log_call(node):
                 args = list(node.args) + [kw.value for kw in node.keywords]
@@ -132,14 +182,25 @@ def check_secret_logging(unit, config) -> Iterator:
                         break
 
 
-@register_rule("SEC002", "no branching/comparison on secret-derived values")
-def check_secret_branching(unit, config) -> Iterator:
+@register_rule(
+    "SEC002",
+    "no branching/comparison on secret-derived values",
+    kind="taint",
+    rationale=(
+        "Branching on secret-derived values creates control-flow timing "
+        "side channels; only the STP sign-extraction modules are sanctioned "
+        "to compare decrypted values, and they are exempt by configuration."
+    ),
+    bad="if lam > threshold:          # timing reveals the secret's magnitude",
+    good="mask = int(gcd(lam, n) != 1)  # constant-shape arithmetic selection",
+)
+def check_secret_branching(unit, config, project=None) -> Iterator:
     if not config.in_scope(unit.module, config.taint_scope):
         return
     if unit.module in config.sign_extraction_modules:
         return  # sign extraction is the protocol's sanctioned secret compare
     for qualname, func in iter_function_defs(unit.tree):
-        tainted = tainted_names(func, config.secret_names)
+        tainted = _taint_set(func, unit, config, project, qualname)
         for node in ast.walk(func):
             if isinstance(node, ast.Compare):
                 operands = [node.left] + list(node.comparators)

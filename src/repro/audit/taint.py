@@ -23,7 +23,23 @@ from __future__ import annotations
 
 import ast
 
-__all__ = ["is_secret_identifier", "tainted_names", "expr_is_tainted"]
+__all__ = [
+    "is_secret_identifier",
+    "tainted_names",
+    "expr_is_tainted",
+    "FACT_BLOCKING",
+    "FACT_WALLCLOCK",
+    "FACT_AMBIENT_RANDOM",
+    "propagate_facts",
+    "interprocedural_seeds",
+]
+
+#: Interprocedural facts propagated over the call graph (engine v2).
+#: Each fact is monotone: once a function acquires it, callers may
+#: inherit it, so the fixpoint terminates on a finite lattice.
+FACT_BLOCKING = "blocking"  #: may block the calling thread
+FACT_WALLCLOCK = "wallclock"  #: may read civil time outside the Clock seam
+FACT_AMBIENT_RANDOM = "ambient-random"  #: may draw non-RandomSource entropy
 
 
 def _canonical(identifier: str) -> str:
@@ -156,3 +172,139 @@ def tainted_names(func: ast.AST, secret_names: frozenset[str]) -> frozenset[str]
                         tainted.add(name)
                         changed = True
     return frozenset(tainted)
+
+
+# --------------------------------------------------------------------------
+# interprocedural fact lattice (engine v2)
+# --------------------------------------------------------------------------
+
+
+def _secret_returners(project, config) -> frozenset[str]:
+    """Fixpoint set of function idents whose return value is secret-derived.
+
+    Seeded by functions whose return expression locally mentions a
+    secret identifier; closed under "returns the result of a secret
+    returner" so ``def outer(k): return secret_part(k)`` taints too.
+    """
+    returners: set[str] = {
+        ident
+        for ident, info in project.functions.items()
+        if info.returns_secret
+    }
+    changed = True
+    while changed:
+        changed = False
+        for ident, info in project.functions.items():
+            if ident in returners or not info.return_calls:
+                continue
+            for callee_text in info.return_calls:
+                resolved = project.resolve(info.module, info.qualname, callee_text)
+                if any(r in returners for r in resolved):
+                    returners.add(ident)
+                    changed = True
+                    break
+    return frozenset(returners)
+
+
+def propagate_facts(project, config) -> None:
+    """Populate ``project.facts`` and ``project.secret_returners``.
+
+    ``project.facts`` maps function ident → {fact: provenance}, where
+    provenance is a human-readable chain (``os.fsync at journal.py:84``
+    or ``via _write_ready(): …``) used verbatim in rule messages.
+
+    Masking encodes the sanctioned seams:
+
+    * ``blocking`` does not cross a call site wrapped in
+      ``asyncio.to_thread``/``run_in_executor`` — that is the approved
+      way to do blocking work from a coroutine;
+    * ``wallclock`` is never seeded inside ``config.clock_seam_modules``
+      (the injected-Clock implementation has to read the clock);
+    * ``ambient-random`` is never seeded inside
+      ``config.randomness_allowed`` (the RandomSource funnel).
+    """
+    facts: dict[str, dict[str, str]] = {}
+    for ident, info in project.functions.items():
+        local: dict[str, str] = {}
+        clock_sanctioned = info.module in config.clock_seam_modules
+        random_sanctioned = info.module in config.randomness_allowed
+        for op in info.ops:
+            where = f"{op.detail} at {info.module}:{op.lineno}"
+            if op.kind == "blocking" and not op.wrapped:
+                local.setdefault(FACT_BLOCKING, where)
+            elif op.kind == "wallclock" and not clock_sanctioned:
+                local.setdefault(FACT_WALLCLOCK, where)
+            elif op.kind == "ambient-random" and not random_sanctioned:
+                local.setdefault(FACT_AMBIENT_RANDOM, where)
+        facts[ident] = local
+
+    changed = True
+    while changed:
+        changed = False
+        for ident, info in project.functions.items():
+            mine = facts[ident]
+            for call in info.calls:
+                for callee in project.resolve(
+                    info.module, info.qualname, call.callee
+                ):
+                    for fact, provenance in facts.get(callee, {}).items():
+                        if fact == FACT_BLOCKING and call.wrapped:
+                            continue  # to_thread launders blocking, by design
+                        if fact not in mine:
+                            chain = f"via {call.callee}() → {provenance}"
+                            # Cap provenance depth so messages stay readable.
+                            if chain.count("→") > 4:
+                                chain = f"via {call.callee}() → …"
+                            mine[fact] = chain
+                            changed = True
+    project.facts = facts
+    project.secret_returners = _secret_returners(project, config)
+
+
+def interprocedural_seeds(
+    func: ast.AST, project, module: str, context: str
+) -> frozenset[str]:
+    """Local names bound from calls that resolve to secret returners.
+
+    This is the cross-function half of the taint analysis: feed the
+    result into :func:`tainted_names`-style walks (the taint rules union
+    it with the intra-function set) so ``material = secret_part(key)``
+    taints ``material`` even though no secret identifier appears on the
+    line.
+    """
+    if project is None or not project.secret_returners:
+        return frozenset()
+    seeds: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            continue
+        value = None
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        elif isinstance(node, ast.NamedExpr):
+            value, targets = node.value, [node.target]
+        if value is None or not isinstance(value, ast.Call):
+            continue
+        callee_text = _call_text(value.func)
+        if not callee_text:
+            continue
+        resolved = project.resolve(module, context, callee_text)
+        if any(r in project.secret_returners for r in resolved):
+            for target in targets:
+                seeds.update(_target_names(target))
+    return frozenset(seeds)
+
+
+def _call_text(expr: ast.AST) -> str:
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

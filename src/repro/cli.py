@@ -202,11 +202,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rewrite the baseline to the current finding set")
     audit.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
-    audit.add_argument("--format", choices=("text", "json"), default="text",
-                       help="stdout report format")
+    audit.add_argument("--sarif", type=str, default=None, metavar="PATH",
+                       help="also write the report as SARIF 2.1.0 "
+                            "(GitHub code scanning)")
+    audit.add_argument("--format", choices=("text", "json", "sarif"),
+                       default="text", help="stdout report format")
     audit.add_argument("--select", action="append", default=None,
                        metavar="RULE",
                        help="run only this rule id (repeatable)")
+    audit.add_argument("--cache", type=str, default=None, metavar="PATH",
+                       help="incremental summary cache file — warm runs "
+                            "skip re-parsing unchanged files")
+    audit.add_argument("--explain", type=str, default=None, metavar="RULEID",
+                       help="print the rule's rationale, bad/good example, "
+                            "and waiver syntax, then exit")
     audit.add_argument("--verbose", action="store_true",
                        help="also list grandfathered findings")
 
@@ -579,15 +588,19 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_audit(args) -> int:
-    from repro.audit.cli import run_audit
+    from repro.audit.cli import explain_rule, run_audit
 
+    if args.explain is not None:
+        return explain_rule(args.explain)
     return run_audit(
         list(args.paths),
         baseline_path=args.baseline,
         update_baseline=args.update_baseline,
         json_path=args.json,
+        sarif_path=args.sarif,
         output_format=args.format,
         select=args.select,
+        cache_path=args.cache,
         verbose=args.verbose,
     )
 

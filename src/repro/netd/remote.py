@@ -74,9 +74,12 @@ class AuthorityServer:
     """The broker's single source of randomness, time, and bootstrap state.
 
     Runs on the deployment's :class:`~repro.netd.transport.NetLoop`.
-    ``rand`` handlers execute on the loop thread, so concurrent remote
-    draws are serialised exactly like concurrent local ones — one
-    stream, one order.
+    Handlers execute *off* the loop thread (``asyncio.to_thread``): a
+    journaling RandomSource fsyncs its journal on every draw and
+    bootstrap providers encode private keys under locks, and neither
+    belongs on the event loop.  A dispatch lock serialises the handlers
+    instead, so concurrent remote draws still see one stream in one
+    order — exactly like concurrent local ones.
     """
 
     def __init__(
@@ -96,6 +99,9 @@ class AuthorityServer:
         self._metrics = metrics
         self._providers: dict[str, object] = {}
         self._lock = threading.Lock()
+        #: Serialises _dispatch across connections now that handlers run
+        #: in worker threads: draw order must stay a single stream.
+        self._dispatch_lock = threading.Lock()
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
 
@@ -123,7 +129,12 @@ class AuthorityServer:
             while True:
                 frame = await read_frame(reader)
                 try:
-                    kind, payload = self._dispatch(frame.kind, frame.payload)
+                    # Off-loop: randbits on a journaling source fsyncs,
+                    # bootstrap providers serialize keypairs — blocking
+                    # work that would stall every authority client.
+                    kind, payload = await asyncio.to_thread(
+                        self._dispatch, frame.kind, frame.payload
+                    )
                 except ReproError as exc:
                     kind, payload = "err", encode_error(exc)
                 await write_frame(writer, kind, frame.seq, payload)
@@ -137,6 +148,10 @@ class AuthorityServer:
             writer.close()
 
     def _dispatch(self, kind: str, payload: bytes) -> tuple[str, bytes]:
+        with self._dispatch_lock:
+            return self._dispatch_locked(kind, payload)
+
+    def _dispatch_locked(self, kind: str, payload: bytes) -> tuple[str, bytes]:
         if kind == "hello":
             return "hello", encode_control({})
         if kind == "ping":

@@ -340,7 +340,11 @@ async def _serve(args, tls: TlsSpec | None) -> int:
     except Exception as exc:
         raise classify_network_error(exc, args.name) from exc
     port = server.sockets[0].getsockname()[1]
-    _write_ready(
+    # The ready-file write is sync file I/O (write_text + os.replace):
+    # done inline it would stall the freshly started server's loop, so
+    # it runs off-loop like every other blocking frame here (ASY001).
+    await asyncio.to_thread(
+        _write_ready,
         args.ready_file,
         {
             "name": args.name,

@@ -183,6 +183,10 @@ class SpectrumAccessBroker:
         self._running = False
         self._shutting_down = False
         self._loop_task: asyncio.Task | None = None
+        #: Serializes start/stop: without it, two concurrent stop()
+        #: calls both pass the running check, and the second trips the
+        #: loop-task assert after the first's await window (ASY004).
+        self._lifecycle_lock = asyncio.Lock()
         self._request_ids = itertools.count()
         #: Request ids already resolved (granted/denied/rejected), as a
         #: bounded LRU so a long-running broker stays flat.  Every
@@ -205,22 +209,24 @@ class SpectrumAccessBroker:
     # -- lifecycle ---------------------------------------------------------------
 
     async def start(self) -> None:
-        if self._running:
-            raise ProtocolError("broker already started")
-        self._running = True
-        self._shutting_down = False
-        self._loop_task = asyncio.ensure_future(self._run())
+        async with self._lifecycle_lock:
+            if self._running:
+                raise ProtocolError("broker already started")
+            self._running = True
+            self._shutting_down = False
+            self._loop_task = asyncio.ensure_future(self._run())
 
     async def stop(self) -> None:
         """Graceful shutdown: drain the open epoch, reject the rest."""
-        if not self._running:
-            return
-        self._shutting_down = True
-        self._queue.put_nowait(_SHUTDOWN)
-        assert self._loop_task is not None
-        await self._loop_task
-        self._loop_task = None
-        self._running = False
+        async with self._lifecycle_lock:
+            if not self._running:
+                return
+            self._shutting_down = True
+            self._queue.put_nowait(_SHUTDOWN)
+            assert self._loop_task is not None
+            await self._loop_task
+            self._loop_task = None
+            self._running = False
 
     async def __aenter__(self) -> "SpectrumAccessBroker":
         await self.start()

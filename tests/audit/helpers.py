@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import textwrap
 
 from repro.audit.engine import AuditConfig, AuditEngine, ModuleUnit
@@ -18,17 +19,7 @@ def run_rules(
     if config is None:
         config = AuditConfig(select=frozenset(select or ()))
     elif select:
-        config = AuditConfig(
-            secret_names=config.secret_names,
-            randomness_allowed=config.randomness_allowed,
-            hashing_allowed=config.hashing_allowed,
-            taint_scope=config.taint_scope,
-            logging_scope=config.logging_scope,
-            sign_extraction_modules=config.sign_extraction_modules,
-            ordering_scope=config.ordering_scope,
-            service_modules=config.service_modules,
-            select=frozenset(select),
-        )
+        config = dataclasses.replace(config, select=frozenset(select))
     unit = ModuleUnit.from_source(
         textwrap.dedent(source), path=f"<{module}>", module=module
     )
@@ -38,3 +29,49 @@ def run_rules(
 def rules_hit(source: str, *, module: str, select: set[str] | None = None):
     """Set of rule ids that fire on ``source``."""
     return {f.rule for f in run_rules(source, module=module, select=select)}
+
+
+def run_project_rules(
+    sources: dict[str, str],
+    *,
+    select: set[str] | None = None,
+    config: AuditConfig | None = None,
+):
+    """Engine-v2 path: analyze several modules together with a call graph.
+
+    ``sources`` maps dotted module names to source text.  Runs both the
+    unit-level rules (with the project available, so cross-function
+    taint seeds apply) and the summary rules, waivers included — the
+    same pipeline ``AuditEngine.run`` uses on real files.
+    """
+    if config is None:
+        config = AuditConfig(select=frozenset(select or ()))
+    elif select:
+        config = dataclasses.replace(config, select=frozenset(select))
+    engine = AuditEngine(config)
+    units = [
+        ModuleUnit.from_source(
+            textwrap.dedent(source), path=f"<{module}>", module=module
+        )
+        for module, source in sources.items()
+    ]
+    project = engine.build_project(units)
+    findings = []
+    for unit in units:
+        findings.extend(engine.run_unit(unit, project))
+    findings.extend(engine.run_summary_rules(project))
+    findings.sort()
+    return findings
+
+
+def build_test_project(sources: dict[str, str], config: AuditConfig | None = None):
+    """Build just the Project (summaries + facts) for call-graph tests."""
+    config = config or AuditConfig()
+    engine = AuditEngine(config)
+    units = [
+        ModuleUnit.from_source(
+            textwrap.dedent(source), path=f"<{module}>", module=module
+        )
+        for module, source in sources.items()
+    ]
+    return engine.build_project(units)

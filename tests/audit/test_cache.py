@@ -1,0 +1,121 @@
+"""Incremental audit cache: correctness of hits, misses, invalidation."""
+
+import json
+
+from repro.audit.cache import AuditCache
+from repro.audit.engine import AuditConfig, AuditEngine
+
+BAD = "import random\n"
+GOOD = "x = 1\n"
+
+
+def _tree(tmp_path, sources: dict[str, str]):
+    pkg = tmp_path / "src" / "repro" / "pisa"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for name, source in sources.items():
+        (pkg / name).write_text(source)
+    return tmp_path / "src"
+
+
+class TestCacheLifecycle:
+    def test_warm_run_is_all_hits_and_identical(self, tmp_path):
+        src = _tree(tmp_path, {"a.py": BAD, "b.py": GOOD})
+        cache_path = tmp_path / "cache.json"
+        engine = AuditEngine()
+
+        cold_cache = AuditCache(cache_path)
+        cold = engine.run([str(src)], cache=cold_cache)
+        cold_cache.save()
+        assert cold_cache.misses == 2 and cold_cache.hits == 0
+
+        warm_cache = AuditCache(cache_path)
+        warm = engine.run([str(src)], cache=warm_cache)
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+        assert warm == cold
+        assert [f.rule for f in warm] == ["CRY001"]
+
+    def test_cached_run_matches_uncached(self, tmp_path):
+        src = _tree(tmp_path, {"a.py": BAD, "b.py": GOOD})
+        engine = AuditEngine()
+        uncached = engine.run([str(src)])
+        cache = AuditCache(tmp_path / "cache.json")
+        cached = engine.run([str(src)], cache=cache)
+        assert cached == uncached
+
+    def test_edited_file_invalidates_only_itself(self, tmp_path):
+        src = _tree(tmp_path, {"a.py": BAD, "b.py": GOOD})
+        cache_path = tmp_path / "cache.json"
+        engine = AuditEngine()
+        cache = AuditCache(cache_path)
+        engine.run([str(src)], cache=cache)
+        cache.save()
+
+        (src / "repro" / "pisa" / "b.py").write_text("y = 2\n")
+        warm = AuditCache(cache_path)
+        findings = engine.run([str(src)], cache=warm)
+        assert warm.hits == 1 and warm.misses == 1
+        assert [f.rule for f in findings] == ["CRY001"]
+
+    def test_config_change_invalidates_everything(self, tmp_path):
+        src = _tree(tmp_path, {"a.py": BAD})
+        cache_path = tmp_path / "cache.json"
+        AuditEngine().run([str(src)], cache=(c := AuditCache(cache_path)))
+        c.save()
+
+        narrowed = AuditEngine(AuditConfig(select=frozenset({"SVC001"})))
+        warm = AuditCache(cache_path)
+        findings = narrowed.run([str(src)], cache=warm)
+        assert warm.misses == 1  # different config digest → no hit
+        assert findings == []
+
+    def test_config_digest_is_process_stable(self):
+        # frozenset repr order is PYTHONHASHSEED-dependent; the digest
+        # must not be.  (Two configs built the same way must hash the
+        # same; the sorted-field rendering guarantees it across runs.)
+        a = AuditCache.config_digest(AuditConfig())
+        b = AuditCache.config_digest(AuditConfig())
+        assert a == b
+        assert AuditCache.config_digest(
+            AuditConfig(select=frozenset({"CRY001"}))
+        ) != a
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        src = _tree(tmp_path, {"a.py": BAD})
+        cache = AuditCache(cache_path)
+        findings = AuditEngine().run([str(src)], cache=cache)
+        assert [f.rule for f in findings] == ["CRY001"]
+
+    def test_cache_file_is_json_not_pickle(self, tmp_path):
+        src = _tree(tmp_path, {"a.py": BAD})
+        cache_path = tmp_path / "cache.json"
+        cache = AuditCache(cache_path)
+        AuditEngine().run([str(src)], cache=cache)
+        cache.save()
+        payload = json.loads(cache_path.read_text())
+        assert payload["format"] == 1
+        assert payload["files"]
+
+    def test_cross_function_taint_survives_caching(self, tmp_path):
+        """A cached file's interprocedural findings replay correctly."""
+        source = (
+            "def secret_part(key):\n"
+            "    return key.lam\n"
+            "\n"
+            "def report(key, log):\n"
+            "    material = secret_part(key)\n"
+            "    log.info(material)\n"
+        )
+        src = _tree(tmp_path, {"leak.py": source})
+        cache_path = tmp_path / "cache.json"
+        engine = AuditEngine(AuditConfig(select=frozenset({"SEC001"})))
+
+        cold_cache = AuditCache(cache_path)
+        cold = engine.run([str(src)], cache=cold_cache)
+        cold_cache.save()
+        warm_cache = AuditCache(cache_path)
+        warm = engine.run([str(src)], cache=warm_cache)
+        assert warm_cache.hits == 1
+        assert [f.rule for f in cold] == ["SEC001"]
+        assert warm == cold

@@ -1,0 +1,350 @@
+"""ASY0xx concurrency rules for the socket plane."""
+
+from tests.audit.helpers import run_project_rules
+
+
+def _hits(sources, select):
+    return {f.rule for f in run_project_rules(sources, select=select)}
+
+
+class TestAsy001BlockingInCoroutine:
+    def test_direct_sleep_in_coroutine_flagged(self):
+        findings = run_project_rules(
+            {
+                "repro.netd.x": """
+                import time
+
+                async def handler():
+                    time.sleep(1)
+                """
+            },
+            select={"ASY001"},
+        )
+        assert [f.rule for f in findings] == ["ASY001"]
+
+    def test_blocking_reached_through_sync_helper(self):
+        """The previously-invisible shape: the coroutine itself is clean."""
+        findings = run_project_rules(
+            {
+                "repro.netd.x": """
+                import json, os, pathlib
+
+                def write_ready(path, data):
+                    target = pathlib.Path(path)
+                    tmp = target.with_suffix(".tmp")
+                    tmp.write_text(json.dumps(data))
+                    os.replace(tmp, target)
+
+                async def serve(path):
+                    write_ready(path, {"ok": True})
+                """
+            },
+            select={"ASY001"},
+        )
+        assert [f.rule for f in findings] == ["ASY001"]
+        assert findings[0].context == "serve"
+        assert "write_ready" in findings[0].message
+
+    def test_to_thread_wrapped_helper_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    import asyncio, time
+
+                    def slow():
+                        time.sleep(1)
+
+                    async def serve():
+                        await asyncio.to_thread(slow)
+                    """
+                },
+                {"ASY001"},
+            )
+            == set()
+        )
+
+    def test_sync_function_blocking_is_fine(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    import time
+
+                    def monitor():
+                        time.sleep(1)
+                    """
+                },
+                {"ASY001"},
+            )
+            == set()
+        )
+
+    def test_awaited_primitive_not_blocking(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    async def serve(stop):
+                        await stop.wait()
+                    """
+                },
+                {"ASY001"},
+            )
+            == set()
+        )
+
+    def test_str_join_not_blocking(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    async def render(parts):
+                        return ", ".join(parts)
+                    """
+                },
+                {"ASY001"},
+            )
+            == set()
+        )
+
+    def test_thread_join_in_coroutine_flagged(self):
+        assert _hits(
+            {
+                "repro.netd.x": """
+                async def shutdown(worker_thread):
+                    worker_thread.join()
+                """
+            },
+            {"ASY001"},
+        ) == {"ASY001"}
+
+    def test_out_of_scope_module_not_flagged(self):
+        assert (
+            _hits(
+                {
+                    "repro.analysis.x": """
+                    import time
+
+                    async def slow():
+                        time.sleep(1)
+                    """
+                },
+                {"ASY001"},
+            )
+            == set()
+        )
+
+
+class TestAsy002UnawaitedCoroutine:
+    def test_bare_coroutine_call_flagged(self):
+        findings = run_project_rules(
+            {
+                "repro.netd.x": """
+                async def drain():
+                    pass
+
+                async def shutdown():
+                    drain()
+                """
+            },
+            select={"ASY002"},
+        )
+        assert [f.rule for f in findings] == ["ASY002"]
+        assert findings[0].context == "shutdown"
+
+    def test_awaited_call_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    async def drain():
+                        pass
+
+                    async def shutdown():
+                        await drain()
+                    """
+                },
+                {"ASY002"},
+            )
+            == set()
+        )
+
+    def test_task_wrapped_call_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    import asyncio
+
+                    async def drain():
+                        pass
+
+                    async def shutdown(self):
+                        task = asyncio.create_task(drain())
+                        await task
+                    """
+                },
+                {"ASY002"},
+            )
+            == set()
+        )
+
+
+class TestAsy003FireAndForget:
+    def test_dropped_create_task_flagged(self):
+        assert _hits(
+            {
+                "repro.netd.x": """
+                import asyncio
+
+                async def run():
+                    pass
+
+                async def start():
+                    asyncio.create_task(run())
+                """
+            },
+            {"ASY003"},
+        ) == {"ASY003"}
+
+    def test_held_task_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    import asyncio
+
+                    async def run():
+                        pass
+
+                    class S:
+                        async def start(self):
+                            self._task = asyncio.ensure_future(run())
+                    """
+                },
+                {"ASY003"},
+            )
+            == set()
+        )
+
+
+class TestAsy004AwaitBoundaryRace:
+    def test_unlocked_read_await_write_flagged(self):
+        findings = run_project_rules(
+            {
+                "repro.netd.x": """
+                class S:
+                    async def bump(self):
+                        n = self._count
+                        await self._flush()
+                        self._count = n + 1
+                """
+            },
+            select={"ASY004"},
+        )
+        assert [f.rule for f in findings] == ["ASY004"]
+        assert "_count" in findings[0].message
+
+    def test_lock_guarded_window_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    class S:
+                        async def bump(self):
+                            async with self._lock:
+                                n = self._count
+                                await self._flush()
+                                self._count = n + 1
+                    """
+                },
+                {"ASY004"},
+            )
+            == set()
+        )
+
+
+class TestAsy005CrossThreadLoopAccess:
+    def test_call_soon_from_sync_flagged(self):
+        findings = run_project_rules(
+            {
+                "repro.netd.x": """
+                class Monitor:
+                    def on_crash(self, conn):
+                        self._loop.call_soon(conn.close)
+                """
+            },
+            select={"ASY005"},
+        )
+        assert [f.rule for f in findings] == ["ASY005"]
+        assert "call_soon_threadsafe" in findings[0].message
+
+    def test_threadsafe_variant_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    class Monitor:
+                        def on_crash(self, conn):
+                            self._loop.call_soon_threadsafe(conn.close)
+                    """
+                },
+                {"ASY005"},
+            )
+            == set()
+        )
+
+    def test_create_task_from_coroutine_allowed(self):
+        # On the loop thread (a coroutine) loop.create_task is fine.
+        assert (
+            _hits(
+                {
+                    "repro.netd.x": """
+                    class S:
+                        async def start(self, loop, coro):
+                            self._task = loop.create_task(coro)
+                    """
+                },
+                {"ASY005"},
+            )
+            == set()
+        )
+
+
+class TestCrossFunctionInvisibility:
+    """The acceptance demonstration: engine v1 (per-function) cannot see
+    these; engine v2's call graph can."""
+
+    def test_secret_leak_through_helper_return(self):
+        sources = {
+            "repro.pisa.keysplit": """
+            def secret_part(key):
+                return key.lam
+
+            def report(key, log):
+                material = secret_part(key)
+                log.info(material)
+            """
+        }
+        findings = run_project_rules(sources, select={"SEC001"})
+        assert [f.rule for f in findings] == ["SEC001"]
+        assert findings[0].context == "report"
+
+    def test_same_source_invisible_without_project(self):
+        """Engine v1 semantics (no call graph) miss the same leak."""
+        from tests.audit.helpers import run_rules
+
+        findings = run_rules(
+            """
+            def secret_part(key):
+                return key.lam
+
+            def report(key, log):
+                material = secret_part(key)
+                log.info(material)
+            """,
+            module="repro.pisa.keysplit",
+            select={"SEC001"},
+        )
+        assert findings == []

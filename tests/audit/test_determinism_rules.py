@@ -1,0 +1,315 @@
+"""DET0xx determinism rules, including interprocedural reach."""
+
+from tests.audit.helpers import run_project_rules
+
+
+def _hits(sources, select):
+    return {f.rule for f in run_project_rules(sources, select=select)}
+
+
+class TestDet001Wallclock:
+    def test_direct_wallclock_call_flagged(self):
+        findings = run_project_rules(
+            {
+                "repro.pisa.x": """
+                import time
+
+                def stamp():
+                    return int(time.time())
+                """
+            },
+            select={"DET001"},
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+        assert "time.time" in findings[0].message
+
+    def test_datetime_now_flagged(self):
+        assert _hits(
+            {
+                "repro.pisa.x": """
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+                """
+            },
+            {"DET001"},
+        ) == {"DET001"}
+
+    def test_monotonic_and_perf_counter_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.pisa.x": """
+                    import time
+
+                    def measure():
+                        return time.perf_counter() + time.monotonic()
+                    """
+                },
+                {"DET001"},
+            )
+            == set()
+        )
+
+    def test_seam_reference_without_call_allowed(self):
+        # ``clock or time.time`` wires the seam default; only *calls* read
+        # the clock.
+        assert (
+            _hits(
+                {
+                    "repro.pisa.x": """
+                    import time
+
+                    def build(clock=None):
+                        clock = clock or time.time
+                        return clock
+                    """
+                },
+                {"DET001"},
+            )
+            == set()
+        )
+
+    def test_wallclock_reached_through_out_of_scope_helper(self):
+        """Cross-module reach: the helper lives outside determinism scope."""
+        findings = run_project_rules(
+            {
+                "repro.util.timeutil": """
+                import time
+
+                def now_stamp():
+                    return int(time.time())
+                """,
+                "repro.pisa.x": """
+                from repro.util.timeutil import now_stamp
+
+                def build_message():
+                    return now_stamp()
+                """,
+            },
+            select={"DET001"},
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+        assert f"{findings[0].module}:{findings[0].context}" == (
+            "repro.pisa.x:build_message"
+        )
+        assert "now_stamp" in findings[0].message
+
+    def test_out_of_scope_module_not_flagged(self):
+        assert (
+            _hits(
+                {
+                    "repro.analysis.report": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                    """
+                },
+                {"DET001"},
+            )
+            == set()
+        )
+
+
+class TestDet002AmbientRandomness:
+    def test_urandom_call_flagged(self):
+        assert _hits(
+            {
+                "repro.pisa.x": """
+                import os
+
+                def nonce():
+                    return os.urandom(16)
+                """
+            },
+            {"DET002"},
+        ) == {"DET002"}
+
+    def test_sanctioned_rand_module_exempt(self):
+        assert (
+            _hits(
+                {
+                    "repro.crypto.rand": """
+                    import secrets
+
+                    def draw(bits):
+                        return secrets.randbits(bits)
+                    """
+                },
+                {"DET002"},
+            )
+            == set()
+        )
+
+    def test_seeded_numpy_generator_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.cluster.x": """
+                    import numpy as np
+
+                    def gen(seed):
+                        return np.random.default_rng(seed)
+                    """
+                },
+                {"DET002"},
+            )
+            == set()
+        )
+
+
+class TestDet003SetIteration:
+    def test_set_local_iteration_flagged(self):
+        assert _hits(
+            {
+                "repro.pisa.x": """
+                def serialize(ids):
+                    pending = set(ids)
+                    out = []
+                    for i in pending:
+                        out.append(i)
+                    return out
+                """
+            },
+            {"DET003"},
+        ) == {"DET003"}
+
+    def test_set_literal_comprehension_flagged(self):
+        assert _hits(
+            {
+                "repro.pisa.x": """
+                def serialize(ids):
+                    return [i for i in {x for x in ids}]
+                """
+            },
+            {"DET003"},
+        ) == {"DET003"}
+
+    def test_sorted_wrapping_fixes_it(self):
+        assert (
+            _hits(
+                {
+                    "repro.pisa.x": """
+                    def serialize(ids):
+                        pending = set(ids)
+                        return [i for i in sorted(pending)]
+                    """
+                },
+                {"DET003"},
+            )
+            == set()
+        )
+
+
+class TestDet004HashBuiltin:
+    def test_hash_call_flagged(self):
+        assert _hits(
+            {
+                "repro.cluster.x": """
+                def bucket(su_id, shards):
+                    return hash(su_id) % shards
+                """
+            },
+            {"DET004"},
+        ) == {"DET004"}
+
+    def test_dunder_hash_definition_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.crypto.x": """
+                    class Key:
+                        def __hash__(self):
+                            return hash((self.n, self.g))
+                    """
+                },
+                {"DET004"},
+            )
+            == set()
+        )
+
+
+class TestDet005FloatAccumulation:
+    def test_float_seeded_accumulator_flagged(self):
+        assert _hits(
+            {
+                "repro.pisa.x": """
+                def total(parts):
+                    acc = 0.0
+                    for p in parts:
+                        acc += p
+                    return acc
+                """
+            },
+            {"DET005"},
+        ) == {"DET005"}
+
+    def test_division_increment_flagged(self):
+        assert _hits(
+            {
+                "repro.cluster.x": """
+                def merge(parts, scale):
+                    acc = 0
+                    for p in parts:
+                        acc += p / scale
+                    return acc
+                """
+            },
+            {"DET005"},
+        ) == {"DET005"}
+
+    def test_integer_accumulation_allowed(self):
+        assert (
+            _hits(
+                {
+                    "repro.pisa.x": """
+                    def total(parts):
+                        acc = 0
+                        for p in parts:
+                            acc += p
+                        return acc
+                    """
+                },
+                {"DET005"},
+            )
+            == set()
+        )
+
+    def test_out_of_core_scope_allowed(self):
+        # Float sums are fine in analysis/service code — only the
+        # protocol core must stay fixed-point.
+        assert (
+            _hits(
+                {
+                    "repro.service.loadtest2": """
+                    def mean(xs):
+                        acc = 0.0
+                        for x in xs:
+                            acc += x
+                        return acc / len(xs)
+                    """
+                },
+                {"DET005"},
+            )
+            == set()
+        )
+
+
+class TestWaivers:
+    def test_det_finding_respects_inline_waiver(self):
+        assert (
+            _hits(
+                {
+                    "repro.pisa.x": """
+                    import time
+
+                    def stamp():
+                        return time.time()  # audit-ok: DET001
+                    """
+                },
+                {"DET001"},
+            )
+            == set()
+        )

@@ -37,7 +37,24 @@ class TestEngine:
             "RES001",
             "TEL001",
             "NET001",
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "DET005",
+            "ASY001",
+            "ASY002",
+            "ASY003",
+            "ASY004",
+            "ASY005",
         }
+
+    def test_every_rule_has_kind_and_explanation(self):
+        for rule in all_rules():
+            assert rule.kind in ("syntactic", "taint", "summary"), rule.rule_id
+            card = rule.explain()
+            assert rule.rule_id in card
+            assert "audit-ok" in card
 
     def test_select_restricts_rules(self):
         engine = AuditEngine(AuditConfig(select=frozenset({"SVC001"})))
@@ -129,6 +146,32 @@ class TestBaseline:
         path.write_text(json.dumps({"version": 99, "findings": []}))
         with pytest.raises(AuditError):
             Baseline.load(path)
+
+    def test_v1_baseline_migrates_transparently(self, tmp_path):
+        """Engine-v2 keeps fingerprints stable, so v1 waivers survive."""
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "fingerprint": findings[0].fingerprint,
+                            "rule": findings[0].rule,
+                            "reason": "pre-migration waiver",
+                        }
+                    ],
+                }
+            )
+        )
+        loaded = Baseline.load(path)
+        assert findings[0] in loaded
+        # Saving rewrites as the current version with entries intact.
+        loaded.save(path)
+        refreshed = json.loads(path.read_text())
+        assert refreshed["version"] == 2
+        assert refreshed["findings"][0]["reason"] == "pre-migration waiver"
 
     def test_diff_splits_new_and_grandfathered(self):
         findings = self._findings()

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 reporter: structure, fingerprints, baseline states."""
+
+import json
+
+from repro.audit import run_audit
+from repro.audit.engine import AuditConfig, AuditEngine, ModuleUnit
+from repro.audit.reporters import render_sarif
+
+VIOLATION = "import random\n"
+
+
+def _findings():
+    unit = ModuleUnit.from_source(
+        VIOLATION, path="src/repro/pisa/blinding.py", module="repro.pisa.blinding"
+    )
+    return AuditEngine(AuditConfig(select=frozenset({"CRY001"}))).run_unit(unit)
+
+
+class TestSarifStructure:
+    def test_top_level_shape(self):
+        log = json.loads(render_sarif(_findings(), [], []))
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-audit"
+        assert driver["version"]
+
+    def test_result_fields(self):
+        findings = _findings()
+        log = json.loads(render_sarif(findings, [], []))
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "CRY001"
+        assert result["level"] == "error"
+        assert result["baselineState"] == "new"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/pisa/blinding.py"
+        assert location["region"]["startLine"] == 1
+        assert location["region"]["startColumn"] >= 1
+        assert (
+            result["partialFingerprints"]["reproAudit/v1"]
+            == findings[0].fingerprint
+        )
+
+    def test_rule_index_points_into_driver_rules(self):
+        log = json.loads(render_sarif(_findings(), [], []))
+        run = log["runs"][0]
+        (result,) = run["results"]
+        rule = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert rule["id"] == result["ruleId"]
+        assert rule["shortDescription"]["text"]
+
+    def test_grandfathered_marked_unchanged_note(self):
+        log = json.loads(render_sarif([], _findings(), []))
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "note"
+        assert result["baselineState"] == "unchanged"
+
+    def test_empty_run_is_valid(self):
+        log = json.loads(render_sarif([], [], []))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestSarifCli:
+    def test_run_audit_writes_sarif_file(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "pisa"
+        pkg.mkdir(parents=True)
+        (pkg / "blinding.py").write_text(VIOLATION)
+        sarif_path = tmp_path / "audit.sarif"
+        code = run_audit(
+            [str(tmp_path / "src")],
+            baseline_path=str(tmp_path / "baseline.json"),
+            sarif_path=str(sarif_path),
+        )
+        capsys.readouterr()
+        assert code == 1
+        log = json.loads(sarif_path.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "CRY001"
+
+    def test_cli_format_sarif_stdout(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        pkg = tmp_path / "src" / "repro" / "pisa"
+        pkg.mkdir(parents=True)
+        (pkg / "blinding.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["audit", "src", "--format", "sarif"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["version"] == "2.1.0"
+
+
+class TestExplainCli:
+    def test_explain_known_rule(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "--explain", "DET001"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "audit-ok: DET001" in out
+        assert "Why it matters" in out
+
+    def test_explain_unknown_rule_lists_known(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "--explain", "NOPE99"]) == 1
+        out = capsys.readouterr().out
+        assert "ASY001" in out and "DET001" in out

@@ -326,6 +326,30 @@ class TestLifecycle:
 
         asyncio.run(scenario())
 
+    def test_concurrent_stop_is_safe(self):
+        """Regression (ASY004): two stop() calls racing through the drain
+        await used to trip the loop-task assert / clobber state; the
+        lifecycle lock serializes them."""
+
+        async def scenario():
+            broker = _broker()
+            await broker.start()
+            await asyncio.gather(broker.stop(), broker.stop(), broker.stop())
+            assert broker._loop_task is None
+            assert broker._running is False
+
+        asyncio.run(scenario())
+
+    def test_concurrent_stop_then_restart(self):
+        async def scenario():
+            broker = _broker()
+            await broker.start()
+            await asyncio.gather(broker.stop(), broker.stop())
+            await broker.start()
+            await broker.stop()
+
+        asyncio.run(scenario())
+
 
 class TestIntegration:
     """One real allocation through broker + BatchAllocator + coordinator."""
