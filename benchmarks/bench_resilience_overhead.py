@@ -108,13 +108,12 @@ def test_round_latency_journal_off(benchmark):
 def test_round_latency_journal_on(benchmark):
     with tempfile.TemporaryDirectory() as tmp:
         path = pathlib.Path(tmp) / "epoch.journal"
-        journal = EpochJournal(JournalWriter(path))  # production default
-        try:
+        # Context manager, not bare construction: close() flushes the
+        # fsync-batched tail even if _measure raises mid-round.
+        with EpochJournal(JournalWriter(path)) as journal:
             _RESULTS["on"] = _measure(
                 benchmark, journal=journal, journal_path=path
             )
-        finally:
-            journal.close()
 
 
 def test_zzz_render(benchmark):

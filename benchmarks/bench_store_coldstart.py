@@ -1,0 +1,153 @@
+"""Durable-store cold start — what disk-backed state costs at scale.
+
+The ``repro.store`` subsystem trades memory-resident state for a
+SQLite-backed store plus a compacting checkpointer, so a SIGKILLed
+shard can rebuild byte-exactly from disk.  This bench prices that
+trade at 10^3 / 10^4 / 10^5 blocks (the top scale is the acceptance
+bar's "cold-start at 10^5 blocks"):
+
+* **cold-start read** — pull every per-PU ciphertext row plus the
+  latest epoch snapshot back out of the engine, CRC-checking each
+  sealed frame on the way out; SQLite vs the in-memory engine, which
+  prices exactly the durability layer (same sealing, no disk).
+* **checkpoint** — compact an N-record journal into the store
+  (write -> fsync -> rename -> truncate), whose cost the service pays
+  at every epoch commit.
+
+Emits ``BENCH_store.json`` at the repo root with a timestamped run
+history, and asserts the acceptance budget: a 10^5-block SQLite cold
+start completes within :data:`COLDSTART_BUDGET_S`, and the compacted
+journal stays below :data:`COMPACTED_CAP_BYTES`.
+"""
+
+import os
+import pathlib
+
+import pytest
+from _harness import append_history, describe_history, utc_timestamp
+from conftest import emit
+
+from repro.analysis.reporting import format_comparison_table
+from repro.resilience.journal import JournalWriter
+from repro.store import Checkpointer, MemoryStateStore, SqliteStateStore
+
+#: Block-count scales; the last one is the acceptance target.
+SCALES = (1_000, 10_000, 100_000)
+SHARD = "shard-0"
+#: Acceptance budget for the 10^5-block SQLite cold-start read.
+COLDSTART_BUDGET_S = 5.0
+#: One header + one marker frame; mirrors tests/store/test_checkpoint.py.
+COMPACTED_CAP_BYTES = 512
+JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_store.json"
+
+_RESULTS = {}
+
+
+def _blob(i: int) -> bytes:
+    """Ciphertext-shaped row payload (fixed width so scales compare)."""
+    return b"ciphertext-%08d-" % i + bytes([i % 251]) * 24
+
+
+def _populate(store, blocks: int) -> None:
+    with store.transaction():
+        for i in range(blocks):
+            store.put_pu_update(SHARD, "pu-%06d" % i, _blob(i))
+    store.put_snapshot(SHARD, 0, b"epoch-snapshot" * 64)
+
+
+def _coldstart_read(store):
+    """The read side of a cold start: every row + the latest snapshot."""
+    rows = store.pu_updates(SHARD)
+    snapshot = store.latest_snapshot(SHARD)
+    return len(rows), snapshot
+
+
+def _open(engine: str, tmp_path):
+    if engine == "sqlite":
+        return SqliteStateStore(tmp_path / "state.sqlite")
+    return MemoryStateStore()
+
+
+@pytest.mark.parametrize("blocks", SCALES)
+@pytest.mark.parametrize("engine", ("memory", "sqlite"))
+def test_coldstart_read(benchmark, tmp_path, engine, blocks):
+    with _open(engine, tmp_path) as store:
+        _populate(store, blocks)
+        store.flush()
+        count, snapshot = benchmark.pedantic(
+            lambda: _coldstart_read(store), rounds=3, iterations=1
+        )
+    assert count == blocks and snapshot is not None
+    _RESULTS[("coldstart", engine, blocks)] = benchmark.stats["min"]
+
+
+@pytest.mark.parametrize("blocks", SCALES)
+def test_checkpoint_compaction(benchmark, tmp_path, blocks):
+    path = str(tmp_path / "journal.wal")
+    with SqliteStateStore(tmp_path / "state.sqlite") as store:
+        ckpt = Checkpointer(store)
+        writer = JournalWriter(path, fsync_every=1024)
+
+        def refill():
+            for i in range(blocks):
+                writer.append("pu-update", _blob(i))
+            writer.barrier()
+            return (), {}
+
+        stats = benchmark.pedantic(
+            lambda: ckpt.checkpoint(writer),
+            setup=refill,
+            rounds=3,
+            iterations=1,
+        )
+        writer.close()
+    assert stats.journal_bytes_after < COMPACTED_CAP_BYTES
+    _RESULTS[("checkpoint", blocks)] = benchmark.stats["min"]
+    _RESULTS[("compacted_bytes", blocks)] = stats.journal_bytes_after
+
+
+def test_zzz_render(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for blocks in SCALES:
+        memory_s = _RESULTS[("coldstart", "memory", blocks)]
+        sqlite_s = _RESULTS[("coldstart", "sqlite", blocks)]
+        ckpt_s = _RESULTS[("checkpoint", blocks)]
+        rows.append((
+            f"{blocks:,} blocks",
+            f"{memory_s * 1e3:.1f} ms",
+            f"{sqlite_s * 1e3:.1f} ms / ckpt {ckpt_s * 1e3:.1f} ms",
+        ))
+    emit(format_comparison_table(
+        "Cold-start read + checkpoint compaction (durable vs memory)",
+        rows,
+        headers=("scale", "memory engine", "sqlite engine"),
+    ))
+
+    entry = {
+        "timestamp": utc_timestamp(),
+        "cpu_count": os.cpu_count(),
+        "coldstart_budget_s": COLDSTART_BUDGET_S,
+        "scales": {
+            str(blocks): {
+                "coldstart_memory_s": _RESULTS[("coldstart", "memory", blocks)],
+                "coldstart_sqlite_s": _RESULTS[("coldstart", "sqlite", blocks)],
+                "checkpoint_s": _RESULTS[("checkpoint", blocks)],
+                "compacted_journal_bytes": _RESULTS[("compacted_bytes", blocks)],
+            }
+            for blocks in SCALES
+        },
+    }
+    emit(describe_history(JSON_PATH, append_history(JSON_PATH, entry)))
+
+    # Acceptance: the 10^5-block cold start fits the budget, and the
+    # checkpointer really bounds the journal at every scale.
+    top = SCALES[-1]
+    assert _RESULTS[("coldstart", "sqlite", top)] <= COLDSTART_BUDGET_S, (
+        f"cold start at {top} blocks took "
+        f"{_RESULTS[('coldstart', 'sqlite', top)]:.2f} s, "
+        f"budget {COLDSTART_BUDGET_S:.1f} s"
+    )
+    for blocks in SCALES:
+        assert _RESULTS[("compacted_bytes", blocks)] < COMPACTED_CAP_BYTES

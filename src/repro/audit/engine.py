@@ -82,6 +82,7 @@ class AuditConfig:
         "repro.netd",
         "repro.resilience",
         "repro.pisa",
+        "repro.store",
     )
     #: Modules exempt from RES001 (the policy engine is the one place a
     #: sleep-in-a-loop is intentional).
@@ -107,6 +108,7 @@ class AuditConfig:
         "repro.cluster",
         "repro.netd",
         "repro.resilience",
+        "repro.store",
     )
     #: Modules allowed to read civil time — the injected Clock seam
     #: implementations.  Everything else must take a ``clock=`` parameter.
@@ -120,7 +122,7 @@ class AuditConfig:
     )
     #: Package prefixes where the asyncio-hygiene family (ASY0xx) applies —
     #: the planes that run an event loop.
-    asyncio_scope: tuple[str, ...] = ("repro.netd", "repro.service")
+    asyncio_scope: tuple[str, ...] = ("repro.netd", "repro.service", "repro.store")
     #: Restrict the run to these rule ids (empty = all).
     select: frozenset[str] = frozenset()
 

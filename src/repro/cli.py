@@ -19,6 +19,8 @@ Gives downstream users one entry point into the reproduction:
                a per-phase latency breakdown
 ``metrics-dump``  run a loadtest and dump the unified metrics
                registry (Prometheus text or JSON)
+``store``      inspect a durable SQLite state store (row counts,
+               snapshot epochs, checkpoint metadata)
 ``audit``      crypto-hygiene static analyzer (CRY/SEC/ORD/SVC/TEL
                rules) with baseline-gated exit status
 =============  =================================================
@@ -115,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kill a shard primary after N request "
                             "submissions (failover chaos probe; needs "
                             "--shards)")
+    serve.add_argument("--store", type=str, default=None, metavar="PATH",
+                       help="durable SQLite state store (needs --shards; "
+                            "memory plane: one DB file; socket plane: a "
+                            "directory holding one DB per shard worker)")
     serve.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the full report as JSON")
 
@@ -187,6 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Paillier modulus for the paired deployments")
     chaos.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the results as JSON")
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="inspect a durable SQLite state store (rows, snapshots, "
+             "checkpoint meta)",
+    )
+    store_cmd.add_argument("path", help="SQLite state-store file")
+    store_cmd.add_argument("--json", type=str, default=None, metavar="PATH",
+                           help="also write the inspection as JSON")
 
     audit = sub.add_parser(
         "audit",
@@ -398,6 +413,9 @@ def _cmd_serve_loadtest(args) -> int:
               "use `repro chaos --plan proc-kill-shard` for process faults)",
               file=sys.stderr)
         return 2
+    if args.store and not args.shards and args.plane != "socket":
+        print("--store requires a sharded run (--shards N)", file=sys.stderr)
+        return 2
     shards = max(args.shards, 1) if args.plane == "socket" else args.shards
     config = LoadtestConfig(
         seed=args.seed,
@@ -407,6 +425,7 @@ def _cmd_serve_loadtest(args) -> int:
         key_bits=args.key_bits,
         shards=shards,
         kill_shard_after=args.kill_shard,
+        store_path=args.store if args.plane == "memory" and args.store else "",
         service=ServiceConfig(
             batch_window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
@@ -415,7 +434,7 @@ def _cmd_serve_loadtest(args) -> int:
     if args.plane == "socket":
         from repro.netd import run_socket_loadtest
 
-        report, _ = run_socket_loadtest(config)
+        report, _ = run_socket_loadtest(config, store_dir=args.store or None)
         executor_name = "shard-processes"
         plane = f"{shards}-shard socket plane"
     elif args.workers > 0:
@@ -587,6 +606,56 @@ def _cmd_chaos(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_store(args) -> int:
+    import json
+    import os
+
+    from repro.analysis.reporting import format_table
+    from repro.store import CHECKPOINT_SCOPE, CheckpointMeta, SqliteStateStore
+
+    # Opening would *create* an empty database; an inspector must not.
+    if not os.path.exists(args.path):
+        print(f"pisa-repro store: error: no such store: '{args.path}'")
+        return 1
+    with SqliteStateStore(args.path) as store:
+        counts = store.row_counts()
+        snapshots = {}
+        for shard_id in store.snapshot_shards():
+            latest = store.latest_snapshot(shard_id)
+            if latest is not None:
+                snapshots[shard_id] = latest[0]
+        meta_blob = store.get_checkpoint(CHECKPOINT_SCOPE)
+        meta = CheckpointMeta.from_bytes(meta_blob) if meta_blob else None
+        has_directory = store.get_directory() is not None
+    rows = [(f"{table} rows", str(counts.get(table, 0)))
+            for table in sorted(counts)]
+    rows.append(("key directory", "present" if has_directory else "absent"))
+    for shard_id, epoch in sorted(snapshots.items()):
+        rows.append((f"snapshot[{shard_id}]", f"epoch {epoch}"))
+    if meta is not None:
+        rows.append(("last checkpoint",
+                     f"id {meta.checkpoint_id}, "
+                     f"{meta.records_consumed} records consumed"))
+    else:
+        rows.append(("last checkpoint", "none"))
+    print(format_table(f"state store {args.path}", rows))
+    if args.json is not None:
+        payload = {
+            "path": args.path,
+            "row_counts": counts,
+            "directory_present": has_directory,
+            "snapshot_epochs": snapshots,
+            "checkpoint": None if meta is None else {
+                "checkpoint_id": meta.checkpoint_id,
+                "records_consumed": meta.records_consumed,
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_audit(args) -> int:
     from repro.audit.cli import explain_rule, run_audit
 
@@ -611,6 +680,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "cluster-up": _cmd_cluster_up,
     "serve-loadtest": _cmd_serve_loadtest,
+    "store": _cmd_store,
     "trace": _cmd_trace,
     "metrics-dump": _cmd_metrics_dump,
     "negotiate": _cmd_negotiate,

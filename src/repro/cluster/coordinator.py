@@ -65,7 +65,9 @@ from repro.pisa.pu_client import PUClient
 from repro.pisa.sdc_server import PendingRound, SdcStats
 from repro.pisa.stp_server import StpServer
 from repro.pisa.su_client import SUClient
+from repro.pisa.storage import serialize_directory
 from repro.resilience.journal import JournaledClock, JournalingRandomSource
+from repro.store.coldstart import restore_shard_from_store
 from repro.watch.entities import PUReceiver, SUTransmitter
 from repro.watch.environment import SpectrumEnvironment
 
@@ -97,12 +99,17 @@ class ClusterSdc:
         fresh_beta_encryption: bool = True,
         clock=time.time,
         journal=None,
+        store=None,
     ) -> None:
         self.environment = environment
         self.directory = directory
         self.signer = signer
         self.router = router
         self.issuer_id = issuer_id
+        #: Optional durable :class:`~repro.store.base.StateStore`; when
+        #: set, every routed PU update is upserted into its per-PU table
+        #: so a cold restart can rebuild the budget without the journal.
+        self.store = store
         self._rng = default_rng(rng)
         self._fresh_beta = fresh_beta_encryption
         self._clock = clock
@@ -137,7 +144,12 @@ class ClusterSdc:
         """Route the update to the owning shard (validated there)."""
         if self.journal is not None:
             self.journal.pu_update(message.to_bytes())
-        self.router.route_pu_update(message)
+        shard_id = self.router.route_pu_update(message)
+        if self.store is not None:
+            # Persist *after* the shard accepted it (ownership checked),
+            # keyed by owning shard so a cold start can restore one
+            # shard without scanning the fleet's rows.
+            self.store.put_pu_update(shard_id, message.pu_id, message.to_bytes())
         self.stats.pu_updates += 1
 
     # -- Figure 5 phase 1 --------------------------------------------------------
@@ -365,6 +377,7 @@ class ClusterCoordinator:
         journal=None,
         clock=time.time,
         metrics=None,
+        store=None,
     ) -> None:
         if num_shards < 1:
             raise ProtocolError("num_shards must be positive")
@@ -395,7 +408,11 @@ class ClusterCoordinator:
         self._shard_executor_factory = shard_executor_factory
         self._shard_executors: list = []
         self._heartbeat_timeout_s = heartbeat_timeout_s
-        self.snapshots = SnapshotStore()
+        #: Optional durable :class:`~repro.store.base.StateStore` —
+        #: epoch snapshots, PU rows, and the key directory are mirrored
+        #: into it, making the whole deployment cold-startable.
+        self.store = store
+        self.snapshots = SnapshotStore(store=store)
         shard_ids = tuple(f"shard-{i}" for i in range(num_shards))
         self.membership = ClusterMembership(shard_ids, virtual_nodes=virtual_nodes)
         self.replica_sets: dict[str, ShardReplicaSet] = {
@@ -428,9 +445,11 @@ class ClusterCoordinator:
             fresh_beta_encryption=fresh_beta_encryption,
             clock=self._clock,
             journal=journal,
+            store=store,
         )
         self._pu_clients: dict[str, PUClient] = {}
         self._su_clients: dict[str, SUClient] = {}
+        self._persist_directory()
 
     def _build_stp(self, key_bits: int, stp_executor) -> StpServer:
         """Build the STP; the socket plane overrides this with a remote
@@ -501,7 +520,13 @@ class ClusterCoordinator:
         )
         self.stp.register_su(su.su_id, client.public_key)
         self._su_clients[su.su_id] = client
+        self._persist_directory()
         return client
+
+    def _persist_directory(self) -> None:
+        """Mirror the key directory into the durable store."""
+        if self.store is not None:
+            self.store.put_directory(serialize_directory(self.stp.directory))
 
     def pu_client(self, pu_id: str) -> PUClient:
         return self._pu_clients[pu_id]
@@ -577,6 +602,36 @@ class ClusterCoordinator:
         mux = resolve_multiplexed(self.transport)
         if mux is not None:
             mux.fail_endpoint(shard_id)
+
+    def cold_start_shard(self, shard_id: str, tail=None) -> int:
+        """Rebuild a shard replica set from the durable store alone.
+
+        The disaster path ``kill9-then-coldstart`` drills: both replicas
+        of ``shard_id`` are gone (SIGKILL — nothing in memory survives),
+        so a fresh set is built and both replicas are restored from the
+        store's latest epoch snapshot plus the unconsumed journal
+        ``tail`` (a :class:`~repro.resilience.journal.JournalReadResult`
+        from :func:`repro.store.checkpoint.recover`).  Returns the
+        number of tail records applied to the new primary.
+        """
+        if self.store is None:
+            raise ProtocolError("cold_start_shard needs a durable store")
+        replica_set = self._build_replica_set(shard_id)
+        # Ring ownership first, so a store without a snapshot (crash
+        # before the first epoch commit) can still replay its PU rows;
+        # a snapshot restore *replaces* ownership with the snapshot's.
+        assignment = self.membership.ring.assignment(
+            tuple(range(self.environment.num_blocks))
+        )
+        replica_set.assign_blocks(assignment.get(shard_id, ()))
+        applied = restore_shard_from_store(replica_set.primary, self.store, tail)
+        restore_shard_from_store(replica_set.standby, self.store, tail)
+        self.replica_sets[shard_id] = replica_set
+        self.router.add_replica_set(shard_id, replica_set)
+        replica_set.record_heartbeat()
+        if self.journal is not None:
+            self.journal.note(f"cold-start:{shard_id}")
+        return applied
 
     def join_shard(self, shard_id: str) -> HandoffPlan:
         """Admit a new shard mid-epoch: ring swap + block handoff."""

@@ -43,13 +43,18 @@ DEFAULT_HEARTBEAT_TIMEOUT_S = 1.0
 class SnapshotStore:
     """Latest per-shard epoch snapshot, keyed by shard id.
 
-    In-memory here (the repro has no disk layer), but append-ordered and
-    bytes-only like the durable version would be; the payload *is* the
-    canonical :func:`~repro.pisa.storage.serialize_shard_state` blob.
+    The in-memory map serves the hot promote path; when a durable
+    :class:`~repro.store.base.StateStore` is attached every save is
+    mirrored to its ``snapshots`` table (the payload *is* the canonical
+    :func:`~repro.pisa.storage.serialize_shard_state` blob, CRC-framed
+    by the engine), and :meth:`latest` falls back to disk — which is how
+    a cold restart finds state the process never held.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store=None) -> None:
         self._lock = threading.Lock()
+        #: Optional durable engine (duck-typed ``StateStore``).
+        self.store = store
         #: shard_id → (epoch, blob)
         self._latest: dict[str, tuple[int, bytes]] = {}
         self.snapshots_taken = 0
@@ -63,11 +68,16 @@ class SnapshotStore:
             if current is None or epoch >= current[0]:
                 self._latest[shard.shard_id] = (epoch, blob)
             self.snapshots_taken += 1
+        if self.store is not None:
+            self.store.put_snapshot(shard.shard_id, epoch, blob)
         return epoch
 
     def latest(self, shard_id: str) -> tuple[int, bytes] | None:
         with self._lock:
-            return self._latest.get(shard_id)
+            entry = self._latest.get(shard_id)
+        if entry is None and self.store is not None:
+            entry = self.store.latest_snapshot(shard_id)
+        return entry
 
 
 @dataclass(frozen=True)

@@ -127,6 +127,30 @@ class JournalReplayError(JournalError):
     """Replay diverged from the journal (wrong draw width or clock order)."""
 
 
+class StoreError(ResilienceError):
+    """Base class for durable state-store (repro.store) failures."""
+
+
+class StoreCorruptError(StoreError):
+    """A stored frame failed its CRC/framing check (disk-level damage)."""
+
+
+class CheckpointError(StoreError):
+    """A journal checkpoint could not be taken (caller state intact)."""
+
+
+class TornCheckpointError(JournalCorruptError):
+    """Store meta and journal disagree about the last checkpoint.
+
+    Raised by recovery when the journal claims a checkpoint the store
+    never committed (or the journal shrank below the consumed count) —
+    an ordering no crash point of the checkpoint protocol can produce,
+    so it signals external tampering or cross-wired files.  Subclasses
+    :class:`JournalCorruptError` so existing corruption handling (the
+    chaos harness, ``repro recover``) treats it as journal damage.
+    """
+
+
 class RetryExhaustedError(ResilienceError):
     """A retry budget (wall-clock or attempts) was spent before success."""
 

@@ -138,6 +138,7 @@ def build_socket_coordinator(
     workdir=None,
     max_attempts: int = 2,
     scatter_threads: int | None = None,
+    store_dir=None,
 ):
     """Stand up the process topology and the coordinator over it.
 
@@ -169,9 +170,18 @@ def build_socket_coordinator(
             worker_args += ["--tls-cert", tls.certfile, "--tls-key", tls.keyfile]
             if tls.cafile:
                 worker_args += ["--tls-ca", tls.cafile]
+        store_root = None
+        if store_dir:
+            store_root = pathlib.Path(store_dir)
+            store_root.mkdir(parents=True, exist_ok=True)
         names = [f"shard-{i}" for i in range(num_shards)] + [STP_ENDPOINT]
         for i in range(num_shards):
-            supervisor.start(f"shard-{i}", "shard", tuple(worker_args))
+            shard_args = list(worker_args)
+            if store_root is not None:
+                # Per-shard database: restarts of the same worker name
+                # find the same file; shards never share a connection.
+                shard_args += ["--store", str(store_root / f"shard-{i}.sqlite")]
+            supervisor.start(f"shard-{i}", "shard", tuple(shard_args))
         supervisor.start(STP_ENDPOINT, "stp", tuple(worker_args))
         for name in names:
             transport.register_peer(
@@ -219,6 +229,7 @@ def build_socket_service(
     tls: TlsSpec | None = None,
     host: str = "127.0.0.1",
     workdir=None,
+    store_dir=None,
 ) -> ServiceFixture:
     """Stand up a socket-plane deployment wrapped in a service broker.
 
@@ -242,6 +253,7 @@ def build_socket_service(
         tls=tls,
         host=host,
         workdir=workdir,
+        store_dir=store_dir,
     )
     pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
     su_ids = []
@@ -286,6 +298,7 @@ def run_socket_loadtest(
     tls: TlsSpec | None = None,
     host: str = "127.0.0.1",
     workdir=None,
+    store_dir=None,
 ) -> tuple[LoadtestReport, tuple[str, ...]]:
     """Drive the standard loadtest over real sockets.
 
@@ -303,6 +316,7 @@ def run_socket_loadtest(
         tls=tls,
         host=host,
         workdir=workdir,
+        store_dir=store_dir,
     )
     try:
         report = asyncio.run(_run_fixture(fixture, config))
@@ -363,6 +377,7 @@ def run_cluster_workload(
         metrics=metrics,
         tls=spec.tls,
         host=spec.host,
+        store_dir=spec.store_dir or None,
     )
     if output:
         pathlib.Path(output).write_text(

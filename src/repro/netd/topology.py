@@ -86,6 +86,9 @@ class ClusterSpec:
     batch_window_ms: float = 0.0
     max_batch: int = 4
     host: str = "127.0.0.1"
+    #: When set, each shard worker opens a SQLite state store at
+    #: ``<store_dir>/<shard>.sqlite`` before writing its readiness file.
+    store_dir: str = ""
     tls: TlsSpec | None = field(default=None)
 
     def __post_init__(self) -> None:
@@ -112,6 +115,8 @@ class ClusterSpec:
             "max_batch": self.max_batch,
             "host": self.host,
         }
+        if self.store_dir:
+            out["store_dir"] = self.store_dir
         if self.tls is not None:
             out["tls"] = {
                 "certfile": self.tls.certfile,
@@ -133,6 +138,7 @@ _SPEC_KEYS = {
     "batch_window_ms",
     "max_batch",
     "host",
+    "store_dir",
     "tls",
 }
 

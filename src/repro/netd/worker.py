@@ -51,7 +51,9 @@ from repro.netd.wire import (
     raise_remote_error,
 )
 from repro.pisa.messages import PUUpdateMessage, SignExtractionRequest
+from repro.pisa.storage import restore_shard_state, serialize_shard_state
 from repro.pisa.stp_server import StpServer
+from repro.store import SqliteStateStore
 from repro.watch.scenario import ScenarioConfig, build_scenario
 
 _BOOTSTRAP_POLL_S = 0.05
@@ -148,10 +150,11 @@ class ShardState:
 
     role = "shard"
 
-    def __init__(self, payload: bytes) -> None:
+    def __init__(self, payload: bytes, store: SqliteStateStore | None = None) -> None:
         obj, offset = _decode_header(payload)
         attachments = _read_attachments(payload, offset, 1 + len(obj["pus"]))
         self.group_public_key = decode_public_key(attachments[0])
+        self.store = store
         scenario = build_scenario(ScenarioConfig(**obj["scenario"]))
         self.shard = SdcShard(
             str(obj["shard_id"]),
@@ -159,15 +162,26 @@ class ShardState:
             self.group_public_key,
             blocks=tuple(int(b) for b in obj["blocks"]),
         )
-        # Latest update per PU, replayed in sorted order; ⊕ commutes, so
-        # this reproduces the pre-crash aggregate exactly.
-        for raw in attachments[1:]:
-            self.shard.handle_pu_update(
-                PUUpdateMessage.from_bytes(raw, self.group_public_key)
-            )
         epoch = int(obj["epoch"])
-        if epoch >= 0:
-            self.shard.commit_epoch(epoch)
+        # A durable snapshot at least as recent as the bootstrap epoch
+        # wins over replaying the authority's attachments: it is the same
+        # state, already folded, and proves the store survived the crash.
+        latest = store.latest_snapshot(self.shard.shard_id) if store else None
+        if latest is not None and latest[0] >= epoch:
+            restore_shard_state(self.shard, latest[1])
+        else:
+            # Latest update per PU, replayed in sorted order; ⊕ commutes,
+            # so this reproduces the pre-crash aggregate exactly.
+            for raw in attachments[1:]:
+                self.shard.handle_pu_update(
+                    PUUpdateMessage.from_bytes(raw, self.group_public_key)
+                )
+            if epoch >= 0:
+                self.shard.commit_epoch(epoch)
+            if store is not None and epoch >= 0:
+                store.put_snapshot(
+                    self.shard.shard_id, epoch, serialize_shard_state(self.shard)
+                )
 
     def handle(self, kind: str, payload: bytes) -> tuple[str, bytes]:
         if kind == "phase1":
@@ -181,6 +195,8 @@ class ShardState:
         if kind == "pu_update":
             message = PUUpdateMessage.from_bytes(payload, self.group_public_key)
             self.shard.handle_pu_update(message)
+            if self.store is not None:
+                self.store.put_pu_update(self.shard.shard_id, message.pu_id, payload)
             return "ok", encode_control({})
         if kind == "assign_blocks":
             obj, _ = decode_control(payload)
@@ -192,7 +208,12 @@ class ShardState:
             return "ok", encode_control({})
         if kind == "commit_epoch":
             obj, _ = decode_control(payload)
-            self.shard.commit_epoch(int(obj["epoch"]))
+            epoch = int(obj["epoch"])
+            self.shard.commit_epoch(epoch)
+            if self.store is not None:
+                self.store.put_snapshot(
+                    self.shard.shard_id, epoch, serialize_shard_state(self.shard)
+                )
             return "ok", encode_control({})
         raise TransportError(f"shard worker cannot serve frame kind {kind!r}")
 
@@ -276,9 +297,13 @@ async def _serve(args, tls: TlsSpec | None) -> int:
         return 0
 
     if args.role == "shard":
-        state = ShardState(payload)
+        # The store opens *before* the readiness file is written: a shard
+        # that cannot reach its durable state must not advertise itself.
+        store = SqliteStateStore(args.store) if args.store else None
+        state = ShardState(payload, store=store)
         authority_peer = None
     else:
+        store = None
         # The STP's nonce draws are blocking transacts posted back onto
         # this loop from handler threads; safe because handlers never
         # run on the loop thread (asyncio.to_thread below).
@@ -360,6 +385,8 @@ async def _serve(args, tls: TlsSpec | None) -> int:
     await server.wait_closed()
     if authority_peer is not None:
         authority_peer.close()
+    if store is not None:
+        await asyncio.to_thread(store.close)
     return 0
 
 
@@ -390,6 +417,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tls-cert", default="")
     parser.add_argument("--tls-key", default="")
     parser.add_argument("--tls-ca", default="")
+    parser.add_argument(
+        "--store",
+        default="",
+        help="shard role: SQLite state-store path, opened before readiness",
+    )
     parser.add_argument("--spec", default="", help="broker role: cluster spec path")
     parser.add_argument("--output", default="", help="broker role: report JSON path")
     parser.add_argument("--metrics", default="", help="broker role: metrics text path")

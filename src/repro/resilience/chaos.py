@@ -46,6 +46,9 @@ from __future__ import annotations
 
 import errno
 import io
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.cluster.coordinator import ClusterCoordinator
@@ -60,6 +63,7 @@ from repro.net.recording import TranscriptTransport, fingerprint_message
 from repro.resilience.journal import EpochJournal, JournalWriter, read_journal
 from repro.resilience.policy import RetryPolicy, run_with_policy
 from repro.resilience.recovery import replay_sources, summarize
+from repro.store import Checkpointer, SqliteStateStore, recover
 from repro.telemetry import child
 from repro.watch.scenario import ScenarioConfig, build_scenario
 
@@ -132,6 +136,9 @@ class FaultPlan:
     name = "noop"
     #: Plans that need the write-ahead journal active in the faulted run.
     wants_journal = False
+    #: Plans that need real disk: a path-backed journal plus a SQLite
+    #: :class:`~repro.store.sqlite.SqliteStateStore` in a temp dir.
+    wants_store = False
     #: Plans whose faulted run ends in a crash + journal replay.
     crashes = False
 
@@ -271,6 +278,65 @@ class _JournalDiskFull(FaultPlan):
             ctx.note(f"journal device limited before round {round_index}")
 
 
+class _Kill9ColdStart(FaultPlan):
+    """SIGKILL both replicas of a shard mid-epoch; cold-start from disk.
+
+    The disaster drill for the durable store: before the last round the
+    epoch is committed (snapshots land in SQLite) and the journal is
+    checkpointed (compacted to a marker).  Then, *inside* the last
+    round's phase-1 scatter — after the phase-1 randomness barrier, with
+    the round's draws sitting only in the journal tail — both replicas
+    of one shard are killed, a fresh replica set is rebuilt purely from
+    the SQLite store plus the journal tail
+    (:func:`repro.store.checkpoint.recover` →
+    :meth:`ClusterCoordinator.cold_start_shard`), and the scatter
+    proceeds against it.  Because the restored state must be
+    byte-identical for the round to produce the control run's exact
+    ``Ṽ`` matrix, transcript equality over *every* segment is the
+    proof that disk state is byte-exact.
+    """
+
+    name = "kill9-then-coldstart"
+    wants_journal = True
+    wants_store = True
+
+    def before_round(self, ctx, round_index):
+        if round_index != ctx.rounds - 1:
+            return
+        coordinator = ctx.coordinator
+        # Epoch commit → per-shard snapshots land in the durable store;
+        # checkpoint → the journal forgets everything the store holds.
+        coordinator.sdc.commit_epoch(round_index)
+        stats = ctx.checkpointer.checkpoint(ctx.journal_writer)
+        ctx.note(
+            f"checkpoint {stats.checkpoint_id}: "
+            f"{stats.records_compacted} records compacted, journal "
+            f"{stats.journal_bytes_before}→{stats.journal_bytes_after} B"
+        )
+        router = coordinator.router
+        real_scatter = router.scatter_phase1
+
+        def coldstart_then_scatter(requests, parent=None):
+            router.scatter_phase1 = real_scatter
+            victim = router.shard_ids[0]
+            replica_set = coordinator.replica_sets[victim]
+            # SIGKILL semantics: nothing in memory survives — no flush,
+            # no goodbye snapshot.  Recovery sees only the disk.
+            replica_set.primary.kill()
+            replica_set.standby.kill()
+            recovered = recover(ctx.store, ctx.journal_path)
+            applied = coordinator.cold_start_shard(victim, recovered.tail)
+            ctx.note(
+                f"killed both replicas of {victim}; cold-started from "
+                f"store + {len(recovered.tail.records)}-record tail "
+                f"({applied} applied)"
+            )
+            return real_scatter(requests, parent=parent)
+
+        router.scatter_phase1 = coldstart_then_scatter
+        ctx.note(f"armed kill9+coldstart in round {round_index} phase 1")
+
+
 _PLAN_TYPES = (
     _KillShard,
     _DropLinks,
@@ -280,6 +346,7 @@ _PLAN_TYPES = (
     _StpOutage,
     _CoordinatorCrash,
     _JournalDiskFull,
+    _Kill9ColdStart,
 )
 
 PLAN_NAMES: tuple[str, ...] = tuple(plan.name for plan in _PLAN_TYPES)
@@ -316,6 +383,11 @@ class _RunContext:
     mux: ChaosTransport
     rounds: int
     journal_device: _DiskFullFile | None = None
+    #: Disk-backed plumbing (``wants_store`` plans only).
+    journal_path: str | None = None
+    journal_writer: JournalWriter | None = None
+    store: SqliteStateStore | None = None
+    checkpointer: Checkpointer | None = None
     stp_outage_remaining: int = 0
     stp_drained_sends: int = 0
     #: Optional :class:`repro.telemetry.Tracer`; one root span per
@@ -417,7 +489,7 @@ class ChaosHarness:
 
     # -- deployment plumbing ----------------------------------------------------
 
-    def _build(self, rng, transport, journal=None, clock=None):
+    def _build(self, rng, transport, journal=None, clock=None, store=None):
         scenario = build_scenario(ScenarioConfig(seed=self.scenario_seed))
         coordinator = ClusterCoordinator(
             scenario.environment,
@@ -434,6 +506,7 @@ class ChaosHarness:
             journal=journal,
             clock=clock if clock is not None else (lambda: FROZEN_CLOCK),
             metrics=self.metrics,
+            store=store,
         )
         for pu in scenario.pus:
             coordinator.enroll_pu(pu)
@@ -564,89 +637,124 @@ class ChaosHarness:
                 "chaos_runs_total", plan="+".join(sorted(plan_names))
             ).inc()
         wants_journal = any(p.wants_journal for p in plans)
+        wants_store = any(p.wants_store for p in plans)
 
-        device = _DiskFullFile() if wants_journal else None
-        writer = (
-            JournalWriter(fileobj=device, fsync_every=8) if device else None
-        )
-        journal = EpochJournal(writer) if writer else None
+        device: _DiskFullFile | None = None
+        writer: JournalWriter | None = None
+        journal: EpochJournal | None = None
+        store: SqliteStateStore | None = None
+        checkpointer: Checkpointer | None = None
+        journal_path: str | None = None
+        store_dir: str | None = None
+        if wants_store:
+            # Real disk: a path-backed journal (checkpoint compaction
+            # renames files) and a SQLite store in a throwaway dir.
+            store_dir = tempfile.mkdtemp(prefix="repro-chaos-store-")
+            journal_path = os.path.join(store_dir, "journal.wal")
+            writer = JournalWriter(journal_path, fsync_every=8)
+            journal = EpochJournal(writer)
+            store = SqliteStateStore(os.path.join(store_dir, "store.sqlite"))
+            checkpointer = Checkpointer(store, metrics=self.metrics)
+        elif wants_journal:
+            device = _DiskFullFile()
+            writer = JournalWriter(fileobj=device, fsync_every=8)
+            journal = EpochJournal(writer)
 
-        transport = ChaosTransport()
-        coordinator, su_ids = self._build(
-            DeterministicRandomSource(self.seed), transport, journal=journal
-        )
-        ctx = _RunContext(
-            coordinator=coordinator,
-            mux=transport,
-            rounds=self.rounds,
-            journal_device=device,
-            tracer=tracer,
-        )
-        crashed: Exception | None = None
-        record: _RunRecord | None = None
         try:
-            record = self._execute(ctx, plans, su_ids)
-        except (_InjectedCrash, JournalDiskFullError) as exc:
-            crashed = exc
-            ctx.note(f"crash: {type(exc).__name__}: {exc}")
-            if self.metrics is not None:
-                self.metrics.counter(
-                    "chaos_crashes_total", kind=type(exc).__name__
-                ).inc()
+            transport = ChaosTransport()
+            coordinator, su_ids = self._build(
+                DeterministicRandomSource(self.seed),
+                transport,
+                journal=journal,
+                store=store,
+            )
+            ctx = _RunContext(
+                coordinator=coordinator,
+                mux=transport,
+                rounds=self.rounds,
+                journal_device=device,
+                journal_path=journal_path,
+                journal_writer=writer,
+                store=store,
+                checkpointer=checkpointer,
+                tracer=tracer,
+            )
+            crashed: Exception | None = None
+            record: _RunRecord | None = None
+            try:
+                record = self._execute(ctx, plans, su_ids)
+            except (_InjectedCrash, JournalDiskFullError) as exc:
+                crashed = exc
+                ctx.note(f"crash: {type(exc).__name__}: {exc}")
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "chaos_crashes_total", kind=type(exc).__name__
+                    ).inc()
+            finally:
+                failovers = ctx.coordinator.router.stats.failovers
+                drops_retried = ctx.coordinator.router.stats.drops_retried
+                fault_stats = dict(transport.fault_stats)
+                coordinator.close()
+
+            replayed_draws = -1
+            fallback_draws = -1
+            if crashed is not None:
+                # Recovery: replay the journal prefix through a fresh
+                # deployment.  The fallback RNG is seeded differently, so
+                # a byte-equal transcript proves the bytes came from disk.
+                record, replayed_draws, fallback_draws = self._replay(
+                    device, ctx, su_ids
+                )
+                exact_segments = (
+                    len(control.segments)
+                    if isinstance(crashed, _InjectedCrash)
+                    # Disk-full loses the interrupted round's draws (they
+                    # never crossed a barrier): every *completed* segment
+                    # must match, the final round re-runs on fresh entropy.
+                    else len(control.segments) - 1
+                )
+            else:
+                exact_segments = len(control.segments)
+
+            assert record is not None
+            transcript_equal = (
+                record.segments[:exact_segments]
+                == control.segments[:exact_segments]
+            )
+            licenses_valid = record.granted == control.granted and all(
+                lic is not None for lic in record.licenses
+            )
+            return ChaosResult(
+                plans=tuple(p.name for p in plans),
+                seed=self.seed,
+                shards=self.shards,
+                rounds=self.rounds,
+                transcript_equal=transcript_equal,
+                exact_segments=exact_segments,
+                licenses_valid=licenses_valid,
+                replayed_draws=replayed_draws,
+                fallback_draws=fallback_draws,
+                fault_stats=fault_stats,
+                failovers=failovers,
+                drops_retried=drops_retried,
+                notes=tuple(ctx.notes),
+            )
         finally:
-            failovers = ctx.coordinator.router.stats.failovers
-            drops_retried = ctx.coordinator.router.stats.drops_retried
-            fault_stats = dict(transport.fault_stats)
-            coordinator.close()
+            # Flush-on-exit, crash or not: an abandoned JournalWriter
+            # strands up to fsync_every-1 buffered records.
+            if writer is not None:
+                writer.close()
+            if store is not None:
+                store.close()
+            if store_dir is not None:
+                shutil.rmtree(store_dir, ignore_errors=True)
 
-        replayed_draws = -1
-        fallback_draws = -1
-        if crashed is not None:
-            # Recovery: replay the journal prefix through a fresh
-            # deployment.  The fallback RNG is seeded differently, so a
-            # byte-equal transcript proves the bytes came from the disk.
-            record, replayed_draws, fallback_draws = self._replay(
-                device, ctx, su_ids
-            )
-            exact_segments = (
-                len(control.segments)
-                if isinstance(crashed, _InjectedCrash)
-                # Disk-full loses the interrupted round's draws (they
-                # never crossed a barrier): every *completed* segment
-                # must match, the final round re-runs on fresh entropy.
-                else len(control.segments) - 1
-            )
-        else:
-            exact_segments = len(control.segments)
-
-        assert record is not None
-        transcript_equal = (
-            record.segments[:exact_segments]
-            == control.segments[:exact_segments]
-        )
-        licenses_valid = record.granted == control.granted and all(
-            lic is not None for lic in record.licenses
-        )
-        return ChaosResult(
-            plans=tuple(p.name for p in plans),
-            seed=self.seed,
-            shards=self.shards,
-            rounds=self.rounds,
-            transcript_equal=transcript_equal,
-            exact_segments=exact_segments,
-            licenses_valid=licenses_valid,
-            replayed_draws=replayed_draws,
-            fallback_draws=fallback_draws,
-            fault_stats=fault_stats,
-            failovers=failovers,
-            drops_retried=drops_retried,
-            notes=tuple(ctx.notes),
-        )
-
-    def _replay(self, device: _DiskFullFile, ctx: _RunContext, su_ids):
+    def _replay(self, device: _DiskFullFile | None, ctx: _RunContext, su_ids):
         """Rebuild from the journal and re-run the whole script, clean."""
-        journal_bytes = device.getvalue()
-        result = read_journal(journal_bytes)
+        journal_source = (
+            device.getvalue() if device is not None else ctx.journal_path
+        )
+        result = read_journal(journal_source)
         summary = summarize(result)
         ctx.note(
             f"journal: {summary.draws} draws, "

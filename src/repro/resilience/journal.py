@@ -33,6 +33,10 @@ Record kinds written by the integrated runtime:
 ``epoch-commit``  a shard committed an epoch
 ``promote``    a replica-set failover promoted the standby
 ``epoch-dispatch``  the broker dispatched one batched epoch
+``checkpoint`` compaction marker opening a checkpointed journal:
+               ``encode_int(checkpoint_id) + encode_int(consumed)``
+               (written by :class:`repro.store.checkpoint.Checkpointer`,
+               always record 0 of the compacted file)
 ``note``       free-form harness/operator annotation
 =============  ==========================================================
 
@@ -283,6 +287,11 @@ class JournalWriter:
     def records_written(self) -> int:
         return self._seq
 
+    @property
+    def path(self) -> str | None:
+        """The backing file path (``None`` for fileobj-backed writers)."""
+        return self._path
+
 
 def read_journal(source, strict: bool = False) -> JournalReadResult:
     """Decode a journal from a path or a bytes blob.
@@ -409,6 +418,15 @@ class EpochJournal:
 
     def close(self) -> None:
         self.writer.close()
+
+    def __enter__(self) -> "EpochJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Flush-on-exit mirrors JournalWriter: leaving the block (even
+        # via an exception) must not strand up to fsync_every-1 records
+        # in the userspace buffer.
+        self.close()
 
 
 class JournalingRandomSource(RandomSource):

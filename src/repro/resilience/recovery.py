@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.serialization import decode_int
+from repro.errors import TornCheckpointError
 from repro.resilience.journal import (
     JournalReadResult,
     ReplayClock,
@@ -33,7 +35,14 @@ from repro.resilience.journal import (
     read_journal,
 )
 
-__all__ = ["RecoverySummary", "load_journal", "summarize", "replay_sources"]
+__all__ = [
+    "RecoverySummary",
+    "load_journal",
+    "summarize",
+    "replay_sources",
+    "checkpoint_marker",
+    "split_checkpoint_tail",
+]
 
 #: Offset added to the original seed for the replay fallback RNG.  Any
 #: value works; it must simply differ from the original seed so that a
@@ -103,3 +112,84 @@ def replay_sources(
         fallback=fallback_clock if fallback_clock is not None else (lambda: 0.0),
     )
     return rng, clock
+
+
+def checkpoint_marker(result: JournalReadResult) -> tuple[int, int] | None:
+    """Decode a leading ``checkpoint`` marker record, if the file has one.
+
+    A checkpoint rewrites the journal to ``header + marker``, so a
+    marker can only ever sit at record 0; its body is
+    ``encode_int(checkpoint_id) + encode_int(records_consumed)``.
+    """
+    if not result.records or result.records[0].kind != "checkpoint":
+        return None
+    body = result.records[0].body
+    checkpoint_id, offset = decode_int(body, 0)
+    records_consumed, _ = decode_int(body, offset)
+    return checkpoint_id, records_consumed
+
+
+def split_checkpoint_tail(
+    result: JournalReadResult,
+    checkpoint_id: int | None,
+    records_consumed: int = 0,
+) -> JournalReadResult:
+    """The journal records *not* folded into the last committed checkpoint.
+
+    ``checkpoint_id`` / ``records_consumed`` come from the store's
+    durable checkpoint meta (``None`` when the store has never
+    checkpointed).  The checkpoint protocol commits its meta to the
+    store *before* renaming the compacted journal into place, so every
+    crash point lands in exactly one of three recoverable states:
+
+    ==========================  =======================================
+    journal state               tail
+    ==========================  =======================================
+    no marker, meta ``None``    every record (store predates checkpoints)
+    marker id == meta id        records after the marker (normal case)
+    marker absent / older       ``records[records_consumed:]`` — the
+                                meta committed but the rename did not
+                                land; the consumed prefix is already in
+                                the store
+    ==========================  =======================================
+
+    Any other combination (a marker the store never committed, or a
+    journal shorter than the consumed count) is impossible under the
+    protocol and raises :class:`~repro.errors.TornCheckpointError`.
+    """
+    marker = checkpoint_marker(result)
+    if checkpoint_id is None:
+        if marker is not None:
+            raise TornCheckpointError(
+                f"journal carries checkpoint {marker[0]} but the store has "
+                "no checkpoint meta — cross-wired store and journal files?"
+            )
+        return result
+    if marker is not None:
+        marker_id, _ = marker
+        if marker_id > checkpoint_id:
+            raise TornCheckpointError(
+                f"journal marker {marker_id} is newer than the store's "
+                f"checkpoint {checkpoint_id} — the store commit never "
+                "precedes the rename, so this journal is not this store's"
+            )
+        if marker_id == checkpoint_id:
+            return JournalReadResult(
+                records=result.records[1:],
+                torn=result.torn,
+                valid_bytes=result.valid_bytes,
+            )
+        # marker_id < checkpoint_id: the meta committed against this
+        # (older) file but the compacted file never landed; fall through
+        # to skipping the consumed prefix, which includes this marker.
+    if len(result.records) < records_consumed:
+        raise TornCheckpointError(
+            f"journal holds {len(result.records)} records but checkpoint "
+            f"{checkpoint_id} consumed {records_consumed} — the journal "
+            "shrank without a matching marker"
+        )
+    return JournalReadResult(
+        records=result.records[records_consumed:],
+        torn=result.torn,
+        valid_bytes=result.valid_bytes,
+    )

@@ -65,6 +65,10 @@ class LoadtestConfig:
     #: When > 0 (and ``shards`` > 0), kill shard-0's primary after this
     #: many request submissions to exercise failover under load.
     kill_shard_after: int = 0
+    #: When set (sharded runs only), the coordinator opens a SQLite
+    #: :class:`~repro.store.SqliteStateStore` at this path and persists
+    #: PU ciphertexts, epoch snapshots, and the key directory through it.
+    store_path: str = ""
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
@@ -79,6 +83,8 @@ class LoadtestConfig:
             raise ConfigurationError("kill_shard_after must be non-negative")
         if self.kill_shard_after and not self.shards:
             raise ConfigurationError("kill_shard_after requires a sharded run")
+        if self.store_path and not self.shards:
+            raise ConfigurationError("store_path requires a sharded run")
 
 
 @dataclass(frozen=True)
@@ -152,12 +158,16 @@ class ServiceFixture:
     scenario: object
     pu_clients: list
     su_ids: list
+    #: Durable state store owned by this fixture (closed with it).
+    store: object = None
 
     def close(self) -> None:
         """Tear down deployment-owned resources (scatter threads, workers)."""
         closer = getattr(self.coordinator, "close", None)
         if closer is not None:
             closer()
+        if self.store is not None:
+            self.store.close()
 
 
 def build_packed_service(
@@ -253,6 +263,12 @@ def build_cluster_service(
     # retry counters, and the transport's per-link transfer counters all
     # land in the same exposition.
     metrics = metrics if metrics is not None else MetricsRegistry()
+    store = None
+    if config.store_path:
+        from repro.store import SqliteStateStore
+
+        store = SqliteStateStore(config.store_path)
+        store.attach_metrics(metrics)
     coordinator = ClusterCoordinator(
         scenario.environment,
         num_shards=config.shards,
@@ -263,6 +279,7 @@ def build_cluster_service(
         shard_executor_factory=shard_executor_factory,
         metrics=metrics,
         clock=clock if clock is not None else time.time,
+        store=store,
     )
     pu_clients = [coordinator.enroll_pu(pu) for pu in scenario.pus]
     su_ids = []
@@ -282,6 +299,7 @@ def build_cluster_service(
         scenario=scenario,
         pu_clients=pu_clients,
         su_ids=su_ids,
+        store=store,
     )
 
 

@@ -1,0 +1,174 @@
+"""`StateStore` — the interface every durable state engine implements.
+
+The paper's SDC is restartable only if three things survive a crash:
+the latest encrypted :class:`~repro.pisa.messages.PUUpdateMessage` per
+PU (the budget matrix is derived from them), the per-shard epoch
+snapshots (so a cold shard resumes from its last committed epoch), and
+the public key directory.  A :class:`StateStore` holds exactly those
+three tables plus one row of checkpoint metadata per journal scope —
+nothing else, because everything else (pending rounds, blinding
+factors) is deliberately *not* persisted (see ``repro.pisa.storage``).
+
+Every value crosses the engine boundary **sealed**: wrapped in the same
+CRC frame (:func:`repro.pisa.storage.frame_payload`) that protects the
+journal and the wire, so one decoder audits disk rows, journal records,
+and messages alike, and a bit-flipped row surfaces as a typed
+:class:`~repro.errors.StoreCorruptError` instead of garbage ciphertext.
+
+Engines are pluggable: :class:`~repro.store.memory.MemoryStateStore`
+for tests and baselines, :class:`~repro.store.sqlite.SqliteStateStore`
+for real deployments.  Both are ordinary context managers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import IntegrityError, StoreCorruptError, StoreError
+from repro.pisa.storage import frame_payload, unframe_payload
+
+__all__ = ["StateStore", "seal_blob", "unseal_blob", "STORE_TABLES"]
+
+#: The fixed table set; ``row_counts`` and the ``store_rows`` gauge
+#: family enumerate exactly these names, in this order.
+STORE_TABLES = ("pu_updates", "snapshots", "directory", "checkpoints")
+
+
+def seal_blob(blob: bytes) -> bytes:
+    """CRC-frame a value for storage (shared by every engine)."""
+    return frame_payload(blob)
+
+
+def unseal_blob(frame: bytes, context: str) -> bytes:
+    """Unframe a stored value; damage raises a typed store error."""
+    try:
+        blob, offset = unframe_payload(frame, 0)
+    except IntegrityError as exc:
+        raise StoreCorruptError(f"corrupt stored frame ({context}): {exc}") from exc
+    if offset != len(frame):
+        raise StoreCorruptError(f"trailing bytes after stored frame ({context})")
+    return blob
+
+
+class StateStore(ABC):
+    """Durable (or durable-shaped) home for SDC restart state.
+
+    Values are opaque ``bytes`` blobs produced by the ``pisa.storage``
+    serializers; the store seals/unseals them but never interprets
+    them.  Writes are visible to subsequent reads immediately;
+    :meth:`flush` is the durability point (a no-op for the in-memory
+    engine, a committed transaction + fsync for SQLite).
+    """
+
+    #: Short engine name for logs, metrics, and ``repro store`` output.
+    engine = "abstract"
+
+    # -- per-PU latest ciphertexts ------------------------------------------------
+
+    @abstractmethod
+    def put_pu_update(self, shard_id: str, pu_id: str, message_bytes: bytes) -> None:
+        """Upsert the latest update message for ``(shard_id, pu_id)``."""
+
+    @abstractmethod
+    def delete_pu_update(self, shard_id: str, pu_id: str) -> bool:
+        """Drop one PU row; returns ``True`` when a row existed."""
+
+    @abstractmethod
+    def pu_updates(
+        self, shard_id: str | None = None
+    ) -> tuple[tuple[str, str, bytes], ...]:
+        """``(shard_id, pu_id, message_bytes)`` rows, sorted for determinism."""
+
+    # -- per-shard epoch snapshots ------------------------------------------------
+
+    @abstractmethod
+    def put_snapshot(self, shard_id: str, epoch: int, blob: bytes) -> bool:
+        """Store a shard snapshot; only the latest epoch per shard is
+        kept (an older epoch is refused and returns ``False``), so disk
+        stays bounded by shard count, not run length."""
+
+    @abstractmethod
+    def latest_snapshot(self, shard_id: str) -> tuple[int, bytes] | None:
+        """``(epoch, blob)`` for the newest stored snapshot, if any."""
+
+    @abstractmethod
+    def snapshot_shards(self) -> tuple[str, ...]:
+        """Shard ids with a stored snapshot, sorted."""
+
+    # -- key directory ------------------------------------------------------------
+
+    @abstractmethod
+    def put_directory(self, blob: bytes) -> None:
+        """Replace the (singleton) key-directory snapshot."""
+
+    @abstractmethod
+    def get_directory(self) -> bytes | None:
+        """The stored key-directory snapshot, if any."""
+
+    # -- checkpoint metadata ------------------------------------------------------
+
+    @abstractmethod
+    def put_checkpoint(self, scope: str, blob: bytes) -> None:
+        """Upsert the checkpoint-meta blob for one journal scope."""
+
+    @abstractmethod
+    def get_checkpoint(self, scope: str) -> bytes | None:
+        """The checkpoint-meta blob for ``scope``, if any."""
+
+    # -- operational surface ------------------------------------------------------
+
+    @abstractmethod
+    def row_counts(self) -> dict[str, int]:
+        """Row count per table in :data:`STORE_TABLES`."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Make everything written so far durable (commit + sync)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the engine; further use raises :class:`StoreError`."""
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """All-or-nothing write group (the checkpoint commit uses one).
+
+        The base implementation simply flushes on success; engines with
+        real transactions (SQLite) override it with BEGIN/COMMIT and a
+        ROLLBACK on error.
+        """
+        yield
+        self.flush()
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def attach_metrics(self, metrics) -> None:
+        """Expose ``store_rows{table=...}`` gauges on ``metrics``.
+
+        Pre-registers every table's gauge immediately (the broker
+        convention: families exist at zero before anything happens) and
+        refreshes them on every later :meth:`refresh_metrics` call.
+        """
+        self._metrics = metrics
+        self.refresh_metrics()
+
+    def refresh_metrics(self) -> None:
+        """Re-publish current row counts to the attached registry."""
+        metrics = getattr(self, "_metrics", None)
+        if metrics is None:
+            return
+        counts = self.row_counts()
+        for table in STORE_TABLES:
+            metrics.gauge("store_rows", table=table).set(counts.get(table, 0))
+
+    def _require_open(self, closed: bool) -> None:
+        if closed:
+            raise StoreError(f"{self.engine} state store is closed")

@@ -1,0 +1,263 @@
+"""Journal checkpointing: compact PISA-JOURNAL-v1 into the store.
+
+Without compaction the write-ahead journal grows with every draw, clock
+read, and PU update — a "millions of users" deployment would write an
+unbounded file to replay a bounded state.  The
+:class:`Checkpointer` folds everything the journal proved durable into
+the :class:`~repro.store.base.StateStore` (which already holds the
+snapshots and PU rows the runtime wrote along the way) and rewrites the
+journal down to a single ``checkpoint`` marker record, so journal size
+is bounded by the inter-checkpoint interval, not the run length.
+
+Crash-safety is a fixed write order with one atomic pivot::
+
+    barrier ─→ store commit (meta, transactional) ─→ write tail tmp
+            ─→ fsync tmp ─→ os.replace(tmp, journal) ─→ swap writer
+
+The store commit *precedes* the rename, so recovery
+(:func:`recover`, via
+:func:`repro.resilience.recovery.split_checkpoint_tail`) can classify
+every crash point from the (meta, marker) pair alone; an impossible
+pair is a torn checkpoint and raises the journal's own corruption
+taxonomy (:class:`~repro.errors.TornCheckpointError`).  The
+``failpoint`` hook exists solely so tests can crash the protocol at
+each named step and prove that.
+
+Checkpoints must run at a quiescent point (between epochs): the caller
+guarantees no appends race the compaction, exactly as it already
+guarantees for :meth:`JournalWriter.swap_device`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.crypto.serialization import decode_int, encode_bytes, encode_int
+from repro.errors import CheckpointError, StoreCorruptError
+from repro.pisa.storage import frame_payload
+from repro.resilience.journal import (
+    JOURNAL_HEADER,
+    JournalReadResult,
+    JournalWriter,
+)
+from repro.resilience.recovery import load_journal, split_checkpoint_tail
+from repro.store.base import StateStore
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCOPE",
+    "CheckpointMeta",
+    "CheckpointStats",
+    "Checkpointer",
+    "RecoveredState",
+    "recover",
+]
+
+#: Journal record kind of the compaction marker.
+CHECKPOINT_KIND = "checkpoint"
+#: Default store scope for a deployment's single journal.
+CHECKPOINT_SCOPE = "journal"
+
+_META_MAGIC = b"PISA-CKPT-META-v1"
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """The store's durable record of the last committed checkpoint."""
+
+    #: Monotonic checkpoint counter, starting at 1.
+    checkpoint_id: int
+    #: Journal records (of the file the checkpoint read) folded into the
+    #: store — recovery skips this prefix when the rename never landed.
+    records_consumed: int
+
+    def to_bytes(self) -> bytes:
+        return (
+            _META_MAGIC
+            + encode_int(self.checkpoint_id)
+            + encode_int(self.records_consumed)
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CheckpointMeta":
+        if not blob.startswith(_META_MAGIC):
+            raise StoreCorruptError("not a v1 checkpoint meta blob")
+        checkpoint_id, offset = decode_int(blob, len(_META_MAGIC))
+        records_consumed, end = decode_int(blob, offset)
+        if end != len(blob):
+            raise StoreCorruptError("trailing bytes in checkpoint meta")
+        return cls(checkpoint_id=checkpoint_id, records_consumed=records_consumed)
+
+    def marker_body(self) -> bytes:
+        """Journal-side encoding (no magic — the record kind names it)."""
+        return encode_int(self.checkpoint_id) + encode_int(self.records_consumed)
+
+
+@dataclass(frozen=True)
+class CheckpointStats:
+    """What one checkpoint accomplished, for logs and the bench."""
+
+    checkpoint_id: int
+    records_compacted: int
+    journal_bytes_before: int
+    journal_bytes_after: int
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """Everything a cold start learns from the store + journal pair."""
+
+    meta: CheckpointMeta | None
+    journal: JournalReadResult
+    #: Records not yet folded into the store — replay starts here.
+    tail: JournalReadResult
+
+
+class Checkpointer:
+    """Compacts a journal into a store; owns the checkpoint metrics.
+
+    Telemetry (when a registry is attached) follows the broker
+    convention — every family is materialised at zero up front:
+    ``checkpoints_total``, ``journal_bytes_on_disk``,
+    ``journal_records_since_checkpoint``, ``checkpoint_duration_s``,
+    and the store's ``store_rows{table=...}`` gauges.
+    """
+
+    def __init__(
+        self,
+        store: StateStore,
+        scope: str = CHECKPOINT_SCOPE,
+        metrics=None,
+        failpoint=None,
+    ) -> None:
+        self.store = store
+        self.scope = scope
+        self._metrics = metrics
+        #: Test-only crash seam: called with the step name at the start
+        #: of each protocol step; raising models a kill at that point.
+        self._failpoint = failpoint if failpoint is not None else (lambda step: None)
+        self.checkpoints_taken = 0
+        self._records_at_checkpoint = 0
+        if metrics is not None:
+            metrics.counter("checkpoints_total")
+            metrics.gauge("journal_bytes_on_disk")
+            metrics.gauge("journal_records_since_checkpoint")
+            metrics.histogram("checkpoint_duration_s")
+            store.attach_metrics(metrics)
+
+    def _load_meta(self) -> CheckpointMeta | None:
+        blob = self.store.get_checkpoint(self.scope)
+        if blob is None:
+            return None
+        return CheckpointMeta.from_bytes(blob)
+
+    def checkpoint(self, writer: JournalWriter) -> CheckpointStats:
+        """Compact ``writer``'s journal; the store must already hold the
+        snapshots/PU rows the run wrote (the runtime persists them as it
+        goes — the checkpoint only makes the *journal* forget them)."""
+        path = writer.path
+        if path is None:
+            raise CheckpointError("checkpointing needs a path-backed journal")
+        timer = (
+            self._metrics.timer("checkpoint_duration_s")
+            if self._metrics is not None
+            else nullcontext()
+        )
+        with timer:
+            self._failpoint("barrier")
+            writer.barrier()
+            bytes_before = os.path.getsize(path)
+            result = load_journal(path)
+            previous = self._load_meta()
+            meta = CheckpointMeta(
+                checkpoint_id=(previous.checkpoint_id + 1) if previous else 1,
+                records_consumed=len(result.records),
+            )
+            # Step 1 — write-snapshot: commit the meta (the pivot the
+            # recovery logic keys on) transactionally, then sync.
+            self._failpoint("write")
+            try:
+                with self.store.transaction():
+                    self.store.put_checkpoint(self.scope, meta.to_bytes())
+                self.store.flush()
+            except OSError as exc:
+                raise CheckpointError(f"store commit failed: {exc}") from exc
+            # Steps 2-3 — fsync + atomic-rename: materialise the
+            # compacted journal beside the live one, then pivot.
+            tmp = path + ".ckpt.tmp"
+            marker_payload = encode_bytes(CHECKPOINT_KIND.encode("utf-8"))
+            marker_payload += encode_bytes(meta.marker_body())
+            try:
+                with open(tmp, "wb") as fh:
+                    fh.write(JOURNAL_HEADER + frame_payload(marker_payload))
+                    self._failpoint("fsync")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self._failpoint("rename")
+                os.replace(tmp, path)
+            except OSError as exc:
+                raise CheckpointError(f"journal compaction failed: {exc}") from exc
+            # Step 4 — truncate: the rename already shrank the file;
+            # point the writer's append handle at the new inode.
+            self._failpoint("truncate")
+            writer.swap_device(path)
+            writer.barrier()
+            bytes_after = os.path.getsize(path)
+        self.checkpoints_taken += 1
+        self._records_at_checkpoint = writer.records_written
+        stats = CheckpointStats(
+            checkpoint_id=meta.checkpoint_id,
+            records_compacted=len(result.records),
+            journal_bytes_before=bytes_before,
+            journal_bytes_after=bytes_after,
+        )
+        if self._metrics is not None:
+            self._metrics.counter("checkpoints_total").inc()
+            self.observe(writer)
+        return stats
+
+    def observe(self, writer: JournalWriter) -> None:
+        """Refresh the journal/store gauges from current on-disk state."""
+        if self._metrics is None:
+            return
+        size = 0
+        if writer.path is not None and os.path.exists(writer.path):
+            size = os.path.getsize(writer.path)
+        self._metrics.gauge("journal_bytes_on_disk").set(size)
+        self._metrics.gauge("journal_records_since_checkpoint").set(
+            writer.records_written - self._records_at_checkpoint
+        )
+        self.store.refresh_metrics()
+
+
+def recover(
+    store: StateStore, journal_path, scope: str = CHECKPOINT_SCOPE
+) -> RecoveredState:
+    """Read back a (store, journal) pair after a crash or restart.
+
+    Removes any stale ``.ckpt.tmp`` (a compacted journal that never got
+    renamed was never activated), loads the journal through
+    :mod:`repro.resilience.recovery`, and splits off the tail the store
+    has not absorbed.  Torn-checkpoint states raise
+    :class:`~repro.errors.TornCheckpointError`.
+    """
+    journal_path = os.fspath(journal_path)
+    stale_tmp = journal_path + ".ckpt.tmp"
+    if os.path.exists(stale_tmp):
+        os.remove(stale_tmp)
+    if os.path.exists(journal_path):
+        result = load_journal(journal_path)
+    else:
+        result = JournalReadResult(
+            records=(), torn=False, valid_bytes=len(JOURNAL_HEADER)
+        )
+    blob = store.get_checkpoint(scope)
+    meta = CheckpointMeta.from_bytes(blob) if blob is not None else None
+    tail = split_checkpoint_tail(
+        result,
+        meta.checkpoint_id if meta is not None else None,
+        meta.records_consumed if meta is not None else 0,
+    )
+    return RecoveredState(meta=meta, journal=result, tail=tail)

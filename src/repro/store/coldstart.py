@@ -1,0 +1,63 @@
+"""Cold-start: rebuild a shard from the store plus the journal tail.
+
+The restart contract (``docs/storage.md``, recovery matrix): a shard's
+durable state is its latest epoch snapshot (written at every epoch
+commit) plus whatever PU updates the journal absorbed *after* that
+snapshot's checkpoint.  Restoring replays both through the same audited
+code paths a live shard uses — ``restore_shard_state`` feeds
+``handle_pu_update``, and tail replay is idempotent because PU state is
+latest-per-PU (re-applying an update the snapshot already folded in is
+``⊖ old ⊕ new`` with ``old == new``).
+"""
+
+from __future__ import annotations
+
+from repro.pisa.messages import PUUpdateMessage
+from repro.pisa.storage import restore_shard_state
+from repro.resilience.journal import JournalReadResult
+from repro.store.base import StateStore
+
+__all__ = ["restore_shard_from_store", "tail_epoch_commits"]
+
+
+def tail_epoch_commits(tail: JournalReadResult, shard_id: str) -> tuple[int, ...]:
+    """Epoch ids the journal tail committed for ``shard_id``, in order."""
+    epochs = []
+    for record in tail.of_kind("epoch-commit"):
+        recorded_shard, _, epoch = record.body.decode("utf-8").rpartition(":")
+        if recorded_shard == shard_id:
+            epochs.append(int(epoch))
+    return tuple(epochs)
+
+
+def restore_shard_from_store(
+    shard, store: StateStore, tail: JournalReadResult | None = None
+) -> int:
+    """Rebuild a freshly constructed, empty shard from durable state.
+
+    Restores the latest snapshot when one exists (which also replaces
+    the shard's block ownership with the snapshot's); otherwise replays
+    the store's raw PU rows for this shard, in which case the caller
+    must have assigned the shard's blocks already.  Then replays the
+    journal tail: PU updates for owned blocks and any epoch commits the
+    store had not absorbed.  Returns the number of tail records applied.
+    """
+    latest = store.latest_snapshot(shard.shard_id)
+    group_key = shard.group_public_key
+    if latest is not None:
+        restore_shard_state(shard, latest[1])
+    else:
+        for _, _, raw in store.pu_updates(shard.shard_id):
+            shard.handle_pu_update(PUUpdateMessage.from_bytes(raw, group_key))
+    applied = 0
+    if tail is not None:
+        for record in tail.of_kind("pu-update"):
+            message = PUUpdateMessage.from_bytes(record.body, group_key)
+            if shard.owns(message.block_index):
+                shard.handle_pu_update(message)
+                applied += 1
+        for epoch in tail_epoch_commits(tail, shard.shard_id):
+            if epoch > shard.last_committed_epoch:
+                shard.commit_epoch(epoch)
+                applied += 1
+    return applied

@@ -1,0 +1,136 @@
+"""In-memory :class:`StateStore` engine.
+
+The test/baseline engine: same sealing, same visibility rules, same
+transaction semantics as SQLite, just dict-backed.  Values are still
+CRC-framed on the way in and verified on the way out, so a test that
+corrupts a stored frame exercises the identical failure path a damaged
+SQLite file would.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.store.base import StateStore, seal_blob, unseal_blob
+
+__all__ = ["MemoryStateStore"]
+
+
+class MemoryStateStore(StateStore):
+    """Dict-backed engine; ``transaction`` restores state on error."""
+
+    engine = "memory"
+
+    def __init__(self) -> None:
+        self._pu: dict[tuple[str, str], bytes] = {}
+        self._snapshots: dict[str, tuple[int, bytes]] = {}
+        self._directory: bytes | None = None
+        self._checkpoints: dict[str, bytes] = {}
+        self._closed = False
+
+    # -- per-PU latest ciphertexts ------------------------------------------------
+
+    def put_pu_update(self, shard_id: str, pu_id: str, message_bytes: bytes) -> None:
+        self._require_open(self._closed)
+        self._pu[(shard_id, pu_id)] = seal_blob(message_bytes)
+
+    def delete_pu_update(self, shard_id: str, pu_id: str) -> bool:
+        self._require_open(self._closed)
+        return self._pu.pop((shard_id, pu_id), None) is not None
+
+    def pu_updates(
+        self, shard_id: str | None = None
+    ) -> tuple[tuple[str, str, bytes], ...]:
+        self._require_open(self._closed)
+        rows = []
+        for (row_shard, pu_id), frame in sorted(self._pu.items()):
+            if shard_id is not None and row_shard != shard_id:
+                continue
+            blob = unseal_blob(frame, f"pu_updates[{row_shard}/{pu_id}]")
+            rows.append((row_shard, pu_id, blob))
+        return tuple(rows)
+
+    # -- per-shard epoch snapshots ------------------------------------------------
+
+    def put_snapshot(self, shard_id: str, epoch: int, blob: bytes) -> bool:
+        self._require_open(self._closed)
+        current = self._snapshots.get(shard_id)
+        if current is not None and current[0] > epoch:
+            return False
+        self._snapshots[shard_id] = (epoch, seal_blob(blob))
+        return True
+
+    def latest_snapshot(self, shard_id: str) -> tuple[int, bytes] | None:
+        self._require_open(self._closed)
+        entry = self._snapshots.get(shard_id)
+        if entry is None:
+            return None
+        epoch, frame = entry
+        return epoch, unseal_blob(frame, f"snapshots[{shard_id}]")
+
+    def snapshot_shards(self) -> tuple[str, ...]:
+        self._require_open(self._closed)
+        return tuple(sorted(self._snapshots))
+
+    # -- key directory ------------------------------------------------------------
+
+    def put_directory(self, blob: bytes) -> None:
+        self._require_open(self._closed)
+        self._directory = seal_blob(blob)
+
+    def get_directory(self) -> bytes | None:
+        self._require_open(self._closed)
+        if self._directory is None:
+            return None
+        return unseal_blob(self._directory, "directory")
+
+    # -- checkpoint metadata ------------------------------------------------------
+
+    def put_checkpoint(self, scope: str, blob: bytes) -> None:
+        self._require_open(self._closed)
+        self._checkpoints[scope] = seal_blob(blob)
+
+    def get_checkpoint(self, scope: str) -> bytes | None:
+        self._require_open(self._closed)
+        frame = self._checkpoints.get(scope)
+        if frame is None:
+            return None
+        return unseal_blob(frame, f"checkpoints[{scope}]")
+
+    # -- operational surface ------------------------------------------------------
+
+    def row_counts(self) -> dict[str, int]:
+        self._require_open(self._closed)
+        return {
+            "pu_updates": len(self._pu),
+            "snapshots": len(self._snapshots),
+            "directory": 0 if self._directory is None else 1,
+            "checkpoints": len(self._checkpoints),
+        }
+
+    def flush(self) -> None:
+        self._require_open(self._closed)
+
+    def close(self) -> None:
+        self._closed = True
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        self._require_open(self._closed)
+        backup = (
+            dict(self._pu),
+            dict(self._snapshots),
+            self._directory,
+            dict(self._checkpoints),
+        )
+        try:
+            yield
+        except BaseException:
+            self._pu, self._snapshots, self._directory, self._checkpoints = (
+                dict(backup[0]),
+                dict(backup[1]),
+                backup[2],
+                dict(backup[3]),
+            )
+            raise

@@ -58,6 +58,16 @@ class TestEveryPlan:
         assert result.ok
         assert any("stp outage drained" in note for note in result.notes)
 
+    def test_kill9_coldstart_rebuilds_from_store_byte_exactly(self, harness):
+        result = harness.run(["kill9-then-coldstart"])
+        assert result.ok
+        # The journal was compacted to a marker, the shard rebuilt from
+        # the durable store, and *every* segment (enrol + each round)
+        # still matches the uninterrupted control byte for byte.
+        assert result.exact_segments == harness.rounds + 1
+        assert any(note.startswith("checkpoint ") for note in result.notes)
+        assert any("cold-started from" in note for note in result.notes)
+
 
 class TestComposedSchedules:
     def test_kill_plus_drop(self, harness):

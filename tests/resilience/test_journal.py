@@ -199,6 +199,34 @@ class TestEpochJournalSchema:
         assert result.draws() == ((8, 42),)
         assert len(result.of_kind("phase1")) == 1
 
+    def test_context_manager_flushes_buffered_tail_on_exit(self, tmp_path):
+        # Regression: a bare `EpochJournal(JournalWriter(path))` that is
+        # never closed leaves up to fsync_every-1 records in the write
+        # buffer.  The context-manager exit must flush them, even when
+        # the body raises.
+        path = tmp_path / "epoch.journal"
+        with pytest.raises(RuntimeError):
+            with EpochJournal(JournalWriter(path, fsync_every=256)) as journal:
+                journal.note("buffered-well-below-fsync-every")
+                raise RuntimeError("body crashed")
+        result = read_journal(path)
+        assert [r.kind for r in result.records] == ["note"]
+        assert not result.torn
+
+    def test_mid_buffer_kill_loses_only_the_unsynced_tail(self, tmp_path):
+        # The failure the context manager guards against: a kill between
+        # fsyncs drops the buffered records — durable prefix intact.
+        path = tmp_path / "epoch.journal"
+        writer = JournalWriter(path, fsync_every=256)
+        journal = EpochJournal(writer)
+        journal.note("durable")
+        journal.barrier()
+        journal.note("buffered-at-kill-time")
+        writer.simulate_crash()
+        result = read_journal(path)
+        assert [r.body for r in result.of_kind("note")] == [b"durable\x00"]
+        assert not result.torn
+
 
 class TestReplaySources:
     def test_journaled_rng_replays_to_exact_values(self):

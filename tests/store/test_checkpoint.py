@@ -1,0 +1,225 @@
+"""Checkpointer: compaction, crash-point fuzz, torn-checkpoint taxonomy.
+
+The crash fuzz is the heart of the crash-safety claim: a kill injected
+at *every* named step of the write → fsync → rename → truncate protocol
+must recover to the same logical journal suffix an uninterrupted run
+would replay (the byte-level analogue of transcript identity, which the
+``kill9-then-coldstart`` chaos plan asserts end to end).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, TornCheckpointError
+from repro.resilience.journal import JournalWriter, read_journal
+from repro.resilience.recovery import checkpoint_marker
+from repro.store import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCOPE,
+    CheckpointMeta,
+    Checkpointer,
+    SqliteStateStore,
+    recover,
+)
+from repro.telemetry import MetricsRegistry
+
+#: Every named step of the checkpoint protocol, in execution order.
+STEPS = ("barrier", "write", "fsync", "rename", "truncate")
+
+#: The compaction cap the CI store-smoke job also asserts: a compacted
+#: journal is one header plus one marker frame, far below this bound.
+COMPACTED_CAP_BYTES = 512
+
+
+class _Kill(BaseException):
+    """Models SIGKILL at a failpoint (not an Exception: nothing may
+    catch-and-continue past it, exactly like a real kill)."""
+
+
+def _fill(writer: JournalWriter, n: int = 60) -> None:
+    for i in range(n):
+        writer.append("note", b"entry-%04d" % i)
+    writer.barrier()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with SqliteStateStore(tmp_path / "state.sqlite") as engine:
+        yield engine
+
+
+class TestCompaction:
+    def test_checkpoint_bounds_journal_below_cap(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=8) as writer:
+            _fill(writer, n=500)
+            before = os.path.getsize(path)
+            stats = Checkpointer(store).checkpoint(writer)
+        assert stats.checkpoint_id == 1
+        assert stats.records_compacted == 500
+        assert stats.journal_bytes_before == before
+        assert stats.journal_bytes_after < COMPACTED_CAP_BYTES
+        assert os.path.getsize(path) < COMPACTED_CAP_BYTES
+
+    def test_compacted_journal_is_header_plus_marker(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=8) as writer:
+            _fill(writer)
+            Checkpointer(store).checkpoint(writer)
+        result = read_journal(path)
+        assert not result.torn
+        assert [r.kind for r in result.records] == [CHECKPOINT_KIND]
+        assert checkpoint_marker(result) == (1, 60)
+
+    def test_checkpoint_ids_are_monotonic(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        ckpt = Checkpointer(store)
+        with JournalWriter(path, fsync_every=8) as writer:
+            _fill(writer)
+            assert ckpt.checkpoint(writer).checkpoint_id == 1
+            _fill(writer)
+            stats = ckpt.checkpoint(writer)
+        assert stats.checkpoint_id == 2
+        # marker of ckpt 1 + 60 fresh records were compacted
+        assert stats.records_compacted == 61
+        meta = CheckpointMeta.from_bytes(store.get_checkpoint(CHECKPOINT_SCOPE))
+        assert meta.checkpoint_id == 2
+
+    def test_appends_resume_after_checkpoint(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=1) as writer:
+            _fill(writer)
+            Checkpointer(store).checkpoint(writer)
+            writer.append("note", b"post-checkpoint")
+        result = read_journal(path)
+        assert [r.kind for r in result.records] == [CHECKPOINT_KIND, "note"]
+        recovered = recover(store, path)
+        assert [r.body for r in recovered.tail.records] == [b"post-checkpoint"]
+
+    def test_fileobj_backed_writer_is_rejected(self, store):
+        import io
+
+        writer = JournalWriter(fileobj=io.BytesIO())
+        with pytest.raises(CheckpointError):
+            Checkpointer(store).checkpoint(writer)
+
+
+class TestCrashPointFuzz:
+    @pytest.mark.parametrize("step", STEPS)
+    def test_kill_at_each_step_recovers_same_suffix(self, tmp_path, store, step):
+        path = str(tmp_path / "journal.wal")
+        writer = JournalWriter(path, fsync_every=4)
+        _fill(writer)
+        control = [(r.kind, r.body) for r in read_journal(path).records]
+
+        def failpoint(name: str) -> None:
+            if name == step:
+                raise _Kill(name)
+
+        with pytest.raises(_Kill):
+            Checkpointer(store, failpoint=failpoint).checkpoint(writer)
+        # The kill took the process; the append handle dies with it.
+        writer._fh.close()
+
+        recovered = recover(store, path)
+        absorbed = recovered.meta.records_consumed if recovered.meta else 0
+        replay = [(r.kind, r.body) for r in recovered.tail.records]
+        # Store-absorbed prefix + replayed tail == the uninterrupted
+        # record stream, whichever side of the pivot the kill landed on.
+        assert control[absorbed:] == replay
+        assert not recovered.tail.torn
+        # The stale tmp (if the kill landed mid-compaction) is gone.
+        assert not os.path.exists(path + ".ckpt.tmp")
+        # A restarted writer appends cleanly to whatever file survived.
+        with JournalWriter(path, fsync_every=1) as fresh:
+            fresh.append("note", b"post-crash")
+        assert read_journal(path).records[-1].body == b"post-crash"
+
+    @pytest.mark.parametrize("step", STEPS)
+    def test_kill_then_retry_checkpoint_converges(self, tmp_path, store, step):
+        path = str(tmp_path / "journal.wal")
+        writer = JournalWriter(path, fsync_every=4)
+        _fill(writer)
+
+        def failpoint(name: str) -> None:
+            if name == step:
+                raise _Kill(name)
+
+        with pytest.raises(_Kill):
+            Checkpointer(store, failpoint=failpoint).checkpoint(writer)
+        writer._fh.close()
+        recover(store, path)  # clears any stale tmp
+
+        with JournalWriter(path, fsync_every=4) as fresh:
+            stats = Checkpointer(store).checkpoint(fresh)
+        assert stats.journal_bytes_after < COMPACTED_CAP_BYTES
+        recovered = recover(store, path)
+        assert recovered.tail.records == ()
+        assert recovered.meta.checkpoint_id == stats.checkpoint_id
+
+
+class TestTornCheckpoints:
+    def test_marker_without_meta_is_torn(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=8) as writer:
+            _fill(writer)
+            Checkpointer(store).checkpoint(writer)
+        # A marker the store has never heard of: impossible unless the
+        # store lost a committed transaction.
+        with SqliteStateStore(tmp_path / "other.sqlite") as fresh_store:
+            with pytest.raises(TornCheckpointError):
+                recover(fresh_store, path)
+
+    def test_marker_newer_than_meta_is_torn(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=8) as writer:
+            _fill(writer)
+            Checkpointer(store).checkpoint(writer)
+        store.put_checkpoint(
+            CHECKPOINT_SCOPE, CheckpointMeta(0, 60).to_bytes()
+        )
+        with pytest.raises(TornCheckpointError):
+            recover(store, path)
+
+    def test_journal_shorter_than_consumed_is_torn(self, tmp_path, store):
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=1) as writer:
+            _fill(writer, n=5)
+        store.put_checkpoint(CHECKPOINT_SCOPE, CheckpointMeta(1, 10).to_bytes())
+        with pytest.raises(TornCheckpointError):
+            recover(store, path)
+
+    def test_missing_journal_recovers_empty(self, tmp_path, store):
+        recovered = recover(store, tmp_path / "never-written.wal")
+        assert recovered.meta is None
+        assert recovered.journal.records == ()
+        assert recovered.tail.records == ()
+
+
+class TestMetrics:
+    def test_families_preregistered_at_zero(self, tmp_path, store):
+        metrics = MetricsRegistry()
+        Checkpointer(store, metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap["counters"]["checkpoints_total"] == 0
+        assert snap["gauges"]["journal_bytes_on_disk"] == 0
+        assert snap["gauges"]["journal_records_since_checkpoint"] == 0
+        assert snap["histograms"]["checkpoint_duration_s"]["count"] == 0
+        assert snap["gauges"]["store_rows{table=pu_updates}"] == 0
+
+    def test_checkpoint_moves_the_needles(self, tmp_path, store):
+        metrics = MetricsRegistry()
+        ckpt = Checkpointer(store, metrics=metrics)
+        path = str(tmp_path / "journal.wal")
+        with JournalWriter(path, fsync_every=8) as writer:
+            _fill(writer)
+            ckpt.checkpoint(writer)
+            writer.append("note", b"tail")
+            ckpt.observe(writer)
+        snap = metrics.snapshot()
+        assert snap["counters"]["checkpoints_total"] == 1
+        assert snap["histograms"]["checkpoint_duration_s"]["count"] == 1
+        assert snap["gauges"]["journal_bytes_on_disk"] > 0
+        assert snap["gauges"]["journal_records_since_checkpoint"] == 1
+        assert snap["gauges"]["store_rows{table=checkpoints}"] == 1
