@@ -185,7 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated fault plans composed into one "
                             "schedule, or 'all' to run every plan singly; "
                             "'proc-kill-shard' SIGKILLs a real shard "
-                            "subprocess on the socket plane (runs alone)")
+                            "subprocess on the socket plane, and "
+                            "'proc-split-brain' / 'proc-gray-slow' run the "
+                            "partition drills there (each runs alone)")
     chaos.add_argument("--shards", type=int, default=2)
     chaos.add_argument("--rounds", type=int, default=2,
                        help="protocol rounds per run")
@@ -193,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Paillier modulus for the paired deployments")
     chaos.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the results as JSON")
+    chaos.add_argument("--metrics-dump", type=str, default=None,
+                       metavar="PATH",
+                       help="write the runs' unified metrics registry as "
+                            "Prometheus text to PATH (CI greps the fencing "
+                            "families from it)")
 
     store_cmd = sub.add_parser(
         "store",
@@ -555,34 +562,56 @@ def _cmd_chaos(args) -> int:
 
     from repro.resilience.chaos import PLAN_NAMES, ChaosHarness
 
+    metrics = None
+    if args.metrics_dump is not None:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     harness = ChaosHarness(
         seed=args.seed,
         shards=args.shards,
         rounds=args.rounds,
         key_bits=args.key_bits,
+        metrics=metrics,
     )
     if args.plan == "all":
-        # Simulated-transport plans only; the process plan costs real
-        # subprocess spawns and is asked for by name.
+        # Simulated-transport plans only; the process plans cost real
+        # subprocess spawns and are asked for by name.
         schedules = [[name] for name in PLAN_NAMES]
     else:
         schedules = [[p.strip() for p in args.plan.split(",") if p.strip()]]
     results = []
     failed = 0
     for schedule in schedules:
-        if "proc-kill-shard" in schedule:
-            from repro.netd.chaos import PROC_PLAN_NAME, run_process_chaos
+        from repro.netd.chaos import PARTITION_PLAN_NAMES, PROC_PLAN_NAME
 
-            if schedule != [PROC_PLAN_NAME]:
-                print("proc-kill-shard runs alone (it has its own "
-                      "socket-plane schedule)", file=sys.stderr)
+        proc_plans = (PROC_PLAN_NAME,) + PARTITION_PLAN_NAMES
+        if any(name in proc_plans for name in schedule):
+            if len(schedule) != 1:
+                print("socket-plane plans (proc-*) run alone (each has its "
+                      "own schedule)", file=sys.stderr)
                 return 2
-            result = run_process_chaos(
-                seed=args.seed,
-                shards=args.shards,
-                rounds=args.rounds,
-                key_bits=args.key_bits,
-            )
+            if schedule == [PROC_PLAN_NAME]:
+                from repro.netd.chaos import run_process_chaos
+
+                result = run_process_chaos(
+                    seed=args.seed,
+                    shards=args.shards,
+                    rounds=args.rounds,
+                    key_bits=args.key_bits,
+                    metrics=metrics,
+                )
+            else:
+                from repro.netd.chaos import run_partition_chaos
+
+                result = run_partition_chaos(
+                    schedule[0],
+                    seed=args.seed,
+                    shards=args.shards,
+                    rounds=args.rounds,
+                    key_bits=args.key_bits,
+                    metrics=metrics,
+                )
         else:
             result = harness.run(schedule)
         results.append(result)
@@ -592,7 +621,10 @@ def _cmd_chaos(args) -> int:
             f"shards={result.shards}: {verdict} "
             f"(transcript_equal={result.transcript_equal}, "
             f"licenses_valid={result.licenses_valid}, "
-            f"failovers={result.failovers}, faults={result.fault_stats})"
+            f"failovers={result.failovers}, suspects={result.suspects}, "
+            f"fenced={result.fenced_rejections}, "
+            f"writer_violations={result.writer_violations}, "
+            f"faults={result.fault_stats})"
         )
         for note in result.notes:
             print(f"  - {note}")
@@ -603,6 +635,10 @@ def _cmd_chaos(args) -> int:
             json.dump([r.to_dict() for r in results], fh, indent=2,
                       sort_keys=True)
         print(f"wrote {args.json}")
+    if metrics is not None:
+        with open(args.metrics_dump, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_prometheus())
+        print(f"wrote {args.metrics_dump}")
     return 1 if failed else 0
 
 

@@ -23,11 +23,12 @@ See ``docs/cluster.md`` for the architecture and failure model.
 
 from repro.cluster.compute import DedicatedProcessExecutor
 from repro.cluster.coordinator import ClusterCoordinator, ClusterSdc
+from repro.cluster.fencing import FenceLease, LeaseAuthority
 from repro.cluster.membership import ClusterMembership
 from repro.cluster.rebalance import HandoffPlan, execute_handoff, plan_handoff
 from repro.cluster.replica import ShardReplicaSet, SnapshotStore
 from repro.cluster.ring import ConsistentHashRing
-from repro.cluster.router import ShardRouter
+from repro.cluster.router import ShardRouter, SuspectPolicy
 from repro.cluster.shard import SdcShard
 
 __all__ = [
@@ -36,11 +37,14 @@ __all__ = [
     "ClusterMembership",
     "ConsistentHashRing",
     "DedicatedProcessExecutor",
+    "FenceLease",
     "HandoffPlan",
+    "LeaseAuthority",
     "SdcShard",
     "ShardReplicaSet",
     "ShardRouter",
     "SnapshotStore",
+    "SuspectPolicy",
     "execute_handoff",
     "plan_handoff",
 ]

@@ -71,6 +71,7 @@ from repro.store.coldstart import restore_shard_from_store
 from repro.watch.entities import PUReceiver, SUTransmitter
 from repro.watch.environment import SpectrumEnvironment
 
+from repro.cluster.fencing import LeaseAuthority
 from repro.cluster.membership import ClusterMembership
 from repro.cluster.rebalance import HandoffPlan, execute_handoff, plan_handoff
 from repro.cluster.replica import ShardReplicaSet, SnapshotStore
@@ -423,6 +424,10 @@ class ClusterCoordinator:
         )
         for shard_id, blocks in assignment.items():
             self.replica_sets[shard_id].assign_blocks(blocks)
+        #: The deployment's single lease issuer.  Durable through the
+        #: store (tokens survive kill9-and-coldstart) and journaled, so
+        #: the exactly-one-writer audit can reconstruct every handover.
+        self.fencing = LeaseAuthority(store=store, journal=journal, metrics=metrics)
         self.router = ShardRouter(
             self.membership,
             self.replica_sets,
@@ -433,7 +438,15 @@ class ClusterCoordinator:
             max_attempts=max_attempts,
             scatter_threads=scatter_threads,
             metrics=metrics,
+            fencing=self.fencing,
         )
+        # A durable store may already hold fenced leases from a previous
+        # incarnation; replicas must adopt them before serving.
+        for shard_id in shard_ids:
+            token = self.fencing.token(shard_id)
+            if token:
+                self.replica_sets[shard_id].install_fence(token)
+                self.membership.record_lease(shard_id, token)
         if metrics is not None:
             self.transport.attach_metrics(metrics)
         self.sdc = ClusterSdc(
@@ -626,6 +639,13 @@ class ClusterCoordinator:
         replica_set.assign_blocks(assignment.get(shard_id, ()))
         applied = restore_shard_from_store(replica_set.primary, self.store, tail)
         restore_shard_from_store(replica_set.standby, self.store, tail)
+        # A cold start is a new writer generation: re-adopt the persisted
+        # lease (which survived the kill) and bump past it, so anything
+        # the dead incarnation still has in flight is fenced out.
+        self.fencing.register(shard_id)
+        lease = self.fencing.bump(shard_id, "cold-start")
+        replica_set.install_fence(lease.token)
+        self.membership.record_lease(shard_id, lease.token)
         self.replica_sets[shard_id] = replica_set
         self.router.add_replica_set(shard_id, replica_set)
         replica_set.record_heartbeat()

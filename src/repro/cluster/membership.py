@@ -49,6 +49,10 @@ class ClusterMembership:
         self._lock = threading.Lock()
         self._virtual_nodes = virtual_nodes
         self._records: dict[str, MemberRecord] = {}
+        #: shard_id → last fencing token observed by the control plane.
+        #: Advisory (the shards enforce; the store persists) — this is
+        #: the operator-visible record of who holds which lease.
+        self._leases: dict[str, int] = {}
         self.version = 0
         self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
         for shard_id in members:
@@ -84,6 +88,16 @@ class ClusterMembership:
             record = self._records.get(shard_id)
             return record is not None and record.status == STATUS_ACTIVE
 
+    def lease_token(self, shard_id: str) -> int:
+        """The last fencing token recorded for ``shard_id`` (0 = none)."""
+        with self._lock:
+            return self._leases.get(shard_id, 0)
+
+    def leases(self) -> dict[str, int]:
+        """Snapshot of every recorded lease, for operators and audits."""
+        with self._lock:
+            return dict(self._leases)
+
     def __len__(self) -> int:
         return len(self.active_members())
 
@@ -115,6 +129,14 @@ class ClusterMembership:
             new_ring.add_node(shard_id)
             self._ring = new_ring
             return new_ring
+
+    def record_lease(self, shard_id: str, token: int) -> None:
+        """Note a lease handover; tokens only ratchet forward."""
+        if token < 0:
+            raise MembershipError("fencing tokens are non-negative")
+        with self._lock:
+            if token > self._leases.get(shard_id, 0):
+                self._leases[shard_id] = token
 
     def leave(self, shard_id: str) -> ConsistentHashRing:
         """Retire a shard; returns the new ring. The last member cannot leave."""

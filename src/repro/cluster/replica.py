@@ -88,6 +88,8 @@ class FailoverEvent:
     at: float
     resumed_epoch: int
     from_snapshot: bool
+    #: Lease the successor serves under (0 when fencing is not in force).
+    fence_token: int = 0
 
 
 class ShardReplicaSet:
@@ -121,6 +123,11 @@ class ShardReplicaSet:
         self.standby: SdcShard = self._factory("b")
         self._last_heartbeat = self._clock()
         self.failovers: list[FailoverEvent] = []
+        #: Current lease for this shard (0 = fencing not in force).
+        self.fence_token = 0
+        #: Gray-failure flag: primary is alive but degraded; the router
+        #: serves reads from the standby instead of promoting.
+        self.suspect = False
 
     # -- state fan-out -------------------------------------------------------------
 
@@ -136,19 +143,61 @@ class ShardReplicaSet:
     def blocks(self) -> tuple[int, ...]:
         return self.primary.blocks
 
-    def apply_pu_update(self, message: PUUpdateMessage) -> None:
+    def apply_pu_update(
+        self, message: PUUpdateMessage, fence_token: int = 0
+    ) -> None:
         """Warm mirroring: every PU update lands on primary *and* standby."""
-        self.primary.handle_pu_update(message)
-        self.standby.handle_pu_update(message)
+        token = fence_token or self.fence_token
+        self.primary.handle_pu_update(message, fence_token=token)
+        self.standby.handle_pu_update(message, fence_token=token)
 
-    def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
+    def commit_epoch(
+        self, epoch_id: int, snapshot: bool = True, fence_token: int = 0
+    ) -> None:
         """Mark the epoch committed on both replicas; snapshot the primary."""
-        self.primary.commit_epoch(epoch_id)
-        self.standby.commit_epoch(epoch_id)
+        token = fence_token or self.fence_token
+        self.primary.commit_epoch(epoch_id, fence_token=token)
+        self.standby.commit_epoch(epoch_id, fence_token=token)
         if snapshot:
             self.snapshots.save(self.primary)
         if self.journal is not None:
             self.journal.epoch_commit(self.shard_id, epoch_id)
+            if token:
+                self.journal.writer_commit(self.shard_id, epoch_id, token)
+
+    # -- fencing -------------------------------------------------------------------
+
+    def install_fence(self, token: int) -> None:
+        """Ratchet the set's lease and push it to every reachable replica.
+
+        Called during fence-then-promote *before* the swap: the zombie
+        primary (still the ``primary`` slot at that point) learns the new
+        token too, so its next write attempt dies with
+        :class:`~repro.errors.FencedError` instead of landing.
+        """
+        with self._lock:
+            if token > self.fence_token:
+                self.fence_token = token
+        self.primary.observe_fence(token)
+        self.standby.observe_fence(token)
+
+    # -- gray-failure suspicion ------------------------------------------------------
+
+    def mark_suspect(self, suspect: bool = True) -> None:
+        self.suspect = suspect
+
+    def serving_replica(self) -> SdcShard:
+        """The replica read-type sub-queries should hit right now.
+
+        Normally the primary; when the set is *suspect* (alive but
+        degraded — a gray failure) and the standby is live, the standby
+        serves instead.  Both replicas mirror every PU update and commit
+        the same epochs, so the choice never changes a protocol byte —
+        it only routes around the slow box without burning a promotion.
+        """
+        if self.suspect and self.standby.alive:
+            return self.standby
+        return self.primary
 
     # -- liveness ------------------------------------------------------------------
 
@@ -203,14 +252,20 @@ class ShardReplicaSet:
                     fresh.handle_pu_update(message)
                 if promoted.last_committed_epoch >= 0:
                     fresh.commit_epoch(promoted.last_committed_epoch)
+            # Both replicas of the new generation serve under the lease
+            # current at promotion time.
+            promoted.observe_fence(self.fence_token)
+            fresh.observe_fence(self.fence_token)
             self.primary = promoted
             self.standby = fresh
+            self.suspect = False
             self._last_heartbeat = self._clock()
             event = FailoverEvent(
                 shard_id=self.shard_id,
                 at=self._clock(),
                 resumed_epoch=promoted.last_committed_epoch,
                 from_snapshot=from_snapshot,
+                fence_token=self.fence_token,
             )
             self.failovers.append(event)
         if self.journal is not None:

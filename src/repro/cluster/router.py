@@ -24,7 +24,9 @@ router↔shard link, and failure injection at the transport layer
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -33,17 +35,39 @@ from repro.cluster.replica import ShardReplicaSet
 from repro.crypto.rand import DeterministicRandomSource
 from repro.errors import (
     ClusterError,
+    FencedError,
     LinkDownError,
     MessageDroppedError,
     RetryExhaustedError,
     ShardDownError,
 )
-from repro.net.transport import MultiplexedTransport
+from repro.net.transport import MultiplexedTransport, resolve_multiplexed
 from repro.pisa.messages import PUUpdateMessage
 from repro.resilience.policy import CircuitBreaker, RetryPolicy, run_with_policy
 from repro.telemetry import child
+from repro.telemetry.metrics import Histogram
 
-__all__ = ["RouterStats", "ShardRouter"]
+__all__ = ["RouterStats", "ShardRouter", "SuspectPolicy", "DEFAULT_SUSPECT_POLICY"]
+
+
+@dataclass(frozen=True)
+class SuspectPolicy:
+    """When is a slow-but-alive shard *suspect* (gray failure)?
+
+    A sub-query RTT at or above the fleet histogram's ``quantile`` — but
+    never below the absolute ``floor_s`` — marks the shard suspect: the
+    router serves it from the standby without burning a promotion.  A
+    later RTT back under the floor clears the suspicion.  ``min_samples``
+    observations must exist before any verdict, so the first request of
+    a cold deployment cannot condemn a shard.
+    """
+
+    quantile: float = 99.0
+    floor_s: float = 0.25
+    min_samples: int = 4
+
+
+DEFAULT_SUSPECT_POLICY = SuspectPolicy()
 
 
 @dataclass
@@ -56,6 +80,8 @@ class RouterStats:
     pu_updates_routed: int = 0
     #: Injected drops retried in place (no failover — the link was up).
     drops_retried: int = 0
+    #: Shards flagged as gray failures (routed around, not promoted).
+    suspects: int = 0
 
 
 class ShardRouter:
@@ -70,6 +96,9 @@ class ShardRouter:
         max_attempts: int = 2,
         scatter_threads: int | None = None,
         metrics=None,
+        fencing=None,
+        suspect_policy: SuspectPolicy | None = DEFAULT_SUSPECT_POLICY,
+        rtt_clock=time.perf_counter,
     ) -> None:
         if max_attempts < 1:
             raise ClusterError("max_attempts must be positive")
@@ -77,6 +106,16 @@ class ShardRouter:
         self.endpoint = endpoint
         self.max_attempts = max_attempts
         self.stats = RouterStats()
+        #: Optional :class:`repro.cluster.fencing.LeaseAuthority`; when
+        #: set, every sub-query is stamped with the shard's current
+        #: token and recovery is fence-then-promote.
+        self._fencing = fencing
+        self._suspect_policy = suspect_policy
+        self._rtt_clock = rtt_clock
+        # Fleet-wide RTT history backing the suspect quantile.  Kept
+        # internal (not registry-owned) so suspicion works without a
+        # metrics registry attached.
+        self._rtt_fleet = Histogram(reservoir=1024)
         #: Optional :class:`repro.telemetry.MetricsRegistry` mirroring
         #: :attr:`stats` as ``cluster_*`` counter families (plus the
         #: policy engine's retry counters and breaker state).
@@ -108,9 +147,27 @@ class ShardRouter:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="shard-router"
         )
+        self._mux = resolve_multiplexed(transport)
+        if fencing is not None:
+            for shard_id in replica_sets:
+                fencing.register(shard_id)
+        if metrics is not None:
+            for shard_id in replica_sets:
+                # Scrape-before-first-event: the family exists at zero.
+                metrics.histogram("heartbeat_rtt_seconds", shard=shard_id)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+    @property
+    def fencing(self):
+        return self._fencing
+
+    def fence_token(self, shard_id: str) -> int:
+        """The token sub-queries to ``shard_id`` are stamped with now."""
+        if self._fencing is None:
+            return 0
+        return self._fencing.token(shard_id)
 
     def attach_metrics(self, metrics) -> None:
         """Adopt a telemetry registry (also wired into existing breakers)."""
@@ -163,9 +220,21 @@ class ShardRouter:
 
     # -- failure handling -------------------------------------------------------------
 
-    def _recover(self, shard_id: str) -> None:
-        """Promote a shard's standby and restore its transport endpoint."""
+    def _recover(self, shard_id: str, reason: str = "failover") -> None:
+        """Fence, then promote, then restore the transport endpoint.
+
+        Order is the split-brain defence: the successor's token is
+        durable and installed on every reachable replica — *including*
+        the zombie primary — before the standby takes a single request,
+        so nothing the deposed primary does afterwards can commit.
+        """
         replica_set = self.replica_set(shard_id)
+        if self._fencing is not None:
+            lease = self._fencing.bump(shard_id, reason)
+            replica_set.install_fence(lease.token)
+            self.membership.record_lease(shard_id, lease.token)
+        else:
+            self._count("promotions_total", reason=reason)
         replica_set.promote()
         if self._transport is not None:
             self._transport.restore_endpoint(shard_id)
@@ -177,15 +246,69 @@ class ShardRouter:
         """Promote every shard whose primary is dead and heartbeat stale.
 
         Returns the shard ids promoted.  Run between epochs; this is the
-        detection path for shards that crash while idle.
+        detection path for shards that crash while idle.  A shard whose
+        heartbeat is stale while its primary is demonstrably *alive* (a
+        skewed clock, a gray slowdown) is only marked suspect — promoting
+        on staleness alone is exactly the spurious failover the fencing
+        protocol exists to survive, so the cheap path avoids it entirely.
         """
         promoted = []
         for shard_id in self.shard_ids:
             replica_set = self.replica_set(shard_id)
-            if not replica_set.primary.alive and not replica_set.is_alive(now):
-                self._recover(shard_id)
-                promoted.append(shard_id)
+            if replica_set.is_alive(now):
+                continue
+            if replica_set.primary.alive:
+                if not replica_set.suspect:
+                    replica_set.mark_suspect(True)
+                    with self._lock:
+                        self.stats.suspects += 1
+                    self._count("cluster_suspects_total", shard=shard_id)
+                continue
+            self._recover(shard_id)
+            promoted.append(shard_id)
         return tuple(promoted)
+
+    # -- gray-failure detection --------------------------------------------------------
+
+    def _modelled_rtt(self, shard_id: str) -> float:
+        """The transport-modelled round trip for one sub-query, if any.
+
+        The in-memory transports deliver synchronously and *model* delay
+        as accounting, so a wall-clock RTT measurement alone would never
+        see an injected slowdown; folding the modelled one-way delays in
+        makes gray-failure detection observable on both planes.
+        """
+        if self._mux is None:
+            return 0.0
+        return self._mux.pending_delay_seconds(
+            self.endpoint, shard_id
+        ) + self._mux.pending_delay_seconds(shard_id, self.endpoint)
+
+    def _note_rtt(self, shard_id: str, rtt_s: float) -> None:
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "heartbeat_rtt_seconds", shard=shard_id
+            ).observe(rtt_s)
+        policy = self._suspect_policy
+        if policy is None:
+            return
+        with self._lock:
+            self._rtt_fleet.observe(rtt_s)
+            enough = self._rtt_fleet.count >= policy.min_samples
+            threshold = policy.floor_s
+            if enough:
+                threshold = max(
+                    threshold, self._rtt_fleet.percentile(policy.quantile)
+                )
+        replica_set = self.replica_set(shard_id)
+        if enough and rtt_s >= threshold:
+            if not replica_set.suspect:
+                replica_set.mark_suspect(True)
+                with self._lock:
+                    self.stats.suspects += 1
+                self._count("cluster_suspects_total", shard=shard_id)
+        elif replica_set.suspect and rtt_s < policy.floor_s:
+            replica_set.mark_suspect(False)
 
     def breaker_for(self, shard_id: str) -> CircuitBreaker:
         with self._lock:
@@ -215,12 +338,24 @@ class ShardRouter:
 
         def attempt():
             replica_set = self.replica_set(shard_id)
+            # Re-stamp per attempt: a failover between attempts bumps the
+            # lease, and the retry must carry the *successor's* token.
+            stamped = request
+            token = self.fence_token(shard_id)
+            if token and getattr(request, "fence_token", None) is not None:
+                if request.fence_token != token:
+                    stamped = dataclasses.replace(request, fence_token=token)
+            started = self._rtt_clock()
             if self._transport is not None:
-                self._transport.send(request, self.endpoint, shard_id)
-            result = invoke(replica_set.primary, request)
+                self._transport.send(stamped, self.endpoint, shard_id)
+            result = invoke(replica_set.serving_replica(), stamped)
             replica_set.record_heartbeat()
             if self._transport is not None:
                 self._transport.send(result, shard_id, self.endpoint)
+            self._note_rtt(
+                shard_id,
+                (self._rtt_clock() - started) + self._modelled_rtt(shard_id),
+            )
             with self._lock:
                 self.stats.subqueries += 1
             self._count("cluster_subqueries_total", shard=shard_id)
@@ -252,6 +387,11 @@ class ShardRouter:
                 metrics=self._metrics,
                 op="shard_subquery",
             )
+        except FencedError:
+            # Never retried (NEVER_RETRYABLE): this router's lease view
+            # is stale — fail fast and let the caller resynchronise.
+            self._count("fenced_requests_total", shard=shard_id)
+            raise
         except RetryExhaustedError as exc:
             with self._lock:
                 self.stats.subquery_failures += 1
@@ -272,8 +412,12 @@ class ShardRouter:
         shard_id = self.membership.ring.node_for(message.block_index)
 
         def invoke(_primary, msg):
-            # Mirrored application — the warm standby stays warm.
-            self.replica_set(shard_id).apply_pu_update(msg)
+            # Mirrored application — the warm standby stays warm.  The
+            # token travels beside the message, not inside it: a
+            # PUUpdateMessage's bytes are protocol transcript.
+            self.replica_set(shard_id).apply_pu_update(
+                msg, fence_token=self.fence_token(shard_id)
+            )
             return msg
 
         self._call_shard(shard_id, message, invoke)
@@ -336,4 +480,8 @@ class ShardRouter:
     def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
         """Commit the epoch on every shard (and snapshot each primary)."""
         for shard_id in self.shard_ids:
-            self.replica_set(shard_id).commit_epoch(epoch_id, snapshot=snapshot)
+            self.replica_set(shard_id).commit_epoch(
+                epoch_id,
+                snapshot=snapshot,
+                fence_token=self.fence_token(shard_id),
+            )

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from repro.crypto.paillier import EncryptedNumber, PaillierPublicKey, hom_sum
 from repro.crypto.parallel import Executor, default_executor
 from repro.crypto.serialization import ciphertext_wire_size, encoded_int_size
-from repro.errors import ProtocolError, ShardDownError
+from repro.errors import FencedError, ProtocolError, ShardDownError
 from repro.pisa.blinding import CellBlinding
 from repro.pisa.messages import PUUpdateMessage
 from repro.watch.environment import SpectrumEnvironment
@@ -75,10 +75,13 @@ class ShardPhase1Request:
     matrix: tuple[tuple[EncryptedNumber, ...], ...]
     blindings: tuple[tuple[CellBlinding, ...], ...]
     obfuscators: tuple[tuple[int | None, ...], ...]
+    #: Router's current lease for this shard; 0 = fencing not in force.
+    fence_token: int = 0
 
     def wire_size(self) -> int:
         size = _str_size(self.round_id) + _str_size(self.su_id)
         size += _str_size(self.shard_id)
+        size += encoded_int_size(self.fence_token)
         size += sum(encoded_int_size(c) for c in self.columns)
         size += sum(encoded_int_size(b) for b in self.blocks)
         for row, blinding_row, obf_row in zip(
@@ -123,9 +126,12 @@ class ShardPhase2Request:
     columns: tuple[int, ...]
     matrix: tuple[tuple[EncryptedNumber, ...], ...]
     epsilons: tuple[tuple[int, ...], ...]
+    #: Router's current lease for this shard; 0 = fencing not in force.
+    fence_token: int = 0
 
     def wire_size(self) -> int:
         size = _str_size(self.round_id) + _str_size(self.shard_id)
+        size += encoded_int_size(self.fence_token)
         size += sum(encoded_int_size(c) for c in self.columns)
         for row in self.matrix:
             for ct in row:
@@ -182,6 +188,8 @@ class SdcShard:
         self.stats = ShardStats()
         self.alive = True
         self.last_committed_epoch = -1
+        #: Highest fencing token ever observed; lower-token writes die.
+        self.fence_token = 0
         # Ownership, PU state, and the counters are mutated from router
         # scatter threads and the rebalancer; all writes take the lock.
         self._lock = threading.Lock()
@@ -216,24 +224,49 @@ class SdcShard:
         if not self.alive:
             raise ShardDownError(f"shard {self.shard_id!r} is down")
 
-    def commit_epoch(self, epoch_id: int) -> None:
+    def observe_fence(self, token: int) -> None:
+        """Ratchet the shard's lease; reject anything older.
+
+        Tokens only move forward — a request stamped below the highest
+        token this replica has *ever* seen comes from a deposed writer
+        and raises :class:`~repro.errors.FencedError` before any state
+        is touched.  Token 0 means fencing is not in force (legacy
+        callers and unfenced deployments) and always passes.
+        """
+        if token == 0:
+            return
+        with self._lock:
+            if token < self.fence_token:
+                raise FencedError(
+                    f"shard {self.shard_id!r} is fenced at token "
+                    f"{self.fence_token}; request carried stale token {token}"
+                )
+            self.fence_token = token
+
+    def commit_epoch(self, epoch_id: int, fence_token: int = 0) -> None:
         """Record that every round of ``epoch_id`` has completed."""
         self._check_alive()
+        self.observe_fence(fence_token)
         with self._lock:
             if epoch_id > self.last_committed_epoch:
                 self.last_committed_epoch = epoch_id
 
     # -- Figure 4 step 4, restricted to owned blocks -------------------------------
 
-    def handle_pu_update(self, message: PUUpdateMessage) -> None:
+    def handle_pu_update(
+        self, message: PUUpdateMessage, fence_token: int = 0
+    ) -> None:
         """Fold one PU's encrypted update into this shard's aggregate.
 
         Same incremental ``⊖ old ⊕ new`` maintenance as the single SDC
         (eq. (9)); the shard additionally refuses updates for blocks it
         does not own — a routing bug must fail loudly, not corrupt a
-        sibling's budget.
+        sibling's budget.  ``fence_token`` travels beside the message
+        (not inside it — ``PUUpdateMessage`` is a protocol message whose
+        bytes the transcript fingerprints) and is checked first.
         """
         self._check_alive()
+        self.observe_fence(fence_token)
         env = self.environment
         if len(message.ciphertexts) != env.num_channels:
             raise ProtocolError("PU update must carry one ciphertext per channel")
@@ -321,6 +354,7 @@ class SdcShard:
     def process_phase1(self, request: ShardPhase1Request) -> ShardPhase1Response:
         """Blind this shard's cells (eq. (14)) with handed-down randomness."""
         self._check_alive()
+        self.observe_fence(request.fence_token)
         pk = self.group_public_key
         with self._lock:
             for block in request.blocks:
@@ -385,6 +419,7 @@ class SdcShard:
         multiplication is grouping-independent).
         """
         self._check_alive()
+        self.observe_fence(request.fence_token)
         q_cells: list[EncryptedNumber] = []
         for x_row, eps_row in zip(request.matrix, request.epsilons):
             for x_ct, epsilon in zip(x_row, eps_row):

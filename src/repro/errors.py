@@ -99,6 +99,18 @@ class MembershipError(ClusterError):
     """A shard join/leave request conflicts with the membership table."""
 
 
+class FencedError(ClusterError):
+    """A request carried a fencing token older than the shard's lease.
+
+    Raised by a shard (in-process or worker subprocess) when a write or
+    phase-1/2 sub-query arrives stamped with a token below the highest
+    token the shard has observed: the sender is a deposed primary or a
+    router that missed a promotion.  Never retryable — retrying cannot
+    make a stale lease fresh, and the whole point of fencing is that the
+    deposed writer stops immediately.
+    """
+
+
 class AuditError(ReproError):
     """Base class for correctness-tooling (static/runtime audit) failures."""
 

@@ -349,6 +349,27 @@ class MultiplexedTransport(InMemoryTransport):
         if reorder_window:
             faults.reorder_window = reorder_window
 
+    def pending_delay_seconds(self, sender: str, receiver: str) -> float:
+        """The modelled one-way delay the next send on this link would see.
+
+        Base latency (per-link model falling back to the shared default,
+        sized at zero payload bytes) plus any armed delay injection.
+        Read-only — budgets are not consumed.  The router folds this into
+        its RTT observations: in-memory transports deliver synchronously,
+        so a modelled slowdown is invisible to wall-clock timing alone.
+        """
+        link = (sender, receiver)
+        model = (
+            self._link_latency[link]
+            if link in self._link_latency
+            else self.latency
+        )
+        delay = model.delay_seconds(0, sender, receiver) if model else 0.0
+        faults = self._faults.get(link)
+        if faults is not None and faults.delay_remaining != 0:
+            delay += faults.delay_extra_s
+        return delay
+
     def clear_faults(self) -> None:
         """Disarm all faults, flushing any held (reordered) records."""
         for faults in self._faults.values():

@@ -26,15 +26,25 @@ import signal
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ChaosPlanError, FencedError
 from repro.net.recording import TranscriptTransport
+from repro.netd.wire import encode_control
 from repro.resilience.chaos import FROZEN_CLOCK, ChaosResult
 from repro.telemetry.tracing import child
 from repro.watch.scenario import ScenarioConfig, build_scenario
 
-__all__ = ["PROC_PLAN_NAME", "run_process_chaos"]
+__all__ = [
+    "PROC_PLAN_NAME",
+    "PARTITION_PLAN_NAMES",
+    "run_process_chaos",
+    "run_partition_chaos",
+]
 
 #: The plan name ``repro chaos --plan`` dispatches to this module.
 PROC_PLAN_NAME = "proc-kill-shard"
+
+#: Socket-plane partition drills (the fencing / gray-failure smoke).
+PARTITION_PLAN_NAMES = ("proc-split-brain", "proc-gray-slow")
 
 
 def _run_round(coordinator, transport, su_id: str, tracer=None):
@@ -223,4 +233,153 @@ def run_process_chaos(
         failovers=failovers,
         drops_retried=drops_retried,
         notes=tuple(notes),
+    )
+
+
+#: Artificial service delay for ``proc-gray-slow`` — well above the
+#: router's suspect floor, well below anything that kills heartbeats.
+_GRAY_DELAY_S = 0.4
+
+
+def run_partition_chaos(
+    plan: str,
+    seed: int = 7,
+    shards: int = 2,
+    rounds: int = 2,
+    key_bits: int = 256,
+    scenario_seed: int = 5,
+    metrics=None,
+    tracer=None,
+    workdir=None,
+) -> ChaosResult:
+    """Run one socket-plane partition drill; judge vs the in-memory control.
+
+    * ``proc-split-brain`` — before the last round, the authority fences
+      and promotes shard-0 **while its worker is alive and serving**;
+      the deposed incarnation's stale-token ``commit_epoch`` frame must
+      come back as a typed :class:`~repro.errors.FencedError` over the
+      wire, and the transcript must not move a byte.
+    * ``proc-gray-slow`` — shard-0's worker serves every sub-query
+      ~400 ms slow (below the heartbeat-death threshold).  The router's
+      RTT quantile must flag it *suspect* with **zero** promotions, and
+      the transcript must still match the control.
+    """
+    if plan not in PARTITION_PLAN_NAMES:
+        raise ChaosPlanError(
+            f"unknown partition plan {plan!r} "
+            f"(known: {', '.join(PARTITION_PLAN_NAMES)})"
+        )
+    from repro.netd.plane import build_socket_coordinator
+
+    control_segments, control_granted, _ = _control_run(
+        seed, shards, rounds, key_bits, scenario_seed, metrics
+    )
+    if metrics is not None:
+        metrics.counter("chaos_runs_total", plan=plan).inc()
+
+    coordinator, scenario = build_socket_coordinator(
+        shards,
+        key_bits,
+        DeterministicRandomSource(seed),
+        ScenarioConfig(seed=scenario_seed),
+        metrics=metrics,
+        clock=lambda: FROZEN_CLOCK,
+        record_transcript=True,
+        workdir=workdir,
+        max_attempts=4,
+        scatter_threads=1,
+    )
+    victim = "shard-0"
+    notes: list[str] = []
+    fenced_rejections = 0
+    try:
+        for pu in scenario.pus:
+            coordinator.enroll_pu(pu)
+        su_ids = []
+        for su in scenario.sus:
+            coordinator.enroll_su(su)
+            su_ids.append(su.su_id)
+
+        replica_set = coordinator.replica_sets[victim]
+        transport = coordinator.transport
+        transport.mark()  # close the enrolment segment
+        outcomes = []
+        for round_index in range(rounds):
+            if plan == "proc-gray-slow" and round_index == 0:
+                replica_set.transact(
+                    "chaos_delay", encode_control({"delay_s": _GRAY_DELAY_S})
+                )
+                notes.append(
+                    f"armed {_GRAY_DELAY_S * 1000:.0f} ms gray slowdown "
+                    f"on {victim}'s worker"
+                )
+            if plan == "proc-split-brain" and round_index == rounds - 1:
+                incumbent = coordinator.fencing.bump(victim, "manual")
+                replica_set.install_fence(incumbent.token)
+                successor = coordinator.fencing.bump(victim, "failover")
+                replica_set.install_fence(successor.token)
+                replica_set.promote()
+                coordinator.membership.record_lease(victim, successor.token)
+                notes.append(
+                    f"fenced+promoted {victim} while its worker serves "
+                    f"(lease {incumbent.token}->{successor.token})"
+                )
+                try:
+                    replica_set.transact(
+                        "commit_epoch",
+                        encode_control(
+                            {"epoch": 999, "fence_token": incumbent.token}
+                        ),
+                    )
+                except FencedError as exc:
+                    fenced_rejections += 1
+                    coordinator.fencing.note_rejection(victim)
+                    notes.append(
+                        f"stale-token commit rejected over the wire: {exc}"
+                    )
+                else:
+                    notes.append(
+                        f"SPLIT BRAIN: stale-token commit on {victim} landed"
+                    )
+            outcomes.append(
+                _run_round(
+                    coordinator,
+                    transport,
+                    su_ids[round_index % len(su_ids)],
+                    tracer,
+                )
+            )
+            transport.mark()
+        segments = transport.segments()
+        granted = tuple(o.granted for o in outcomes)
+        licenses = tuple(o.license for o in outcomes)
+        stats = coordinator.router.stats
+        failovers, drops_retried = stats.failovers, stats.drops_retried
+        suspects = stats.suspects
+        if suspects:
+            notes.append(f"router flagged {suspects} suspect(s), promoted none")
+        fault_stats = dict(transport.fault_stats)
+    finally:
+        coordinator.close()
+
+    transcript_equal = segments == control_segments
+    licenses_valid = granted == control_granted and all(
+        lic is not None for lic in licenses
+    )
+    return ChaosResult(
+        plans=(plan,),
+        seed=seed,
+        shards=shards,
+        rounds=rounds,
+        transcript_equal=transcript_equal,
+        exact_segments=len(control_segments),
+        licenses_valid=licenses_valid,
+        replayed_draws=-1,
+        fallback_draws=-1,
+        fault_stats=fault_stats,
+        failovers=failovers,
+        drops_retried=drops_retried,
+        notes=tuple(notes),
+        fenced_rejections=fenced_rejections,
+        suspects=suspects,
     )

@@ -366,6 +366,10 @@ class RemoteShardSet:
         self._last_epoch = -1
         self._hook = None
         self._last_heartbeat = clock()
+        #: Highest fencing token installed on this shard; travels in the
+        #: bootstrap so a restarted worker resumes already fenced.
+        self.fence_token = 0
+        self.suspect = False
         self.failovers: list[FailoverEvent] = []
         self.primary = RemoteShard(self)
         authority.register_bootstrap(shard_id, self.bootstrap_payload)
@@ -385,6 +389,7 @@ class RemoteShardSet:
                     "blocks": sorted(self._blocks),
                     "pus": pu_ids,
                     "epoch": self._last_epoch,
+                    "fence_token": self.fence_token,
                 },
                 *attachments,
             )
@@ -420,18 +425,30 @@ class RemoteShardSet:
         with self._lock:
             return tuple(sorted(self._blocks))
 
-    def apply_pu_update(self, message) -> None:
+    def apply_pu_update(self, message, fence_token: int = 0) -> None:
         raw = message.to_bytes()
+        token = fence_token or self.fence_token
         with self._lock:
             self._pu_updates[message.pu_id] = raw
-        self.transact("pu_update", raw)
+        # The token is a frame prefix, never part of the message bytes —
+        # a PUUpdateMessage's bytes are protocol transcript.
+        self.transact("pu_update", encode_int(token) + raw)
 
-    def commit_epoch(self, epoch_id: int, snapshot: bool = True) -> None:
+    def commit_epoch(
+        self, epoch_id: int, snapshot: bool = True, fence_token: int = 0
+    ) -> None:
+        token = fence_token or self.fence_token
         with self._lock:
             self._last_epoch = max(self._last_epoch, epoch_id)
         self.transact(
             "commit_epoch",
-            encode_control({"epoch": epoch_id, "snapshot": bool(snapshot)}),
+            encode_control(
+                {
+                    "epoch": epoch_id,
+                    "snapshot": bool(snapshot),
+                    "fence_token": token,
+                }
+            ),
         )
 
     # -- liveness ------------------------------------------------------------------
@@ -455,6 +472,35 @@ class RemoteShardSet:
         """Real fault injection: SIGKILL the worker process."""
         self.supervisor.kill(self.shard_id, signal.SIGKILL)
 
+    # -- fencing / gray failure ----------------------------------------------------
+
+    def serving_replica(self):
+        """The socket plane has no warm standby; the primary always serves."""
+        return self.primary
+
+    def mark_suspect(self, suspect: bool = True) -> None:
+        with self._lock:
+            self.suspect = bool(suspect)
+
+    def install_fence(self, token: int) -> None:
+        """Push a new lease token at the worker (best-effort if it is dead).
+
+        The broker-side ratchet is what matters for safety: every
+        subsequent frame — including the restarted worker's bootstrap —
+        carries the new token, so a worker that missed the live ``fence``
+        frame (it was the one being deposed) still learns it before it
+        can serve a single request.
+        """
+        with self._lock:
+            if token > self.fence_token:
+                self.fence_token = token
+        try:
+            self.transact("fence", encode_control({"token": int(token)}))
+        except TransportError:
+            # Dead or unreachable worker: the bootstrap provider carries
+            # the token; nothing the old incarnation does can commit.
+            pass
+
     # -- failover ------------------------------------------------------------------
 
     def promote(self) -> FailoverEvent:
@@ -462,11 +508,13 @@ class RemoteShardSet:
         self.supervisor.ensure_running(self.shard_id)
         self.record_heartbeat()
         with self._lock:
+            self.suspect = False
             event = FailoverEvent(
                 shard_id=self.shard_id,
                 at=self._clock(),
                 resumed_epoch=self._last_epoch,
                 from_snapshot=False,
+                fence_token=self.fence_token,
             )
             self.failovers.append(event)
         return event

@@ -92,6 +92,13 @@ class ProcessSupervisor:
             self._tmp = None
             self.workdir = pathlib.Path(workdir)
             self.workdir.mkdir(parents=True, exist_ok=True)
+            # A reused workdir may hold readiness files from a previous
+            # supervisor incarnation (SIGKILLed workers never get to
+            # unlink theirs).  The pid check already refuses to trust
+            # them, but a pid-recycled OS could resurrect one — sweep
+            # them so this incarnation starts from a clean slate.
+            for stale in self.workdir.glob("*.ready.json"):
+                stale.unlink(missing_ok=True)
         self._policy = restart_policy
         self._ready_timeout_s = ready_timeout_s
         self._metrics = metrics

@@ -117,6 +117,7 @@ def encode_phase1_request(request: ShardPhase1Request) -> bytes:
         _encode_str(request.round_id),
         _encode_str(request.su_id),
         _encode_str(request.shard_id),
+        encode_int(request.fence_token),
         _encode_ints(request.columns),
         _encode_ints(request.blocks),
         encode_int(len(request.matrix)),
@@ -144,6 +145,7 @@ def decode_phase1_request(
     round_id, offset = _decode_str(buffer, 0)
     su_id, offset = _decode_str(buffer, offset)
     shard_id, offset = _decode_str(buffer, offset)
+    fence_token, offset = decode_int(buffer, offset)
     columns, offset = _decode_ints(buffer, offset)
     blocks, offset = _decode_ints(buffer, offset)
     n_rows, offset = decode_int(buffer, offset)
@@ -178,6 +180,7 @@ def decode_phase1_request(
         matrix=tuple(matrix),
         blindings=tuple(blindings),
         obfuscators=tuple(obfuscators),
+        fence_token=fence_token,
     )
 
 
@@ -219,6 +222,7 @@ def encode_phase2_request(request: ShardPhase2Request) -> bytes:
     parts = [
         _encode_str(request.round_id),
         _encode_str(request.shard_id),
+        encode_int(request.fence_token),
         _encode_ints(request.columns),
         encode_int(len(request.matrix)),
         encode_int(len(request.matrix[0]) if request.matrix else 0),
@@ -235,6 +239,7 @@ def decode_phase2_request(
 ) -> ShardPhase2Request:
     round_id, offset = _decode_str(buffer, 0)
     shard_id, offset = _decode_str(buffer, offset)
+    fence_token, offset = decode_int(buffer, offset)
     columns, offset = _decode_ints(buffer, offset)
     n_rows, offset = decode_int(buffer, offset)
     n_cols, offset = decode_int(buffer, offset)
@@ -255,6 +260,7 @@ def decode_phase2_request(
         columns=columns,
         matrix=tuple(matrix),
         epsilons=tuple(epsilons),
+        fence_token=fence_token,
     )
 
 

@@ -31,10 +31,16 @@ import os
 import pathlib
 import signal
 import sys
+import time
 
 from repro.cluster.shard import SdcShard
 from repro.crypto.paillier import PaillierKeypair
-from repro.crypto.serialization import decode_bytes, decode_private_key, decode_public_key
+from repro.crypto.serialization import (
+    decode_bytes,
+    decode_int,
+    decode_private_key,
+    decode_public_key,
+)
 from repro.errors import ReproError, SerializationError, TransportError
 from repro.netd.framing import read_frame, write_frame
 from repro.netd.remote import RemoteRandomSource
@@ -155,6 +161,9 @@ class ShardState:
         attachments = _read_attachments(payload, offset, 1 + len(obj["pus"]))
         self.group_public_key = decode_public_key(attachments[0])
         self.store = store
+        #: Chaos seam: artificial per-sub-query service delay (seconds),
+        #: armed by a ``chaos_delay`` frame for gray-failure drills.
+        self.delay_s = 0.0
         scenario = build_scenario(ScenarioConfig(**obj["scenario"]))
         self.shard = SdcShard(
             str(obj["shard_id"]),
@@ -182,21 +191,41 @@ class ShardState:
                 store.put_snapshot(
                     self.shard.shard_id, epoch, serialize_shard_state(self.shard)
                 )
+        # Learn the current lease *before* serving: a restarted worker
+        # must reject the deposed incarnation's stale-token requests from
+        # its very first frame.
+        self.shard.observe_fence(int(obj.get("fence_token", 0)))
 
     def handle(self, kind: str, payload: bytes) -> tuple[str, bytes]:
         if kind == "phase1":
+            if self.delay_s > 0:
+                time.sleep(self.delay_s)
             request = decode_phase1_request(payload, self.group_public_key)
             return "ok", encode_phase1_response(self.shard.process_phase1(request))
         if kind == "phase2":
+            if self.delay_s > 0:
+                time.sleep(self.delay_s)
             pk_raw, offset = decode_bytes(payload, 0)
             su_key = decode_public_key(pk_raw)
             request = decode_phase2_request(payload[offset:], su_key)
             return "ok", encode_phase2_response(self.shard.process_phase2(request))
         if kind == "pu_update":
-            message = PUUpdateMessage.from_bytes(payload, self.group_public_key)
-            self.shard.handle_pu_update(message)
+            # Frame layout: fence token prefix, then the raw message —
+            # the token never contaminates the transcript bytes.
+            fence_token, offset = decode_int(payload, 0)
+            raw = payload[offset:]
+            message = PUUpdateMessage.from_bytes(raw, self.group_public_key)
+            self.shard.handle_pu_update(message, fence_token=fence_token)
             if self.store is not None:
-                self.store.put_pu_update(self.shard.shard_id, message.pu_id, payload)
+                self.store.put_pu_update(self.shard.shard_id, message.pu_id, raw)
+            return "ok", encode_control({})
+        if kind == "fence":
+            obj, _ = decode_control(payload)
+            self.shard.observe_fence(int(obj["token"]))
+            return "ok", encode_control({})
+        if kind == "chaos_delay":
+            obj, _ = decode_control(payload)
+            self.delay_s = float(obj["delay_s"])
             return "ok", encode_control({})
         if kind == "assign_blocks":
             obj, _ = decode_control(payload)
@@ -209,7 +238,9 @@ class ShardState:
         if kind == "commit_epoch":
             obj, _ = decode_control(payload)
             epoch = int(obj["epoch"])
-            self.shard.commit_epoch(epoch)
+            self.shard.commit_epoch(
+                epoch, fence_token=int(obj.get("fence_token", 0))
+            )
             if self.store is not None:
                 self.store.put_snapshot(
                     self.shard.shard_id, epoch, serialize_shard_state(self.shard)
@@ -325,6 +356,11 @@ async def _serve(args, tls: TlsSpec | None) -> int:
         "clock_at_boot": clock_at_boot,
     }
 
+    # Graceful-drain accounting: frames currently inside ``state.handle``
+    # on a worker thread.  Mutated only from the loop thread, so a plain
+    # counter needs no lock.
+    inflight = [0]
+
     async def serve_conn(reader, writer) -> None:
         try:
             while True:
@@ -343,6 +379,7 @@ async def _serve(args, tls: TlsSpec | None) -> int:
                     await write_frame(writer, "ok", frame.seq, encode_control({}))
                     stop.set()
                     continue
+                inflight[0] += 1
                 try:
                     kind, payload = await asyncio.to_thread(
                         state.handle, frame.kind, frame.payload
@@ -351,7 +388,13 @@ async def _serve(args, tls: TlsSpec | None) -> int:
                     kind, payload = "err", encode_error(exc)
                 except Exception as exc:  # ship, don't kill the worker
                     kind, payload = "err", encode_error(exc)
+                finally:
+                    inflight[0] -= 1
                 await write_frame(writer, kind, frame.seq, payload)
+                if stop.is_set():
+                    # Drain discipline: the in-flight frame was answered;
+                    # take no new work from this connection.
+                    break
         except (ConnectionError, asyncio.IncompleteReadError, OSError):
             pass
         finally:
@@ -383,10 +426,21 @@ async def _serve(args, tls: TlsSpec | None) -> int:
     watchdog.cancel()
     server.close()
     await server.wait_closed()
+    # Graceful drain (SIGTERM path): finish the frame a handler thread is
+    # already serving, flush durable state, and only then revoke the
+    # readiness file — a supervisor that reads it mid-shutdown must never
+    # see "ready" after the store has closed.
+    drain_deadline = loop.time() + 5.0
+    while inflight[0] > 0 and loop.time() < drain_deadline:
+        await asyncio.sleep(0.01)  # audit-ok: RES001 — shutdown drain tick
     if authority_peer is not None:
         authority_peer.close()
     if store is not None:
         await asyncio.to_thread(store.close)
+    if args.ready_file:
+        await asyncio.to_thread(
+            pathlib.Path(args.ready_file).unlink, missing_ok=True
+        )
     return 0
 
 

@@ -49,12 +49,14 @@ import io
 import os
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.crypto.rand import DeterministicRandomSource
 from repro.errors import (
     ChaosPlanError,
+    FencedError,
     JournalDiskFullError,
     LinkDownError,
     MessageDroppedError,
@@ -62,7 +64,11 @@ from repro.errors import (
 from repro.net.recording import TranscriptTransport, fingerprint_message
 from repro.resilience.journal import EpochJournal, JournalWriter, read_journal
 from repro.resilience.policy import RetryPolicy, run_with_policy
-from repro.resilience.recovery import replay_sources, summarize
+from repro.resilience.recovery import (
+    check_exactly_one_writer,
+    replay_sources,
+    summarize,
+)
 from repro.store import Checkpointer, SqliteStateStore, recover
 from repro.telemetry import child
 from repro.watch.scenario import ScenarioConfig, build_scenario
@@ -337,6 +343,167 @@ class _Kill9ColdStart(FaultPlan):
         ctx.note(f"armed kill9+coldstart in round {round_index} phase 1")
 
 
+class _AsymmetricPartition(FaultPlan):
+    """Cut only the router→shard direction; the shard itself stays alive.
+
+    The nasty half of a partition: the router cannot reach the primary,
+    but the primary is healthy and would happily keep writing.  The
+    router's failover path must fence *before* promoting, so when the
+    partition heals (modelled as healing once the failover completes —
+    the classic transient switch brown-out), the isolated old primary's
+    write attempt dies with :class:`~repro.errors.FencedError` instead
+    of forking history.
+    """
+
+    name = "asymmetric-partition"
+    # Journal + store so the exactly-one-writer audit runs over the
+    # fence/writer provenance this drill produces.
+    wants_journal = True
+    wants_store = True
+
+    def before_round(self, ctx, round_index):
+        if round_index != min(1, ctx.rounds - 1):
+            return
+        router = ctx.coordinator.router
+        victim = router.shard_ids[0]
+        replica_set = router.replica_set(victim)
+        zombie = replica_set.primary
+        # The incumbent holds a real lease before the cut; an unfenced
+        # (token-0) writer is exempt from fencing by design, which would
+        # let the zombie's later attempt slip through unjudged.
+        incumbent = ctx.coordinator.fencing.bump(victim, "manual")
+        replica_set.install_fence(incumbent.token)
+        stale = incumbent.token
+        ctx.mux.fail_link("router", victim)
+        ctx.note(f"cut router->{victim} (shard alive) before round {round_index}")
+        real_recover = router._recover
+
+        def recover_then_heal(shard_id, reason="failover"):
+            real_recover(shard_id, reason=reason)
+            if shard_id != victim:
+                return
+            router._recover = real_recover
+            ctx.mux.restore_link("router", victim)
+            ctx.note(f"partition healed after fence+promote of {victim}")
+            # The old primary comes back from the partition and tries to
+            # finish the write it was holding — with its dead lease.
+            try:
+                zombie.commit_epoch(round_index, fence_token=stale)
+            except FencedError as exc:
+                ctx.fenced_rejections += 1
+                ctx.coordinator.fencing.note_rejection(victim)
+                ctx.note(f"zombie write rejected: {exc}")
+            else:
+                ctx.note(f"SPLIT BRAIN: zombie write on {victim} was accepted")
+
+        router._recover = recover_then_heal
+
+
+class _SplitBrainPromote(FaultPlan):
+    """Fence-then-promote while the old primary is still serving.
+
+    The direct split-brain drill: the authority deposes a perfectly
+    healthy primary (operator-driven promotion), and the deposed
+    incarnation — never crashed, never partitioned — immediately tries
+    to commit with the lease it still holds.  Exactly one writer per
+    shard must survive the journal/store audit, and the transcript must
+    not move a byte.
+    """
+
+    name = "split-brain-promote"
+    wants_journal = True
+    wants_store = True
+
+    def before_round(self, ctx, round_index):
+        if round_index != ctx.rounds - 1:
+            return
+        coordinator = ctx.coordinator
+        router = coordinator.router
+        victim = router.shard_ids[0]
+        replica_set = router.replica_set(victim)
+        # Give the incumbent a real lease and let it commit under it —
+        # the journal now has a writer record to audit against.
+        incumbent = coordinator.fencing.bump(victim, "manual")
+        replica_set.install_fence(incumbent.token)
+        coordinator.sdc.commit_epoch(round_index)
+        zombie = replica_set.primary
+        # Depose it while it is alive and serving: bump, persist, install
+        # on every replica (the zombie included), only then promote.
+        successor = coordinator.fencing.bump(victim, "failover")
+        replica_set.install_fence(successor.token)
+        replica_set.promote()
+        coordinator.membership.record_lease(victim, successor.token)
+        ctx.note(
+            f"promoted {victim} while old primary alive "
+            f"(lease {incumbent.token}->{successor.token})"
+        )
+        try:
+            zombie.commit_epoch(round_index + 1, fence_token=incumbent.token)
+        except FencedError as exc:
+            ctx.fenced_rejections += 1
+            coordinator.fencing.note_rejection(victim)
+            ctx.note(f"old primary's post-fence write rejected: {exc}")
+        else:
+            ctx.note(f"SPLIT BRAIN: old primary of {victim} committed")
+        # The successor commits under its own lease; the audit must see
+        # writer tokens that never regress behind the fence.
+        coordinator.sdc.commit_epoch(round_index)
+
+
+class _ClockSkew(FaultPlan):
+    """Skew one shard's heartbeat clock a minute into the past.
+
+    A skewed clock makes a healthy shard's heartbeat *look* ancient.
+    Liveness checking must classify alive-primary-with-stale-heartbeat
+    as *suspect* (route around it) rather than promote — promoting on
+    staleness alone is the spurious failover gray-failure folklore warns
+    about.
+    """
+
+    name = "clock-skew"
+    wants_journal = True
+    wants_store = True
+    SKEW_S = 60.0
+
+    def before_round(self, ctx, round_index):
+        if round_index != min(1, ctx.rounds - 1):
+            return
+        router = ctx.coordinator.router
+        victim = router.shard_ids[-1]
+        replica_set = router.replica_set(victim)
+        replica_set.record_heartbeat(now=time.monotonic() - self.SKEW_S)
+        promoted = router.check_liveness()
+        ctx.note(
+            f"skewed {victim} heartbeat {self.SKEW_S:.0f}s into the past; "
+            f"liveness promoted {list(promoted) or 'nothing'}, "
+            f"suspect={replica_set.suspect}"
+        )
+
+
+class _GraySlowShard(FaultPlan):
+    """Latency injection below the heartbeat-death threshold.
+
+    The shard answers everything — slowly.  Heartbeats never expire, so
+    naive liveness sees a healthy fleet; the RTT quantile must flag the
+    outlier as suspect and serve it from the standby, with zero
+    promotions burned.
+    """
+
+    name = "gray-slow-shard"
+    wants_journal = True
+    wants_store = True
+    DELAY_S = 0.4
+
+    def arm(self, ctx):
+        victim = ctx.coordinator.router.shard_ids[0]
+        ctx.mux.inject_faults(
+            "router", victim, delay_s=self.DELAY_S, delay_count=-1
+        )
+        ctx.note(
+            f"armed {self.DELAY_S * 1000:.0f} ms gray slowdown on {victim}"
+        )
+
+
 _PLAN_TYPES = (
     _KillShard,
     _DropLinks,
@@ -347,6 +514,10 @@ _PLAN_TYPES = (
     _CoordinatorCrash,
     _JournalDiskFull,
     _Kill9ColdStart,
+    _AsymmetricPartition,
+    _SplitBrainPromote,
+    _ClockSkew,
+    _GraySlowShard,
 )
 
 PLAN_NAMES: tuple[str, ...] = tuple(plan.name for plan in _PLAN_TYPES)
@@ -390,6 +561,9 @@ class _RunContext:
     checkpointer: Checkpointer | None = None
     stp_outage_remaining: int = 0
     stp_drained_sends: int = 0
+    #: Stale-token writes rejected with :class:`FencedError` (counted by
+    #: the partition plans when their zombie write attempt dies).
+    fenced_rejections: int = 0
     #: Optional :class:`repro.telemetry.Tracer`; one root span per
     #: round.  The tracer draws ids from its own RNG, so traced and
     #: untraced runs keep byte-identical transcripts.
@@ -432,10 +606,22 @@ class ChaosResult:
     failovers: int
     drops_retried: int
     notes: tuple[str, ...]
+    #: Stale-token writes rejected with ``FencedError`` during the run.
+    fenced_rejections: int = 0
+    #: Shards flagged suspect (gray failure) instead of promoted.
+    suspects: int = 0
+    #: Exactly-one-writer audit over the journal (+ store when present):
+    #: commits whose fencing token regressed behind the shard's fence.
+    #: ``-1`` means no journal was active, so there was nothing to audit.
+    writer_violations: int = -1
 
     @property
     def ok(self) -> bool:
-        return self.transcript_equal and self.licenses_valid
+        return (
+            self.transcript_equal
+            and self.licenses_valid
+            and self.writer_violations <= 0
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -452,6 +638,9 @@ class ChaosResult:
             "fault_stats": dict(self.fault_stats),
             "failovers": self.failovers,
             "drops_retried": self.drops_retried,
+            "fenced_rejections": self.fenced_rejections,
+            "suspects": self.suspects,
+            "writer_violations": self.writer_violations,
             "notes": list(self.notes),
         }
 
@@ -585,6 +774,8 @@ class ChaosHarness:
 
     def _execute(self, ctx: _RunContext, plans, su_ids) -> _RunRecord:
         """Enrolment already ran in ``_build``; mark it and run rounds."""
+        for plan in plans:
+            plan.arm(ctx)
         ctx.mux.mark()
         outcomes = []
         for round_index in range(ctx.rounds):
@@ -693,8 +884,26 @@ class ChaosHarness:
             finally:
                 failovers = ctx.coordinator.router.stats.failovers
                 drops_retried = ctx.coordinator.router.stats.drops_retried
+                suspects = ctx.coordinator.router.stats.suspects
                 fault_stats = dict(transport.fault_stats)
                 coordinator.close()
+
+            writer_violations = -1
+            if writer is not None:
+                # Exactly-one-writer audit: every journaled commit must
+                # carry a token no older than its shard's fence, and the
+                # store's persisted lease must not lag the journal's.
+                try:
+                    writer.barrier()
+                except JournalDiskFullError:
+                    pass  # the full-device plan: audit the written prefix
+                journal_result = read_journal(
+                    journal_path if journal_path is not None else device.getvalue()
+                )
+                violations = check_exactly_one_writer(journal_result, store=store)
+                writer_violations = len(violations)
+                for violation in violations:
+                    ctx.note(f"writer violation: {violation}")
 
             replayed_draws = -1
             fallback_draws = -1
@@ -738,6 +947,9 @@ class ChaosHarness:
                 failovers=failovers,
                 drops_retried=drops_retried,
                 notes=tuple(ctx.notes),
+                fenced_rejections=ctx.fenced_rejections,
+                suspects=suspects,
+                writer_violations=writer_violations,
             )
         finally:
             # Flush-on-exit, crash or not: an abandoned JournalWriter

@@ -406,6 +406,30 @@ class EpochJournal:
             "promote", f"{shard_id}:{resumed_epoch}".encode("utf-8")
         )
 
+    def fence(self, shard_id: str, token: int, reason: str) -> None:
+        """A new lease was issued: every lower token for the shard is dead.
+
+        Barriered — the fence must be durable *before* the successor
+        serves, or a crash between promote and fsync could replay a
+        world where the zombie's lease is still current.
+        """
+        self.writer.append(
+            "fence", f"{shard_id}:{token}:{reason}".encode("utf-8")
+        )
+        self.writer.barrier()
+
+    def writer_commit(self, shard_id: str, epoch_id: int, token: int) -> None:
+        """Provenance for one epoch commit: *which lease* performed it.
+
+        Kept separate from ``epoch-commit`` (whose ``shard:epoch`` body
+        is parsed by cold-start tail recovery) so the exactly-one-writer
+        checker can attribute commits to leases without changing the
+        recovery wire format.
+        """
+        self.writer.append(
+            "writer", f"{shard_id}:{epoch_id}:{token}".encode("utf-8")
+        )
+
     def epoch_dispatch(self, epoch_id: int, request_ids: tuple[str, ...]) -> None:
         body = ",".join(request_ids).encode("utf-8")
         self.writer.append("epoch-dispatch", encode_int(epoch_id) + body)

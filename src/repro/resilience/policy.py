@@ -38,15 +38,23 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 from repro.crypto.rand import DeterministicRandomSource, RandomSource
-from repro.errors import CircuitOpenError, RetryExhaustedError
+from repro.errors import CircuitOpenError, FencedError, RetryExhaustedError
 
 __all__ = [
     "RetryPolicy",
+    "NEVER_RETRYABLE",
     "decorrelated_jitter",
     "CircuitBreaker",
     "IdempotencyCache",
     "run_with_policy",
 ]
+
+#: Exception types no policy may retry, regardless of its ``retryable``
+#: tuple.  A :class:`~repro.errors.FencedError` means the caller's lease
+#: is dead — retrying cannot resurrect it, and a policy sloppily
+#: configured with ``retryable=(Exception,)`` must not hammer a shard
+#: with a deposed writer's requests.
+NEVER_RETRYABLE: tuple[type[BaseException], ...] = (FencedError,)
 
 
 def _uniform(rng: RandomSource, low: float, high: float) -> float:
@@ -91,6 +99,8 @@ class RetryPolicy:
         return replace(self, max_attempts=max_attempts)
 
     def retries(self, exc: BaseException) -> bool:
+        if isinstance(exc, NEVER_RETRYABLE):
+            return False
         return isinstance(exc, self.retryable)
 
 

@@ -37,6 +37,8 @@ from repro.resilience.journal import (
 
 __all__ = [
     "RecoverySummary",
+    "WriterViolation",
+    "check_exactly_one_writer",
     "load_journal",
     "summarize",
     "replay_sources",
@@ -61,6 +63,7 @@ class RecoverySummary:
     phase2_rounds: tuple[str, ...]
     epoch_commits: tuple[str, ...]
     promotions: tuple[str, ...]
+    fences: tuple[str, ...]
     pu_updates: int
     torn_tail: bool
 
@@ -87,9 +90,81 @@ def summarize(result: JournalReadResult) -> RecoverySummary:
         promotions=tuple(
             r.body.decode("utf-8") for r in result.of_kind("promote")
         ),
+        fences=tuple(
+            r.body.decode("utf-8") for r in result.of_kind("fence")
+        ),
         pu_updates=len(result.of_kind("pu-update")),
         torn_tail=result.torn,
     )
+
+
+@dataclass(frozen=True)
+class WriterViolation:
+    """One journaled epoch commit performed under a superseded lease."""
+
+    shard_id: str
+    epoch_id: int
+    commit_token: int
+    fence_token: int
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.shard_id}: epoch {self.epoch_id} committed under "
+            f"token {self.commit_token} after fence {self.fence_token}"
+        )
+
+
+def check_exactly_one_writer(
+    result: JournalReadResult,
+    store=None,
+) -> tuple[WriterViolation, ...]:
+    """Audit the journal for commits performed by a deposed primary.
+
+    Walks the record stream in append order, tracking the current fence
+    token per shard (``fence`` records, body ``shard:token:reason``).
+    Every ``writer`` provenance record (body ``shard:epoch:token``) must
+    carry a token **at least** the shard's current fence — a lower token
+    means a zombie primary committed an epoch after its successor was
+    fenced in, which is exactly the split-brain write the protocol
+    exists to make impossible.
+
+    When ``store`` is given, the durably persisted lease
+    (``fence/<shard>`` checkpoint scope, big-endian token) must also be
+    no older than the journal's final fence — a store that lags the
+    journal would re-issue a dead token on cold start.
+    """
+    current: dict[str, int] = {}
+    violations: list[WriterViolation] = []
+    for record in result.records:
+        if record.kind == "fence":
+            shard_id, token, _reason = record.body.decode("utf-8").split(":", 2)
+            current[shard_id] = max(current.get(shard_id, 0), int(token))
+        elif record.kind == "writer":
+            shard_id, epoch_id, token = record.body.decode("utf-8").split(":", 2)
+            fence = current.get(shard_id, 0)
+            if int(token) < fence:
+                violations.append(
+                    WriterViolation(
+                        shard_id=shard_id,
+                        epoch_id=int(epoch_id),
+                        commit_token=int(token),
+                        fence_token=fence,
+                    )
+                )
+    if store is not None:
+        for shard_id, fence in current.items():
+            blob = store.get_checkpoint(f"fence/{shard_id}")
+            stored = int.from_bytes(blob, "big") if blob else 0
+            if stored < fence:
+                violations.append(
+                    WriterViolation(
+                        shard_id=shard_id,
+                        epoch_id=-1,
+                        commit_token=stored,
+                        fence_token=fence,
+                    )
+                )
+    return tuple(violations)
 
 
 def replay_sources(

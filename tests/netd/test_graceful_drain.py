@@ -1,0 +1,93 @@
+"""Worker graceful drain and supervisor readiness hygiene.
+
+A SIGTERMed worker must finish what it is serving, flush its durable
+store, revoke its readiness file, and exit 0 — the supervisor (or an
+operator's process manager) must never observe "ready" from a process
+that has already closed its store.  And a supervisor reusing a workdir
+must sweep readiness files left behind by SIGKILLed predecessors.
+"""
+
+import json
+import signal
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.serialization import encode_bytes, encode_public_key
+from repro.netd.remote import AuthorityServer
+from repro.netd.supervisor import ProcessSupervisor
+from repro.netd.transport import NetLoop
+
+
+@pytest.fixture()
+def authority(keypair):
+    loop = NetLoop(name="drain-test-loop")
+    server = AuthorityServer(
+        loop, DeterministicRandomSource(seed=7), clock=lambda: 0.0
+    )
+    address = server.start()
+    header = {
+        "shard_id": "shard-t",
+        "blocks": [],
+        "pus": [],
+        "epoch": -1,
+        "scenario": {"seed": 5},
+        "fence_token": 3,
+    }
+    payload = encode_bytes(
+        json.dumps(header).encode("utf-8")
+    ) + encode_bytes(encode_public_key(keypair.public_key))
+    server.register_bootstrap("shard-t", lambda: payload)
+    yield address
+    server.stop()
+    loop.close()
+
+
+class TestGracefulDrain:
+    def test_sigterm_revokes_readiness_and_exits_zero(
+        self, authority, tmp_path
+    ):
+        host, port = authority
+        supervisor = ProcessSupervisor(workdir=tmp_path / "run", monitor=False)
+        try:
+            supervisor.start(
+                "shard-t",
+                "shard",
+                extra_args=(
+                    "--authority",
+                    f"{host}:{port}",
+                    "--store",
+                    str(tmp_path / "shard-t.sqlite3"),
+                ),
+                restart=False,
+            )
+            supervisor.wait_ready(["shard-t"], timeout_s=60.0)
+            ready = supervisor._ready_file("shard-t")
+            assert ready.exists()
+            supervisor.kill("shard-t", signal.SIGTERM)
+            code = supervisor.wait_exit("shard-t", timeout_s=30.0)
+            # 0, not a signal death: the worker drained and left on its
+            # own terms — and took its readiness claim with it.
+            assert code == 0
+            assert not ready.exists()
+        finally:
+            supervisor.stop_all()
+
+
+class TestStaleReadinessSweep:
+    def test_reused_workdir_is_swept_on_construction(self, tmp_path):
+        workdir = tmp_path / "run"
+        workdir.mkdir()
+        stale = workdir / "shard-9.ready.json"
+        stale.write_text(
+            json.dumps({"name": "shard-9", "port": 1, "pid": 1}),
+            encoding="utf-8",
+        )
+        bystander = workdir / "shard-9.log"
+        bystander.write_text("old logs survive", encoding="utf-8")
+        supervisor = ProcessSupervisor(workdir=workdir, monitor=False)
+        try:
+            assert not stale.exists()
+            assert bystander.exists()  # only readiness claims are swept
+        finally:
+            supervisor.stop_all()

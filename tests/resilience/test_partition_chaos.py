@@ -1,0 +1,146 @@
+"""Partition-tolerance chaos drills: leases, fences, gray failures.
+
+Byte-equality for *every* plan (the four partition plans included) is
+already pinned by ``TestEveryPlan`` in ``test_chaos.py``; this module
+asserts the partition-specific behaviour — who got fenced, who got
+promoted, who was merely suspected — plus the exactly-one-writer audit
+itself against hand-forged journals.
+"""
+
+import io
+
+import pytest
+
+from repro.resilience.chaos import ChaosHarness
+from repro.resilience.journal import EpochJournal, JournalWriter, read_journal
+from repro.resilience.recovery import check_exactly_one_writer
+from repro.store import MemoryStateStore
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ChaosHarness(seed=7, shards=2, rounds=2, key_bits=256)
+
+
+class TestAsymmetricPartition:
+    def test_zombie_write_rejected_after_fence_then_promote(self, harness):
+        result = harness.run(["asymmetric-partition"])
+        assert result.ok, result.notes
+        # The router->shard cut looks like a dead shard: one failover,
+        # fence-then-promote.  The shard itself never died, and its
+        # post-heal write under the dead lease must bounce.
+        assert result.failovers == 1
+        assert result.fenced_rejections == 1
+        assert result.writer_violations == 0
+        assert any("zombie write rejected" in note for note in result.notes)
+        assert not any("SPLIT BRAIN" in note for note in result.notes)
+
+
+class TestSplitBrainPromote:
+    def test_deposed_primary_cannot_commit(self, harness):
+        result = harness.run(["split-brain-promote"])
+        assert result.ok, result.notes
+        # Operator-driven promotion: no failure was detected, so the
+        # router's failover counter stays at zero — the *authority*
+        # deposed the primary, and the stale lease died at the shard.
+        assert result.failovers == 0
+        assert result.fenced_rejections == 1
+        assert result.writer_violations == 0
+        assert result.transcript_equal, result.notes
+        assert any(
+            "post-fence write rejected" in note for note in result.notes
+        )
+
+    def test_journal_with_stale_writes_replays_to_control(self, harness):
+        # Satellite: a journal carrying interleaved fence records and a
+        # rejected stale-token write must still replay the control
+        # transcript byte for byte when the coordinator also crashes.
+        result = harness.run(["split-brain-promote", "coordinator-crash"])
+        assert result.ok, result.notes
+        assert result.fenced_rejections == 1
+        assert result.replayed_draws > 0
+        assert result.fallback_draws == 0  # every byte came from the disk
+        assert result.writer_violations == 0
+
+
+class TestGrayFailures:
+    def test_clock_skew_suspects_but_never_promotes(self, harness):
+        result = harness.run(["clock-skew"])
+        assert result.ok, result.notes
+        assert result.suspects >= 1
+        assert result.failovers == 0  # staleness alone must not depose
+        assert any("suspect" in note for note in result.notes)
+
+    def test_slow_but_alive_shard_is_not_failed_over(self, harness):
+        # The gray-failure regression: a shard answering slowly (armed
+        # link delay both directions) trips the RTT quantile and gets
+        # routed around — never spuriously promoted.
+        result = harness.run(["gray-slow-shard"])
+        assert result.ok, result.notes
+        assert result.suspects >= 1
+        assert result.failovers == 0
+        assert result.fenced_rejections == 0  # nobody's lease was touched
+
+
+class TestExactlyOneWriterAudit:
+    def forge(self, script) -> EpochJournal:
+        journal = EpochJournal(JournalWriter(fileobj=io.BytesIO()))
+        script(journal)
+        journal.barrier()
+        return journal
+
+    def read(self, journal: EpochJournal):
+        return read_journal(journal.writer._fh.getvalue())
+
+    def test_clean_history_has_no_violations(self):
+        def script(j):
+            j.fence("shard-0", 1, "manual")
+            j.writer_commit("shard-0", 0, 1)
+            j.fence("shard-0", 2, "failover")
+            j.writer_commit("shard-0", 1, 2)
+
+        journal = self.forge(script)
+        assert check_exactly_one_writer(self.read(journal)) == ()
+
+    def test_stale_token_commit_is_a_violation(self):
+        def script(j):
+            j.fence("shard-0", 1, "manual")
+            j.fence("shard-0", 2, "failover")
+            j.writer_commit("shard-0", 7, 1)  # zombie landed a write
+
+        journal = self.forge(script)
+        violations = check_exactly_one_writer(self.read(journal))
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.shard_id == "shard-0"
+        assert violation.epoch_id == 7
+        assert (violation.commit_token, violation.fence_token) == (1, 2)
+        assert "after fence 2" in str(violation)
+
+    def test_commit_before_the_fence_is_legitimate(self):
+        # Append order matters: the incumbent committing *before* it was
+        # deposed is the normal case, not a violation.
+        def script(j):
+            j.fence("shard-0", 1, "manual")
+            j.writer_commit("shard-0", 0, 1)
+            j.fence("shard-0", 2, "failover")
+
+        journal = self.forge(script)
+        assert check_exactly_one_writer(self.read(journal)) == ()
+
+    def test_store_lagging_the_journal_is_a_violation(self):
+        # A store whose persisted lease trails the journal would re-issue
+        # a dead token on cold start — audit must flag it even though no
+        # individual write misbehaved.
+        def script(j):
+            j.fence("shard-0", 3, "failover")
+
+        journal = self.forge(script)
+        store = MemoryStateStore()
+        store.put_checkpoint("fence/shard-0", (2).to_bytes(8, "big"))
+        violations = check_exactly_one_writer(self.read(journal), store=store)
+        assert len(violations) == 1
+        assert violations[0].commit_token == 2  # what the store would issue
+        store.put_checkpoint("fence/shard-0", (3).to_bytes(8, "big"))
+        assert check_exactly_one_writer(self.read(journal), store=store) == ()
+        store.close()
