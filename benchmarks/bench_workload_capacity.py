@@ -1,0 +1,121 @@
+"""Workload-engine capacity: saturation rate + tail latency per shape.
+
+For every named workload in :mod:`repro.sim.traffic` the deployment
+simulator runs the same calibrated cost model (seeded from the latest
+``BENCH_service.json`` entry when available, Table II constants
+otherwise — the PR 10 bench/model loop) and reports
+
+* the **analytic saturation rate** (arrivals/hour at SDC utilisation 1,
+  shape-independent: it is a property of the phase costs);
+* measured **p50/p99 latency** and utilisation at a sub-saturation
+  mean rate — time-varying shapes (diurnal, flash-crowd) pay a tail
+  penalty at the *same* mean rate, which is the number a capacity
+  planner needs;
+* PU-churn pressure for the churn-storm shape.
+
+Emits ``BENCH_workload.json`` at the repo root.
+"""
+
+import pathlib
+
+from _harness import append_history, describe_history, utc_timestamp
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.sim import (
+    DeploymentSimulator,
+    ServiceCostModel,
+    WorkloadConfig,
+    load_measured_round,
+    paper_profile,
+    workload_names,
+)
+from repro.watch.scenario import ScenarioConfig, build_scenario
+
+JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_workload.json"
+
+#: Packed-mode cost model: k=12 keeps the simulated SDC fast enough to
+#: probe meaningful rates within a short simulated horizon.
+PACKING = 12
+HOURS = 12.0
+#: Fraction of the saturation rate the latency probe runs at.
+PROBE_LOAD = 0.6
+
+
+def test_workload_capacity_sweep():
+    profile = paper_profile()
+    measured = load_measured_round()
+    calibration = (
+        ServiceCostModel.calibration_from(profile, measured)
+        if measured is not None
+        else 1.0
+    )
+    model = ServiceCostModel(
+        profile, num_channels=100, num_blocks=600,
+        packing_factor=PACKING, calibration=calibration,
+    )
+    # The server saturating first bounds capacity: the SDC serves two
+    # phases per request, the (single-worker) STP one conversion.
+    bottleneck_s = max(
+        model.costs.sdc_per_request_s, model.costs.stp_convert_s
+    )
+    saturation = 3600.0 / bottleneck_s
+    probe_rate = PROBE_LOAD * saturation
+    scenario = build_scenario(ScenarioConfig(seed=4, num_sus=3))
+
+    results = {}
+    rows = []
+    for name in workload_names():
+        simulator = DeploymentSimulator(
+            scenario,
+            model,
+            WorkloadConfig(su_requests_per_hour=probe_rate, seed=42),
+            traffic=name,
+        )
+        report = simulator.run(HOURS * 3600.0)
+        results[name] = {
+            "probe_rate_per_hour": probe_rate,
+            "requests": report.num_requests,
+            "grant_ratio": report.grant_ratio,
+            "p50_latency_s": report.latency_percentile_s(50),
+            "p99_latency_s": report.latency_percentile_s(99),
+            "sdc_utilization": report.sdc_utilization,
+            "pu_updates": report.pu_updates,
+            "su_moves": report.su_moves,
+        }
+        rows.append((
+            name,
+            f"p50 {results[name]['p50_latency_s']:.0f} s, "
+            f"p99 {results[name]['p99_latency_s']:.0f} s, "
+            f"util {report.sdc_utilization:.0%}, "
+            f"churn {report.pu_updates}",
+        ))
+
+        # Sanity: every shape must actually deliver load and finish
+        # requests at 60% of saturation.
+        assert report.num_requests > 0
+        assert results[name]["p99_latency_s"] > 0
+
+    # The churn storm must stress the PU path harder than steady does.
+    assert results["pu-churn-storm"]["pu_updates"] > results["steady"]["pu_updates"]
+    # Mobility is the only shape generating moves.
+    assert results["mobility"]["su_moves"] > 0
+    assert results["steady"]["su_moves"] == 0
+
+    emit(format_table(
+        f"workload capacity @ {probe_rate:.0f}/h "
+        f"({PROBE_LOAD:.0%} of saturation {saturation:.0f}/h, k={PACKING})",
+        rows,
+    ))
+
+    entry = {
+        "timestamp": utc_timestamp(),
+        "packing": PACKING,
+        "hours": HOURS,
+        "calibration": calibration,
+        "calibrated_from": measured.source if measured is not None else "",
+        "saturation_rate_per_hour": saturation,
+        "workloads": results,
+    }
+    count = append_history(JSON_PATH, entry)
+    emit(describe_history(JSON_PATH, count))

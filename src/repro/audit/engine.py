@@ -109,6 +109,7 @@ class AuditConfig:
         "repro.netd",
         "repro.resilience",
         "repro.store",
+        "repro.sim",
     )
     #: Modules allowed to read civil time — the injected Clock seam
     #: implementations.  Everything else must take a ``clock=`` parameter.
@@ -122,7 +123,12 @@ class AuditConfig:
     )
     #: Package prefixes where the asyncio-hygiene family (ASY0xx) applies —
     #: the planes that run an event loop.
-    asyncio_scope: tuple[str, ...] = ("repro.netd", "repro.service", "repro.store")
+    asyncio_scope: tuple[str, ...] = (
+        "repro.netd",
+        "repro.service",
+        "repro.store",
+        "repro.sim",
+    )
     #: Restrict the run to these rule ids (empty = all).
     select: frozenset[str] = frozenset()
 

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--packing", type=int, default=1,
                           help="packed-mode slots per ciphertext (1 = baseline)")
     simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--workload", type=str, default="",
+                          help="named traffic shape (repro.sim.traffic; "
+                               "default: legacy homogeneous Poisson)")
+    simulate.add_argument("--no-bench", dest="bench", action="store_false",
+                          help="skip BENCH_service.json calibration and use "
+                               "the paper's Table II constants as-is")
 
     profile = sub.add_parser("profile", help="Table II micro-benchmarks")
     profile.add_argument("--key-bits", type=int, default=1024)
@@ -101,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mean arrivals per second (open loop)")
     serve.add_argument("--sus", type=int, default=3,
                        help="distinct SUs cycling through arrivals")
+    serve.add_argument("--scenario", type=str, default="uhf",
+                       help="named scenario from the registry (uhf, "
+                            "cbrs-tiered)")
+    serve.add_argument("--workload", type=str, default="",
+                       help="named traffic shape driving the open-loop "
+                            "schedule (steady, diurnal, flash-crowd, "
+                            "pu-churn-storm, mobility; default: legacy "
+                            "Poisson driver)")
+    serve.add_argument("--tier-capacity", type=int, default=0,
+                       help="GAA channel budget for cbrs-tiered "
+                            "(0 = derive from WATCH capacity)")
+    serve.add_argument("--pu-switches", type=int, default=2,
+                       help="physical PU channel switches to interleave "
+                            "with the arrivals")
     serve.add_argument("--window-ms", type=float, default=50.0,
                        help="epoch batching window")
     serve.add_argument("--max-batch", type=int, default=8,
@@ -155,6 +175,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shards", type=int, default=0,
                        help="SDC shards behind the cluster facade "
                             "(0 = single packed SDC)")
+        p.add_argument("--scenario", type=str, default="uhf",
+                       help="named scenario from the registry (uhf, "
+                            "cbrs-tiered)")
+        p.add_argument("--workload", type=str, default="",
+                       help="named traffic shape (default: legacy Poisson "
+                            "driver)")
+        p.add_argument("--tier-capacity", type=int, default=0,
+                       help="GAA channel budget for cbrs-tiered "
+                            "(0 = derive from WATCH capacity)")
 
     trace = sub.add_parser(
         "trace",
@@ -193,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="protocol rounds per run")
     chaos.add_argument("--key-bits", type=int, default=256,
                        help="Paillier modulus for the paired deployments")
+    chaos.add_argument("--workload", type=str, default="",
+                       help="compose the fault schedule with a named "
+                            "traffic shape (flash-crowd, pu-churn-storm, "
+                            "...); simulated-transport plans only")
     chaos.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the results as JSON")
     chaos.add_argument("--metrics-dump", type=str, default=None,
@@ -322,29 +355,44 @@ def _cmd_tradeoff(args) -> int:
 
 def _cmd_simulate(args) -> int:
     from repro.analysis.reporting import format_table
-    from repro.analysis.scaling import PaillierCostProfile
-    from repro.sim import DeploymentSimulator, ServiceCostModel, WorkloadConfig
+    from repro.sim import (
+        DeploymentSimulator,
+        ServiceCostModel,
+        WorkloadConfig,
+        load_measured_round,
+        paper_profile,
+    )
     from repro.watch.scenario import ScenarioConfig, build_scenario
 
-    paper_hardware = PaillierCostProfile(
-        key_bits=2048, encryption_s=0.030378, decryption_s=0.021170,
-        hom_add_s=4e-6, hom_sub_s=7.3e-5, hom_scale_small_s=1.564e-3,
-        hom_scale_full_s=0.018867, rerandomize_s=0.030,
-    )
+    profile = paper_profile()
+    calibration = 1.0
+    provenance = "paper Table II constants"
+    measured = load_measured_round() if args.bench else None
+    if measured is not None:
+        calibration = ServiceCostModel.calibration_from(profile, measured)
+        provenance = (
+            f"calibrated x{calibration:.4f} to measured "
+            f"{measured.seconds_per_request:.3f} s/req "
+            f"({measured.key_bits}-bit bench, {measured.source})"
+        )
     model = ServiceCostModel(
-        paper_hardware, num_channels=100, num_blocks=600,
-        packing_factor=args.packing,
+        profile, num_channels=100, num_blocks=600,
+        packing_factor=args.packing, calibration=calibration,
     )
     scenario = build_scenario(ScenarioConfig(seed=4, num_sus=3))
     simulator = DeploymentSimulator(
         scenario, model,
         WorkloadConfig(su_requests_per_hour=args.rate, seed=args.seed),
+        traffic=args.workload or None,
     )
     report = simulator.run(args.hours * 3600)
+    shape = f", workload {args.workload}" if args.workload else ""
     print(format_table(
-        f"{args.hours:.0f} h @ {args.rate:g} req/h, packing k={args.packing}",
+        f"{args.hours:.0f} h @ {args.rate:g} req/h, "
+        f"packing k={args.packing}{shape}",
         report.as_table_rows(),
     ))
+    print(f"phase costs: {provenance}")
     return 0
 
 
@@ -429,10 +477,14 @@ def _cmd_serve_loadtest(args) -> int:
         num_requests=args.requests,
         arrivals_per_second=args.rate,
         num_sus=args.sus,
+        num_pu_switches=args.pu_switches,
         key_bits=args.key_bits,
         shards=shards,
         kill_shard_after=args.kill_shard,
         store_path=args.store if args.plane == "memory" and args.store else "",
+        scenario=args.scenario,
+        workload=args.workload,
+        tier_capacity=args.tier_capacity,
         service=ServiceConfig(
             batch_window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
@@ -454,9 +506,13 @@ def _cmd_serve_loadtest(args) -> int:
         report = run_loadtest(config)
         executor_name = "serial"
         plane = f"{args.shards}-shard cluster" if args.shards else "single SDC"
+    shape = f", {args.scenario}" + (
+        f"/{args.workload}" if args.workload else ""
+    )
     print(format_table(
         f"serve-loadtest: {args.requests} req @ {args.rate:g}/s, "
-        f"window {args.window_ms:g} ms, executor {executor_name}, {plane}",
+        f"window {args.window_ms:g} ms, executor {executor_name}, "
+        f"{plane}{shape}",
         report.as_table_rows(),
     ))
     if args.json:
@@ -476,6 +532,9 @@ def _loadtest_config(args):
         num_sus=args.sus,
         key_bits=args.key_bits,
         shards=args.shards,
+        scenario=args.scenario,
+        workload=args.workload,
+        tier_capacity=args.tier_capacity,
     )
 
 
@@ -573,6 +632,7 @@ def _cmd_chaos(args) -> int:
         rounds=args.rounds,
         key_bits=args.key_bits,
         metrics=metrics,
+        workload=args.workload,
     )
     if args.plan == "all":
         # Simulated-transport plans only; the process plans cost real
@@ -590,6 +650,11 @@ def _cmd_chaos(args) -> int:
             if len(schedule) != 1:
                 print("socket-plane plans (proc-*) run alone (each has its "
                       "own schedule)", file=sys.stderr)
+                return 2
+            if args.workload:
+                print("--workload composes with simulated-transport plans "
+                      "only (proc-* plans drive their own fixed script)",
+                      file=sys.stderr)
                 return 2
             if schedule == [PROC_PLAN_NAME]:
                 from repro.netd.chaos import run_process_chaos
@@ -616,8 +681,9 @@ def _cmd_chaos(args) -> int:
             result = harness.run(schedule)
         results.append(result)
         verdict = "OK" if result.ok else "FAIL"
+        shape = f" workload={args.workload}" if args.workload else ""
         print(
-            f"chaos [{'+'.join(result.plans)}] seed={result.seed} "
+            f"chaos [{'+'.join(result.plans)}]{shape} seed={result.seed} "
             f"shards={result.shards}: {verdict} "
             f"(transcript_equal={result.transcript_equal}, "
             f"licenses_valid={result.licenses_valid}, "

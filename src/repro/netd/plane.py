@@ -238,6 +238,8 @@ def build_socket_service(
     ``fixture.close()``; it tears down the worker processes too.
     """
     if scenario_config is None:
+        # The registry build and this plain config produce the identical
+        # environment: registry entries only add broker-side policy.
         scenario_config = ScenarioConfig(
             seed=config.seed, num_sus=max(config.num_sus, 1)
         )
@@ -260,12 +262,17 @@ def build_socket_service(
     for su in scenario.sus[: config.num_sus]:
         coordinator.enroll_su(su)
         su_ids.append(su.su_id)
+    # Tier policy is broker-side only — the workers never see it, which
+    # is why the wire format and the worker processes stay unchanged
+    # across scenarios.
+    admission = loadtest_module._admission_for(config, scenario, metrics)
     broker = SpectrumAccessBroker(
         allocator=BatchAllocator.for_coordinator(coordinator),
         pu_update_handler=coordinator.sdc.handle_pu_update,
         config=config.service,
         metrics=metrics,
         tracer=tracer,
+        admission=admission,
     )
     return ServiceFixture(
         broker=broker,
@@ -273,6 +280,7 @@ def build_socket_service(
         scenario=scenario,
         pu_clients=pu_clients,
         su_ids=su_ids,
+        admission=admission,
     )
 
 

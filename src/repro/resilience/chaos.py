@@ -69,6 +69,12 @@ from repro.resilience.recovery import (
     replay_sources,
     summarize,
 )
+from repro.sim.traffic import (
+    KIND_PU_SWITCH,
+    KIND_SU_REQUEST,
+    build_schedule,
+    resolve_workload,
+)
 from repro.store import Checkpointer, SqliteStateStore, recover
 from repro.telemetry import child
 from repro.watch.scenario import ScenarioConfig, build_scenario
@@ -614,6 +620,9 @@ class ChaosResult:
     #: commits whose fencing token regressed behind the shard's fence.
     #: ``-1`` means no journal was active, so there was nothing to audit.
     writer_violations: int = -1
+    #: Named workload the fault schedule was composed with ("" = the
+    #: legacy round-robin driver).
+    workload: str = ""
 
     @property
     def ok(self) -> bool:
@@ -641,6 +650,7 @@ class ChaosResult:
             "fenced_rejections": self.fenced_rejections,
             "suspects": self.suspects,
             "writer_violations": self.writer_violations,
+            "workload": self.workload,
             "notes": list(self.notes),
         }
 
@@ -661,6 +671,7 @@ class ChaosHarness:
         key_bits: int = 256,
         scenario_seed: int = 5,
         metrics=None,
+        workload: str = "",
     ) -> None:
         if rounds < 1:
             raise ChaosPlanError("rounds must be positive")
@@ -669,6 +680,15 @@ class ChaosHarness:
         self.rounds = rounds
         self.key_bits = key_bits
         self.scenario_seed = scenario_seed
+        #: Optional named traffic shape (``repro.sim.traffic``).  When
+        #: set, round subjects and inter-round PU churn come from one
+        #: compiled workload script applied identically to the control,
+        #: every faulted run, and any crash replay — composing a
+        #: workload must not disturb the byte-equality judgement.
+        self.workload = workload
+        if workload:
+            resolve_workload(workload)
+        self._script: tuple | None = None
         #: Optional :class:`repro.telemetry.MetricsRegistry` threaded
         #: through every deployment the harness builds (router, policy
         #: engine, transport counters) plus the harness's own
@@ -702,7 +722,76 @@ class ChaosHarness:
         for su in scenario.sus:
             coordinator.enroll_su(su)
         su_ids = tuple(su.su_id for su in scenario.sus)
+        if self.workload and self._script is None:
+            self._script = self._compile_workload(scenario)
         return coordinator, su_ids
+
+    def _compile_workload(self, scenario) -> tuple:
+        """Per-round ``(su_id, churn)`` script from the named workload.
+
+        The traffic model's continuous schedule is quantised onto the
+        harness's round structure: each ``su-request`` event names the
+        round's subject, and every *physical* ``pu-switch`` since the
+        previous request is applied (through the faulted mux) just
+        before that round.  Compiled once per harness from a dedicated
+        seed fork, so all runs see the same script; ``su-move`` events
+        are ignored — chaos rounds have no spatial dimension.
+        """
+        su_ids = tuple(su.su_id for su in scenario.sus)
+        pu_ids = tuple(pu.receiver_id for pu in scenario.pus)
+        schedule = build_schedule(
+            self.workload,
+            rng=DeterministicRandomSource(self.seed).fork("chaos-workload"),
+            rate_per_s=1.0,
+            num_requests=self.rounds,
+            num_sus=len(su_ids),
+            num_pus=len(pu_ids),
+            num_channels=scenario.environment.num_channels,
+            # One update per round keeps composed schedules bounded; a
+            # churn-storm workload saturates this cap, steady mostly
+            # leaves it unused.
+            max_pu_switches=self.rounds,
+            pu_churn_per_hour=900.0,
+            grid=scenario.grid,
+        )
+        script: list[tuple[str, tuple]] = []
+        churn: list[tuple[str, int]] = []
+        for event in schedule.events:
+            if event.kind == KIND_SU_REQUEST:
+                script.append((su_ids[event.index], tuple(churn)))
+                churn = []
+            elif event.kind == KIND_PU_SWITCH and event.physical:
+                churn.append((pu_ids[event.index], event.slot))
+        # Churn after the final request never precedes a round: dropped.
+        return tuple(script)
+
+    def _apply_churn(self, ctx: _RunContext, plans, churn) -> None:
+        """Scripted PU switches, sent through the (possibly faulted) mux.
+
+        Updates ride the same retry policy as protocol sends, so a
+        churn storm composed with a partition exercises the failover
+        path; §VI-A virtual switches (same physical channel) produce no
+        update, identically in every run.
+        """
+        coordinator = ctx.coordinator
+        for pu_id, slot in churn:
+            update = coordinator.pu_client(pu_id).switch_channel(
+                slot, signal_strength_mw=1.0
+            )
+            if update is None:
+                continue
+
+            def on_retry(_attempt, exc, _sleep_s, pu_id=pu_id):
+                for plan in plans:
+                    plan.on_send_retry(ctx, exc, (pu_id, "sdc"))
+
+            run_with_policy(
+                lambda u=update, p=pu_id: ctx.mux.send(u, p, "sdc"),
+                SEND_POLICY,
+                rng=DeterministicRandomSource(0),
+                on_retry=on_retry,
+            )
+            coordinator.sdc.handle_pu_update(update)
 
     def _run_round(self, ctx: _RunContext, plans, su_id: str):
         """One Figure 5 round with retried (queue-and-drain) sends."""
@@ -781,9 +870,12 @@ class ChaosHarness:
         for round_index in range(ctx.rounds):
             for plan in plans:
                 plan.before_round(ctx, round_index)
-            outcomes.append(
-                self._run_round(ctx, plans, su_ids[round_index % len(su_ids)])
-            )
+            if self._script:
+                su_id, churn = self._script[round_index % len(self._script)]
+                self._apply_churn(ctx, plans, churn)
+            else:
+                su_id = su_ids[round_index % len(su_ids)]
+            outcomes.append(self._run_round(ctx, plans, su_id))
             ctx.mux.mark()
         ctx.mux.clear_faults()
         return _RunRecord(
@@ -950,6 +1042,7 @@ class ChaosHarness:
                 fenced_rejections=ctx.fenced_rejections,
                 suspects=suspects,
                 writer_violations=writer_violations,
+                workload=self.workload,
             )
         finally:
             # Flush-on-exit, crash or not: an abandoned JournalWriter

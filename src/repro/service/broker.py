@@ -13,7 +13,9 @@ Every request resolves to a :class:`ServiceDecision`:
 * ``granted`` / ``denied`` — the protocol ran and the license says yes/no;
 * ``rejected`` — the service never ran the protocol, with a reason:
   ``queue_full`` (admission control), ``deadline_expired`` (the request
-  sat past its per-request deadline before its epoch drained), or
+  sat past its per-request deadline before its epoch drained),
+  ``tier_budget`` (a tiered scenario's authorization ledger refused the
+  SU's tier — see :class:`repro.sim.cbrs.TieredAdmission`), or
   ``shutting_down``.
 
 The broker adds scheduling around the protocol, never inside it: the
@@ -46,12 +48,14 @@ __all__ = [
     "REASON_DEADLINE_EXPIRED",
     "REASON_SHUTTING_DOWN",
     "REASON_INTERNAL_ERROR",
+    "REASON_TIER_BUDGET",
 ]
 
 REASON_QUEUE_FULL = "queue_full"
 REASON_DEADLINE_EXPIRED = "deadline_expired"
 REASON_SHUTTING_DOWN = "shutting_down"
 REASON_INTERNAL_ERROR = "internal_error"
+REASON_TIER_BUDGET = "tier_budget"
 
 
 @dataclass(frozen=True)
@@ -142,6 +146,11 @@ class SpectrumAccessBroker:
         Runtime knobs and the registry service counters land in.
     clock:
         Injectable time source for deadlines and latency accounting.
+    admission:
+        Optional tier-policy ledger (:class:`repro.sim.cbrs.TieredAdmission`
+        or anything with its ``on_submit``/``on_granted`` surface).
+        Consulted synchronously, in submission order, so its decisions
+        are identical on every plane regardless of shard latency.
     """
 
     def __init__(
@@ -153,6 +162,7 @@ class SpectrumAccessBroker:
         clock=time.monotonic,
         journal=None,
         tracer: Tracer | None = None,
+        admission=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
@@ -168,6 +178,7 @@ class SpectrumAccessBroker:
         #: allocator.  The tracer owns its own deterministic RNG, so
         #: tracing never touches the protocol draw stream.
         self.tracer = tracer
+        self.admission = admission
         self._allocator = allocator
         self._pu_update_handler = pu_update_handler
         self._clock = clock
@@ -242,6 +253,8 @@ class SpectrumAccessBroker:
         if self._pu_update_handler is None:
             raise ProtocolError("broker has no PU update handler")
         self.metrics.counter("pu_updates_submitted").inc()
+        if self.admission is not None:
+            self.admission.on_pu_update()
         self._queue.put_nowait(_PuUpdate(message))
 
     async def submit_request(
@@ -264,6 +277,10 @@ class SpectrumAccessBroker:
             return self._reject(su_id, REASON_SHUTTING_DOWN, now, span, admission)
         if self._pending >= self.config.max_pending:
             return self._reject(su_id, REASON_QUEUE_FULL, now, span, admission)
+        if self.admission is not None and not self.admission.on_submit(su_id):
+            # Tier policy (e.g. GAA under an exhausted CBRS budget).
+            # Synchronous and order-dependent only, never timing-dependent.
+            return self._reject(su_id, REASON_TIER_BUDGET, now, span, admission)
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         if deadline_s <= 0:
@@ -468,6 +485,8 @@ class SpectrumAccessBroker:
                 continue
             status = "granted" if result.granted else "denied"
             self.metrics.counter(f"requests_{status}").inc()
+            if self.admission is not None and result.granted:
+                self.admission.on_granted(ticket.su_id)
             self._close_ticket_span(ticket, status)
             latency = done_at - ticket.submitted_at
             self.metrics.histogram("request_latency_s").observe(latency)

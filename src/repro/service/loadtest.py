@@ -7,6 +7,14 @@ percentiles, and the batch-size distribution.  This is what
 ``repro serve-loadtest`` and ``benchmarks/bench_service_throughput.py``
 run.
 
+``LoadtestConfig.scenario`` names a deployment from the scenario
+registry (:mod:`repro.sim.registry`) — ``cbrs-tiered`` attaches the
+incumbent/PAL/GAA admission ledger to the broker — and
+``LoadtestConfig.workload`` swaps the fixed-cadence driver for a
+pre-materialised schedule from a named traffic model
+(:mod:`repro.sim.traffic`: diurnal, flash-crowd, pu-churn-storm, …).
+Both knobs drive the in-memory and socket planes identically.
+
 The workload is *open-loop across SUs* — arrivals fire on the Poisson
 clock whether or not earlier requests finished — but closed-loop per SU:
 a secondary user never has two license requests in flight (its cached
@@ -24,8 +32,6 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.crypto.parallel import Executor
 from repro.crypto.rand import DeterministicRandomSource
@@ -69,8 +75,34 @@ class LoadtestConfig:
     #: :class:`~repro.store.SqliteStateStore` at this path and persists
     #: PU ciphertexts, epoch snapshots, and the key directory through it.
     store_path: str = ""
+    #: Named deployment from :mod:`repro.sim.registry` ("uhf" or
+    #: "cbrs-tiered"); tiered scenarios attach a broker-side
+    #: :class:`~repro.sim.cbrs.TieredAdmission` ledger.
+    scenario: str = "uhf"
+    #: Named traffic shape from :mod:`repro.sim.traffic` ("" keeps the
+    #: legacy fixed-cadence driver); when set, arrivals follow a
+    #: pre-materialised open-loop schedule.
+    workload: str = ""
+    #: Concurrent-authorization budget for tiered scenarios; 0 derives
+    #: it from the WATCH geometry (set 1 to force tier pressure).
+    tier_capacity: int = 0
 
     def __post_init__(self) -> None:
+        from repro.sim.registry import scenario_names
+        from repro.sim.traffic import workload_names
+
+        if self.scenario not in scenario_names():
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r} "
+                f"(known: {', '.join(scenario_names())})"
+            )
+        if self.workload and self.workload not in workload_names():
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r} "
+                f"(known: {', '.join(workload_names())})"
+            )
+        if self.tier_capacity < 0:
+            raise ConfigurationError("tier_capacity must be non-negative")
         if self.num_requests < 1:
             raise ConfigurationError("need at least one request")
         if self.arrivals_per_second <= 0:
@@ -85,6 +117,36 @@ class LoadtestConfig:
             raise ConfigurationError("kill_shard_after requires a sharded run")
         if self.store_path and not self.shards:
             raise ConfigurationError("store_path requires a sharded run")
+
+
+def _resolve_scenario(config: LoadtestConfig, scenario):
+    """The deployment scenario for a run (registry build unless given)."""
+    if scenario is not None:
+        return scenario
+    from repro.sim.registry import build_named_scenario
+
+    return build_named_scenario(
+        config.scenario, seed=config.seed, num_sus=config.num_sus
+    ).scenario
+
+
+def _admission_for(config: LoadtestConfig, scenario, metrics):
+    """The broker-side tier ledger implied by ``config.scenario``.
+
+    Derived from the *actual* scenario in use (callers may pass a
+    prebuilt one), so the tier map always covers exactly the enrolled
+    SU population.  None for untiered scenarios.
+    """
+    from repro.sim.registry import SCENARIO_CBRS_TIERED
+
+    if config.scenario != SCENARIO_CBRS_TIERED:
+        return None
+    from repro.sim.cbrs import TieredAdmission, assign_tiers, derive_gaa_capacity
+
+    capacity = config.tier_capacity or derive_gaa_capacity(scenario)
+    return TieredAdmission(
+        assign_tiers(len(scenario.sus)), capacity, metrics
+    )
 
 
 @dataclass(frozen=True)
@@ -160,6 +222,9 @@ class ServiceFixture:
     su_ids: list
     #: Durable state store owned by this fixture (closed with it).
     store: object = None
+    #: Tiered-admission ledger (tiered scenarios only; also reachable as
+    #: ``broker.admission``).
+    admission: object = None
 
     def close(self) -> None:
         """Tear down deployment-owned resources (scatter threads, workers)."""
@@ -189,14 +254,11 @@ def build_packed_service(
     compare against a baseline on the identical scenario).
     """
     from repro.pisa.packed import PackedCoordinator
-    from repro.watch.scenario import ScenarioConfig, build_scenario
 
-    if scenario is None:
-        scenario = build_scenario(
-            ScenarioConfig(seed=config.seed, num_sus=max(config.num_sus, 1))
-        )
+    scenario = _resolve_scenario(config, scenario)
     rng = DeterministicRandomSource(config.seed)
     metrics = metrics if metrics is not None else MetricsRegistry()
+    admission = _admission_for(config, scenario, metrics)
     coordinator = PackedCoordinator(
         scenario.environment,
         key_bits=max(config.key_bits, 512),
@@ -217,6 +279,7 @@ def build_packed_service(
         config=config.service,
         metrics=metrics,
         tracer=tracer,
+        admission=admission,
     )
     return ServiceFixture(
         broker=broker,
@@ -224,6 +287,7 @@ def build_packed_service(
         scenario=scenario,
         pu_clients=pu_clients,
         su_ids=su_ids,
+        admission=admission,
     )
 
 
@@ -249,20 +313,17 @@ def build_cluster_service(
     multi-process scaling).  Call ``fixture.close()`` after the run.
     """
     from repro.cluster import ClusterCoordinator
-    from repro.watch.scenario import ScenarioConfig, build_scenario
 
     if config.shards < 1:
         raise ConfigurationError("cluster service needs at least one shard")
-    if scenario is None:
-        scenario = build_scenario(
-            ScenarioConfig(seed=config.seed, num_sus=max(config.num_sus, 1))
-        )
+    scenario = _resolve_scenario(config, scenario)
     rng = DeterministicRandomSource(config.seed)
     # One registry spans the whole deployment: the broker's service
     # counters, the router's cluster_* counters, the policy engine's
     # retry counters, and the transport's per-link transfer counters all
     # land in the same exposition.
     metrics = metrics if metrics is not None else MetricsRegistry()
+    admission = _admission_for(config, scenario, metrics)
     store = None
     if config.store_path:
         from repro.store import SqliteStateStore
@@ -292,6 +353,7 @@ def build_cluster_service(
         config=config.service,
         metrics=metrics,
         tracer=tracer,
+        admission=admission,
     )
     return ServiceFixture(
         broker=broker,
@@ -300,10 +362,30 @@ def build_cluster_service(
         pu_clients=pu_clients,
         su_ids=su_ids,
         store=store,
+        admission=admission,
     )
 
 
-async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
+async def _drive_schedule(fixture: ServiceFixture, config: LoadtestConfig):
+    """Drive a pre-materialised workload schedule (``config.workload``).
+
+    The whole schedule — arrival instants, SU subjects, PU switch slots
+    — is built up front from a forked deterministic source, so the same
+    seed replays byte-identically on the in-memory and socket planes:
+    submission *order* is the schedule's order no matter how wall time
+    stretches under load.
+
+    In the byte-identity configuration (``max_batch=1`` with a zero
+    batching window — the equivalence-test shape) the driver runs the
+    schedule *closed-loop*: each round is awaited before the next event
+    fires.  Concurrent rounds draw from the one broker-side RNG stream,
+    so letting them overlap would let wall-clock crypto timing reorder
+    the draws and change ciphertext bytes between otherwise identical
+    runs.  Open-loop pacing is preserved for every throughput-shaped
+    configuration.
+    """
+    from repro.sim.traffic import KIND_PU_SWITCH, KIND_SU_REQUEST, build_schedule
+
     broker = fixture.broker
     clients = {
         su_id: fixture.coordinator.su_client(su_id) for su_id in fixture.su_ids
@@ -311,12 +393,81 @@ async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
     for client in clients.values():
         client.prepare_request()
     su_locks = {su_id: asyncio.Lock() for su_id in fixture.su_ids}
-    np_rng = np.random.default_rng(config.seed)
+    num_channels = fixture.scenario.environment.num_channels
+    horizon_hours = config.num_requests / config.arrivals_per_second / 3600.0
+    num_pus = len(fixture.pu_clients)
+    # PU churn sized so the physical-switch budget is likely met within
+    # the run's horizon (1.5x overdraw; the schedule caps at the budget).
+    churn_per_hour = (
+        1.5 * config.num_pu_switches / (horizon_hours * num_pus)
+        if config.num_pu_switches and num_pus
+        else 1e-9
+    )
+    schedule = build_schedule(
+        config.workload,
+        rng=DeterministicRandomSource(config.seed).fork("workload"),
+        rate_per_s=config.arrivals_per_second,
+        num_requests=config.num_requests,
+        num_sus=len(fixture.su_ids),
+        num_pus=num_pus if config.num_pu_switches else 0,
+        num_channels=num_channels,
+        max_pu_switches=config.num_pu_switches,
+        grid=fixture.scenario.grid,
+        pu_churn_per_hour=churn_per_hour,
+    )
+
+    async def one_request(su_id: str) -> ServiceDecision:
+        # Closed loop per SU: refresh only once the previous round is done.
+        async with su_locks[su_id]:
+            request = clients[su_id].refresh_request()
+            return await broker.submit_request(su_id, request)
+
+    closed_loop = (
+        config.service.max_batch == 1 and config.service.batch_window_s == 0.0
+    )
+    tasks = []
+    elapsed = 0.0
+    for event in schedule.events:
+        if event.time_s > elapsed:
+            await asyncio.sleep(event.time_s - elapsed)  # audit-ok: RES001 — open-loop arrival pacing, not a retry
+            elapsed = event.time_s
+        if event.kind == KIND_SU_REQUEST:
+            su_id = fixture.su_ids[event.index]
+            outcome = one_request(su_id)
+            if closed_loop:
+                outcome = _completed(await outcome)
+            tasks.append(asyncio.ensure_future(outcome))
+        elif event.kind == KIND_PU_SWITCH and event.physical and num_pus:
+            pu = fixture.pu_clients[event.index]
+            update = pu.switch_channel(event.slot, signal_strength_mw=1.0)
+            if update is not None:
+                broker.submit_pu_update(update)
+        # su-move events shape only the simulator; live SUs are enrolled
+        # at fixed blocks, so the driver skips them.
+    return await asyncio.gather(*tasks)
+
+
+async def _completed(decision: ServiceDecision) -> ServiceDecision:
+    """Wrap an already-resolved decision for a uniform gather."""
+    return decision
+
+
+async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
+    if config.workload:
+        return await _drive_schedule(fixture, config)
+    broker = fixture.broker
+    clients = {
+        su_id: fixture.coordinator.su_client(su_id) for su_id in fixture.su_ids
+    }
+    for client in clients.values():
+        client.prepare_request()
+    su_locks = {su_id: asyncio.Lock() for su_id in fixture.su_ids}
+    drive_rng = DeterministicRandomSource(config.seed).fork("drive")
     arrivals = PoissonArrivals(
-        rate_per_hour=config.arrivals_per_second * 3600.0, rng=np_rng
+        rate_per_hour=config.arrivals_per_second * 3600.0, rng=drive_rng
     )
     switches = PuSwitchProcess(
-        virtual_rate_per_hour=3600.0, physical_fraction=1.0, rng=np_rng
+        virtual_rate_per_hour=3600.0, physical_fraction=1.0, rng=drive_rng
     )
     switch_budget = config.num_pu_switches
     switch_every = max(1, config.num_requests // (config.num_pu_switches + 1))
@@ -340,7 +491,7 @@ async def _drive(fixture: ServiceFixture, config: LoadtestConfig):
         if switch_budget > 0 and fixture.pu_clients and (i + 1) % switch_every == 0:
             switches.next_switch()
             pu = fixture.pu_clients[switch_budget % len(fixture.pu_clients)]
-            slot = int(np_rng.integers(0, num_channels))
+            slot = drive_rng.randbelow(num_channels)
             update = pu.switch_channel(slot, signal_strength_mw=1.0)
             if update is not None:
                 broker.submit_pu_update(update)

@@ -13,21 +13,69 @@ single crypto-bound server queueing it all.  This subpackage couples
 into an event-driven simulator answering capacity questions: request
 latency distribution, server utilisation, and the arrival rate at which
 the SDC saturates.
+
+Since PR 10 it is also the system's **workload engine**: named traffic
+models (:mod:`repro.sim.traffic`), the tiered CBRS regulatory scenario
+(:mod:`repro.sim.cbrs`), and the scenario registry
+(:mod:`repro.sim.registry`) that ``serve-loadtest --scenario/--workload``
+and the chaos harness drive.
 """
 
-from repro.sim.costmodel import PhaseCosts, ServiceCostModel
-from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.cbrs import CbrsConfig, TieredAdmission, build_cbrs_scenario
+from repro.sim.costmodel import (
+    MeasuredRound,
+    PhaseCosts,
+    ServiceCostModel,
+    load_measured_round,
+    paper_profile,
+)
+from repro.sim.events import EventQueue, ScheduledEvent, SimClock
+from repro.sim.registry import BuiltScenario, build_named_scenario, scenario_names
 from repro.sim.simulator import DeploymentSimulator, SimulationReport
+from repro.sim.traffic import (
+    ArrivalEvent,
+    ArrivalSchedule,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    PoissonTraffic,
+    PuChurnModel,
+    RandomWaypointMobility,
+    WorkloadSpec,
+    build_schedule,
+    resolve_workload,
+    workload_names,
+)
 from repro.sim.workload import PoissonArrivals, PuSwitchProcess, WorkloadConfig
 
 __all__ = [
     "PhaseCosts",
     "ServiceCostModel",
+    "MeasuredRound",
+    "load_measured_round",
+    "paper_profile",
     "EventQueue",
     "ScheduledEvent",
+    "SimClock",
     "DeploymentSimulator",
     "SimulationReport",
     "PoissonArrivals",
     "PuSwitchProcess",
     "WorkloadConfig",
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "PoissonTraffic",
+    "DiurnalTraffic",
+    "FlashCrowdTraffic",
+    "PuChurnModel",
+    "RandomWaypointMobility",
+    "WorkloadSpec",
+    "build_schedule",
+    "resolve_workload",
+    "workload_names",
+    "CbrsConfig",
+    "TieredAdmission",
+    "build_cbrs_scenario",
+    "BuiltScenario",
+    "build_named_scenario",
+    "scenario_names",
 ]

@@ -1,0 +1,99 @@
+"""Scenario registry: named regulatory deployments for the service stack.
+
+``LoadtestConfig.scenario`` and ``repro serve-loadtest --scenario`` name
+an entry here.  Each entry builds a concrete deployment *and* whatever
+broker-side policy it implies — today that is the plain UHF
+TV-whitespace scenario the paper evaluates, and the tiered CBRS mapping
+(:mod:`repro.sim.cbrs`).
+
+The crucial invariant: a built scenario always carries the plain
+``ScenarioConfig`` it was derived from, because socket-plane workers
+reconstruct the WATCH environment from that config alone
+(``dataclasses.asdict`` over the wire).  Anything a registry entry adds
+beyond the base config — tier maps, admission budgets — must therefore
+live broker-side only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.cbrs import CbrsConfig, build_cbrs_scenario
+from repro.telemetry.metrics import MetricsRegistry
+from repro.watch.scenario import Scenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "SCENARIO_UHF",
+    "SCENARIO_CBRS_TIERED",
+    "BuiltScenario",
+    "scenario_names",
+    "build_named_scenario",
+]
+
+SCENARIO_UHF = "uhf"
+SCENARIO_CBRS_TIERED = "cbrs-tiered"
+
+_NAMES = (SCENARIO_UHF, SCENARIO_CBRS_TIERED)
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """A registry build: deployment plus broker-side policy inputs."""
+
+    name: str
+    scenario: Scenario
+    #: The plain config socket workers rebuild the environment from.
+    scenario_config: ScenarioConfig
+    #: SU id -> tier, or None when the scenario has no tiering.
+    tier_of: dict[str, str] | None = None
+    #: Concurrent-authorization budget (tiered scenarios only).
+    capacity: int = 0
+
+    def admission(self, metrics: MetricsRegistry | None = None):
+        """A fresh TieredAdmission, or None for untiered scenarios."""
+        if self.tier_of is None:
+            return None
+        from repro.sim.cbrs import TieredAdmission
+
+        return TieredAdmission(self.tier_of, self.capacity, metrics)
+
+
+def scenario_names() -> tuple[str, ...]:
+    return _NAMES
+
+
+def build_named_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    num_sus: int = 1,
+    gaa_capacity: int = 0,
+) -> BuiltScenario:
+    """Build a registry scenario at service scale.
+
+    ``seed``/``num_sus`` follow the loadtest convention (the builders
+    enroll ``su-0`` … ``su-{n-1}``).  ``gaa_capacity`` overrides the
+    WATCH-derived budget for tiered scenarios; 0 derives it.
+    """
+    config = ScenarioConfig(seed=seed, num_sus=max(num_sus, 1))
+    if name == SCENARIO_UHF:
+        return BuiltScenario(
+            name=name,
+            scenario=build_scenario(config),
+            scenario_config=config,
+        )
+    if name == SCENARIO_CBRS_TIERED:
+        built = build_cbrs_scenario(
+            CbrsConfig(base=config, gaa_capacity=gaa_capacity)
+        )
+        return BuiltScenario(
+            name=name,
+            scenario=built.scenario,
+            scenario_config=config,
+            tier_of=built.tier_of,
+            capacity=built.capacity,
+        )
+    raise ConfigurationError(
+        f"unknown scenario {name!r} (known: {', '.join(_NAMES)})"
+    )

@@ -6,18 +6,34 @@ transfers add latency-model delays.  Grant/deny outcomes are *not*
 sampled — each simulated request belongs to a scenario SU and is
 decided once by the real plaintext WATCH oracle, so grant ratios track
 the actual geometry.
+
+All randomness flows through an injected
+:class:`~repro.crypto.rand.RandomSource` (forked per stream, so event
+interleaving never perturbs draws) and all time through the
+:class:`~repro.sim.events.EventQueue`'s injected origin — no ambient
+clocks or generators, which is what lets the DET/ASY audit rules cover
+this package.  A named :class:`~repro.sim.traffic.WorkloadSpec` shapes
+the arrival process (diurnal, flash-crowd, churn-storm, mobility);
+without one the workload is the homogeneous paper model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.crypto.rand import DeterministicRandomSource, RandomSource
 from repro.errors import ConfigurationError
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.sim.costmodel import ServiceCostModel
 from repro.sim.events import EventQueue
+from repro.sim.traffic import (
+    RandomWaypointMobility,
+    WorkloadSpec,
+    resolve_workload,
+    unit_float,
+)
 from repro.sim.workload import PoissonArrivals, PuSwitchProcess, WorkloadConfig
 from repro.watch.scenario import Scenario
 from repro.watch.sdc import PlaintextSDC
@@ -81,6 +97,7 @@ class SimulationReport:
     virtual_switches_suppressed: int
     sdc_utilization: float
     stp_utilization: float
+    su_moves: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -128,6 +145,9 @@ class DeploymentSimulator:
         latency: LatencyModel | None = None,
         sdc_workers: int = 1,
         stp_workers: int = 1,
+        rng: RandomSource | None = None,
+        start_s: float = 0.0,
+        traffic: WorkloadSpec | str | None = None,
     ) -> None:
         if sdc_workers < 1 or stp_workers < 1:
             raise ConfigurationError("worker counts must be positive")
@@ -137,15 +157,31 @@ class DeploymentSimulator:
         self.latency = latency or ConstantLatency()
         self.sdc_workers = sdc_workers
         self.stp_workers = stp_workers
-        self._rng = np.random.default_rng(self.workload.seed)
-        # Decide every scenario SU once with the real oracle.
-        oracle = PlaintextSDC(scenario.environment)
+        self.start_s = start_s
+        if traffic is None:
+            self.traffic: WorkloadSpec | None = None
+        elif isinstance(traffic, str):
+            self.traffic = resolve_workload(traffic)
+        else:
+            self.traffic = traffic
+        # The injected source is forked per draw stream, so the order in
+        # which event kinds interleave can never shift another stream's
+        # draws.  Default derives from the workload seed for
+        # backwards-compatible determinism.
+        self._rng = rng if rng is not None else DeterministicRandomSource(
+            self.workload.seed
+        )
+        # Decide every scenario SU once with the real oracle (moved SUs
+        # are re-decided against the same oracle).
+        self._oracle = PlaintextSDC(scenario.environment)
         for pu in scenario.pus:
-            oracle.pu_update(pu)
+            self._oracle.pu_update(pu)
         if not scenario.sus:
             raise ConfigurationError("scenario has no SUs to draw requests from")
+        self._sus = {su.su_id: su for su in scenario.sus}
         self._decisions = {
-            su.su_id: oracle.process_request(su).granted for su in scenario.sus
+            su.su_id: self._oracle.process_request(su).granted
+            for su in scenario.sus
         }
         self._su_ids = [su.su_id for su in scenario.sus]
 
@@ -156,26 +192,56 @@ class DeploymentSimulator:
         """Simulate ``duration_s`` seconds of deployment time."""
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
-        queue = EventQueue()
+        queue = EventQueue(start_s=self.start_s)
+        horizon = self.start_s + duration_s
         sdc = _Server("sdc", workers=self.sdc_workers)
         stp = _Server("stp", workers=self.stp_workers)
         costs = self.cost_model.costs
         records: list[RequestRecord] = []
         pu_updates = 0
         suppressed = 0
+        su_moves = 0
 
-        arrivals = PoissonArrivals(self.workload.su_requests_per_hour, self._rng)
-        queue.schedule(arrivals.next_gap_s(), "su-arrival")
+        arrival_rng = self._rng.fork("arrivals")
+        subject_rng = self._rng.fork("subjects")
+        rate_per_s = self.workload.su_requests_per_hour / 3600.0
+        if self.traffic is not None:
+            expected = max(1, round(rate_per_s * duration_s))
+            arrival_stream = self.traffic.arrival_model(
+                rate_per_s, expected
+            ).arrivals(arrival_rng)
+            next_arrival = lambda: self.start_s + next(arrival_stream)  # noqa: E731
+            churn_multiplier = self.traffic.pu_churn_multiplier
+        else:
+            arrivals = PoissonArrivals(
+                self.workload.su_requests_per_hour, arrival_rng
+            )
+            clock = queue.clock()
+            next_arrival = lambda: clock() + arrivals.next_gap_s()  # noqa: E731
+            churn_multiplier = 1.0
+        queue.schedule_at(next_arrival(), "su-arrival")
+
         switchers = []
-        for pu in self.scenario.pus:
+        for index, pu in enumerate(self.scenario.pus):
             process = PuSwitchProcess(
-                self.workload.pu_virtual_switches_per_hour,
+                self.workload.pu_virtual_switches_per_hour * churn_multiplier,
                 self.workload.physical_switch_fraction,
-                self._rng,
+                self._rng.fork(f"pu-{index}"),
             )
             switchers.append((pu.receiver_id, process))
             gap, physical = process.next_switch()
-            queue.schedule(gap, "pu-switch", payload=(len(switchers) - 1, physical))
+            queue.schedule(gap, "pu-switch", payload=(index, physical))
+
+        if self.traffic is not None and self.traffic.mobility:
+            mobility = RandomWaypointMobility(self.scenario.grid)
+            _, moves = mobility.waypoints(
+                self._rng.fork("mobility"), len(self._su_ids), duration_s
+            )
+            for move in moves:
+                queue.schedule_at(
+                    self.start_s + move.time_s, "su-move",
+                    payload=(move.index, move.block),
+                )
 
         # Stage transitions are events so each server's jobs are served
         # in true arrival-time order — synchronous chaining would let an
@@ -183,12 +249,15 @@ class DeploymentSimulator:
         # later request's phase 1.
         while queue:
             event = queue.pop()
-            if event.kind in ("su-arrival", "pu-switch") and event.time > duration_s:
+            if event.kind in ("su-arrival", "pu-switch") and event.time > horizon:
                 continue  # stop generating load; drain in-flight work
             if event.kind == "su-arrival":
-                queue.schedule(arrivals.next_gap_s(), "su-arrival")
-                su_id = self._su_ids[int(self._rng.integers(len(self._su_ids)))]
-                cached = bool(self._rng.random() < self.workload.cached_request_fraction)
+                queue.schedule_at(next_arrival(), "su-arrival")
+                su_id = self._su_ids[subject_rng.randbelow(len(self._su_ids))]
+                cached = (
+                    unit_float(subject_rng)
+                    < self.workload.cached_request_fraction
+                )
                 prep = costs.su_refresh_s if cached else costs.su_prepare_s
                 at_sdc = event.time + prep + self._delay(
                     self.cost_model.request_bytes, su_id, "sdc"
@@ -238,12 +307,21 @@ class DeploymentSimulator:
                     suppressed += 1
             elif event.kind == "sdc-pu-update":
                 sdc.serve(event.time, costs.sdc_pu_update_s)
+            elif event.kind == "su-move":
+                su_index, block = event.payload
+                su_id = self._su_ids[su_index]
+                moved = replace(self._sus[su_id], block_index=block)
+                self._sus[su_id] = moved
+                self._decisions[su_id] = self._oracle.process_request(
+                    moved
+                ).granted
+                su_moves += 1
 
         # Overloaded servers drain past the horizon; divide each server's
         # busy time by the span it was actually active over so reported
         # utilisation stays a faithful fraction instead of clipping at 1.
-        sdc_span = max(duration_s, max(sdc.busy_until))
-        stp_span = max(duration_s, max(stp.busy_until))
+        sdc_span = max(duration_s, max(sdc.busy_until) - self.start_s)
+        stp_span = max(duration_s, max(stp.busy_until) - self.start_s)
         return SimulationReport(
             duration_s=duration_s,
             requests=tuple(records),
@@ -251,4 +329,5 @@ class DeploymentSimulator:
             virtual_switches_suppressed=suppressed,
             sdc_utilization=min(1.0, sdc.busy_time / (sdc_span * sdc.workers)),
             stp_utilization=min(1.0, stp.busy_time / (stp_span * stp.workers)),
+            su_moves=su_moves,
         )

@@ -7,20 +7,28 @@
   physical switches "much lower"; only physical switches reach the SDC,
   so the process draws exponential inter-switch times at a configurable
   physical rate and flags which switches need an SDC update.
+
+Both samplers draw exclusively through the injected
+:class:`~repro.crypto.rand.RandomSource` (no ambient randomness), so a
+journaled source replays a simulation byte-for-byte.  The richer
+time-varying models (diurnal curves, flash crowds, mobility) live in
+:mod:`repro.sim.traffic`; these two remain as the homogeneous
+building blocks the simulator and loadtest legacy path use directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.crypto.rand import RandomSource
 from repro.errors import ConfigurationError
+from repro.sim.traffic import (
+    VIRTUAL_SWITCHES_PER_HOUR,
+    exponential_gap,
+    unit_float,
+)
 
 __all__ = ["WorkloadConfig", "PoissonArrivals", "PuSwitchProcess"]
-
-#: [16] via §VI-A: mean virtual switches per viewer-hour.
-VIRTUAL_SWITCHES_PER_HOUR = 2.5
 
 
 @dataclass(frozen=True)
@@ -48,17 +56,17 @@ class WorkloadConfig:
 
 
 class PoissonArrivals:
-    """Exponential inter-arrival sampler."""
+    """Exponential inter-arrival sampler over an injected RandomSource."""
 
-    def __init__(self, rate_per_hour: float, rng: np.random.Generator) -> None:
+    def __init__(self, rate_per_hour: float, rng: RandomSource) -> None:
         if rate_per_hour <= 0:
             raise ConfigurationError("rate must be positive")
-        self._mean_gap_s = 3600.0 / rate_per_hour
+        self._rate_per_s = rate_per_hour / 3600.0
         self._rng = rng
 
     def next_gap_s(self) -> float:
         """Seconds until the next arrival."""
-        return float(self._rng.exponential(self._mean_gap_s))
+        return exponential_gap(self._rng, self._rate_per_s)
 
 
 class PuSwitchProcess:
@@ -68,11 +76,11 @@ class PuSwitchProcess:
         self,
         virtual_rate_per_hour: float,
         physical_fraction: float,
-        rng: np.random.Generator,
+        rng: RandomSource,
     ) -> None:
         if virtual_rate_per_hour <= 0:
             raise ConfigurationError("switch rate must be positive")
-        self._mean_gap_s = 3600.0 / virtual_rate_per_hour
+        self._rate_per_s = virtual_rate_per_hour / 3600.0
         self._physical_fraction = physical_fraction
         self._rng = rng
 
@@ -82,6 +90,6 @@ class PuSwitchProcess:
         Virtual-only switches (same physical channel) do not notify the
         SDC — the §VI-A optimisation.
         """
-        gap = float(self._rng.exponential(self._mean_gap_s))
-        physical = bool(self._rng.random() < self._physical_fraction)
+        gap = exponential_gap(self._rng, self._rate_per_s)
+        physical = unit_float(self._rng) < self._physical_fraction
         return gap, physical

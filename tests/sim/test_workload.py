@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.crypto.rand import DeterministicRandomSource
 from repro.errors import ConfigurationError
 from repro.sim.workload import PoissonArrivals, PuSwitchProcess, WorkloadConfig
 
@@ -23,34 +24,41 @@ class TestWorkloadConfig:
 
 class TestPoissonArrivals:
     def test_mean_gap(self):
-        rng = np.random.default_rng(0)
+        rng = DeterministicRandomSource(0)
         arrivals = PoissonArrivals(rate_per_hour=60.0, rng=rng)
         gaps = [arrivals.next_gap_s() for _ in range(3000)]
         assert np.mean(gaps) == pytest.approx(60.0, rel=0.1)
 
     def test_gaps_positive(self):
-        rng = np.random.default_rng(1)
+        rng = DeterministicRandomSource(1)
         arrivals = PoissonArrivals(rate_per_hour=10.0, rng=rng)
         assert all(arrivals.next_gap_s() > 0 for _ in range(100))
 
+    def test_same_seed_same_gaps(self):
+        a = PoissonArrivals(30.0, DeterministicRandomSource(9))
+        b = PoissonArrivals(30.0, DeterministicRandomSource(9))
+        assert [a.next_gap_s() for _ in range(50)] == [
+            b.next_gap_s() for _ in range(50)
+        ]
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            PoissonArrivals(0.0, np.random.default_rng(0))
+            PoissonArrivals(0.0, DeterministicRandomSource(0))
 
 
 class TestPuSwitchProcess:
     def test_physical_fraction(self):
-        rng = np.random.default_rng(2)
+        rng = DeterministicRandomSource(2)
         process = PuSwitchProcess(2.5, physical_fraction=0.2, rng=rng)
         flags = [process.next_switch()[1] for _ in range(4000)]
         assert np.mean(flags) == pytest.approx(0.2, abs=0.03)
 
     def test_mean_switch_gap(self):
-        rng = np.random.default_rng(3)
+        rng = DeterministicRandomSource(3)
         process = PuSwitchProcess(2.5, physical_fraction=0.2, rng=rng)
         gaps = [process.next_switch()[0] for _ in range(3000)]
         assert np.mean(gaps) == pytest.approx(3600.0 / 2.5, rel=0.1)
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            PuSwitchProcess(0.0, 0.2, np.random.default_rng(0))
+            PuSwitchProcess(0.0, 0.2, DeterministicRandomSource(0))
